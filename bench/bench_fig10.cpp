@@ -1,0 +1,8 @@
+// Regenerates the paper's Fig10 (see DESIGN.md §4).
+#include "figure_bench.h"
+
+int main() {
+  return ct::bench::run_figure_bench(
+      "fig10", ct::threat::ThreatScenario::kHurricane,
+      ct::bench::Siting::kKahe);
+}

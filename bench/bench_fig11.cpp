@@ -1,0 +1,8 @@
+// Regenerates the paper's Fig11 (see DESIGN.md §4).
+#include "figure_bench.h"
+
+int main() {
+  return ct::bench::run_figure_bench(
+      "fig11", ct::threat::ThreatScenario::kHurricaneIntrusion,
+      ct::bench::Siting::kKahe);
+}

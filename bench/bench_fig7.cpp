@@ -1,0 +1,8 @@
+// Regenerates the paper's Fig7 (see DESIGN.md §4).
+#include "figure_bench.h"
+
+int main() {
+  return ct::bench::run_figure_bench(
+      "fig7", ct::threat::ThreatScenario::kHurricaneIntrusion,
+      ct::bench::Siting::kWaiau);
+}

@@ -1,0 +1,8 @@
+// Regenerates the paper's Fig8 (see DESIGN.md §4).
+#include "figure_bench.h"
+
+int main() {
+  return ct::bench::run_figure_bench(
+      "fig8", ct::threat::ThreatScenario::kHurricaneIsolation,
+      ct::bench::Siting::kWaiau);
+}

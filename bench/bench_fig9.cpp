@@ -1,0 +1,8 @@
+// Regenerates the paper's Fig9 (see DESIGN.md §4).
+#include "figure_bench.h"
+
+int main() {
+  return ct::bench::run_figure_bench(
+      "fig9", ct::threat::ThreatScenario::kHurricaneIntrusionIsolation,
+      ct::bench::Siting::kWaiau);
+}

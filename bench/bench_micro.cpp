@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the framework's hot paths: wind
+// sampling, the surge envelope, a full hurricane realization, the analysis
+// pipeline, and the evaluators. These bound the cost of scaling the
+// methodology (more realizations, finer meshes, larger ensembles).
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/pipeline.h"
+#include "mesh/coastal_builder.h"
+#include "scada/oahu.h"
+#include "storm/generator.h"
+#include "storm/holland.h"
+#include "surge/realization.h"
+#include "surge/surge_model.h"
+#include "terrain/oahu.h"
+#include "threat/attacker.h"
+
+using namespace ct;
+
+namespace {
+
+const terrain::Terrain& oahu() {
+  static const auto terrain = terrain::make_oahu_terrain();
+  return *terrain;
+}
+
+const surge::RealizationEngine& engine() {
+  static const surge::RealizationEngine instance(
+      terrain::make_oahu_terrain(), scada::oahu_topology().exposed_assets(),
+      surge::RealizationConfig{});
+  return instance;
+}
+
+void BM_HollandWindSample(benchmark::State& state) {
+  const storm::HollandWindField field;
+  storm::VortexParams vortex;
+  vortex.central_pressure_pa = 96800.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const geo::Vec2 point{static_cast<double>(i % 100) * 1000.0, 20000.0};
+    benchmark::DoNotOptimize(field.sample(vortex, {0, 0}, {0, 6}, point));
+    ++i;
+  }
+}
+BENCHMARK(BM_HollandWindSample);
+
+void BM_TerrainElevation(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const geo::Vec2 p{static_cast<double>(i % 200) * 200.0 - 20000.0,
+                      static_cast<double>(i % 97) * 300.0 - 15000.0};
+    benchmark::DoNotOptimize(oahu().elevation(p));
+    ++i;
+  }
+}
+BENCHMARK(BM_TerrainElevation);
+
+void BM_CoastalMeshBuild(benchmark::State& state) {
+  mesh::CoastalMeshConfig config;
+  config.shore_spacing_m = 4000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh::build_coastal_mesh(oahu(), config));
+  }
+}
+BENCHMARK(BM_CoastalMeshBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SurgeEnvelope(benchmark::State& state) {
+  const auto cm = mesh::build_coastal_mesh(oahu(), mesh::CoastalMeshConfig{});
+  const storm::TrackGenerator generator{storm::TrackEnsembleConfig{}};
+  const storm::StormTrack track = generator.generate(1, 0);
+  const surge::SurgeSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.max_envelope(cm, track, oahu().projection()));
+  }
+}
+BENCHMARK(BM_SurgeEnvelope)->Unit(benchmark::kMillisecond);
+
+void BM_FullRealization(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine().run(i++));
+  }
+}
+BENCHMARK(BM_FullRealization)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineOutcome(benchmark::State& state) {
+  const auto realization = engine().run(0);
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.outcome_for(
+        configs[i % configs.size()],
+        threat::ThreatScenario::kHurricaneIntrusionIsolation, realization));
+    ++i;
+  }
+}
+BENCHMARK(BM_PipelineOutcome);
+
+void BM_Evaluator(benchmark::State& state) {
+  const auto config = scada::make_config_6_6_6("p", "b", "d");
+  threat::SystemState s;
+  s.site_status = {threat::SiteStatus::kUp, threat::SiteStatus::kIsolated,
+                   threat::SiteStatus::kUp};
+  s.intrusions = {1, 0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(config, s));
+  }
+}
+BENCHMARK(BM_Evaluator);
+
+void BM_GreedyAttack666(benchmark::State& state) {
+  const auto config = scada::make_config_6_6_6("p", "b", "d");
+  threat::SystemState base;
+  base.site_status.assign(3, threat::SiteStatus::kUp);
+  base.intrusions.assign(3, 0);
+  const threat::GreedyWorstCaseAttacker attacker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacker.attack(config, base, {1, 1}));
+  }
+}
+BENCHMARK(BM_GreedyAttack666);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Extension bench: sea-level rise sensitivity. The compound-threat profile
+// of every architecture as mean sea level rises — the climate-adaptation
+// version of the paper's question (its motivation section is explicitly
+// about climatic change compounding with man-made threats).
+#include <iostream>
+
+#include "core/case_study.h"
+#include "core/pipeline.h"
+#include "figure_bench.h"
+#include "scada/oahu.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+#include "threat/scenario.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ct;
+
+int main() {
+  std::cout << "=== sea-level-rise sweep (hurricane scenario) ===\n\n";
+  const std::size_t n = bench::bench_realizations();
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  const core::AnalysisPipeline pipeline;
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const auto kahe_configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kKaheCc,
+      scada::oahu_ids::kDrFortress);
+
+  util::TextTable table;
+  table.set_columns({"SLR (m)", "P(honolulu)", "P(waiau)", "P(kahe)",
+                     "\"6+6+6\"/waiau green", "\"6+6+6\"/kahe green"},
+                    {util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+
+  for (const double slr : {0.0, 0.15, 0.3, 0.5, 0.75, 1.0}) {
+    surge::RealizationConfig config;
+    config.sea_level_offset_m = slr;
+    const surge::RealizationEngine engine(terrain::make_oahu_terrain(),
+                                          topo.exposed_assets(), config);
+    const auto batch = engine.run_batch(n);
+    const auto rate = [&](const char* id) {
+      std::size_t failures = 0;
+      for (const auto& r : batch) {
+        if (r.asset_failed(id)) ++failures;
+      }
+      return static_cast<double>(failures) / static_cast<double>(batch.size());
+    };
+    const auto green = [&](const scada::Configuration& c) {
+      return pipeline.analyze(c, threat::ThreatScenario::kHurricane, batch)
+          .outcomes.probability(threat::OperationalState::kGreen);
+    };
+    table.add_row({util::format_fixed(slr, 2),
+                   util::format_percent(rate(scada::oahu_ids::kHonoluluCc), 1),
+                   util::format_percent(rate(scada::oahu_ids::kWaiauCc), 1),
+                   util::format_percent(rate(scada::oahu_ids::kKaheCc), 1),
+                   util::format_percent(green(configs[4]), 1),
+                   util::format_percent(green(kahe_configs[4]), 1)});
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected shape: flood probabilities grow with SLR; the "
+               "Kahe siting stays green far\nlonger than the Waiau siting "
+               "(elevation margin), reinforcing the paper's siting "
+               "lesson.\n";
+  return 0;
+}

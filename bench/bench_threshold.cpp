@@ -1,0 +1,71 @@
+// Ablation A3: sensitivity to the asset-failure inundation threshold. The
+// paper fixes 0.5 m ("the typical height for switches in power plants and
+// substations"); this sweep shows how the case-study conclusions move if
+// equipment were mounted lower or higher.
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "scada/oahu.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ct;
+
+int main() {
+  std::cout << "=== A3: failure-threshold sweep (paper: 0.5 m) ===\n\n";
+
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  const core::AnalysisPipeline pipeline;
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+
+  util::TextTable table;
+  table.set_columns({"threshold (m)", "P(honolulu)", "P(waiau)", "P(kahe)",
+                     "\"2\" red", "\"6+6+6\" green"},
+                    {util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight});
+
+  const std::size_t n = 500;
+  for (const double threshold :
+       {0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5}) {
+    surge::RealizationConfig config;
+    config.inundation.failure_threshold_m = threshold;
+    const surge::RealizationEngine engine(terrain::make_oahu_terrain(),
+                                          topo.exposed_assets(), config);
+    const auto batch = engine.run_batch(n);
+
+    const auto rate = [&](const char* id) {
+      std::size_t failures = 0;
+      for (const auto& r : batch) {
+        if (r.asset_failed(id)) ++failures;
+      }
+      return static_cast<double>(failures) / static_cast<double>(n);
+    };
+
+    const auto two = pipeline.analyze(
+        configs[0], threat::ThreatScenario::kHurricane, batch);
+    const auto triple = pipeline.analyze(
+        configs[4], threat::ThreatScenario::kHurricane, batch);
+
+    table.add_row(
+        {util::format_fixed(threshold, 2),
+         util::format_percent(rate(scada::oahu_ids::kHonoluluCc), 1),
+         util::format_percent(rate(scada::oahu_ids::kWaiauCc), 1),
+         util::format_percent(rate(scada::oahu_ids::kKaheCc), 1),
+         util::format_percent(
+             two.outcomes.probability(threat::OperationalState::kRed), 1),
+         util::format_percent(
+             triple.outcomes.probability(threat::OperationalState::kGreen),
+             1)});
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected shape: flood probabilities fall monotonically "
+               "with the threshold;\nKahe stays dry at every threshold "
+               "(elevated site), preserving the siting conclusion.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension bench: WHEN should the attacker strike? The paper's analytic
+// model is timing-free — an isolation after the hurricane always yields
+// the same final state. The protocol simulator reveals a timing
+// dimension the analysis cannot see: attacking DURING a cold-backup
+// activation window versus after the system has settled changes the
+// outage shape. Sweeps the attack time for "6-6" with a flooded primary
+// (backup mid-activation at the default timeline) under the full
+// compound-threat capability.
+#include <iostream>
+
+#include "scada/configuration.h"
+#include "sim/scada_des.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ct;
+
+int main() {
+  std::cout << "=== attack-timing sweep (DES-only effect) ===\n\n"
+               "scenario: \"6-6\", primary flooded at t=0, attacker has one "
+               "isolation + one\nintrusion and fires at the swept time. "
+               "Cold-backup activation takes 300 s after\nthe ~20 s outage "
+               "detection.\n\n";
+
+  const scada::Configuration config = scada::make_config_6_6("hon", "waiau");
+  threat::SystemState base;
+  base.site_status = {threat::SiteStatus::kFlooded, threat::SiteStatus::kUp};
+  base.intrusions = {0, 0};
+  const threat::SystemState attacked = threat::GreedyWorstCaseAttacker{}.attack(
+      config, base,
+      threat::capability_for(
+          threat::ThreatScenario::kHurricaneIntrusionIsolation));
+
+  util::TextTable table;
+  table.set_columns({"attack at (s)", "observed", "longest outage (s)",
+                     "steady availability"},
+                    {util::Align::kRight, util::Align::kLeft,
+                     util::Align::kRight, util::Align::kRight});
+
+  for (const double attack_time :
+       {10.0, 100.0, 200.0, 320.0, 400.0, 600.0, 900.0}) {
+    sim::DesOptions options;
+    options.horizon_s = 1800.0;
+    options.settle_window_s = 300.0;
+    options.attack_time_s = attack_time;
+    const sim::ScadaDes des(config, options);
+    const sim::DesOutcome outcome = des.run(attacked);
+    table.add_row({util::format_fixed(attack_time, 0),
+                   std::string(threat::state_name(outcome.observed)),
+                   util::format_fixed(outcome.max_outage_s, 0),
+                   util::format_percent(outcome.steady_availability, 1)});
+  }
+  table.render(std::cout);
+  std::cout
+      << "\nNote: the attacker's isolation targets the backup site (the "
+         "only one left);\nthe intrusion lands there too but stays within "
+         "f = 1. Whenever the attack fires,\nthe analytic state is the "
+         "same (red: both control sites down or cut), yet the\nclient-"
+         "visible history differs — strike DURING activation and the "
+         "operators never\nsee service at all; strike late and a window "
+         "of service precedes the final\noutage. The DES turns a static "
+         "classification into an incident timeline.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "figure_bench.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/case_study.h"
+#include "core/report.h"
+#include "scada/oahu.h"
+#include "util/strings.h"
+
+namespace ct::bench {
+
+std::size_t bench_realizations() {
+  if (const char* env = std::getenv("CT_BENCH_REALIZATIONS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return 1000;  // the paper's ensemble size
+}
+
+int run_figure_bench(const std::string& figure_id,
+                     threat::ThreatScenario scenario, Siting siting) {
+  const auto start = std::chrono::steady_clock::now();
+
+  core::CaseStudyOptions options;
+  options.realizations = bench_realizations();
+  core::CaseStudyRunner runner = core::make_oahu_case_study(options);
+
+  const std::string backup = siting == Siting::kWaiau
+                                 ? scada::oahu_ids::kWaiauCc
+                                 : scada::oahu_ids::kKaheCc;
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, backup, scada::oahu_ids::kDrFortress);
+
+  std::cout << "=== " << figure_id << ": "
+            << threat::scenario_name(scenario) << " (Honolulu + "
+            << (siting == Siting::kWaiau ? "Waiau" : "Kahe")
+            << " + DRFortress), " << options.realizations
+            << " realizations ===\n\n";
+
+  const auto results = runner.run_configs(configs, scenario);
+
+  std::cout << "measured operational profiles:\n";
+  core::profile_table(results).render(std::cout);
+
+  const auto& expected = core::paper_expected(figure_id);
+  std::cout << "\nmeasured vs paper:\n";
+  core::comparison_table(results, expected).render(std::cout);
+
+  const double delta = core::max_abs_delta(results, expected);
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start);
+  std::cout << "\nmax |measured - paper| = "
+            << util::format_fixed(delta * 100.0, 2) << " pp across all "
+            << results.size() * 4 << " cells\n"
+            << "wall time: " << util::format_fixed(elapsed.count(), 1)
+            << " s\n\n";
+  return 0;
+}
+
+}  // namespace ct::bench

@@ -1,0 +1,31 @@
+// Shared driver for the figure-regeneration benches: each bench binary
+// reproduces one of the paper's evaluation figures (operational profiles
+// of the five SCADA architectures under one threat scenario and siting),
+// prints measured-vs-paper tables, and reports the worst probability
+// delta.
+//
+// Realization count defaults to the paper's 1000; set CT_BENCH_REALIZATIONS
+// to override (e.g. 200 for a quick pass).
+#pragma once
+
+#include <string>
+
+#include "threat/scenario.h"
+
+namespace ct::bench {
+
+/// Which backup control center the siting uses (the paper's two variants).
+enum class Siting {
+  kWaiau,  ///< Honolulu + Waiau + DRFortress (Figs. 6-9)
+  kKahe,   ///< Honolulu + Kahe + DRFortress (Figs. 10-11)
+};
+
+/// Number of realizations to run (CT_BENCH_REALIZATIONS or 1000).
+std::size_t bench_realizations();
+
+/// Runs the figure bench: returns 0 on success (the bench always succeeds;
+/// fidelity is reported, not asserted — EXPERIMENTS.md records the deltas).
+int run_figure_bench(const std::string& figure_id,
+                     threat::ThreatScenario scenario, Siting siting);
+
+}  // namespace ct::bench

@@ -1,0 +1,200 @@
+// ctctl — command-line front end to the compound-threat framework. The
+// adoption path for practitioners: export the built-in Oahu topology,
+// edit the CSV (or export one from a GIS), and analyze custom sitings
+// without writing C++.
+//
+//   ctctl topology export <file.csv>       write the built-in Oahu topology
+//   ctctl topology validate <file.csv>     parse + summarize a topology CSV
+//   ctctl map [realization]                ASCII region map (optionally with
+//                                          one realization's floods)
+//   ctctl analyze [options]                operational profiles, 4 scenarios
+//     --topology <file.csv>                default: built-in Oahu
+//     --primary/--backup/--dc <asset id>   default: honolulu/waiau/drfortress
+//     --realizations <n>                   default: 1000
+//     --slr <meters>                       sea-level-rise offset
+//   ctctl downtime [same options]          restoration costs in hours
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/case_study.h"
+#include "core/map.h"
+#include "core/report.h"
+#include "core/restoration.h"
+#include "scada/oahu.h"
+#include "scada/topology_io.h"
+#include "terrain/oahu.h"
+#include "threat/scenario.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace ct;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ctctl <topology export|topology validate|map|analyze|"
+               "downtime> [options]\n(see the header of examples/ctctl.cpp "
+               "for details)\n";
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (!util::starts_with(key, "--")) {
+      throw std::runtime_error("expected --flag, got: " + key);
+    }
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+scada::ScadaTopology load_topology(
+    const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("topology");
+  if (it == flags.end()) return scada::oahu_topology();
+  std::ifstream in(it->second);
+  if (!in) throw std::runtime_error("cannot open " + it->second);
+  return scada::load_topology_csv(in);
+}
+
+struct AnalyzeSetup {
+  core::CaseStudyRunner runner;
+  std::vector<scada::Configuration> configs;
+};
+
+AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
+  core::CaseStudyOptions options;
+  options.realizations = 1000;
+  if (const auto it = flags.find("realizations"); it != flags.end()) {
+    options.realizations = std::strtoul(it->second.c_str(), nullptr, 10);
+  }
+  if (const auto it = flags.find("slr"); it != flags.end()) {
+    options.realization.sea_level_offset_m =
+        std::strtod(it->second.c_str(), nullptr);
+  }
+  scada::ScadaTopology topology = load_topology(flags);
+
+  const auto pick = [&](const char* flag, const char* fallback) {
+    const auto it = flags.find(flag);
+    const std::string id = it != flags.end() ? it->second : fallback;
+    if (!topology.contains(id)) {
+      throw std::runtime_error(std::string("no asset with id '") + id +
+                               "' in the topology");
+    }
+    return id;
+  };
+  const std::string primary = pick("primary", scada::oahu_ids::kHonoluluCc);
+  const std::string backup = pick("backup", scada::oahu_ids::kWaiauCc);
+  const std::string dc = pick("dc", scada::oahu_ids::kDrFortress);
+
+  return {core::CaseStudyRunner(std::move(topology),
+                                terrain::make_oahu_terrain(), options),
+          scada::paper_configurations(primary, backup, dc)};
+}
+
+int cmd_topology(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string sub = argv[2];
+  const std::string path = argv[3];
+  if (sub == "export") {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    scada::save_topology_csv(out, scada::oahu_topology());
+    std::cout << "wrote built-in Oahu topology to " << path << "\n";
+    return 0;
+  }
+  if (sub == "validate") {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    const scada::ScadaTopology topo = scada::load_topology_csv(in);
+    std::cout << path << ": " << topo.size() << " assets (";
+    std::cout << topo.of_type(scada::AssetType::kControlCenter).size()
+              << " control centers, "
+              << topo.of_type(scada::AssetType::kDataCenter).size()
+              << " data centers, "
+              << topo.of_type(scada::AssetType::kPowerPlant).size()
+              << " power plants, "
+              << topo.of_type(scada::AssetType::kSubstation).size()
+              << " substations)\n";
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_map(int argc, char** argv) {
+  const auto terrain = terrain::make_oahu_terrain();
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  if (argc > 2) {
+    const auto index = std::strtoull(argv[2], nullptr, 10);
+    const surge::RealizationEngine engine(terrain::make_oahu_terrain(),
+                                          topo.exposed_assets(), {});
+    const surge::HurricaneRealization r = engine.run(index);
+    std::cout << core::render_region_map(*terrain, topo, &r);
+  } else {
+    std::cout << core::render_region_map(*terrain, topo);
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
+  for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+    std::cout << "=== " << threat::scenario_name(scenario) << " ===\n";
+    core::profile_table(setup.runner.run_configs(setup.configs, scenario))
+        .render(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_downtime(int argc, char** argv) {
+  AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
+  const core::RestorationModel model;
+  for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+    util::TextTable table;
+    table.set_columns({"config", "E[downtime] h", "E[incorrect] h"},
+                      {util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight});
+    for (const auto& config : setup.configs) {
+      const core::RestorationResult r = core::analyze_restoration(
+          config, scenario, setup.runner.realizations(), model, 0);
+      table.add_row({config.name,
+                     util::format_fixed(r.expected_downtime_hours, 2),
+                     util::format_fixed(r.expected_incorrect_hours, 2)});
+    }
+    std::cout << "=== " << threat::scenario_name(scenario) << " ===\n";
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "topology") return cmd_topology(argc, argv);
+    if (command == "map") return cmd_map(argc, argv);
+    if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "downtime") return cmd_downtime(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "ctctl: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,127 @@
+// Replays one compound-threat timeline through the protocol-level
+// discrete-event simulator and prints the event trace: floods at t=0, the
+// cyberattack at t=200 s, heartbeats and view changes, cold-site
+// activation, and the client's observed service. Shows WHY a configuration
+// lands in each color, not just THAT it does.
+//
+// Usage: des_replay [config] [scenario] [flooded-sites]
+//   config:  2 | 2-2 | 6 | 6-6 | 6+6+6            (default 6-6)
+//   scenario: hurricane | intrusion | isolation | both   (default both)
+//   flooded-sites: comma-separated site indices flooded at t=0 (default none)
+#include <iostream>
+#include <string>
+
+#include "core/evaluator.h"
+#include "scada/configuration.h"
+#include "sim/scada_des.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+#include "util/strings.h"
+
+using namespace ct;
+
+namespace {
+
+scada::Configuration pick_config(const std::string& name) {
+  if (name == "2") return scada::make_config_2("honolulu");
+  if (name == "2-2") return scada::make_config_2_2("honolulu", "waiau");
+  if (name == "6") return scada::make_config_6("honolulu");
+  if (name == "6-6") return scada::make_config_6_6("honolulu", "waiau");
+  if (name == "6+6+6") {
+    return scada::make_config_6_6_6("honolulu", "waiau", "drfortress");
+  }
+  throw std::invalid_argument("unknown config: " + name);
+}
+
+threat::ThreatScenario pick_scenario(const std::string& name) {
+  if (name == "hurricane") return threat::ThreatScenario::kHurricane;
+  if (name == "intrusion") return threat::ThreatScenario::kHurricaneIntrusion;
+  if (name == "isolation") return threat::ThreatScenario::kHurricaneIsolation;
+  if (name == "both") {
+    return threat::ThreatScenario::kHurricaneIntrusionIsolation;
+  }
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string config_name = argc > 1 ? argv[1] : "6-6";
+  const std::string scenario_name = argc > 2 ? argv[2] : "both";
+  const std::string flooded_arg = argc > 3 ? argv[3] : "";
+
+  const scada::Configuration config = pick_config(config_name);
+  const threat::ThreatScenario scenario = pick_scenario(scenario_name);
+
+  std::vector<bool> flooded(config.sites.size(), false);
+  if (!flooded_arg.empty()) {
+    for (const std::string& tok : util::split(flooded_arg, ',')) {
+      const auto index = static_cast<std::size_t>(
+          std::strtoul(std::string(util::trim(tok)).c_str(), nullptr, 10));
+      if (index < flooded.size()) flooded[index] = true;
+    }
+  }
+
+  sim::DesOptions options;
+  options.tracing = true;
+
+  std::cout << "Replaying configuration \"" << config.name << "\" under "
+            << threat::scenario_name(scenario) << "\nsites:";
+  for (std::size_t i = 0; i < config.sites.size(); ++i) {
+    std::cout << " [" << i << "] " << config.sites[i].asset_id << " ("
+              << config.sites[i].replicas << " replicas, "
+              << (config.sites[i].hot ? "hot" : "cold")
+              << (flooded[i] ? ", FLOODED" : "") << ")";
+  }
+  std::cout << "\ntimeline: floods at t=0, cyberattack at t="
+            << options.attack_time_s << " s, horizon " << options.horizon_s
+            << " s\n\n";
+
+  const sim::ScadaDes des(config, options);
+  const sim::DesOutcome outcome =
+      des.run(flooded, threat::capability_for(scenario));
+
+  std::cout << "--- event trace ---\n";
+  for (const std::string& line : outcome.trace) std::cout << line << "\n";
+
+  // Analytic cross-check.
+  threat::SystemState base;
+  base.intrusions.assign(config.sites.size(), 0);
+  for (const bool f : flooded) {
+    base.site_status.push_back(f ? threat::SiteStatus::kFlooded
+                                 : threat::SiteStatus::kUp);
+  }
+  const threat::SystemState attacked = threat::GreedyWorstCaseAttacker{}.attack(
+      config, base, threat::capability_for(scenario));
+
+  // Availability over time: the shape of the incident (outage + recovery).
+  std::cout << "\n--- service availability, one glyph per 60 s ('#'=up, "
+               "'o'=degraded, '.'=down, ' '=no data) ---\n";
+  for (const double a : outcome.availability_timeline) {
+    if (a < 0.0) {
+      std::cout << ' ';
+    } else if (a > 0.9) {
+      std::cout << '#';
+    } else if (a > 0.1) {
+      std::cout << 'o';
+    } else {
+      std::cout << '.';
+    }
+  }
+  std::cout << "\n";
+
+  std::cout << "\n--- outcome ---\n"
+            << "observed operational state : "
+            << threat::state_name(outcome.observed) << "\n"
+            << "analytic (Table I) state   : "
+            << threat::state_name(core::evaluate(config, attacked)) << "\n"
+            << "steady-state availability  : "
+            << util::format_percent(outcome.steady_availability, 1) << "\n"
+            << "longest service gap        : "
+            << util::format_fixed(outcome.max_outage_s, 1) << " s\n"
+            << "safety violated            : "
+            << (outcome.safety_violated ? "YES" : "no") << "\n"
+            << "simulation cost            : " << outcome.events
+            << " events, " << outcome.messages << " messages\n";
+  return 0;
+}

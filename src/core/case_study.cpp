@@ -1,0 +1,68 @@
+#include "core/case_study.h"
+
+#include "scada/oahu.h"
+#include "terrain/oahu.h"
+
+namespace ct::core {
+
+CaseStudyRunner::CaseStudyRunner(scada::ScadaTopology topology,
+                                 std::shared_ptr<const terrain::Terrain> terrain,
+                                 CaseStudyOptions options)
+    : topology_(std::move(topology)), options_(options),
+      engine_(std::move(terrain), topology_.exposed_assets(),
+              options_.realization),
+      pipeline_(options_.attacker) {}
+
+const std::vector<surge::HurricaneRealization>& CaseStudyRunner::realizations() {
+  if (!cached_) {
+    cache_ = engine_.run_batch_parallel(options_.realizations);
+    cached_ = true;
+  }
+  return cache_;
+}
+
+ScenarioResult CaseStudyRunner::run(const scada::Configuration& config,
+                                    threat::ThreatScenario scenario) {
+  return pipeline_.analyze(config, scenario, realizations());
+}
+
+std::vector<ScenarioResult> CaseStudyRunner::run_configs(
+    const std::vector<scada::Configuration>& configs,
+    threat::ThreatScenario scenario) {
+  return pipeline_.analyze_all(configs, scenario, realizations());
+}
+
+double CaseStudyRunner::asset_flood_probability(std::string_view asset_id) {
+  const auto& batch = realizations();
+  if (batch.empty()) return 0.0;
+  std::size_t failures = 0;
+  const std::string id(asset_id);
+  for (const surge::HurricaneRealization& r : batch) {
+    if (r.asset_failed(id)) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(batch.size());
+}
+
+double CaseStudyRunner::conditional_flood_probability(std::string_view a,
+                                                      std::string_view b) {
+  const auto& batch = realizations();
+  const std::string id_a(a);
+  const std::string id_b(b);
+  std::size_t b_failures = 0;
+  std::size_t joint = 0;
+  for (const surge::HurricaneRealization& r : batch) {
+    if (r.asset_failed(id_b)) {
+      ++b_failures;
+      if (r.asset_failed(id_a)) ++joint;
+    }
+  }
+  if (b_failures == 0) return 0.0;
+  return static_cast<double>(joint) / static_cast<double>(b_failures);
+}
+
+CaseStudyRunner make_oahu_case_study(CaseStudyOptions options) {
+  return CaseStudyRunner(scada::oahu_topology(), terrain::make_oahu_terrain(),
+                         options);
+}
+
+}  // namespace ct::core

@@ -1,0 +1,70 @@
+// Case-study runner: binds a terrain, a SCADA topology, and the hurricane
+// realization engine together and caches the (expensive) realization batch
+// so many configurations/scenarios/sitings can be analyzed against the
+// same natural-disaster input — exactly how the paper's §VI evaluation is
+// structured.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "scada/asset.h"
+#include "surge/realization.h"
+#include "terrain/terrain.h"
+
+namespace ct::core {
+
+/// Knobs of a case study.
+struct CaseStudyOptions {
+  /// Number of hurricane realizations (paper: 1000).
+  std::size_t realizations = 1000;
+  /// Natural-disaster pipeline parameters.
+  surge::RealizationConfig realization{};
+  /// Attacker model for the cyberattack stage.
+  AttackerModel attacker = AttackerModel::kGreedy;
+};
+
+class CaseStudyRunner {
+ public:
+  CaseStudyRunner(scada::ScadaTopology topology,
+                  std::shared_ptr<const terrain::Terrain> terrain,
+                  CaseStudyOptions options = {});
+
+  /// The cached realization batch (computed on first use).
+  const std::vector<surge::HurricaneRealization>& realizations();
+
+  /// Analyzes one configuration under one scenario.
+  ScenarioResult run(const scada::Configuration& config,
+                     threat::ThreatScenario scenario);
+
+  /// Analyzes several configurations under one scenario.
+  std::vector<ScenarioResult> run_configs(
+      const std::vector<scada::Configuration>& configs,
+      threat::ThreatScenario scenario);
+
+  /// Empirical probability that the asset flooded across realizations.
+  double asset_flood_probability(std::string_view asset_id);
+
+  /// P(asset `a` flooded | asset `b` flooded); 0 when `b` never floods.
+  double conditional_flood_probability(std::string_view a, std::string_view b);
+
+  const scada::ScadaTopology& topology() const noexcept { return topology_; }
+  const surge::RealizationEngine& engine() const noexcept { return engine_; }
+  const CaseStudyOptions& options() const noexcept { return options_; }
+
+ private:
+  scada::ScadaTopology topology_;
+  CaseStudyOptions options_;
+  surge::RealizationEngine engine_;
+  AnalysisPipeline pipeline_;
+  std::vector<surge::HurricaneRealization> cache_;
+  bool cached_ = false;
+};
+
+/// Builds the paper's Oahu case study: synthetic Oahu terrain + the Fig. 4
+/// topology.
+CaseStudyRunner make_oahu_case_study(CaseStudyOptions options = {});
+
+}  // namespace ct::core

@@ -1,0 +1,112 @@
+#include "core/evaluator.h"
+
+#include <stdexcept>
+
+namespace ct::core {
+
+using threat::OperationalState;
+using threat::SiteStatus;
+using threat::SystemState;
+
+OperationalState evaluate(const scada::Configuration& config,
+                          const SystemState& state) {
+  if (state.site_status.size() != config.sites.size() ||
+      state.intrusions.size() != config.sites.size()) {
+    throw std::invalid_argument("evaluate: state/config size mismatch");
+  }
+  const int threshold = config.safety_threshold();
+
+  // Rule 1: gray (safety violation).
+  if (config.active_multisite) {
+    int group_intrusions = 0;
+    for (std::size_t i = 0; i < config.sites.size(); ++i) {
+      if (state.site_functional(i) && config.sites[i].hot) {
+        group_intrusions += state.intrusions[i];
+      }
+    }
+    if (group_intrusions >= threshold) return OperationalState::kGray;
+  } else {
+    for (std::size_t i = 0; i < config.sites.size(); ++i) {
+      if (state.site_functional(i) && state.intrusions[i] >= threshold) {
+        return OperationalState::kGray;
+      }
+    }
+  }
+
+  // Rule 2: active multisite availability.
+  if (config.active_multisite) {
+    int functional_hot = 0;
+    for (std::size_t i = 0; i < config.sites.size(); ++i) {
+      if (state.site_functional(i) && config.sites[i].hot) ++functional_hot;
+    }
+    return functional_hot >= config.min_active_sites
+               ? OperationalState::kGreen
+               : OperationalState::kRed;
+  }
+
+  // Rule 3: one site operates at a time, in priority order.
+  for (const std::size_t i : threat::site_priority_order(config)) {
+    if (state.site_functional(i)) {
+      return config.sites[i].hot ? OperationalState::kGreen
+                                 : OperationalState::kOrange;
+    }
+  }
+  return OperationalState::kRed;
+}
+
+namespace {
+
+bool site_down(const SystemState& state, std::size_t i) {
+  return state.site_status[i] != SiteStatus::kUp;
+}
+
+/// Table I rows for "2" and "6" (single control center, differing only in
+/// the gray threshold).
+OperationalState single_site_row(const SystemState& state, int gray_at) {
+  if (!site_down(state, 0) && state.intrusions[0] >= gray_at) {
+    return OperationalState::kGray;
+  }
+  if (site_down(state, 0)) return OperationalState::kRed;
+  return OperationalState::kGreen;
+}
+
+/// Table I rows for "2-2" and "6-6" (primary + cold backup).
+OperationalState primary_backup_row(const SystemState& state, int gray_at) {
+  // "gray if there is an intrusion of a functional server"
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (!site_down(state, i) && state.intrusions[i] >= gray_at) {
+      return OperationalState::kGray;
+    }
+  }
+  const bool primary_down = site_down(state, 0);
+  const bool backup_down = site_down(state, 1);
+  if (!primary_down) return OperationalState::kGreen;
+  if (!backup_down) return OperationalState::kOrange;
+  return OperationalState::kRed;
+}
+
+}  // namespace
+
+OperationalState evaluate_table1(const scada::Configuration& config,
+                                 const SystemState& state) {
+  if (state.site_status.size() != config.sites.size() ||
+      state.intrusions.size() != config.sites.size()) {
+    throw std::invalid_argument("evaluate_table1: state/config size mismatch");
+  }
+  if (config.name == "2") return single_site_row(state, 1);
+  if (config.name == "6") return single_site_row(state, 2);
+  if (config.name == "2-2") return primary_backup_row(state, 1);
+  if (config.name == "6-6") return primary_backup_row(state, 2);
+  if (config.name == "6+6+6") {
+    // "gray if server intrusions >= 2" (among operating replicas),
+    // "green if at least 2 sites up and intrusions <= 1",
+    // "red if less than 2 sites up and intrusions <= 1".
+    if (state.effective_intrusions() >= 2) return OperationalState::kGray;
+    if (state.functional_site_count() >= 2) return OperationalState::kGreen;
+    return OperationalState::kRed;
+  }
+  throw std::invalid_argument("evaluate_table1: unknown configuration: " +
+                              config.name);
+}
+
+}  // namespace ct::core

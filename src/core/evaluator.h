@@ -1,0 +1,39 @@
+// Operational-state evaluation (the paper's Table I): classifies a final
+// system state into green / orange / red / gray. Two implementations:
+//
+//  * evaluate() — a generic rule engine driven entirely by the
+//    Configuration descriptor (works for novel architectures);
+//  * evaluate_table1() — the paper's Table I transcribed row by row for
+//    the five named configurations.
+//
+// A property test asserts the two agree on every reachable state of the
+// five paper configurations.
+#pragma once
+
+#include "scada/configuration.h"
+#include "threat/system_state.h"
+
+namespace ct::core {
+
+/// Generic evaluator.
+///
+/// Rules, in order:
+///  1. GRAY — safety is violated when one replication group contains more
+///     than f compromised replicas: for active-multisite architectures the
+///     group spans all functional hot sites; otherwise any functional site
+///     whose intrusion count exceeds f.
+///  2. Active multisite: GREEN while at least `min_active_sites` hot sites
+///     are functional, RED otherwise.
+///  3. Single-operating-site architectures: the first functional site in
+///     priority order operates — GREEN if that site is hot (no takeover
+///     delay), ORANGE if it is a cold backup (activation downtime); RED
+///     when no site is functional.
+threat::OperationalState evaluate(const scada::Configuration& config,
+                                  const threat::SystemState& state);
+
+/// Paper Table I, transcribed per configuration name ("2", "2-2", "6",
+/// "6-6", "6+6+6"). Throws std::invalid_argument for other names.
+threat::OperationalState evaluate_table1(const scada::Configuration& config,
+                                         const threat::SystemState& state);
+
+}  // namespace ct::core

@@ -1,0 +1,92 @@
+#include "core/map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ct::core {
+
+namespace {
+
+char terrain_glyph(double elevation_m) {
+  if (elevation_m <= 0.0) return '~';
+  if (elevation_m < 150.0) return '.';
+  if (elevation_m < 600.0) return '+';
+  return '^';
+}
+
+char asset_glyph(scada::AssetType type) {
+  switch (type) {
+    case scada::AssetType::kControlCenter: return 'C';
+    case scada::AssetType::kDataCenter: return 'D';
+    case scada::AssetType::kPowerPlant: return 'P';
+    case scada::AssetType::kSubstation: return 'S';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_region_map(const terrain::Terrain& terrain,
+                              const scada::ScadaTopology& topology,
+                              const surge::HurricaneRealization* realization,
+                              const MapOptions& options) {
+  const geo::BBox box = terrain.coastline().bbox().inflated(options.margin_m);
+  const int width = std::max(10, options.width);
+  const int height = std::max(6, options.height);
+
+  const auto cell_center = [&](int col, int row) {
+    // Row 0 is the top (north).
+    const double fx = (static_cast<double>(col) + 0.5) /
+                      static_cast<double>(width);
+    const double fy = (static_cast<double>(row) + 0.5) /
+                      static_cast<double>(height);
+    return geo::Vec2{box.lo.x + fx * box.width(),
+                     box.hi.y - fy * box.height()};
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          terrain_glyph(terrain.elevation(cell_center(col, row)));
+    }
+  }
+
+  // Overlay assets.
+  std::string legend;
+  for (const scada::Asset& asset : topology.assets()) {
+    const geo::Vec2 p = terrain.projection().to_enu(asset.location);
+    if (!box.contains(p)) continue;
+    const int col = std::clamp(
+        static_cast<int>((p.x - box.lo.x) / box.width() *
+                         static_cast<double>(width)),
+        0, width - 1);
+    const int row = std::clamp(
+        static_cast<int>((box.hi.y - p.y) / box.height() *
+                         static_cast<double>(height)),
+        0, height - 1);
+    const bool failed =
+        realization != nullptr && realization->asset_failed(asset.id);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        failed ? 'X' : asset_glyph(asset.type);
+    if (options.legend &&
+        asset.type != scada::AssetType::kSubstation) {
+      legend += "  ";
+      legend += failed ? 'X' : asset_glyph(asset.type);
+      legend += " " + asset.id + (failed ? "  [FLOODED]" : "") + "\n";
+    }
+  }
+
+  std::string out = terrain.name() + "\n";
+  for (const std::string& line : grid) out += line + "\n";
+  if (options.legend) {
+    out += "\n~ ocean   . plain   + hills   ^ mountains   S substation\n";
+    out += legend;
+  }
+  return out;
+}
+
+}  // namespace ct::core

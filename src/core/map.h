@@ -1,0 +1,33 @@
+// ASCII rendering of the study region: terrain, the SCADA asset topology
+// (the paper's Fig. 4), and optionally the flood outcome of one hurricane
+// realization. Terminal-native "GIS view" used by the topology_map example
+// and handy when defining custom regions.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "scada/asset.h"
+#include "surge/realization.h"
+#include "terrain/terrain.h"
+
+namespace ct::core {
+
+struct MapOptions {
+  int width = 78;    ///< Characters across.
+  int height = 36;   ///< Lines down.
+  bool legend = true;
+  /// Extra margin around the coastline bounding box (m).
+  double margin_m = 3000.0;
+};
+
+/// Renders the region. Cell glyphs: ocean '~', coastal plain '.', hills
+/// '+', mountains '^'. Assets draw as letters (C control center, D data
+/// center, P power plant, S substation); when `realization` is given,
+/// failed assets render as 'X'. Asset glyphs win over terrain.
+std::string render_region_map(
+    const terrain::Terrain& terrain, const scada::ScadaTopology& topology,
+    const surge::HurricaneRealization* realization = nullptr,
+    const MapOptions& options = {});
+
+}  // namespace ct::core

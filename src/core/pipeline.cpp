@@ -1,0 +1,80 @@
+#include "core/pipeline.h"
+
+#include "core/evaluator.h"
+
+namespace ct::core {
+
+void OutcomeDistribution::add(threat::OperationalState s) noexcept {
+  ++counts_[static_cast<std::size_t>(s)];
+  ++total_;
+}
+
+std::size_t OutcomeDistribution::count(threat::OperationalState s) const noexcept {
+  return counts_[static_cast<std::size_t>(s)];
+}
+
+double OutcomeDistribution::probability(threat::OperationalState s) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(s)) / static_cast<double>(total_);
+}
+
+double OutcomeDistribution::expected_badness() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+threat::OperationalState AnalysisPipeline::outcome_for(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const surge::HurricaneRealization& realization) const {
+  // Stage 1 (Fig. 5): apply the natural-disaster impact.
+  const threat::SystemState post_disaster = threat::post_disaster_state(
+      config, [&realization](std::string_view asset_id) {
+        return realization.asset_failed(std::string(asset_id));
+      });
+
+  // Stage 2: apply the worst-case cyberattack for the scenario.
+  const threat::AttackerCapability capability =
+      threat::capability_for(scenario);
+  threat::SystemState final_state = post_disaster;
+  if (model_ == AttackerModel::kGreedy) {
+    final_state = threat::GreedyWorstCaseAttacker{}.attack(
+        config, post_disaster, capability);
+  } else {
+    threat::ExhaustiveAttacker exhaustive(
+        [&config](const threat::SystemState& s) { return evaluate(config, s); });
+    final_state = exhaustive.attack(config, post_disaster, capability);
+  }
+
+  // Stage 3: evaluate the final system state (Table I).
+  return evaluate(config, final_state);
+}
+
+ScenarioResult AnalysisPipeline::analyze(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations) const {
+  ScenarioResult result;
+  result.config_name = config.name;
+  result.scenario = scenario;
+  for (const surge::HurricaneRealization& r : realizations) {
+    result.outcomes.add(outcome_for(config, scenario, r));
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> AnalysisPipeline::analyze_all(
+    const std::vector<scada::Configuration>& configs,
+    threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations) const {
+  std::vector<ScenarioResult> out;
+  out.reserve(configs.size());
+  for (const scada::Configuration& c : configs) {
+    out.push_back(analyze(c, scenario, realizations));
+  }
+  return out;
+}
+
+}  // namespace ct::core

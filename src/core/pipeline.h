@@ -1,0 +1,82 @@
+// The analysis pipeline of the paper's Fig. 5:
+//
+//   geospatial SCADA topology + hurricane realizations
+//     -> post-natural-disaster system states
+//     -> worst-case cyberattack
+//     -> operational-state classification (Table I)
+//     -> outcome probabilities.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "scada/configuration.h"
+#include "surge/realization.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+#include "threat/system_state.h"
+
+namespace ct::core {
+
+/// Empirical distribution over the four operational states.
+class OutcomeDistribution {
+ public:
+  void add(threat::OperationalState s) noexcept;
+
+  std::size_t count(threat::OperationalState s) const noexcept;
+  std::size_t total() const noexcept { return total_; }
+  /// Fraction of outcomes in state `s` (0 when empty).
+  double probability(threat::OperationalState s) const noexcept;
+  /// Expected badness (0=green .. 3=gray) under this distribution.
+  double expected_badness() const noexcept;
+
+ private:
+  std::array<std::size_t, 4> counts_{};
+  std::size_t total_ = 0;
+};
+
+/// Result of analyzing one configuration under one threat scenario.
+struct ScenarioResult {
+  std::string config_name;
+  threat::ThreatScenario scenario{};
+  OutcomeDistribution outcomes;
+};
+
+/// Which attacker model drives the cyberattack stage.
+enum class AttackerModel {
+  kGreedy,      ///< The paper's 3-rule worst-case algorithm (default).
+  kExhaustive,  ///< Brute-force worst case (validation / novel configs).
+};
+
+/// Stateless analysis engine. Thread-compatible: all methods are const.
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(AttackerModel model = AttackerModel::kGreedy)
+      : model_(model) {}
+
+  /// Classifies one (configuration, scenario, realization) triple: derives
+  /// the post-disaster state, applies the worst-case attack, evaluates the
+  /// final state.
+  threat::OperationalState outcome_for(
+      const scada::Configuration& config, threat::ThreatScenario scenario,
+      const surge::HurricaneRealization& realization) const;
+
+  /// Aggregates outcome probabilities over a realization set.
+  ScenarioResult analyze(
+      const scada::Configuration& config, threat::ThreatScenario scenario,
+      const std::vector<surge::HurricaneRealization>& realizations) const;
+
+  /// Convenience: all configurations x one scenario.
+  std::vector<ScenarioResult> analyze_all(
+      const std::vector<scada::Configuration>& configs,
+      threat::ThreatScenario scenario,
+      const std::vector<surge::HurricaneRealization>& realizations) const;
+
+  AttackerModel attacker_model() const noexcept { return model_; }
+
+ private:
+  AttackerModel model_;
+};
+
+}  // namespace ct::core

@@ -1,0 +1,56 @@
+// Report rendering: turns ScenarioResults into the tables the bench
+// binaries print (one per paper figure), and embeds the paper's published
+// operational profiles so every bench can show measured-vs-paper deltas.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/table.h"
+
+namespace ct::core {
+
+/// One configuration's operational profile as published in the paper
+/// (probabilities as fractions).
+struct PaperProfile {
+  std::string config;
+  double green = 0.0;
+  double orange = 0.0;
+  double red = 0.0;
+  double gray = 0.0;
+};
+
+/// The paper's published profiles for a figure id: "fig6" .. "fig11".
+/// Throws std::invalid_argument for unknown ids.
+const std::vector<PaperProfile>& paper_expected(std::string_view figure_id);
+
+/// Valid figure ids, in paper order.
+std::vector<std::string> paper_figure_ids();
+
+/// Renders config x {green, orange, red, gray} probabilities.
+util::TextTable profile_table(const std::vector<ScenarioResult>& results);
+
+/// Renders measured vs paper side by side with absolute deltas.
+util::TextTable comparison_table(const std::vector<ScenarioResult>& results,
+                                 const std::vector<PaperProfile>& expected);
+
+/// Worst absolute probability delta between measured results and the
+/// paper's expectation (used by benches to print a single fidelity score).
+double max_abs_delta(const std::vector<ScenarioResult>& results,
+                     const std::vector<PaperProfile>& expected);
+
+/// Machine-readable CSV: figure, config, state, probability.
+void write_profiles_csv(std::ostream& out, std::string_view figure_id,
+                        const std::vector<ScenarioResult>& results);
+
+/// Machine-readable JSON: one object per figure with per-config profiles,
+/// paper expectations (when the figure id is known), and deltas. Suitable
+/// for dashboards / notebooks.
+void write_profiles_json(std::ostream& out, std::string_view figure_id,
+                         const std::vector<ScenarioResult>& results,
+                         bool pretty = false);
+
+}  // namespace ct::core

@@ -1,0 +1,183 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ct::geo {
+
+void BBox::expand(Vec2 p) noexcept {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+void BBox::expand(const BBox& other) noexcept {
+  if (!other.valid()) return;
+  expand(other.lo);
+  expand(other.hi);
+}
+
+bool BBox::contains(Vec2 p) const noexcept {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+}
+
+BBox BBox::inflated(double margin) const noexcept {
+  BBox out = *this;
+  out.lo.x -= margin;
+  out.lo.y -= margin;
+  out.hi.x += margin;
+  out.hi.y += margin;
+  return out;
+}
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon requires >= 3 vertices");
+  }
+  for (const Vec2 v : vertices_) bbox_.expand(v);
+}
+
+bool Polygon::contains(Vec2 p) const noexcept {
+  if (!bbox_.contains(p)) return false;
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::area() const noexcept {
+  double twice_area = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice_area += vertices_[j].cross(vertices_[i]);
+  }
+  return twice_area / 2.0;
+}
+
+double Polygon::abs_area() const noexcept { return std::abs(area()); }
+
+Vec2 Polygon::centroid() const noexcept {
+  // Area-weighted centroid; falls back to vertex mean for degenerate area.
+  double twice_area = 0.0;
+  Vec2 acc{};
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double w = vertices_[j].cross(vertices_[i]);
+    twice_area += w;
+    acc += (vertices_[j] + vertices_[i]) * w;
+  }
+  if (std::abs(twice_area) < 1e-12) {
+    Vec2 mean{};
+    for (const Vec2 v : vertices_) mean += v;
+    return mean / static_cast<double>(n);
+  }
+  return acc / (3.0 * twice_area);
+}
+
+double Polygon::distance_to_boundary(Vec2 p) const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 q = closest_point_on_segment(vertices_[j], vertices_[i], p);
+    best = std::min(best, distance(p, q));
+  }
+  return best;
+}
+
+LineString::LineString(std::vector<Vec2> points) : points_(std::move(points)) {}
+
+double LineString::length() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    total += ct::geo::distance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+std::optional<Vec2> LineString::nearest_point(Vec2 p) const noexcept {
+  if (points_.empty()) return std::nullopt;
+  if (points_.size() == 1) return points_.front();
+  Vec2 best = points_.front();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Vec2 q = closest_point_on_segment(points_[i - 1], points_[i], p);
+    const double d2 = (q - p).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = q;
+    }
+  }
+  return best;
+}
+
+double LineString::distance(Vec2 p) const noexcept {
+  const auto q = nearest_point(p);
+  if (!q) return std::numeric_limits<double>::infinity();
+  return ct::geo::distance(p, *q);
+}
+
+Vec2 LineString::at_arclength(double s) const {
+  if (points_.empty()) throw std::logic_error("LineString::at_arclength empty");
+  if (s <= 0.0) return points_.front();
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double seg = ct::geo::distance(points_[i - 1], points_[i]);
+    if (s <= seg && seg > 0.0) {
+      return points_[i - 1] + (points_[i] - points_[i - 1]) * (s / seg);
+    }
+    s -= seg;
+  }
+  return points_.back();
+}
+
+std::vector<Vec2> convex_hull(std::vector<Vec2> points) {
+  if (points.size() < 3) return points;
+  std::sort(points.begin(), points.end(), [](Vec2 a, Vec2 b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) return points;
+
+  std::vector<Vec2> hull(2 * points.size());
+  std::size_t k = 0;
+  // Lower hull.
+  for (const Vec2 p : points) {
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).cross(p - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = points.size() - 1; i-- > 0;) {
+    const Vec2 p = points[i];
+    while (k >= lower_size &&
+           (hull[k - 1] - hull[k - 2]).cross(p - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+Vec2 closest_point_on_segment(Vec2 a, Vec2 b, Vec2 p) noexcept {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 <= 0.0) return a;
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return a + ab * t;
+}
+
+}  // namespace ct::geo

@@ -1,0 +1,48 @@
+// 2-D vector in local planar (meter) coordinates.
+#pragma once
+
+#include <cmath>
+
+namespace ct::geo {
+
+/// Planar vector/point; x is east, y is north (meters) in ENU frames.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; positive when `o` is
+  /// counter-clockwise from *this.
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  double norm() const noexcept { return std::sqrt(x * x + y * y); }
+  constexpr double norm2() const noexcept { return x * x + y * y; }
+  /// Unit vector; the zero vector normalizes to zero.
+  Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Rotated 90 degrees counter-clockwise.
+  constexpr Vec2 perp() const noexcept { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+
+}  // namespace ct::geo

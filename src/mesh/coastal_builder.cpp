@@ -1,0 +1,92 @@
+#include "mesh/coastal_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::mesh {
+
+CoastalMesh build_coastal_mesh(const terrain::Terrain& terrain,
+                               const CoastalMeshConfig& config) {
+  if (config.shore_spacing_m <= 0.0 || config.cross_shore_spacing_m <= 0.0) {
+    throw std::invalid_argument("build_coastal_mesh: spacing must be positive");
+  }
+  if (config.offshore_extent_m <= 0.0 || config.inland_extent_m < 0.0) {
+    throw std::invalid_argument("build_coastal_mesh: bad extents");
+  }
+
+  std::vector<terrain::ShorePoint> stations =
+      terrain::sample_shoreline(terrain.coastline(), config.shore_spacing_m);
+  const std::size_t n_stations = stations.size();
+  if (n_stations < 3) {
+    throw std::runtime_error("build_coastal_mesh: too few shoreline stations");
+  }
+
+  // Cross-shore offsets from offshore (negative) to inland (positive),
+  // always including 0 (the shoreline row).
+  std::vector<double> offsets;
+  for (double t = -config.offshore_extent_m; t < -1e-9;
+       t += config.cross_shore_spacing_m) {
+    offsets.push_back(t);
+  }
+  offsets.push_back(0.0);
+  for (double t = config.cross_shore_spacing_m;
+       t <= config.inland_extent_m + 1e-9; t += config.cross_shore_spacing_m) {
+    offsets.push_back(t);
+  }
+  const std::size_t n_offsets = offsets.size();
+
+  std::vector<Node> nodes;
+  std::vector<std::uint32_t> station_of_node;
+  std::vector<double> offset_of_node;
+  std::vector<NodeId> shore_nodes(n_stations);
+  nodes.reserve(n_stations * n_offsets);
+  station_of_node.reserve(n_stations * n_offsets);
+  offset_of_node.reserve(n_stations * n_offsets);
+
+  for (std::size_t i = 0; i < n_stations; ++i) {
+    const terrain::ShorePoint& sp = stations[i];
+    for (std::size_t j = 0; j < n_offsets; ++j) {
+      // Negative offset = offshore = along the outward normal.
+      const geo::Vec2 pos = sp.position + sp.outward_normal * (-offsets[j]);
+      Node node;
+      node.position = pos;
+      node.elevation_m = terrain.elevation(pos);
+      if (offsets[j] == 0.0) {
+        node.kind = NodeKind::kShore;
+        shore_nodes[i] = static_cast<NodeId>(nodes.size());
+      } else if (offsets[j] < 0.0) {
+        node.kind = NodeKind::kOcean;
+      } else {
+        node.kind = NodeKind::kLand;
+      }
+      station_of_node.push_back(static_cast<std::uint32_t>(i));
+      offset_of_node.push_back(offsets[j]);
+      nodes.push_back(node);
+    }
+  }
+
+  // Triangulate the wrapped lattice: quad (i,j)-(i+1,j)-(i+1,j+1)-(i,j+1)
+  // splits into two triangles. The column index wraps modulo n_stations so
+  // the band closes around the island.
+  std::vector<Element> elements;
+  elements.reserve(2 * n_stations * (n_offsets - 1));
+  const auto node_at = [&](std::size_t i, std::size_t j) {
+    return static_cast<NodeId>((i % n_stations) * n_offsets + j);
+  };
+  for (std::size_t i = 0; i < n_stations; ++i) {
+    for (std::size_t j = 0; j + 1 < n_offsets; ++j) {
+      const NodeId a = node_at(i, j);
+      const NodeId b = node_at(i + 1, j);
+      const NodeId c = node_at(i + 1, j + 1);
+      const NodeId d = node_at(i, j + 1);
+      elements.push_back({{a, b, c}});
+      elements.push_back({{a, c, d}});
+    }
+  }
+
+  return CoastalMesh{TriMesh(std::move(nodes), std::move(elements)),
+                     std::move(stations), std::move(shore_nodes),
+                     std::move(station_of_node), std::move(offset_of_node)};
+}
+
+}  // namespace ct::mesh

@@ -1,0 +1,48 @@
+// Builds the coastal band mesh around an island: a structured lattice in
+// (shoreline arclength, cross-shore offset) space triangulated into a
+// TriMesh. Mirrors how ADCIRC meshes concentrate resolution near the coast;
+// per the paper, the mesh is intentionally COARSE near the shoreline (the
+// smoothing pass in field.h compensates, as the authors did).
+#pragma once
+
+#include <vector>
+
+#include "mesh/trimesh.h"
+#include "terrain/shoreline.h"
+#include "terrain/terrain.h"
+
+namespace ct::mesh {
+
+/// Resolution/extent parameters of the coastal band mesh.
+struct CoastalMeshConfig {
+  /// Spacing between shoreline stations (m). The paper notes the mesh is
+  /// coarse near the shoreline; 2 km reproduces that coarseness.
+  double shore_spacing_m = 2000.0;
+  /// Cross-shore node spacing near the shoreline (m).
+  double cross_shore_spacing_m = 800.0;
+  /// How far offshore the band extends (m).
+  double offshore_extent_m = 8000.0;
+  /// How far inland the band extends (m).
+  double inland_extent_m = 3000.0;
+};
+
+/// The built mesh plus the shoreline bookkeeping the surge pipeline needs.
+struct CoastalMesh {
+  TriMesh mesh;
+  /// Shoreline stations (one column of nodes per station).
+  std::vector<terrain::ShorePoint> stations;
+  /// Node id of the offset-0 (shoreline) node for each station.
+  std::vector<NodeId> shore_nodes;
+  /// For each node: which station column it belongs to.
+  std::vector<std::uint32_t> station_of_node;
+  /// For each node: signed cross-shore offset (negative = offshore).
+  std::vector<double> offset_of_node;
+};
+
+/// Builds the band mesh around `terrain`'s coastline. Elevation at each node
+/// is sampled from the terrain. The lattice wraps around the island (the
+/// last station column connects back to the first).
+CoastalMesh build_coastal_mesh(const terrain::Terrain& terrain,
+                               const CoastalMeshConfig& config);
+
+}  // namespace ct::mesh

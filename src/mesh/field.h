@@ -1,0 +1,40 @@
+// Operations on node fields: the shoreline smoothing the paper applied to
+// the coarse ADCIRC output ("we averaged the water surface elevations near
+// the shoreline, and then extended the water surface elevation onto the
+// shoreline"), plus general helpers.
+#pragma once
+
+#include <functional>
+
+#include "mesh/coastal_builder.h"
+#include "mesh/trimesh.h"
+
+namespace ct::mesh {
+
+/// One pass of neighbor averaging applied to nodes where `affected` is true.
+/// Each affected node is replaced by the mean of itself and its mesh
+/// neighbors. Conservative: output values are bounded by input min/max.
+NodeField smooth_pass(const TriMesh& mesh, const NodeField& field,
+                      const std::function<bool(NodeId)>& affected);
+
+/// The paper's shoreline fix-up on a coarse mesh, two steps:
+///  1. AVERAGE: `passes` neighbor-averaging passes over nodes within
+///     `band_m` of the shoreline (|cross-shore offset| <= band_m), removing
+///     the 1.5m-next-to-0m artifacts coarse meshes produce.
+///  2. EXTEND: copy each station's shoreline water level onto that
+///     station's onshore nodes (offset > 0), i.e. extend the water surface
+///     elevation onto the shoreline.
+/// Returns the corrected field; `wse` has one value per mesh node.
+NodeField shoreline_average_and_extend(const CoastalMesh& cm,
+                                       const NodeField& wse, double band_m,
+                                       int passes);
+
+/// Min/max over a field (field must be non-empty).
+double field_min(const NodeField& field);
+double field_max(const NodeField& field);
+
+/// Per-station shoreline value: field sampled at each station's shore node.
+std::vector<double> shoreline_values(const CoastalMesh& cm,
+                                     const NodeField& field);
+
+}  // namespace ct::mesh

@@ -1,0 +1,117 @@
+#include "mesh/trimesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::mesh {
+
+TriMesh::TriMesh(std::vector<Node> nodes, std::vector<Element> elements)
+    : nodes_(std::move(nodes)), elements_(std::move(elements)) {
+  if (nodes_.empty()) throw std::invalid_argument("TriMesh: no nodes");
+  adjacency_.resize(nodes_.size());
+  node_elements_.resize(nodes_.size());
+
+  const auto add_edge = [&](NodeId a, NodeId b) {
+    auto& adj = adjacency_[a];
+    if (std::find(adj.begin(), adj.end(), b) == adj.end()) adj.push_back(b);
+  };
+
+  for (ElementId e = 0; e < elements_.size(); ++e) {
+    const auto& el = elements_[e];
+    for (const NodeId n : el.nodes) {
+      if (n >= nodes_.size()) {
+        throw std::out_of_range("TriMesh: element references missing node");
+      }
+      node_elements_[n].push_back(e);
+    }
+    add_edge(el.nodes[0], el.nodes[1]);
+    add_edge(el.nodes[1], el.nodes[0]);
+    add_edge(el.nodes[1], el.nodes[2]);
+    add_edge(el.nodes[2], el.nodes[1]);
+    add_edge(el.nodes[2], el.nodes[0]);
+    add_edge(el.nodes[0], el.nodes[2]);
+  }
+
+  std::vector<geo::Vec2> positions;
+  positions.reserve(nodes_.size());
+  for (const Node& n : nodes_) positions.push_back(n.position);
+
+  // Cell size ~ typical node spacing: sqrt(bounding area / node count).
+  geo::BBox box;
+  for (const geo::Vec2 p : positions) box.expand(p);
+  const double area = std::max(1.0, box.width() * box.height());
+  const double cell =
+      std::max(1.0, std::sqrt(area / static_cast<double>(nodes_.size())));
+  index_ = std::make_unique<geo::GridIndex>(positions, cell);
+}
+
+NodeId TriMesh::nearest_node(geo::Vec2 p) const noexcept {
+  return static_cast<NodeId>(index_->nearest(p));
+}
+
+double TriMesh::element_signed_area2(ElementId id) const {
+  const auto& el = elements_.at(id);
+  const geo::Vec2 a = nodes_[el.nodes[0]].position;
+  const geo::Vec2 b = nodes_[el.nodes[1]].position;
+  const geo::Vec2 c = nodes_[el.nodes[2]].position;
+  return (b - a).cross(c - a);
+}
+
+std::optional<Barycentric> TriMesh::locate(geo::Vec2 p) const noexcept {
+  // Candidate elements: those incident to the few nodes nearest p. For a
+  // band mesh with bounded aspect ratio this covers the containing element
+  // whenever p lies inside the mesh.
+  const NodeId seed = nearest_node(p);
+  // Breadth: seed's elements plus elements of its neighbors.
+  const auto try_element = [&](ElementId e) -> std::optional<Barycentric> {
+    const auto& el = elements_[e];
+    const geo::Vec2 a = nodes_[el.nodes[0]].position;
+    const geo::Vec2 b = nodes_[el.nodes[1]].position;
+    const geo::Vec2 c = nodes_[el.nodes[2]].position;
+    const double denom = (b - a).cross(c - a);
+    if (std::abs(denom) < 1e-12) return std::nullopt;
+    const double w0 = (b - p).cross(c - p) / denom;
+    const double w1 = (c - p).cross(a - p) / denom;
+    const double w2 = 1.0 - w0 - w1;
+    constexpr double kTol = -1e-9;
+    if (w0 >= kTol && w1 >= kTol && w2 >= kTol) {
+      return Barycentric{e, {std::max(0.0, w0), std::max(0.0, w1),
+                             std::max(0.0, w2)}};
+    }
+    return std::nullopt;
+  };
+
+  for (const ElementId e : node_elements_[seed]) {
+    if (auto hit = try_element(e)) return hit;
+  }
+  for (const NodeId n : adjacency_[seed]) {
+    for (const ElementId e : node_elements_[n]) {
+      if (auto hit = try_element(e)) return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+double TriMesh::interpolate(const NodeField& field, geo::Vec2 p) const {
+  if (field.size() != nodes_.size()) {
+    throw std::invalid_argument("TriMesh::interpolate: field size mismatch");
+  }
+  if (const auto bary = locate(p)) {
+    const auto& el = elements_[bary->element];
+    double v = 0.0;
+    for (int i = 0; i < 3; ++i) v += bary->weights[i] * field[el.nodes[i]];
+    return v;
+  }
+  return field[nearest_node(p)];
+}
+
+double TriMesh::total_area() const noexcept {
+  double total = 0.0;
+  for (ElementId e = 0; e < elements_.size(); ++e) {
+    total += std::abs(element_signed_area2(e)) / 2.0;
+  }
+  return total;
+}
+
+}  // namespace ct::mesh

@@ -1,0 +1,92 @@
+// Unstructured triangular mesh, the discretization the surge solver runs
+// on (the stand-in for the paper's ADCIRC mesh). Stores nodes with
+// elevation, triangle elements, node adjacency, and supports point
+// location + barycentric interpolation of node fields.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "geo/vec2.h"
+
+namespace ct::mesh {
+
+using NodeId = std::uint32_t;
+using ElementId = std::uint32_t;
+
+/// Classification of a node relative to the coastline.
+enum class NodeKind : std::uint8_t {
+  kOcean,  ///< below mean sea level, offshore
+  kShore,  ///< on the shoreline (offset 0 in the coastal band)
+  kLand,   ///< onshore
+};
+
+/// Mesh node: planar position plus ground/seafloor elevation.
+struct Node {
+  geo::Vec2 position;
+  double elevation_m = 0.0;
+  NodeKind kind = NodeKind::kOcean;
+};
+
+/// Triangle element (indices into the node array, counter-clockwise).
+struct Element {
+  std::array<NodeId, 3> nodes{};
+};
+
+/// A scalar field sampled at mesh nodes (e.g. water surface elevation).
+using NodeField = std::vector<double>;
+
+/// Barycentric coordinates of a point within an element.
+struct Barycentric {
+  ElementId element = 0;
+  std::array<double, 3> weights{};
+};
+
+class TriMesh {
+ public:
+  TriMesh(std::vector<Node> nodes, std::vector<Element> elements);
+
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  const std::vector<Element>& elements() const noexcept { return elements_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t element_count() const noexcept { return elements_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const Element& element(ElementId id) const { return elements_.at(id); }
+
+  /// Node ids adjacent to `id` (sharing an element edge).
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+
+  /// Nearest mesh node to a planar point.
+  NodeId nearest_node(geo::Vec2 p) const noexcept;
+
+  /// Locates the element containing `p`, if any; checks elements incident
+  /// to nodes near `p` (sufficient for points inside the meshed band).
+  std::optional<Barycentric> locate(geo::Vec2 p) const noexcept;
+
+  /// Interpolates a node field at `p`: barycentric inside the mesh, nearest
+  /// node value when `p` falls outside all elements. `field` must have one
+  /// value per node.
+  double interpolate(const NodeField& field, geo::Vec2 p) const;
+
+  /// Signed double-area of an element (positive when counter-clockwise).
+  double element_signed_area2(ElementId id) const;
+
+  /// Total meshed area (sum of |element areas|).
+  double total_area() const noexcept;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Element> elements_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<ElementId>> node_elements_;
+  std::unique_ptr<geo::GridIndex> index_;
+};
+
+}  // namespace ct::mesh

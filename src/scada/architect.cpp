@@ -1,0 +1,164 @@
+#include "scada/architect.h"
+
+#include <stdexcept>
+
+#include "scada/requirements.h"
+
+namespace ct::scada {
+
+std::string_view architecture_style_name(ArchitectureStyle s) noexcept {
+  switch (s) {
+    case ArchitectureStyle::kPrimaryBackup: return "primary-backup";
+    case ArchitectureStyle::kPrimaryColdBackup: return "primary + cold backup";
+    case ArchitectureStyle::kBft: return "intrusion-tolerant";
+    case ArchitectureStyle::kBftColdBackup:
+      return "intrusion-tolerant + cold backup";
+    case ArchitectureStyle::kBftActiveMultisite:
+      return "network-attack-resilient intrusion-tolerant";
+  }
+  return "?";
+}
+
+namespace {
+
+void check_spec(const ArchitectureSpec& spec) {
+  if (spec.f < 0 || spec.k < 0) {
+    throw std::invalid_argument("ArchitectureSpec: f and k must be >= 0");
+  }
+  const bool bft = spec.style == ArchitectureStyle::kBft ||
+                   spec.style == ArchitectureStyle::kBftColdBackup ||
+                   spec.style == ArchitectureStyle::kBftActiveMultisite;
+  if (bft && spec.f == 0) {
+    throw std::invalid_argument(
+        "ArchitectureSpec: BFT styles need f >= 1 (use primary-backup for "
+        "f = 0)");
+  }
+  if (spec.style == ArchitectureStyle::kBftActiveMultisite && spec.sites < 3) {
+    throw std::invalid_argument(
+        "ArchitectureSpec: active multisite needs >= 3 sites");
+  }
+}
+
+int replicas_per_site(const ArchitectureSpec& spec) {
+  switch (spec.style) {
+    case ArchitectureStyle::kPrimaryBackup:
+    case ArchitectureStyle::kPrimaryColdBackup:
+      return 2;  // primary + hot standby
+    case ArchitectureStyle::kBft:
+    case ArchitectureStyle::kBftColdBackup:
+      return min_replicas_single_site(spec.f, spec.k);
+    case ArchitectureStyle::kBftActiveMultisite:
+      return min_replicas_per_site_active(spec.sites, spec.f, spec.k);
+  }
+  throw std::logic_error("unreachable");
+}
+
+/// Smallest number of functional sites keeping the multisite group live:
+/// u * m - f - k >= quorum(S * m, f).
+int derive_min_active_sites(int sites, int m, int f, int k) {
+  const int quorum = bft_quorum(sites * m, f);
+  for (int u = 1; u <= sites; ++u) {
+    if (u * m - f - k >= quorum) return u;
+  }
+  return sites;
+}
+
+}  // namespace
+
+int required_sites(const ArchitectureSpec& spec) {
+  switch (spec.style) {
+    case ArchitectureStyle::kPrimaryBackup:
+    case ArchitectureStyle::kBft:
+      return 1;
+    case ArchitectureStyle::kPrimaryColdBackup:
+    case ArchitectureStyle::kBftColdBackup:
+      return 2;
+    case ArchitectureStyle::kBftActiveMultisite:
+      return spec.sites;
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::string spec_name(const ArchitectureSpec& spec) {
+  check_spec(spec);
+  const std::string m = std::to_string(replicas_per_site(spec));
+  switch (spec.style) {
+    case ArchitectureStyle::kPrimaryBackup:
+    case ArchitectureStyle::kBft:
+      return m;
+    case ArchitectureStyle::kPrimaryColdBackup:
+    case ArchitectureStyle::kBftColdBackup:
+      return m + "-" + m;
+    case ArchitectureStyle::kBftActiveMultisite: {
+      std::string name = m;
+      for (int s = 1; s < spec.sites; ++s) name += "+" + m;
+      return name;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+Configuration design_configuration(
+    const ArchitectureSpec& spec, const std::vector<std::string>& site_assets) {
+  check_spec(spec);
+  const int needed = required_sites(spec);
+  if (static_cast<int>(site_assets.size()) != needed) {
+    throw std::invalid_argument("design_configuration: expected " +
+                                std::to_string(needed) + " site assets, got " +
+                                std::to_string(site_assets.size()));
+  }
+
+  const bool bft = spec.style == ArchitectureStyle::kBft ||
+                   spec.style == ArchitectureStyle::kBftColdBackup ||
+                   spec.style == ArchitectureStyle::kBftActiveMultisite;
+  const int m = replicas_per_site(spec);
+
+  Configuration config;
+  config.name = spec_name(spec);
+  config.style = bft ? ReplicationStyle::kIntrusionTolerant
+                     : ReplicationStyle::kPrimaryBackup;
+  config.intrusion_tolerance_f = bft ? spec.f : 0;
+  config.proactive_recovery_k = bft ? spec.k : 0;
+
+  if (spec.style == ArchitectureStyle::kBftActiveMultisite) {
+    config.active_multisite = true;
+    config.min_active_sites =
+        derive_min_active_sites(spec.sites, m, spec.f, spec.k);
+    for (int s = 0; s < spec.sites; ++s) {
+      SiteRole role = SiteRole::kDataCenter;
+      if (s == 0) role = SiteRole::kPrimary;
+      if (s == 1) role = SiteRole::kBackup;
+      config.sites.push_back(
+          {site_assets[static_cast<std::size_t>(s)], role, m, true});
+    }
+    return config;
+  }
+
+  config.sites.push_back({site_assets[0], SiteRole::kPrimary, m, true});
+  if (needed == 2) {
+    config.sites.push_back({site_assets[1], SiteRole::kBackup, m, false});
+  }
+  return config;
+}
+
+std::vector<ArchitectureSpec> standard_design_space(int max_f, int max_sites) {
+  if (max_f < 1 || max_sites < 3) {
+    throw std::invalid_argument("standard_design_space: need max_f >= 1 and "
+                                "max_sites >= 3");
+  }
+  std::vector<ArchitectureSpec> out;
+  out.push_back({ArchitectureStyle::kPrimaryBackup, 0, 0, 1});
+  out.push_back({ArchitectureStyle::kPrimaryColdBackup, 0, 0, 2});
+  for (int f = 1; f <= max_f; ++f) {
+    for (int k = 0; k <= 1; ++k) {
+      out.push_back({ArchitectureStyle::kBft, f, k, 1});
+      out.push_back({ArchitectureStyle::kBftColdBackup, f, k, 2});
+      for (int sites = 3; sites <= max_sites; ++sites) {
+        out.push_back({ArchitectureStyle::kBftActiveMultisite, f, k, sites});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ct::scada

@@ -1,0 +1,53 @@
+// Architecture designer: generates correctly sized SCADA configurations
+// for any (f, k, style, site count) from the replication sizing rules in
+// requirements.h — the generalization of the paper's five hand-picked
+// architectures. "What would 2 intrusions require?" or "does a 4th active
+// site pay off?" become one-liners, and the analysis framework accepts the
+// generated configurations unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/configuration.h"
+
+namespace ct::scada {
+
+/// Families of SCADA deployments covered by the designer.
+enum class ArchitectureStyle {
+  kPrimaryBackup,       ///< 2 SMs at one site ("2").
+  kPrimaryColdBackup,   ///< + a cold-backup site ("2-2").
+  kBft,                 ///< 3f+2k+1 replicas at one site ("6").
+  kBftColdBackup,       ///< + a cold-backup BFT site ("6-6").
+  kBftActiveMultisite,  ///< one group across >= 3 hot sites ("6+6+6").
+};
+
+std::string_view architecture_style_name(ArchitectureStyle s) noexcept;
+
+/// What to build.
+struct ArchitectureSpec {
+  ArchitectureStyle style = ArchitectureStyle::kBft;
+  int f = 1;      ///< Intrusions tolerated (ignored by primary-backup).
+  int k = 1;      ///< Concurrent proactive recoveries (BFT styles only).
+  int sites = 1;  ///< Total control sites (>= 3 for active multisite).
+};
+
+/// Canonical name in the paper's notation: "2", "2-2", "6", "6-6",
+/// "6+6+6", and e.g. "9+9+9" for f=2, k=1, 3 sites.
+std::string spec_name(const ArchitectureSpec& spec);
+
+/// Number of sites the spec needs (1, 2, or spec.sites).
+int required_sites(const ArchitectureSpec& spec);
+
+/// Builds the fully sized configuration on the given host assets (one per
+/// required site, primary first). min_active_sites for multisite styles is
+/// derived from the quorum rules, not assumed. Throws on invalid specs or
+/// wrong asset counts.
+Configuration design_configuration(const ArchitectureSpec& spec,
+                                   const std::vector<std::string>& site_assets);
+
+/// The design space explored by the architecture bench: every style with
+/// f in [0 or 1 .. max_f], k in {0, 1}, multisite with 3..max_sites sites.
+std::vector<ArchitectureSpec> standard_design_space(int max_f, int max_sites);
+
+}  // namespace ct::scada

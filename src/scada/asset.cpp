@@ -1,0 +1,68 @@
+#include "scada/asset.h"
+
+#include <stdexcept>
+
+namespace ct::scada {
+
+std::string_view asset_type_name(AssetType t) noexcept {
+  switch (t) {
+    case AssetType::kControlCenter: return "control center";
+    case AssetType::kDataCenter: return "data center";
+    case AssetType::kPowerPlant: return "power plant";
+    case AssetType::kSubstation: return "substation";
+  }
+  return "?";
+}
+
+ScadaTopology::ScadaTopology(std::vector<Asset> assets) {
+  for (Asset& a : assets) add(std::move(a));
+}
+
+void ScadaTopology::add(Asset asset) {
+  if (asset.id.empty()) {
+    throw std::invalid_argument("ScadaTopology: asset id must be non-empty");
+  }
+  if (contains(asset.id)) {
+    throw std::invalid_argument("ScadaTopology: duplicate asset id: " +
+                                asset.id);
+  }
+  assets_.push_back(std::move(asset));
+}
+
+const Asset* ScadaTopology::find(std::string_view id) const noexcept {
+  for (const Asset& a : assets_) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+const Asset& ScadaTopology::at(std::string_view id) const {
+  if (const Asset* a = find(id)) return *a;
+  throw std::out_of_range("ScadaTopology: no asset with id: " +
+                          std::string(id));
+}
+
+std::vector<const Asset*> ScadaTopology::of_type(AssetType t) const {
+  std::vector<const Asset*> out;
+  for (const Asset& a : assets_) {
+    if (a.type == t) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<surge::ExposedAsset> ScadaTopology::exposed_assets() const {
+  std::vector<surge::ExposedAsset> out;
+  out.reserve(assets_.size());
+  for (const Asset& a : assets_) {
+    surge::ExposureClass exposure = surge::ExposureClass::kFacility;
+    if (a.type == AssetType::kPowerPlant) {
+      exposure = surge::ExposureClass::kPowerPlant;
+    } else if (a.type == AssetType::kSubstation) {
+      exposure = surge::ExposureClass::kSubstation;
+    }
+    out.push_back({a.id, a.location, a.ground_elevation_m, exposure});
+  }
+  return out;
+}
+
+}  // namespace ct::scada

@@ -1,0 +1,64 @@
+// Physical power-grid and SCADA assets and the geospatial topology they
+// form (the paper's Fig. 4: control centers, data centers, power plants,
+// substations on Oahu).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "surge/inundation.h"
+
+namespace ct::scada {
+
+/// Kind of physical asset.
+enum class AssetType {
+  kControlCenter,
+  kDataCenter,
+  kPowerPlant,
+  kSubstation,
+};
+
+std::string_view asset_type_name(AssetType t) noexcept;
+
+/// One asset: a place that can host SCADA equipment and can be flooded.
+struct Asset {
+  std::string id;            ///< Stable identifier, e.g. "honolulu_cc".
+  std::string name;          ///< Human-readable, e.g. "Honolulu Control Center".
+  AssetType type = AssetType::kSubstation;
+  geo::GeoPoint location;
+  /// Surveyed pad elevation (m above MSL); drives flood susceptibility.
+  double ground_elevation_m = 2.0;
+};
+
+/// The geospatial SCADA topology: the set of assets under analysis.
+class ScadaTopology {
+ public:
+  ScadaTopology() = default;
+  explicit ScadaTopology(std::vector<Asset> assets);
+
+  /// Adds an asset; throws on duplicate id.
+  void add(Asset asset);
+
+  const std::vector<Asset>& assets() const noexcept { return assets_; }
+  std::size_t size() const noexcept { return assets_.size(); }
+
+  /// Finds an asset by id (nullptr when absent).
+  const Asset* find(std::string_view id) const noexcept;
+  /// Finds an asset by id; throws std::out_of_range when absent.
+  const Asset& at(std::string_view id) const;
+  bool contains(std::string_view id) const noexcept { return find(id) != nullptr; }
+
+  /// All assets of a given type.
+  std::vector<const Asset*> of_type(AssetType t) const;
+
+  /// Converts to the surge module's exposure list (same order as assets()).
+  std::vector<surge::ExposedAsset> exposed_assets() const;
+
+ private:
+  std::vector<Asset> assets_;
+};
+
+}  // namespace ct::scada

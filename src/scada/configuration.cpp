@@ -1,0 +1,100 @@
+#include "scada/configuration.h"
+
+namespace ct::scada {
+
+std::string_view site_role_name(SiteRole r) noexcept {
+  switch (r) {
+    case SiteRole::kPrimary: return "primary";
+    case SiteRole::kBackup: return "backup";
+    case SiteRole::kDataCenter: return "data center";
+  }
+  return "?";
+}
+
+int Configuration::total_replicas() const noexcept {
+  int total = 0;
+  for (const ControlSite& s : sites) total += s.replicas;
+  return total;
+}
+
+std::vector<std::size_t> Configuration::sites_with_role(SiteRole r) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].role == r) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Configuration::site_index(std::string_view asset_id) const noexcept {
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].asset_id == asset_id) return i;
+  }
+  return npos;
+}
+
+Configuration make_config_2(std::string primary) {
+  Configuration c;
+  c.name = "2";
+  c.style = ReplicationStyle::kPrimaryBackup;
+  c.intrusion_tolerance_f = 0;
+  c.proactive_recovery_k = 0;
+  c.sites = {{std::move(primary), SiteRole::kPrimary, 2, true}};
+  return c;
+}
+
+Configuration make_config_2_2(std::string primary, std::string backup) {
+  Configuration c;
+  c.name = "2-2";
+  c.style = ReplicationStyle::kPrimaryBackup;
+  c.intrusion_tolerance_f = 0;
+  c.proactive_recovery_k = 0;
+  c.sites = {{std::move(primary), SiteRole::kPrimary, 2, true},
+             {std::move(backup), SiteRole::kBackup, 2, false}};
+  return c;
+}
+
+Configuration make_config_6(std::string primary) {
+  Configuration c;
+  c.name = "6";
+  c.style = ReplicationStyle::kIntrusionTolerant;
+  c.intrusion_tolerance_f = 1;
+  c.proactive_recovery_k = 1;
+  c.sites = {{std::move(primary), SiteRole::kPrimary, 6, true}};
+  return c;
+}
+
+Configuration make_config_6_6(std::string primary, std::string backup) {
+  Configuration c;
+  c.name = "6-6";
+  c.style = ReplicationStyle::kIntrusionTolerant;
+  c.intrusion_tolerance_f = 1;
+  c.proactive_recovery_k = 1;
+  c.sites = {{std::move(primary), SiteRole::kPrimary, 6, true},
+             {std::move(backup), SiteRole::kBackup, 6, false}};
+  return c;
+}
+
+Configuration make_config_6_6_6(std::string primary, std::string second_cc,
+                                std::string data_center) {
+  Configuration c;
+  c.name = "6+6+6";
+  c.style = ReplicationStyle::kIntrusionTolerant;
+  c.intrusion_tolerance_f = 1;
+  c.proactive_recovery_k = 1;
+  c.active_multisite = true;
+  c.min_active_sites = 2;
+  c.sites = {{std::move(primary), SiteRole::kPrimary, 6, true},
+             {std::move(second_cc), SiteRole::kBackup, 6, true},
+             {std::move(data_center), SiteRole::kDataCenter, 6, true}};
+  return c;
+}
+
+std::vector<Configuration> paper_configurations(const std::string& primary,
+                                                const std::string& backup,
+                                                const std::string& data_center) {
+  return {make_config_2(primary), make_config_2_2(primary, backup),
+          make_config_6(primary), make_config_6_6(primary, backup),
+          make_config_6_6_6(primary, backup, data_center)};
+}
+
+}  // namespace ct::scada

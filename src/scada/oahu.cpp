@@ -1,0 +1,73 @@
+#include "scada/oahu.h"
+
+#include "terrain/oahu.h"
+
+namespace ct::scada {
+
+ScadaTopology oahu_topology() {
+  namespace sites = terrain::oahu_sites;
+  ScadaTopology topo;
+
+  // Control centers. Elevations are the surveyed pad heights that drive
+  // flood susceptibility: Honolulu and Waiau sit on the low south-shore
+  // plain (the paper: "relatively close together and at similar altitude
+  // levels"), Kahe sits on an elevated bench above the leeward shore (the
+  // paper: "Kahe is the site least impacted by the hurricane").
+  topo.add({oahu_ids::kHonoluluCc, "Honolulu Control Center",
+            AssetType::kControlCenter, sites::kHonolulu, 0.69});
+  topo.add({oahu_ids::kWaiauCc, "Waiau Control Center",
+            AssetType::kControlCenter, sites::kWaiau, 1.21});
+  topo.add({oahu_ids::kKaheCc, "Kahe Control Center",
+            AssetType::kControlCenter, sites::kKahe, 9.0});
+
+  // Commercial data centers (paper Fig. 4 labels both; DRFortress is the
+  // one selected for the "6+6+6" analysis).
+  topo.add({oahu_ids::kDrFortress, "DRFortress Data Center",
+            AssetType::kDataCenter, sites::kDrFortress, 5.0});
+  topo.add({oahu_ids::kAlohaNap, "AlohaNAP Data Center",
+            AssetType::kDataCenter, sites::kAlohaNap, 3.5});
+
+  // Power plants.
+  topo.add({"kahe_pp", "Kahe Power Plant", AssetType::kPowerPlant,
+            {21.3560, -158.1280}, 7.5});
+  topo.add({"waiau_pp", "Waiau Power Plant", AssetType::kPowerPlant,
+            {21.3847, -157.9436}, 1.0});
+  topo.add({"campbell_pp", "Campbell Industrial Park Generation",
+            AssetType::kPowerPlant, {21.3100, -158.0880}, 3.0});
+  topo.add({"honolulu_pp", "Honolulu Power Plant", AssetType::kPowerPlant,
+            {21.3000, -157.8650}, 1.2});
+  topo.add({"kalaeloa_pp", "Kalaeloa Cogeneration Plant",
+            AssetType::kPowerPlant, {21.3070, -158.0830}, 3.2});
+
+  // Transmission substations (coordinates approximate, elevations from the
+  // synthetic DEM's coastal-plain profile).
+  topo.add({"archer_ss", "Archer Substation", AssetType::kSubstation,
+            {21.3110, -157.8560}, 2.5});
+  topo.add({"kamoku_ss", "Kamoku Substation", AssetType::kSubstation,
+            {21.2890, -157.8260}, 2.2});
+  topo.add({"halawa_ss", "Halawa Substation", AssetType::kSubstation,
+            {21.3720, -157.9210}, 6.0});
+  topo.add({"ewa_nui_ss", "Ewa Nui Substation", AssetType::kSubstation,
+            {21.3330, -158.0230}, 4.5});
+  topo.add({"koolau_ss", "Koolau Substation", AssetType::kSubstation,
+            sites::kKoolau, 30.0});
+  topo.add({"wahiawa_ss", "Wahiawa Substation", AssetType::kSubstation,
+            sites::kWahiawa, 255.0});
+  topo.add({"pukele_ss", "Pukele Substation", AssetType::kSubstation,
+            {21.2980, -157.7880}, 25.0});
+  topo.add({"makalapa_ss", "Makalapa Substation", AssetType::kSubstation,
+            {21.3560, -157.9400}, 3.0});
+  topo.add({"waialua_ss", "Waialua Substation", AssetType::kSubstation,
+            sites::kWaialua, 6.0});
+  topo.add({"airport_ss", "Airport Substation", AssetType::kSubstation,
+            sites::kAirport, 2.0});
+
+  return topo;
+}
+
+std::vector<std::string> oahu_control_site_candidates() {
+  return {oahu_ids::kHonoluluCc, oahu_ids::kWaiauCc, oahu_ids::kKaheCc,
+          oahu_ids::kDrFortress, oahu_ids::kAlohaNap};
+}
+
+}  // namespace ct::scada

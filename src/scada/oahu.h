@@ -1,0 +1,30 @@
+// Built-in Oahu SCADA topology (the paper's Fig. 4): control-center
+// candidates, commercial data centers, power plants, and substations with
+// real coordinates and surveyed pad elevations.
+#pragma once
+
+#include "scada/asset.h"
+
+namespace ct::scada {
+
+/// Asset ids used by the case study (kept as constants so call sites can't
+/// typo them).
+namespace oahu_ids {
+inline constexpr const char* kHonoluluCc = "honolulu_cc";
+inline constexpr const char* kWaiauCc = "waiau_cc";
+inline constexpr const char* kKaheCc = "kahe_cc";
+inline constexpr const char* kDrFortress = "drfortress_dc";
+inline constexpr const char* kAlohaNap = "alohanap_dc";
+}  // namespace oahu_ids
+
+/// The full Oahu asset topology. Control-center candidates: Honolulu
+/// (primary in all paper sitings), Waiau (paper's backup siting), Kahe
+/// (the paper's §VII improved siting). Data centers: DRFortress (selected
+/// in the paper) and AlohaNAP.
+ScadaTopology oahu_topology();
+
+/// Control-site candidate ids (control centers + data centers), in a
+/// deterministic order — the search space of the siting optimizer.
+std::vector<std::string> oahu_control_site_candidates();
+
+}  // namespace ct::scada

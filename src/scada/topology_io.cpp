@@ -1,0 +1,120 @@
+#include "scada/topology_io.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace ct::scada {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("topology CSV line " + std::to_string(line) + ": " +
+                           what);
+}
+
+double parse_double(std::string_view field, std::size_t line,
+                    const char* what) {
+  const std::string_view trimmed = util::trim(field);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(
+      trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    fail(line, std::string("cannot parse ") + what + ": '" +
+                   std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<AssetType> parse_asset_type(std::string_view name) noexcept {
+  const std::string lower = util::to_lower(util::trim(name));
+  if (lower == "control center" || lower == "control_center") {
+    return AssetType::kControlCenter;
+  }
+  if (lower == "data center" || lower == "data_center") {
+    return AssetType::kDataCenter;
+  }
+  if (lower == "power plant" || lower == "power_plant") {
+    return AssetType::kPowerPlant;
+  }
+  if (lower == "substation") return AssetType::kSubstation;
+  return std::nullopt;
+}
+
+void save_topology_csv(std::ostream& out, const ScadaTopology& topology) {
+  util::CsvWriter csv(out);
+  csv.header({"id", "name", "type", "lat", "lon", "elevation_m"});
+  for (const Asset& a : topology.assets()) {
+    csv.field(a.id)
+        .field(a.name)
+        .field(asset_type_name(a.type))
+        .field(a.location.lat_deg, 10)
+        .field(a.location.lon_deg, 10)
+        .field(a.ground_elevation_m, 6);
+    csv.end_row();
+  }
+}
+
+ScadaTopology load_topology_csv(std::istream& in) {
+  ScadaTopology topology;
+  std::string line;
+  std::size_t line_number = 0;
+
+  // Header.
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("topology CSV: empty input");
+  }
+  ++line_number;
+  const auto header = util::parse_csv_line(util::trim(line));
+  const std::vector<std::string> expected = {"id",  "name", "type",
+                                             "lat", "lon",  "elevation_m"};
+  if (header != expected) {
+    fail(line_number,
+         "expected header 'id,name,type,lat,lon,elevation_m', got '" +
+             std::string(util::trim(line)) + "'");
+  }
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (util::trim(line).empty()) continue;
+    std::vector<std::string> fields;
+    try {
+      fields = util::parse_csv_line(line);
+    } catch (const std::invalid_argument& e) {
+      fail(line_number, e.what());
+    }
+    if (fields.size() != 6) {
+      fail(line_number, "expected 6 fields, got " +
+                            std::to_string(fields.size()));
+    }
+    Asset asset;
+    asset.id = std::string(util::trim(fields[0]));
+    asset.name = std::string(util::trim(fields[1]));
+    const auto type = parse_asset_type(fields[2]);
+    if (!type) fail(line_number, "unknown asset type: '" + fields[2] + "'");
+    asset.type = *type;
+    asset.location.lat_deg = parse_double(fields[3], line_number, "lat");
+    asset.location.lon_deg = parse_double(fields[4], line_number, "lon");
+    asset.ground_elevation_m =
+        parse_double(fields[5], line_number, "elevation_m");
+    if (asset.location.lat_deg < -90.0 || asset.location.lat_deg > 90.0) {
+      fail(line_number, "latitude out of range");
+    }
+    if (asset.location.lon_deg < -180.0 || asset.location.lon_deg > 180.0) {
+      fail(line_number, "longitude out of range");
+    }
+    try {
+      topology.add(std::move(asset));
+    } catch (const std::invalid_argument& e) {
+      fail(line_number, e.what());
+    }
+  }
+  return topology;
+}
+
+}  // namespace ct::scada

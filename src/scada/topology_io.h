@@ -1,0 +1,30 @@
+// Topology interchange: load and save ScadaTopology as CSV
+// (id,name,type,lat,lon,elevation_m) — the format utilities export from
+// GIS asset databases. Lets users run the framework on their own grid
+// without writing C++.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+#include "scada/asset.h"
+
+namespace ct::scada {
+
+/// Parses an asset type from its canonical name ("control center",
+/// "data center", "power plant", "substation"); also accepts
+/// snake_case variants. nullopt when unknown.
+std::optional<AssetType> parse_asset_type(std::string_view name) noexcept;
+
+/// Writes the topology as CSV with a header row.
+void save_topology_csv(std::ostream& out, const ScadaTopology& topology);
+
+/// Reads a topology from CSV. The header row is required and validated.
+/// Throws std::runtime_error with a line number on malformed input
+/// (wrong column count, unknown type, unparsable number, duplicate id,
+/// out-of-range coordinates).
+ScadaTopology load_topology_csv(std::istream& in);
+
+}  // namespace ct::scada

@@ -1,0 +1,285 @@
+#include "sim/bft.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scada/requirements.h"
+
+namespace ct::sim {
+
+BftReplica::BftReplica(Simulator& sim, Network& net, NodeAddr self,
+                       std::vector<NodeAddr> group, int index,
+                       BftOptions options, bool group_initially_active)
+    : sim_(sim), net_(net), self_(self), group_(std::move(group)),
+      index_(index), options_(options),
+      quorum_(scada::bft_quorum(static_cast<int>(group_.size()), options.f)),
+      active_(group_initially_active) {
+  if (index_ < 0 || static_cast<std::size_t>(index_) >= group_.size() ||
+      !(group_[static_cast<std::size_t>(index_)] == self_)) {
+    throw std::invalid_argument("BftReplica: index does not match group slot");
+  }
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void BftReplica::start() {
+  last_progress_ = sim_.now();
+  watchdog_loop();
+}
+
+bool BftReplica::is_leader() const {
+  return static_cast<std::size_t>(view_ % static_cast<std::int64_t>(
+             group_.size())) == static_cast<std::size_t>(index_);
+}
+
+void BftReplica::broadcast_to_group(const Message& msg) {
+  for (const NodeAddr member : group_) {
+    if (member == self_) continue;
+    net_.send(self_, member, msg);
+  }
+}
+
+void BftReplica::begin_recovery() {
+  recovering_ = true;
+  // Note: the compromised_ flag is NOT cleared here. The paper's analysis
+  // classifies a static post-attack state, so the simulator keeps the
+  // attacker's foothold for the whole analysis window; what proactive
+  // recovery buys in that model is the "k" slot in n = 3f + 2k + 1
+  // (tolerating a recovering replica's absence), per Sousa et al. [23].
+  sim_.trace(to_string(self_) + " proactive recovery begins");
+}
+
+void BftReplica::end_recovery() {
+  recovering_ = false;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " proactive recovery ends");
+}
+
+void BftReplica::on_message(const Message& msg) {
+  if (msg.type == Message::Type::kActivate) {
+    if (active_ || activation_pending_) return;
+    activation_pending_ = true;
+    sim_.schedule_in(options_.activation_delay_s, [this] {
+      active_ = true;
+      activation_pending_ = false;
+      last_progress_ = sim_.now();
+      sim_.trace(to_string(self_) + " cold BFT group activated");
+    });
+    return;
+  }
+
+  // A compromised replica ignores the protocol but races forged replies to
+  // the client (worst case permitted by the threat model).
+  if (compromised_) {
+    if (msg.type == Message::Type::kRequest) {
+      Message reply;
+      reply.type = Message::Type::kReply;
+      reply.request_id = msg.request_id;
+      reply.value = -msg.request_id;
+      reply.corrupt = true;
+      net_.send(self_, msg.sender, reply);
+    }
+    return;
+  }
+  if (recovering_ || !active_) return;
+
+  switch (msg.type) {
+    case Message::Type::kRequest: return on_request(msg);
+    case Message::Type::kProposal: return on_proposal(msg);
+    case Message::Type::kAccept: return on_accept(msg);
+    case Message::Type::kViewChange: return on_view_change(msg);
+    default: return;
+  }
+}
+
+void BftReplica::on_request(const Message& msg) {
+  const auto executed = executed_.find(msg.request_id);
+  if (executed != executed_.end()) {
+    // Retransmission after execution: reply directly.
+    Message reply;
+    reply.type = Message::Type::kReply;
+    reply.request_id = msg.request_id;
+    reply.value = msg.request_id;
+    net_.send(self_, msg.sender, reply);
+    return;
+  }
+  pending_[msg.request_id] = msg.sender;
+  if (is_leader()) propose_pending();
+}
+
+void BftReplica::propose_pending() {
+  // Snapshot: voting for our own proposal below can complete a quorum and
+  // execute the request, which erases it from pending_ — iterating the
+  // live map would be invalidated mid-loop.
+  std::vector<std::int64_t> pending_ids;
+  pending_ids.reserve(pending_.size());
+  for (const auto& [request_id, client] : pending_) {
+    pending_ids.push_back(request_id);
+  }
+  for (const std::int64_t request_id : pending_ids) {
+    if (!pending_.contains(request_id)) continue;  // executed meanwhile
+    if (proposed_this_view_.contains(request_id)) continue;
+    proposed_this_view_.insert(request_id);
+    Message proposal;
+    proposal.type = Message::Type::kProposal;
+    proposal.view = view_;
+    proposal.seq = next_seq_++;
+    proposal.request_id = request_id;
+    broadcast_to_group(proposal);
+    // The leader votes for its own proposal.
+    Message own_accept = proposal;
+    own_accept.type = Message::Type::kAccept;
+    own_accept.sender = self_;
+    on_accept(own_accept);
+    broadcast_to_group(own_accept);
+  }
+}
+
+void BftReplica::on_proposal(const Message& msg) {
+  const NodeAddr expected_leader = group_[static_cast<std::size_t>(
+      msg.view % static_cast<std::int64_t>(group_.size()))];
+  if (!(msg.sender == expected_leader)) return;  // not from that view's leader
+  if (msg.view < view_) return;                  // stale view
+  if (voted_.contains(msg.request_id)) {
+    // Re-proposal after a view change: re-announce the vote so the new
+    // leader's quorum can form — at most once per (request, view), or a
+    // lossy network can whip re-proposals into a broadcast storm.
+    const auto announced = announced_view_.find(msg.request_id);
+    if (announced != announced_view_.end() && announced->second >= msg.view) {
+      return;
+    }
+    announced_view_[msg.request_id] = msg.view;
+    Message accept = msg;
+    accept.type = Message::Type::kAccept;
+    broadcast_to_group(accept);
+    return;
+  }
+  voted_.insert(msg.request_id);
+  Message accept = msg;
+  accept.type = Message::Type::kAccept;
+  // Vote for it ourselves, then tell the group.
+  Message own = accept;
+  own.sender = self_;
+  on_accept(own);
+  broadcast_to_group(accept);
+}
+
+void BftReplica::on_accept(const Message& msg) {
+  if (executed_.contains(msg.request_id)) return;
+  const NodeAddr voter = msg.sender;
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == voter) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;  // not a group member
+  auto& votes = accept_votes_[msg.request_id];
+  votes.insert(voter_index);
+  if (static_cast<int>(votes.size()) >= quorum_) execute(msg.request_id);
+}
+
+void BftReplica::execute(std::int64_t request_id) {
+  const auto pending = pending_.find(request_id);
+  NodeAddr client{};
+  bool have_client = false;
+  if (pending != pending_.end()) {
+    client = pending->second;
+    have_client = true;
+    pending_.erase(pending);
+  }
+  executed_[request_id] = client;
+  accept_votes_.erase(request_id);
+  last_progress_ = sim_.now();
+  if (have_client) {
+    Message reply;
+    reply.type = Message::Type::kReply;
+    reply.request_id = request_id;
+    reply.value = request_id;
+    net_.send(self_, client, reply);
+  }
+}
+
+void BftReplica::on_view_change(const Message& msg) {
+  if (msg.view <= view_) return;
+  auto& votes = view_votes_[msg.view];
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == msg.sender) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;
+  votes.insert(voter_index);
+  // Join a higher view once f+1 members vouch for it (they cannot all be
+  // faulty), without waiting for our own timeout.
+  if (static_cast<int>(votes.size()) >= options_.f + 1) {
+    view_ = msg.view;
+    last_progress_ = sim_.now();
+    view_votes_.erase(view_votes_.begin(), view_votes_.upper_bound(view_));
+    proposed_this_view_.clear();
+    if (is_leader()) propose_pending();
+  }
+}
+
+void BftReplica::watchdog_loop() {
+  if (active_ && !recovering_ && !compromised_ && !pending_.empty() &&
+      sim_.now() - last_progress_ > options_.view_timeout_s) {
+    ++view_;
+    last_progress_ = sim_.now();
+    proposed_this_view_.clear();
+    sim_.trace(to_string(self_) + " view change to " + std::to_string(view_));
+    Message vc;
+    vc.type = Message::Type::kViewChange;
+    vc.view = view_;
+    broadcast_to_group(vc);
+    if (is_leader()) propose_pending();
+  }
+  sim_.schedule_in(1.0, [this] { watchdog_loop(); });
+}
+
+RecoveryScheduler::RecoveryScheduler(Simulator& sim,
+                                     std::vector<BftReplica*> replicas,
+                                     BftOptions options)
+    : sim_(sim), replicas_(std::move(replicas)), options_(options) {
+  for (BftReplica* r : replicas_) {
+    if (r == nullptr) {
+      throw std::invalid_argument("RecoveryScheduler: null replica");
+    }
+  }
+}
+
+void RecoveryScheduler::start(double start_s) {
+  if (replicas_.empty() || options_.k <= 0) return;
+  sim_.schedule_at(start_s, [this] { rotate(); });
+}
+
+void RecoveryScheduler::rotate() {
+  BftReplica* replica = replicas_[next_];
+  next_ = (next_ + 1) % replicas_.size();
+  replica->begin_recovery();
+  sim_.schedule_in(options_.recovery_duration_s,
+                   [replica] { replica->end_recovery(); });
+  sim_.schedule_in(options_.recovery_period_s, [this] { rotate(); });
+}
+
+std::vector<NodeAddr> interleaved_group(
+    const std::vector<int>& sites, const std::vector<int>& replicas_per_site) {
+  if (sites.size() != replicas_per_site.size()) {
+    throw std::invalid_argument("interleaved_group: size mismatch");
+  }
+  std::vector<NodeAddr> out;
+  int max_replicas = 0;
+  for (const int n : replicas_per_site) max_replicas = std::max(max_replicas, n);
+  for (int round = 0; round < max_replicas; ++round) {
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      if (round < replicas_per_site[s]) {
+        out.push_back({sites[s], round});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,130 @@
+// Intrusion-tolerant (BFT) SCADA masters: a leader-based ordering protocol
+// with quorum ceil((n+f+1)/2), unilateral-timeout view changes, and
+// round-robin proactive recovery (one replica at a time, the "k" of the
+// paper's "6" configuration). Compromised replicas are worst-case: they
+// contribute nothing to ordering and race forged replies to the client;
+// only f+1 colluding forgeries can deceive the client (gray state).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ct::sim {
+
+struct BftOptions {
+  /// Intrusions tolerated by the group.
+  int f = 1;
+  /// Replicas concurrently in proactive recovery.
+  int k = 1;
+  /// Leader-silence timeout before a replica moves to the next view.
+  double view_timeout_s = 10.0;
+  /// Proactive recovery cadence: every period one replica recovers for
+  /// `recovery_duration_s` (round-robin).
+  double recovery_period_s = 120.0;
+  double recovery_duration_s = 20.0;
+  /// Cold-group activation delay (for the backup group of "6-6").
+  double activation_delay_s = 300.0;
+};
+
+/// One BFT SCADA master replica.
+class BftReplica {
+ public:
+  /// `group` lists every member's address; `index` is this replica's slot
+  /// in it. The leader of view v is group[v mod n]. Interleave sites in the
+  /// group order so consecutive views land on different sites.
+  BftReplica(Simulator& sim, Network& net, NodeAddr self,
+             std::vector<NodeAddr> group, int index, BftOptions options,
+             bool group_initially_active);
+
+  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+  bool compromised() const noexcept { return compromised_; }
+
+  /// Proactive recovery control (driven by RecoveryScheduler).
+  void begin_recovery();
+  void end_recovery();
+  bool recovering() const noexcept { return recovering_; }
+
+  /// Starts the view watchdog. Call once before the run.
+  void start();
+
+  std::int64_t view() const noexcept { return view_; }
+  bool group_active() const noexcept { return active_; }
+  std::size_t executed_count() const noexcept { return executed_.size(); }
+
+ private:
+  void on_message(const Message& msg);
+  void on_request(const Message& msg);
+  void on_proposal(const Message& msg);
+  void on_accept(const Message& msg);
+  void on_view_change(const Message& msg);
+  void watchdog_loop();
+  void propose_pending();
+  void broadcast_to_group(const Message& msg);
+  bool is_leader() const;
+  void execute(std::int64_t request_id);
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  std::vector<NodeAddr> group_;
+  int index_;
+  BftOptions options_;
+  int quorum_;
+  bool active_;
+  bool activation_pending_ = false;
+  bool compromised_ = false;
+  bool recovering_ = false;
+
+  std::int64_t view_ = 0;
+  std::int64_t next_seq_ = 0;
+  double last_progress_ = 0.0;
+
+  /// request id -> client address (pending, not yet executed).
+  std::map<std::int64_t, NodeAddr> pending_;
+  /// request id -> distinct accept voters.
+  std::map<std::int64_t, std::set<int>> accept_votes_;
+  /// proposals this replica has already voted for (request ids).
+  std::set<std::int64_t> voted_;
+  /// requests this leader already proposed in the current view (cleared on
+  /// view change) — prevents re-proposal storms.
+  std::set<std::int64_t> proposed_this_view_;
+  /// highest view in which this replica re-announced its vote per request
+  /// — bounds vote re-broadcasts to one per (request, view).
+  std::map<std::int64_t, std::int64_t> announced_view_;
+  /// executed request ids -> client address (for late replies).
+  std::map<std::int64_t, NodeAddr> executed_;
+  /// view -> distinct view-change voters (for catching up).
+  std::map<std::int64_t, std::set<int>> view_votes_;
+};
+
+/// Rotates proactive recovery through a group of replicas (k = 1).
+class RecoveryScheduler {
+ public:
+  RecoveryScheduler(Simulator& sim, std::vector<BftReplica*> replicas,
+                    BftOptions options);
+
+  /// Starts the rotation at `start_s`.
+  void start(double start_s);
+
+ private:
+  void rotate();
+
+  Simulator& sim_;
+  std::vector<BftReplica*> replicas_;
+  BftOptions options_;
+  std::size_t next_ = 0;
+};
+
+/// Builds a group order that interleaves sites: given per-site replica
+/// counts, yields addresses so consecutive entries cycle across sites —
+/// keeping consecutive view leaders in different sites.
+std::vector<NodeAddr> interleaved_group(const std::vector<int>& sites,
+                                        const std::vector<int>& replicas_per_site);
+
+}  // namespace ct::sim

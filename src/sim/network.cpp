@@ -1,0 +1,140 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+
+namespace ct::sim {
+
+std::string to_string(NodeAddr a) {
+  return "s" + std::to_string(a.site) + "/n" + std::to_string(a.node);
+}
+
+std::string to_string(Message::Type t) {
+  switch (t) {
+    case Message::Type::kRequest: return "REQUEST";
+    case Message::Type::kReply: return "REPLY";
+    case Message::Type::kProposal: return "PROPOSAL";
+    case Message::Type::kAccept: return "ACCEPT";
+    case Message::Type::kHeartbeat: return "HEARTBEAT";
+    case Message::Type::kActivate: return "ACTIVATE";
+    case Message::Type::kViewChange: return "VIEW-CHANGE";
+  }
+  return "?";
+}
+
+Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
+                 NetworkOptions options)
+    : sim_(sim), nodes_per_site_(std::move(nodes_per_site)), options_(options),
+      impairment_rng_(options.impairment_seed, "network-impairment") {
+  if (options_.loss_probability < 0.0 || options_.loss_probability >= 1.0) {
+    throw std::invalid_argument("Network: loss probability must be in [0, 1)");
+  }
+  if (options_.latency_jitter_s < 0.0) {
+    throw std::invalid_argument("Network: negative jitter");
+  }
+  if (nodes_per_site_.empty()) {
+    throw std::invalid_argument("Network: need at least one site");
+  }
+  std::size_t total = 0;
+  for (const int n : nodes_per_site_) {
+    if (n < 0) throw std::invalid_argument("Network: negative node count");
+    offsets_.push_back(total);
+    total += static_cast<std::size_t>(n);
+  }
+  handlers_.resize(total);
+  down_.assign(nodes_per_site_.size(), false);
+  isolated_.assign(nodes_per_site_.size(), false);
+}
+
+void Network::check_addr(NodeAddr a) const {
+  if (a.site < 0 || a.site >= site_count() || a.node < 0 ||
+      a.node >= nodes_at(a.site)) {
+    throw std::out_of_range("Network: bad address " + to_string(a));
+  }
+}
+
+std::size_t Network::flat_index(NodeAddr a) const {
+  check_addr(a);
+  return offsets_[static_cast<std::size_t>(a.site)] +
+         static_cast<std::size_t>(a.node);
+}
+
+void Network::register_handler(NodeAddr addr, Handler handler) {
+  handlers_[flat_index(addr)] = std::move(handler);
+}
+
+void Network::set_site_down(int site, bool down) {
+  down_.at(static_cast<std::size_t>(site)) = down;
+}
+
+void Network::set_site_isolated(int site, bool isolated) {
+  isolated_.at(static_cast<std::size_t>(site)) = isolated;
+}
+
+bool Network::site_down(int site) const {
+  return down_.at(static_cast<std::size_t>(site));
+}
+
+bool Network::site_isolated(int site) const {
+  return isolated_.at(static_cast<std::size_t>(site));
+}
+
+bool Network::can_communicate(NodeAddr from, NodeAddr to) const {
+  check_addr(from);
+  check_addr(to);
+  if (site_down(from.site) || site_down(to.site)) return false;
+  if (from.site != to.site &&
+      (site_isolated(from.site) || site_isolated(to.site))) {
+    return false;
+  }
+  return true;
+}
+
+void Network::send(NodeAddr from, NodeAddr to, Message msg) {
+  ++sent_;
+  if (!can_communicate(from, to)) return;
+  if (options_.loss_probability > 0.0 &&
+      impairment_rng_.bernoulli(options_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  msg.sender = from;
+  double latency = from.site == to.site ? options_.intra_site_latency_s
+                                        : options_.inter_site_latency_s;
+  if (options_.latency_jitter_s > 0.0) {
+    latency += impairment_rng_.uniform(0.0, options_.latency_jitter_s);
+  }
+  sim_.schedule_in(latency, [this, to, msg] {
+    // Re-check destination health at delivery time: packets in flight to a
+    // site that just flooded or got cut off are lost.
+    if (site_down(to.site)) return;
+    if (msg.sender.site != to.site &&
+        (site_isolated(to.site) || site_isolated(msg.sender.site))) {
+      return;
+    }
+    const Handler& h = handlers_[flat_index(to)];
+    if (h) {
+      ++delivered_;
+      h(msg);
+    }
+  });
+}
+
+void Network::broadcast(NodeAddr from, Message msg) {
+  for (int s = 0; s < site_count(); ++s) {
+    for (int n = 0; n < nodes_at(s); ++n) {
+      const NodeAddr to{s, n};
+      if (to == from) continue;
+      send(from, to, msg);
+    }
+  }
+}
+
+void Network::send_to_site(NodeAddr from, int site, Message msg) {
+  for (int n = 0; n < nodes_at(site); ++n) {
+    const NodeAddr to{site, n};
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,122 @@
+// Simulated wide-area network connecting control sites and the field
+// (RTU/client) site. Models per-link latency and the two failure modes of
+// the compound threat: a site going DOWN (flooded — its nodes neither send
+// nor receive) and a site being ISOLATED (network-level attack — its nodes
+// keep running but no traffic crosses the site boundary, matching the
+// paper's site-isolation semantics).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+
+/// Address of a process: (site index, node index within site).
+struct NodeAddr {
+  int site = 0;
+  int node = 0;
+
+  bool operator==(const NodeAddr&) const = default;
+};
+
+std::string to_string(NodeAddr a);
+
+/// Protocol message. One struct covers all protocols in the simulator;
+/// unused fields are zero.
+struct Message {
+  enum class Type {
+    kRequest,     ///< client -> replicas: order this operation
+    kReply,       ///< replica -> client: operation result
+    kProposal,    ///< BFT leader -> replicas: assign seq to request
+    kAccept,      ///< BFT replica -> replicas: vote for a proposal
+    kHeartbeat,   ///< PB primary -> standby liveness signal
+    kActivate,    ///< failover controller -> cold site: start serving
+    kViewChange,  ///< BFT replica -> replicas: move to a new view
+  };
+
+  Type type = Type::kRequest;
+  NodeAddr sender;
+  std::int64_t request_id = 0;
+  std::int64_t seq = 0;    ///< BFT sequence number.
+  std::int64_t view = 0;   ///< BFT view number.
+  std::int64_t value = 0;  ///< Execution result carried by kReply.
+  bool corrupt = false;    ///< Reply forged by a compromised replica.
+};
+
+std::string to_string(Message::Type t);
+
+/// Latency and impairment parameters. Loss and jitter default to off; the
+/// protocol robustness tests turn them on to check that the Table-I
+/// classification is stable under an imperfect WAN.
+struct NetworkOptions {
+  double intra_site_latency_s = 0.002;
+  double inter_site_latency_s = 0.025;
+  /// Independent per-message drop probability.
+  double loss_probability = 0.0;
+  /// Uniform extra delay in [0, jitter] added per message (s).
+  double latency_jitter_s = 0.0;
+  /// Seed for the (deterministic) loss/jitter stream.
+  std::uint64_t impairment_seed = 1;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  /// `nodes_per_site[s]` is the number of processes at site s.
+  Network(Simulator& sim, std::vector<int> nodes_per_site,
+          NetworkOptions options = {});
+
+  int site_count() const noexcept { return static_cast<int>(nodes_per_site_.size()); }
+  int nodes_at(int site) const { return nodes_per_site_.at(static_cast<std::size_t>(site)); }
+
+  /// Installs the receive handler for a node (replaces any previous one).
+  void register_handler(NodeAddr addr, Handler handler);
+
+  /// Site failure controls.
+  void set_site_down(int site, bool down);
+  void set_site_isolated(int site, bool isolated);
+  bool site_down(int site) const;
+  bool site_isolated(int site) const;
+
+  /// True when a message from `from` would currently be delivered to `to`.
+  bool can_communicate(NodeAddr from, NodeAddr to) const;
+
+  /// Sends a message; delivery is scheduled after the link latency if the
+  /// two nodes can communicate AT SEND TIME and the destination site is
+  /// still up at delivery (in-flight traffic into a newly flooded site is
+  /// dropped).
+  void send(NodeAddr from, NodeAddr to, Message msg);
+
+  /// Sends to every node of every site except the sender itself.
+  void broadcast(NodeAddr from, Message msg);
+
+  /// Sends to every node at `site` (excluding `from` if it lives there).
+  void send_to_site(NodeAddr from, int site, Message msg);
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+
+ private:
+  std::size_t flat_index(NodeAddr a) const;
+  void check_addr(NodeAddr a) const;
+
+  Simulator& sim_;
+  std::vector<int> nodes_per_site_;
+  NetworkOptions options_;
+  std::vector<Handler> handlers_;     // flat, indexed by flat_index
+  std::vector<std::size_t> offsets_;  // site -> first flat index
+  std::vector<bool> down_;
+  std::vector<bool> isolated_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  util::Rng impairment_rng_;
+};
+
+}  // namespace ct::sim

@@ -1,0 +1,125 @@
+#include "sim/primary_backup.h"
+
+namespace ct::sim {
+
+PbReplica::PbReplica(Simulator& sim, Network& net, NodeAddr self,
+                     PbOptions options, bool site_initially_active)
+    : sim_(sim), net_(net), self_(self), options_(options),
+      active_(site_initially_active),
+      primary_(site_initially_active && self.node == 0) {
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void PbReplica::start() {
+  last_heartbeat_ = sim_.now();
+  heartbeat_loop();
+  watchdog_loop();
+}
+
+void PbReplica::become_primary() {
+  if (primary_) return;
+  primary_ = true;
+  sim_.trace(to_string(self_) + " promoted to primary");
+}
+
+void PbReplica::on_message(const Message& msg) {
+  switch (msg.type) {
+    case Message::Type::kRequest: {
+      // A compromised SM is attacker-controlled: it forges results whether
+      // or not it is the official primary (the client cannot tell).
+      if (compromised_) {
+        Message reply;
+        reply.type = Message::Type::kReply;
+        reply.request_id = msg.request_id;
+        reply.value = -msg.request_id;  // forged result
+        reply.corrupt = true;
+        net_.send(self_, msg.sender, reply);
+        return;
+      }
+      if (active_ && primary_) {
+        Message reply;
+        reply.type = Message::Type::kReply;
+        reply.request_id = msg.request_id;
+        reply.value = msg.request_id;  // correct execution echoes the id
+        net_.send(self_, msg.sender, reply);
+      }
+      return;
+    }
+    case Message::Type::kHeartbeat: {
+      if (msg.sender.site == self_.site) last_heartbeat_ = sim_.now();
+      return;
+    }
+    case Message::Type::kActivate: {
+      if (active_ || activation_pending_) return;
+      activation_pending_ = true;
+      sim_.trace(to_string(self_) + " cold site activation started");
+      sim_.schedule_in(options_.activation_delay_s, [this] {
+        active_ = true;
+        activation_pending_ = false;
+        last_heartbeat_ = sim_.now();
+        if (self_.node == 0) become_primary();
+        sim_.trace(to_string(self_) + " cold site activation complete");
+      });
+      return;
+    }
+    default:
+      return;  // BFT-only message types
+  }
+}
+
+void PbReplica::heartbeat_loop() {
+  if (active_ && primary_ && !compromised_) {
+    Message hb;
+    hb.type = Message::Type::kHeartbeat;
+    net_.send_to_site(self_, self_.site, hb);
+  }
+  sim_.schedule_in(options_.heartbeat_interval_s, [this] { heartbeat_loop(); });
+}
+
+void PbReplica::watchdog_loop() {
+  if (active_ && !primary_ &&
+      sim_.now() - last_heartbeat_ > options_.heartbeat_timeout_s) {
+    become_primary();
+  }
+  sim_.schedule_in(options_.heartbeat_interval_s, [this] { watchdog_loop(); });
+}
+
+FailoverController::FailoverController(Simulator& sim, Network& net,
+                                       NodeAddr self,
+                                       const ClientWorkload& workload,
+                                       int backup_site, PbOptions options)
+    : sim_(sim), net_(net), self_(self), workload_(workload),
+      backup_site_(backup_site), options_(options) {}
+
+void FailoverController::start(double start_s, double end_s) {
+  start_s_ = start_s;
+  end_s_ = end_s;
+  sim_.schedule_at(start_s + options_.controller_check_interval_s,
+                   [this] { check(); });
+}
+
+double FailoverController::last_success_time() const {
+  double last = start_s_;
+  for (const auto& r : workload_.records()) {
+    if (r.completed_at >= 0.0 && !r.corrupt) {
+      last = std::max(last, r.completed_at);
+    }
+  }
+  return last;
+}
+
+void FailoverController::check() {
+  if (sim_.now() >= end_s_) return;
+  if (!activation_sent_ &&
+      sim_.now() - last_success_time() > options_.controller_outage_threshold_s) {
+    activation_sent_ = true;
+    sim_.trace("failover controller activating backup site " +
+               std::to_string(backup_site_));
+    Message activate;
+    activate.type = Message::Type::kActivate;
+    net_.send_to_site(self_, backup_site_, activate);
+  }
+  sim_.schedule_in(options_.controller_check_interval_s, [this] { check(); });
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,89 @@
+// Primary-backup SCADA masters (industry-standard architectures "2" and
+// "2-2"): a primary SM serving requests, a hot standby promoted via
+// heartbeat watchdog within seconds, and — for two-site configurations — a
+// cold backup site activated by a failover controller after a delay of
+// minutes (the paper's orange state).
+#pragma once
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace ct::sim {
+
+struct PbOptions {
+  double heartbeat_interval_s = 1.0;
+  double heartbeat_timeout_s = 5.0;
+  /// Cold-site activation delay ("on the order of minutes" in the paper).
+  double activation_delay_s = 300.0;
+  /// Failover-controller polling interval and outage threshold.
+  double controller_check_interval_s = 5.0;
+  double controller_outage_threshold_s = 20.0;
+};
+
+/// One primary-backup SCADA master.
+class PbReplica {
+ public:
+  /// `self.node == 0` is the initial primary of an active site.
+  PbReplica(Simulator& sim, Network& net, NodeAddr self, PbOptions options,
+            bool site_initially_active);
+
+  /// Marks the replica as attacker-controlled: it answers every request
+  /// with a forged result.
+  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+  bool compromised() const noexcept { return compromised_; }
+  bool is_primary() const noexcept { return primary_; }
+  bool site_active() const noexcept { return active_; }
+
+  /// Starts heartbeat/watchdog loops. Call once before the run.
+  void start();
+
+ private:
+  void on_message(const Message& msg);
+  void heartbeat_loop();
+  void watchdog_loop();
+  void become_primary();
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  PbOptions options_;
+  bool active_;       ///< Site is serving (false while cold).
+  bool primary_;      ///< This replica is the serving SM.
+  bool compromised_ = false;
+  bool activation_pending_ = false;
+  double last_heartbeat_ = 0.0;
+};
+
+/// Failover controller for two-site primary-backup and BFT architectures:
+/// sits with the operators (client site), watches service health, and
+/// activates the cold backup site when the active site stops answering.
+class FailoverController {
+ public:
+  FailoverController(Simulator& sim, Network& net, NodeAddr self,
+                     const ClientWorkload& workload, int backup_site,
+                     PbOptions options);
+
+  /// Starts the monitoring loop over [start, end).
+  void start(double start_s, double end_s);
+
+  bool activation_sent() const noexcept { return activation_sent_; }
+
+ private:
+  void check();
+  double last_success_time() const;
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  const ClientWorkload& workload_;
+  int backup_site_;
+  PbOptions options_;
+  double start_s_ = 0.0;
+  double end_s_ = 0.0;
+  bool activation_sent_ = false;
+};
+
+}  // namespace ct::sim

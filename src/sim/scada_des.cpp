@@ -1,0 +1,199 @@
+#include "sim/scada_des.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "threat/attacker.h"
+
+namespace ct::sim {
+
+ScadaDes::ScadaDes(scada::Configuration config, DesOptions options)
+    : config_(std::move(config)), options_(options) {
+  if (config_.sites.empty()) {
+    throw std::invalid_argument("ScadaDes: configuration has no sites");
+  }
+}
+
+DesOutcome ScadaDes::run(const std::vector<bool>& site_flooded,
+                         threat::AttackerCapability capability) const {
+  if (site_flooded.size() != config_.sites.size()) {
+    throw std::invalid_argument("ScadaDes: flood mask size mismatch");
+  }
+  threat::SystemState state;
+  state.intrusions.assign(config_.sites.size(), 0);
+  for (const bool flooded : site_flooded) {
+    state.site_status.push_back(flooded ? threat::SiteStatus::kFlooded
+                                        : threat::SiteStatus::kUp);
+  }
+  const threat::GreedyWorstCaseAttacker attacker;
+  return run(attacker.attack(config_, state, capability));
+}
+
+DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
+  const std::size_t n_sites = config_.sites.size();
+  if (attacked_state.site_status.size() != n_sites ||
+      attacked_state.intrusions.size() != n_sites) {
+    throw std::invalid_argument("ScadaDes: state size mismatch");
+  }
+
+  Simulator sim;
+  sim.set_tracing(options_.tracing);
+  sim.set_event_limit(options_.event_limit);
+
+  // Network: one site per control site plus the client (field) site.
+  std::vector<int> nodes_per_site;
+  for (const scada::ControlSite& site : config_.sites) {
+    nodes_per_site.push_back(site.replicas);
+  }
+  const int client_site = static_cast<int>(n_sites);
+  nodes_per_site.push_back(2);  // client + failover controller
+  Network net(sim, nodes_per_site, options_.net);
+
+  // Client workload.
+  const bool bft = config_.style == scada::ReplicationStyle::kIntrusionTolerant;
+  WorkloadOptions wopts;
+  wopts.request_interval_s = options_.request_interval_s;
+  wopts.request_timeout_s = options_.request_timeout_s;
+  wopts.replies_needed = bft ? config_.intrusion_tolerance_f + 1 : 1;
+  ClientWorkload client(sim, net, {client_site, 0}, wopts);
+  std::vector<NodeAddr> targets;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    for (int node = 0; node < config_.sites[s].replicas; ++node) {
+      targets.push_back({static_cast<int>(s), node});
+    }
+  }
+  client.set_targets(std::move(targets));
+
+  // Replicas.
+  std::vector<std::unique_ptr<PbReplica>> pb_replicas;
+  std::vector<std::unique_ptr<BftReplica>> bft_replicas;
+  std::vector<std::unique_ptr<RecoveryScheduler>> schedulers;
+  // Indexed [site][node] for compromise targeting.
+  std::vector<std::vector<PbReplica*>> pb_by_site(n_sites);
+  std::vector<std::vector<BftReplica*>> bft_by_site(n_sites);
+
+  BftOptions group_opts = options_.bft;
+  group_opts.f = config_.intrusion_tolerance_f;
+  group_opts.k = config_.proactive_recovery_k;
+
+  const auto make_bft_group = [&](const std::vector<int>& sites,
+                                  bool initially_active) {
+    std::vector<int> counts;
+    for (const int s : sites) {
+      counts.push_back(config_.sites[static_cast<std::size_t>(s)].replicas);
+    }
+    const std::vector<NodeAddr> group = interleaved_group(sites, counts);
+    std::vector<BftReplica*> members;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      auto replica = std::make_unique<BftReplica>(
+          sim, net, group[i], group, static_cast<int>(i), group_opts,
+          initially_active);
+      members.push_back(replica.get());
+      bft_by_site[static_cast<std::size_t>(group[i].site)].push_back(
+          replica.get());
+      bft_replicas.push_back(std::move(replica));
+    }
+    // One proactive-recovery rotation per group (k = 1).
+    if (config_.proactive_recovery_k > 0) {
+      schedulers.push_back(
+          std::make_unique<RecoveryScheduler>(sim, members, group_opts));
+    }
+  };
+
+  if (bft) {
+    if (config_.active_multisite) {
+      std::vector<int> hot_sites;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (config_.sites[s].hot) hot_sites.push_back(static_cast<int>(s));
+      }
+      make_bft_group(hot_sites, true);
+    } else {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        make_bft_group({static_cast<int>(s)}, config_.sites[s].hot);
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      for (int node = 0; node < config_.sites[s].replicas; ++node) {
+        auto replica = std::make_unique<PbReplica>(
+            sim, net, NodeAddr{static_cast<int>(s), node}, options_.pb,
+            config_.sites[s].hot);
+        pb_by_site[s].push_back(replica.get());
+        pb_replicas.push_back(std::move(replica));
+      }
+    }
+  }
+
+  // Failover controller when the configuration has a cold backup site.
+  std::unique_ptr<FailoverController> controller;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (!config_.sites[s].hot) {
+      controller = std::make_unique<FailoverController>(
+          sim, net, NodeAddr{client_site, 1}, client, static_cast<int>(s),
+          options_.pb);
+      break;
+    }
+  }
+
+  // Timeline. Floods are in effect from t=0.
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (attacked_state.site_status[s] == threat::SiteStatus::kFlooded) {
+      net.set_site_down(static_cast<int>(s), true);
+      sim.trace("site " + std::to_string(s) + " flooded (down from t=0)");
+    }
+  }
+  for (auto& r : pb_replicas) r->start();
+  for (auto& r : bft_replicas) r->start();
+  for (auto& s : schedulers) s->start(options_.bft.recovery_period_s);
+  client.start(0.0, options_.horizon_s);
+  if (controller) controller->start(0.0, options_.horizon_s);
+
+  // The cyberattack fires at attack_time_s.
+  sim.schedule_at(options_.attack_time_s, [&] {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (attacked_state.site_status[s] == threat::SiteStatus::kIsolated) {
+        net.set_site_isolated(static_cast<int>(s), true);
+        sim.trace("site " + std::to_string(s) + " ISOLATED by attacker");
+      }
+      const int intrusions = attacked_state.intrusions[s];
+      for (int node = 0; node < intrusions; ++node) {
+        if (bft) {
+          bft_by_site[s].at(static_cast<std::size_t>(node))->set_compromised(true);
+        } else {
+          pb_by_site[s].at(static_cast<std::size_t>(node))->set_compromised(true);
+        }
+        sim.trace("replica s" + std::to_string(s) + "/n" +
+                  std::to_string(node) + " COMPROMISED by attacker");
+      }
+    }
+  });
+
+  sim.run_until(options_.horizon_s);
+
+  // Classify what the client observed.
+  DesOutcome outcome;
+  outcome.safety_violated = client.safety_violated();
+  const double judge_to = options_.horizon_s - 10.0;
+  const double settle_from = options_.horizon_s - options_.settle_window_s;
+  outcome.steady_availability = client.success_fraction(settle_from, judge_to);
+  outcome.max_outage_s = client.max_gap(0.0, judge_to);
+  outcome.events = sim.events_processed();
+  outcome.messages = net.messages_sent();
+  outcome.truncated = sim.event_limit_hit();
+  outcome.availability_timeline =
+      client.availability_series(60.0, 0.0, options_.horizon_s);
+  outcome.trace = sim.trace_log();
+
+  if (outcome.safety_violated) {
+    outcome.observed = threat::OperationalState::kGray;
+  } else if (outcome.steady_availability < 0.5) {
+    outcome.observed = threat::OperationalState::kRed;
+  } else if (outcome.max_outage_s > options_.orange_gap_s) {
+    outcome.observed = threat::OperationalState::kOrange;
+  } else {
+    outcome.observed = threat::OperationalState::kGreen;
+  }
+  return outcome;
+}
+
+}  // namespace ct::sim

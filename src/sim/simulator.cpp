@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ct::sim {
+
+void Simulator::schedule_at(SimTime t, Action action) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Simulator: null action");
+  }
+  queue_.push({t, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::run_until(SimTime end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    if (event_limit_ != 0 && processed_ >= event_limit_) {
+      limit_hit_ = true;
+      break;
+    }
+    // priority_queue::top returns const&; the action must be moved out
+    // before pop, so copy the header and move via const_cast-free path:
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+void Simulator::trace(const std::string& line) {
+  if (!tracing_) return;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%9.3f] ", now_);
+  trace_.push_back(stamp + line);
+}
+
+}  // namespace ct::sim

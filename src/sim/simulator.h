@@ -1,0 +1,72 @@
+// Discrete-event simulation engine: a time-ordered event queue with
+// deterministic FIFO tie-breaking, plus an optional trace log. Drives the
+// SCADA protocol simulations that validate the analytic Table-I
+// classification from protocol behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ct::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at absolute time `t` (must be >= now()).
+  /// Events scheduled for the same instant run in scheduling order.
+  void schedule_at(SimTime t, Action action);
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `end_time`; `now()` ends at `end_time`.
+  void run_until(SimTime end_time);
+
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Safety valve: run_until stops once this many events have been
+  /// processed in total (0 = unlimited). Guards against protocol storms
+  /// consuming unbounded memory; `event_limit_hit()` reports whether a run
+  /// was truncated.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+  bool event_limit_hit() const noexcept { return limit_hit_; }
+
+  /// Trace log: cheap structured breadcrumbs ("who did what when") used by
+  /// the des_replay example. Disabled by default.
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+  bool tracing() const noexcept { return tracing_; }
+  void trace(const std::string& line);
+  const std::vector<std::string>& trace_log() const noexcept { return trace_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool limit_hit_ = false;
+  bool tracing_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace ct::sim

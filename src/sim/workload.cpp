@@ -1,0 +1,141 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::sim {
+
+ClientWorkload::ClientWorkload(Simulator& sim, Network& net, NodeAddr self,
+                               WorkloadOptions options)
+    : sim_(sim), net_(net), self_(self), options_(options) {
+  if (options_.request_interval_s <= 0.0 || options_.replies_needed < 1) {
+    throw std::invalid_argument("ClientWorkload: bad options");
+  }
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void ClientWorkload::set_targets(std::vector<NodeAddr> targets) {
+  targets_ = std::move(targets);
+}
+
+void ClientWorkload::start(double start_s, double end_s) {
+  end_s_ = end_s;
+  sim_.schedule_at(start_s, [this] { issue(); });
+}
+
+void ClientWorkload::issue() {
+  if (sim_.now() >= end_s_) return;
+
+  Message req;
+  req.type = Message::Type::kRequest;
+  req.request_id = next_id_++;
+
+  RequestRecord record;
+  record.id = req.request_id;
+  record.sent_at = sim_.now();
+  record_index_[record.id] = records_.size();
+  records_.push_back(record);
+
+  for (const NodeAddr target : targets_) net_.send(self_, target, req);
+  if (options_.retransmit_limit > 0) {
+    schedule_retransmit(req.request_id, options_.retransmit_limit);
+  }
+  sim_.schedule_in(options_.request_interval_s, [this] { issue(); });
+}
+
+void ClientWorkload::on_message(const Message& msg) {
+  if (msg.type != Message::Type::kReply) return;
+  const auto it = record_index_.find(msg.request_id);
+  if (it == record_index_.end()) return;
+  RequestRecord& record = records_[it->second];
+  if (record.completed_at >= 0.0) return;  // already accepted
+
+  auto& sigs = pending_replies_[msg.request_id];
+  auto& voters = sigs[{msg.value, msg.corrupt}];
+  voters.insert({msg.sender.site, msg.sender.node});
+  if (static_cast<int>(voters.size()) < options_.replies_needed) return;
+
+  record.completed_at = sim_.now();
+  record.corrupt = msg.corrupt;
+  if (msg.corrupt && !safety_violated_) {
+    safety_violated_ = true;
+    first_violation_at_ = sim_.now();
+    sim_.trace("client ACCEPTED CORRUPT result for request " +
+               std::to_string(msg.request_id));
+  }
+  pending_replies_.erase(msg.request_id);
+}
+
+double ClientWorkload::success_fraction(double from, double to) const {
+  std::size_t issued = 0;
+  std::size_t succeeded = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.sent_at < from || r.sent_at > to) continue;
+    ++issued;
+    if (r.completed_at >= 0.0 && !r.corrupt &&
+        r.completed_at - r.sent_at <= options_.request_timeout_s) {
+      ++succeeded;
+    }
+  }
+  if (issued == 0) return 0.0;
+  return static_cast<double>(succeeded) / static_cast<double>(issued);
+}
+
+void ClientWorkload::schedule_retransmit(std::int64_t request_id,
+                                         int remaining) {
+  sim_.schedule_in(options_.request_timeout_s, [this, request_id, remaining] {
+    const auto it = record_index_.find(request_id);
+    if (it == record_index_.end()) return;
+    if (records_[it->second].completed_at >= 0.0) return;  // done
+    Message req;
+    req.type = Message::Type::kRequest;
+    req.request_id = request_id;
+    for (const NodeAddr target : targets_) net_.send(self_, target, req);
+    if (remaining > 1) schedule_retransmit(request_id, remaining - 1);
+  });
+}
+
+std::vector<double> ClientWorkload::availability_series(double bucket_s,
+                                                        double from,
+                                                        double to) const {
+  std::vector<double> out;
+  if (bucket_s <= 0.0 || to <= from) return out;
+  for (double t = from; t < to; t += bucket_s) {
+    const double hi = std::min(to, t + bucket_s);
+    std::size_t issued = 0;
+    std::size_t succeeded = 0;
+    for (const RequestRecord& r : records_) {
+      if (r.sent_at < t || r.sent_at >= hi) continue;
+      ++issued;
+      if (r.completed_at >= 0.0 && !r.corrupt &&
+          r.completed_at - r.sent_at <= options_.request_timeout_s) {
+        ++succeeded;
+      }
+    }
+    out.push_back(issued == 0
+                      ? -1.0
+                      : static_cast<double>(succeeded) /
+                            static_cast<double>(issued));
+  }
+  return out;
+}
+
+double ClientWorkload::max_gap(double from, double to) const {
+  std::vector<double> successes;
+  for (const RequestRecord& r : records_) {
+    if (r.completed_at >= from && r.completed_at <= to && !r.corrupt) {
+      successes.push_back(r.completed_at);
+    }
+  }
+  std::sort(successes.begin(), successes.end());
+  double gap = 0.0;
+  double prev = from;
+  for (const double t : successes) {
+    gap = std::max(gap, t - prev);
+    prev = t;
+  }
+  gap = std::max(gap, to - prev);
+  return gap;
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,104 @@
+// SCADA client workload: stands in for the HMI/RTU traffic. Issues an
+// operation every few seconds to the SCADA-master group and judges replies:
+// a reply signature (value, corrupt-bit) is ACCEPTED once `replies_needed`
+// distinct replicas vouch for it (1 for primary-backup, f+1 for BFT).
+// Accepting a corrupt signature is an observed safety violation — the
+// simulator's ground truth for the paper's gray state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ct::sim {
+
+struct WorkloadOptions {
+  double request_interval_s = 2.0;
+  /// A request completing later than this after issue is counted as failed
+  /// for availability statistics (it may still complete for gap purposes).
+  double request_timeout_s = 2.0;
+  /// Matching replies from distinct replicas needed to accept a result.
+  int replies_needed = 1;
+  /// Times an uncompleted request is re-sent after the timeout (0 = none).
+  /// Real SCADA polling retries; retransmissions do not reset `sent_at`.
+  int retransmit_limit = 0;
+};
+
+class ClientWorkload {
+ public:
+  /// One per-request outcome record.
+  struct RequestRecord {
+    std::int64_t id = 0;
+    double sent_at = 0.0;
+    double completed_at = -1.0;  ///< -1 while incomplete.
+    bool corrupt = false;        ///< Accepted signature was forged.
+  };
+
+  ClientWorkload(Simulator& sim, Network& net, NodeAddr self,
+                 WorkloadOptions options = {});
+
+  /// Replicas that receive each request.
+  void set_targets(std::vector<NodeAddr> targets);
+
+  /// Issues requests every interval in [start, end).
+  void start(double start_s, double end_s);
+
+  /// True once any corrupt signature was accepted.
+  bool safety_violated() const noexcept { return safety_violated_; }
+  /// Time of the first accepted corrupt result (-1 when none).
+  double first_violation_at() const noexcept { return first_violation_at_; }
+
+  const std::vector<RequestRecord>& records() const noexcept { return records_; }
+
+  /// Fraction of requests issued in [from, to] that completed correctly
+  /// within the timeout. Returns 0 when no requests were issued there.
+  double success_fraction(double from, double to) const;
+
+  /// Longest service gap in [from, to]: the maximum distance between
+  /// consecutive correct completions (window edges count as endpoints).
+  double max_gap(double from, double to) const;
+
+  /// Availability time series: success_fraction over consecutive buckets of
+  /// `bucket_s` covering [from, to). Buckets with no issued requests read
+  /// as -1 (no data). Used by the des_replay example to show the outage
+  /// and recovery shape of an incident.
+  std::vector<double> availability_series(double bucket_s, double from,
+                                          double to) const;
+
+  NodeAddr address() const noexcept { return self_; }
+
+ private:
+  void issue();
+  void on_message(const Message& msg);
+  void schedule_retransmit(std::int64_t request_id, int remaining);
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  WorkloadOptions options_;
+  std::vector<NodeAddr> targets_;
+  double end_s_ = 0.0;
+
+  std::int64_t next_id_ = 1;
+  std::vector<RequestRecord> records_;
+  std::map<std::int64_t, std::size_t> record_index_;
+
+  /// Reply signature accumulation: request id -> (value, corrupt) ->
+  /// distinct sender flat keys.
+  struct Signature {
+    std::int64_t value;
+    bool corrupt;
+    auto operator<=>(const Signature&) const = default;
+  };
+  std::map<std::int64_t, std::map<Signature, std::set<std::pair<int, int>>>>
+      pending_replies_;
+
+  bool safety_violated_ = false;
+  double first_violation_at_ = -1.0;
+};
+
+}  // namespace ct::sim

@@ -1,0 +1,76 @@
+#include "storm/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::storm {
+
+StormTrack TrackGenerator::build_track(geo::GeoPoint aim, double heading_deg,
+                                       double forward_speed_ms, double dp_pa,
+                                       double rmax_m,
+                                       double holland_b) const {
+  if (forward_speed_ms <= 0.0) {
+    throw std::invalid_argument("TrackGenerator: non-positive forward speed");
+  }
+  const double back_bearing = std::fmod(heading_deg + 180.0, 360.0);
+  const geo::GeoPoint start =
+      geo::destination(aim, back_bearing, config_.approach_distance_m);
+  const double total_m =
+      config_.approach_distance_m + config_.departure_distance_m;
+  const double total_s = total_m / forward_speed_ms;
+
+  std::vector<TrackPoint> fixes;
+  for (double t = 0.0;; t += config_.fix_interval_s) {
+    const bool last = t >= total_s;
+    const double tt = last ? total_s : t;
+    TrackPoint fix;
+    fix.time_s = tt;
+    fix.center = geo::destination(start, heading_deg, forward_speed_ms * tt);
+    fix.vortex.ambient_pressure_pa = config_.ambient_pressure_pa;
+    fix.vortex.central_pressure_pa = config_.ambient_pressure_pa - dp_pa;
+    fix.vortex.rmax_m = rmax_m;
+    fix.vortex.holland_b = holland_b;
+    fix.vortex.latitude_deg = fix.center.lat_deg;
+    fixes.push_back(fix);
+    if (last) break;
+  }
+  return StormTrack(std::move(fixes));
+}
+
+StormTrack TrackGenerator::base_track() const {
+  return build_track(config_.base_aim, config_.base_heading_deg,
+                     config_.forward_speed_ms, config_.pressure_deficit_pa,
+                     config_.rmax_m, config_.holland_b);
+}
+
+StormTrack TrackGenerator::generate(std::uint64_t base_seed,
+                                    std::uint64_t index) const {
+  util::Rng rng = util::Rng(base_seed, "storm-track").child("realization", index);
+
+  // Cross-track displacement of the aim point, perpendicular to the base
+  // heading (positive = right of track).
+  const double cross = rng.normal(0.0, config_.cross_track_sigma_m);
+  const double perp_bearing = std::fmod(config_.base_heading_deg + 90.0, 360.0);
+  const geo::GeoPoint aim =
+      geo::destination(config_.base_aim, perp_bearing, cross);
+
+  const double heading =
+      config_.base_heading_deg + rng.normal(0.0, config_.heading_sigma_deg);
+  const double speed =
+      config_.forward_speed_ms + rng.uniform(-config_.forward_speed_jitter_ms,
+                                             config_.forward_speed_jitter_ms);
+  // Intensity truncated to stay within the CAT-2 planning envelope.
+  const double dp = rng.truncated_normal(
+      config_.pressure_deficit_pa, config_.pressure_deficit_sigma_pa,
+      config_.pressure_deficit_pa - 2.5 * config_.pressure_deficit_sigma_pa,
+      config_.pressure_deficit_pa + 2.5 * config_.pressure_deficit_sigma_pa);
+  const double rmax =
+      rng.truncated_normal(config_.rmax_m, config_.rmax_sigma_m,
+                           config_.rmax_min_m, config_.rmax_max_m);
+  const double b = rng.truncated_normal(config_.holland_b,
+                                        config_.holland_b_sigma, 1.0, 2.2);
+
+  return build_track(aim, heading, speed, dp, rmax, b);
+}
+
+}  // namespace ct::storm

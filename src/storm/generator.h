@@ -1,0 +1,71 @@
+// Storm-track generator: produces an ensemble of Category-2 tracks around a
+// base planning track (the paper used "a realistic hurricane path used by
+// emergency planners in Hawaii" and 1000 realizations of the resulting
+// surge). Each realization perturbs landfall position, heading, forward
+// speed, intensity, and storm size.
+#pragma once
+
+#include "geo/geopoint.h"
+#include "storm/track.h"
+#include "util/rng.h"
+
+namespace ct::storm {
+
+/// Ensemble configuration. Defaults produce a CAT-2 storm approaching Oahu
+/// from the south-southeast and passing along the island's leeward side —
+/// the planning scenario geometry (cf. Hurricane Kole tabletop exercises).
+struct TrackEnsembleConfig {
+  /// Point of closest approach of the *base* track.
+  geo::GeoPoint base_aim{21.23, -158.06};
+  /// Base track heading, degrees clockwise from north.
+  double base_heading_deg = 327.0;
+  /// Distance before/after the aim point covered by the track (m).
+  double approach_distance_m = 400000.0;
+  double departure_distance_m = 300000.0;
+  /// Base forward speed (m/s) and its uniform jitter half-width.
+  double forward_speed_ms = 6.0;
+  double forward_speed_jitter_ms = 1.5;
+  /// Cross-track standard deviation of the aim point (m).
+  double cross_track_sigma_m = 45000.0;
+  /// Heading jitter standard deviation (degrees).
+  double heading_sigma_deg = 4.0;
+  /// Central pressure deficit: base and jitter sigma (Pa). 4000 Pa ~ CAT 2.
+  double pressure_deficit_pa = 4200.0;
+  double pressure_deficit_sigma_pa = 500.0;
+  /// Radius of maximum winds: base and truncation bounds (m).
+  double rmax_m = 45000.0;
+  double rmax_sigma_m = 5000.0;
+  double rmax_min_m = 32000.0;
+  double rmax_max_m = 60000.0;
+  /// Holland B: base and jitter.
+  double holland_b = 1.35;
+  double holland_b_sigma = 0.1;
+  /// Spacing between generated track fixes (s).
+  double fix_interval_s = 3600.0;
+  /// Ambient pressure (Pa).
+  double ambient_pressure_pa = 101000.0;
+};
+
+/// Deterministic ensemble: realization `i` under seed `s` is always the
+/// same storm, independent of how many other realizations are drawn.
+class TrackGenerator {
+ public:
+  explicit TrackGenerator(TrackEnsembleConfig config) : config_(config) {}
+
+  /// Generates realization `index` of the ensemble seeded by `base_seed`.
+  StormTrack generate(std::uint64_t base_seed, std::uint64_t index) const;
+
+  /// The unperturbed planning track.
+  StormTrack base_track() const;
+
+  const TrackEnsembleConfig& config() const noexcept { return config_; }
+
+ private:
+  StormTrack build_track(geo::GeoPoint aim, double heading_deg,
+                         double forward_speed_ms, double dp_pa, double rmax_m,
+                         double holland_b) const;
+
+  TrackEnsembleConfig config_;
+};
+
+}  // namespace ct::storm

@@ -1,0 +1,67 @@
+// Holland (1980) parametric hurricane wind and pressure model, the standard
+// analytic vortex used to drive surge models (ADCIRC itself is typically
+// forced with exactly this family of wind fields).
+#pragma once
+
+#include "geo/vec2.h"
+
+namespace ct::storm {
+
+/// Instantaneous storm parameters (one snapshot along a track).
+struct VortexParams {
+  double central_pressure_pa = 97000.0;  ///< Minimum sea-level pressure.
+  double ambient_pressure_pa = 101000.0; ///< Environmental pressure.
+  double rmax_m = 40000.0;               ///< Radius of maximum winds.
+  double holland_b = 1.3;                ///< Holland shape parameter (1..2.5).
+  double latitude_deg = 21.0;            ///< For the Coriolis parameter.
+};
+
+/// Wind sampled at a point: speed plus direction as a unit vector in the
+/// local ENU frame (x east, y north).
+struct WindSample {
+  geo::Vec2 velocity_ms;  ///< 10-m wind vector.
+  double speed_ms = 0.0;
+  double pressure_pa = 0.0;  ///< Sea-level pressure at the point.
+};
+
+/// Coriolis parameter f = 2 Omega sin(lat), 1/s.
+double coriolis_parameter(double latitude_deg) noexcept;
+
+/// Holland gradient wind speed at distance r from the center (m/s).
+/// V(r) = sqrt( (B dp / rho) (Rmax/r)^B exp(-(Rmax/r)^B) + (r f / 2)^2 )
+///        - r f / 2
+double holland_gradient_wind(const VortexParams& p, double r_m) noexcept;
+
+/// Holland surface pressure profile at distance r (Pa):
+/// p(r) = pc + dp * exp(-(Rmax/r)^B)
+double holland_pressure(const VortexParams& p, double r_m) noexcept;
+
+/// Options of the surface wind field model.
+struct WindFieldOptions {
+  double surface_wind_factor = 0.9;   ///< gradient -> 10m reduction
+  double inflow_angle_deg = 20.0;     ///< cross-isobar inflow
+  double translation_fraction = 0.5;  ///< asymmetry weight
+};
+
+/// Full surface wind field model: gradient wind rotated counter-clockwise
+/// (northern hemisphere), reduced to 10-m level, turned inward by the
+/// boundary-layer inflow angle, plus forward-motion asymmetry (a fraction
+/// of the translation velocity added, strongest right of track).
+class HollandWindField {
+ public:
+  using Options = WindFieldOptions;
+
+  explicit HollandWindField(Options opts = {}) noexcept : opts_(opts) {}
+
+  /// Wind and pressure at `point` for a storm centered at `center` moving
+  /// with `translation_ms` (ENU meters; all three in the same frame).
+  WindSample sample(const VortexParams& params, geo::Vec2 center,
+                    geo::Vec2 translation_ms, geo::Vec2 point) const noexcept;
+
+  const Options& options() const noexcept { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace ct::storm

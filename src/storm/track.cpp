@@ -1,0 +1,104 @@
+#include "storm/track.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ct::storm {
+
+StormTrack::StormTrack(std::vector<TrackPoint> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("StormTrack: need at least 2 fixes");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].time_s <= points_[i - 1].time_s) {
+      throw std::invalid_argument("StormTrack: fixes must increase in time");
+    }
+  }
+}
+
+double StormTrack::start_time() const {
+  if (points_.empty()) throw std::logic_error("StormTrack: empty");
+  return points_.front().time_s;
+}
+
+double StormTrack::end_time() const {
+  if (points_.empty()) throw std::logic_error("StormTrack: empty");
+  return points_.back().time_s;
+}
+
+namespace {
+VortexParams lerp_vortex(const VortexParams& a, const VortexParams& b,
+                         double t) {
+  VortexParams out;
+  const auto mix = [t](double x, double y) { return x + (y - x) * t; };
+  out.central_pressure_pa = mix(a.central_pressure_pa, b.central_pressure_pa);
+  out.ambient_pressure_pa = mix(a.ambient_pressure_pa, b.ambient_pressure_pa);
+  out.rmax_m = mix(a.rmax_m, b.rmax_m);
+  out.holland_b = mix(a.holland_b, b.holland_b);
+  out.latitude_deg = mix(a.latitude_deg, b.latitude_deg);
+  return out;
+}
+}  // namespace
+
+StormState StormTrack::state_at(double t, const geo::EnuProjection& proj) const {
+  if (points_.empty()) throw std::logic_error("StormTrack: empty");
+  const double clamped = std::clamp(t, start_time(), end_time());
+
+  // Find the segment containing `clamped`.
+  std::size_t hi = 1;
+  while (hi + 1 < points_.size() && points_[hi].time_s < clamped) ++hi;
+  const TrackPoint& a = points_[hi - 1];
+  const TrackPoint& b = points_[hi];
+  const double span = b.time_s - a.time_s;
+  const double frac = span > 0.0 ? (clamped - a.time_s) / span : 0.0;
+
+  StormState out;
+  out.time_s = clamped;
+  out.center = {a.center.lat_deg + (b.center.lat_deg - a.center.lat_deg) * frac,
+                a.center.lon_deg + (b.center.lon_deg - a.center.lon_deg) * frac};
+  out.vortex = lerp_vortex(a.vortex, b.vortex, frac);
+  out.vortex.latitude_deg = out.center.lat_deg;
+
+  // Segment translation velocity (constant along each segment).
+  const geo::Vec2 pa = proj.to_enu(a.center);
+  const geo::Vec2 pb = proj.to_enu(b.center);
+  out.translation_ms = span > 0.0 ? (pb - pa) / span : geo::Vec2{};
+  return out;
+}
+
+double StormTrack::time_of_closest_approach(geo::GeoPoint target,
+                                            const geo::EnuProjection& proj,
+                                            double dt_s) const {
+  if (dt_s <= 0.0) throw std::invalid_argument("dt_s must be positive");
+  const geo::Vec2 tgt = proj.to_enu(target);
+  double best_t = start_time();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (double t = start_time(); t <= end_time(); t += dt_s) {
+    const StormState s = state_at(t, proj);
+    const double d = geo::distance(proj.to_enu(s.center), tgt);
+    if (d < best_d) {
+      best_d = d;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+double StormTrack::peak_surface_wind_ms(double surface_factor) const {
+  double peak = 0.0;
+  for (const TrackPoint& p : points_) {
+    const double v =
+        holland_gradient_wind(p.vortex, p.vortex.rmax_m) * surface_factor;
+    peak = std::max(peak, v);
+  }
+  return peak;
+}
+
+Category StormTrack::peak_category(double surface_factor) const {
+  return category_for_wind(peak_surface_wind_ms(surface_factor));
+}
+
+}  // namespace ct::storm

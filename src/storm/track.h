@@ -1,0 +1,64 @@
+// Storm tracks: a time series of storm center positions and vortex
+// parameters, with linear interpolation between fixes (the same
+// representation best-track / forecast advisories use).
+#pragma once
+
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "storm/holland.h"
+#include "storm/saffir_simpson.h"
+
+namespace ct::storm {
+
+/// One track fix.
+struct TrackPoint {
+  double time_s = 0.0;
+  geo::GeoPoint center;
+  VortexParams vortex;
+};
+
+/// Interpolated instantaneous storm state.
+struct StormState {
+  double time_s = 0.0;
+  geo::GeoPoint center;
+  VortexParams vortex;
+  /// Translation (forward-motion) velocity in the ENU frame of `proj`,
+  /// estimated by finite differences along the track (m/s).
+  geo::Vec2 translation_ms;
+};
+
+/// Piecewise-linear storm track. Fixes must be strictly increasing in time.
+class StormTrack {
+ public:
+  StormTrack() = default;
+  explicit StormTrack(std::vector<TrackPoint> points);
+
+  const std::vector<TrackPoint>& points() const noexcept { return points_; }
+  bool empty() const noexcept { return points_.empty(); }
+  double start_time() const;
+  double end_time() const;
+  double duration() const { return end_time() - start_time(); }
+
+  /// Interpolated state at time t (clamped to the track's time span).
+  /// `proj` supplies the frame for the translation velocity.
+  StormState state_at(double t, const geo::EnuProjection& proj) const;
+
+  /// Closest approach of the track to `target`, sampled every `dt_s`.
+  /// Returns the time of minimum distance.
+  double time_of_closest_approach(geo::GeoPoint target,
+                                  const geo::EnuProjection& proj,
+                                  double dt_s = 600.0) const;
+
+  /// Peak 1-minute wind along the track (max over fixes of the Holland
+  /// gradient wind at Rmax, reduced to surface).
+  double peak_surface_wind_ms(double surface_factor = 0.9) const;
+
+  /// Category implied by the peak surface wind.
+  Category peak_category(double surface_factor = 0.9) const;
+
+ private:
+  std::vector<TrackPoint> points_;
+};
+
+}  // namespace ct::storm

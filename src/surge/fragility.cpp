@@ -1,0 +1,34 @@
+#include "surge/fragility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::surge {
+
+double damage_probability(const FragilityCurve& curve, double wind_ms) {
+  if (curve.median_wind_ms <= 0.0 || curve.beta <= 0.0) {
+    throw std::invalid_argument("FragilityCurve: median and beta must be > 0");
+  }
+  if (wind_ms <= 0.0) return 0.0;
+  const double z =
+      (std::log(wind_ms) - std::log(curve.median_wind_ms)) / curve.beta;
+  // Standard normal CDF via erfc for numerical stability in the tails.
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double peak_wind_at(const storm::StormTrack& track,
+                    const geo::EnuProjection& proj, geo::Vec2 position,
+                    const storm::HollandWindField& field, double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("peak_wind_at: dt must be > 0");
+  double peak = 0.0;
+  for (double t = track.start_time(); t <= track.end_time(); t += dt_s) {
+    const storm::StormState state = track.state_at(t, proj);
+    const storm::WindSample sample = field.sample(
+        state.vortex, proj.to_enu(state.center), state.translation_ms,
+        position);
+    peak = std::max(peak, sample.speed_ms);
+  }
+  return peak;
+}
+
+}  // namespace ct::surge

@@ -1,0 +1,45 @@
+// Wind fragility of grid assets — an EXTENSION beyond the paper's scope.
+// The paper: "the heavy rain and high winds produced by a hurricane may
+// damage additional components of the power grid infrastructure (e.g.
+// substations, transmission lines) ... However, we do not currently
+// consider these in our model, as we focus on the SCADA control system."
+// This module adds that deferred channel: a standard lognormal fragility
+// curve P(damage | peak gust) in the style of the resilience literature
+// the paper cites (Panteli et al. [8]). Disabled by default; when enabled
+// the realization engine records wind damage alongside inundation so
+// studies can count how much of the grid the SCADA system would have to
+// manage dark.
+#pragma once
+
+#include "storm/holland.h"
+#include "storm/track.h"
+
+namespace ct::surge {
+
+/// Lognormal fragility curve: P(fail | v) = Phi((ln v - ln median) / beta).
+struct FragilityCurve {
+  /// Wind speed with 50% damage probability (m/s, 10-m sustained).
+  double median_wind_ms = 55.0;
+  /// Lognormal dispersion.
+  double beta = 0.25;
+};
+
+/// Damage probability at a given sustained wind speed (0 for v <= 0).
+double damage_probability(const FragilityCurve& curve, double wind_ms);
+
+/// Wind-fragility stage configuration.
+struct WindFragilityConfig {
+  /// Master switch; the paper's analysis runs with this off.
+  bool enabled = false;
+  FragilityCurve substation;
+  FragilityCurve power_plant{60.0, 0.25};  // plants are more robust
+  /// Time step when scanning the track for the peak wind at an asset (s).
+  double scan_dt_s = 1800.0;
+};
+
+/// Peak sustained wind over the track at a fixed point (ENU frame of proj).
+double peak_wind_at(const storm::StormTrack& track,
+                    const geo::EnuProjection& proj, geo::Vec2 position,
+                    const storm::HollandWindField& field, double dt_s);
+
+}  // namespace ct::surge

@@ -1,0 +1,58 @@
+#include "surge/inundation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::surge {
+
+namespace {
+std::vector<geo::Vec2> station_positions(const mesh::CoastalMesh& cm) {
+  std::vector<geo::Vec2> out;
+  out.reserve(cm.stations.size());
+  for (const auto& s : cm.stations) out.push_back(s.position);
+  return out;
+}
+}  // namespace
+
+InundationMapper::InundationMapper(const mesh::CoastalMesh& cm,
+                                   const geo::EnuProjection& proj,
+                                   InundationConfig config)
+    : cm_(cm), proj_(proj), config_(config),
+      station_index_(station_positions(cm), 4000.0) {
+  if (config_.decay_length_m <= 0.0) {
+    throw std::invalid_argument("InundationMapper: decay length must be > 0");
+  }
+}
+
+AssetImpact InundationMapper::impact(
+    const ExposedAsset& asset, const std::vector<double>& shoreline_wse) const {
+  if (shoreline_wse.size() != cm_.stations.size()) {
+    throw std::invalid_argument("InundationMapper: WSE/station size mismatch");
+  }
+  const geo::Vec2 pos = proj_.to_enu(asset.location);
+  const std::size_t station = station_index_.nearest(pos);
+
+  AssetImpact out;
+  out.asset_id = asset.id;
+  out.shoreline_station = station;
+  out.shoreline_wse_m = shoreline_wse[station];
+
+  const double dist = geo::distance(pos, cm_.stations[station].position);
+  out.water_level_m =
+      out.shoreline_wse_m * std::exp(-dist / config_.decay_length_m);
+  out.inundation_depth_m =
+      std::max(0.0, out.water_level_m - asset.ground_elevation_m);
+  out.failed = out.inundation_depth_m > config_.failure_threshold_m;
+  return out;
+}
+
+std::vector<AssetImpact> InundationMapper::impacts(
+    const std::vector<ExposedAsset>& assets,
+    const std::vector<double>& shoreline_wse) const {
+  std::vector<AssetImpact> out;
+  out.reserve(assets.size());
+  for (const ExposedAsset& a : assets) out.push_back(impact(a, shoreline_wse));
+  return out;
+}
+
+}  // namespace ct::surge

@@ -1,0 +1,82 @@
+// Inundation mapping: converts the smoothed shoreline water-surface
+// elevation into per-asset inundation depths. This is the paper's final
+// hurricane-modeling step: "the relevant power assets ... were tracked to
+// determine the inundation levels at those sites in each hurricane
+// realization", with an asset failing when peak inundation exceeds 0.5 m
+// (typical switch height in plants and substations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "geo/grid_index.h"
+#include "mesh/coastal_builder.h"
+
+namespace ct::surge {
+
+/// Exposure class for the (optional) wind-fragility stage: buildings
+/// (control/data centers) are wind-hardened; outdoor switchyards are not.
+enum class ExposureClass {
+  kFacility,    ///< Hardened building: flooding only.
+  kPowerPlant,  ///< Generation: flooding + robust wind fragility.
+  kSubstation,  ///< Outdoor switchyard: flooding + standard wind fragility.
+};
+
+/// A physical asset whose flooding matters to the analysis.
+struct ExposedAsset {
+  std::string id;
+  geo::GeoPoint location;
+  /// Surveyed ground (pad) elevation of the asset (m above MSL).
+  double ground_elevation_m = 2.0;
+  ExposureClass exposure_class = ExposureClass::kFacility;
+};
+
+/// Inundation-model parameters.
+struct InundationConfig {
+  /// E-folding length of the water level as it extends inland from the
+  /// shoreline (m). The paper extends WSE "onto the shoreline"; the decay
+  /// keeps far-inland assets dry.
+  double decay_length_m = 3000.0;
+  /// Asset fails when inundation depth exceeds this (m). Paper: 0.5 m.
+  double failure_threshold_m = 0.5;
+};
+
+/// Computed impact on one asset for one realization.
+struct AssetImpact {
+  std::string asset_id;
+  std::size_t shoreline_station = 0;   ///< Station the water came from.
+  double shoreline_wse_m = 0.0;        ///< Smoothed WSE at that station.
+  double water_level_m = 0.0;          ///< WSE extended to the asset.
+  double inundation_depth_m = 0.0;     ///< max(0, water level - ground).
+  bool failed = false;                 ///< depth > failure threshold.
+  /// Wind-fragility extension (zero/false unless enabled, see fragility.h).
+  double peak_wind_ms = 0.0;           ///< Peak sustained wind at the asset.
+  bool wind_failed = false;            ///< Sampled wind damage.
+};
+
+/// Maps shoreline water levels onto assets. Construct once per mesh; the
+/// per-realization call takes only the shoreline WSE vector.
+class InundationMapper {
+ public:
+  InundationMapper(const mesh::CoastalMesh& cm, const geo::EnuProjection& proj,
+                   InundationConfig config = {});
+
+  /// `shoreline_wse` must have one value per shoreline station (the output
+  /// of mesh::shoreline_values on the smoothed envelope).
+  AssetImpact impact(const ExposedAsset& asset,
+                     const std::vector<double>& shoreline_wse) const;
+
+  std::vector<AssetImpact> impacts(const std::vector<ExposedAsset>& assets,
+                                   const std::vector<double>& shoreline_wse) const;
+
+  const InundationConfig& config() const noexcept { return config_; }
+
+ private:
+  const mesh::CoastalMesh& cm_;
+  geo::EnuProjection proj_;
+  InundationConfig config_;
+  geo::GridIndex station_index_;
+};
+
+}  // namespace ct::surge

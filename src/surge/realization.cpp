@@ -1,0 +1,161 @@
+#include "surge/realization.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace ct::surge {
+
+bool HurricaneRealization::asset_failed(const std::string& id) const {
+  for (const AssetImpact& impact : impacts) {
+    if (impact.asset_id == id) return impact.failed;
+  }
+  return false;
+}
+
+double HurricaneRealization::asset_depth(const std::string& id) const {
+  for (const AssetImpact& impact : impacts) {
+    if (impact.asset_id == id) return impact.inundation_depth_m;
+  }
+  return 0.0;
+}
+
+bool HurricaneRealization::asset_wind_failed(const std::string& id) const {
+  for (const AssetImpact& impact : impacts) {
+    if (impact.asset_id == id) return impact.wind_failed;
+  }
+  return false;
+}
+
+std::size_t HurricaneRealization::wind_damage_count() const {
+  std::size_t count = 0;
+  for (const AssetImpact& impact : impacts) {
+    if (impact.wind_failed) ++count;
+  }
+  return count;
+}
+
+namespace {
+const terrain::Terrain& require_terrain(
+    const std::shared_ptr<const terrain::Terrain>& terrain) {
+  if (!terrain) throw std::invalid_argument("RealizationEngine: null terrain");
+  return *terrain;
+}
+}  // namespace
+
+RealizationEngine::RealizationEngine(
+    std::shared_ptr<const terrain::Terrain> terrain,
+    std::vector<ExposedAsset> assets, RealizationConfig config)
+    : terrain_(std::move(terrain)), assets_(std::move(assets)),
+      config_(config),
+      cm_(mesh::build_coastal_mesh(require_terrain(terrain_), config_.mesh)),
+      generator_(config_.ensemble), solver_(config_.surge),
+      mapper_(cm_, terrain_->projection(), config_.inundation) {
+  if (config_.harbor.enabled) {
+    sheltered_ = sheltered_stations(cm_, *terrain_, config_.harbor);
+    harbor_sources_ = harbor_source_map(cm_, sheltered_);
+  } else {
+    sheltered_.assign(cm_.stations.size(), false);
+    harbor_sources_.resize(cm_.stations.size());
+    for (std::size_t i = 0; i < harbor_sources_.size(); ++i) {
+      harbor_sources_[i] = i;
+    }
+  }
+  CT_LOG(kInfo, "surge") << "coastal mesh: " << cm_.mesh.node_count()
+                         << " nodes, " << cm_.mesh.element_count()
+                         << " elements, " << cm_.stations.size()
+                         << " shoreline stations";
+}
+
+HurricaneRealization RealizationEngine::run(std::uint64_t index) const {
+  const storm::StormTrack track =
+      generator_.generate(config_.base_seed, index);
+  const geo::EnuProjection& proj = terrain_->projection();
+
+  mesh::NodeField envelope = solver_.max_envelope(cm_, track, proj);
+  envelope = mesh::shoreline_average_and_extend(
+      cm_, envelope, config_.smoothing_band_m, config_.smoothing_passes);
+  std::vector<double> shore_wse = mesh::shoreline_values(cm_, envelope);
+  alongshore_average(shore_wse, sheltered_, config_.alongshore_window);
+  if (config_.sea_level_offset_m != 0.0) {
+    for (double& wse : shore_wse) wse += config_.sea_level_offset_m;
+  }
+  if (config_.harbor.enabled) {
+    apply_harbor_transfer(shore_wse, sheltered_, harbor_sources_,
+                          config_.harbor.amplification);
+  }
+
+  HurricaneRealization out;
+  out.index = index;
+  out.impacts = mapper_.impacts(assets_, shore_wse);
+  out.peak_wind_ms = track.peak_surface_wind_ms();
+
+  // Optional wind-fragility stage (extension; see fragility.h).
+  if (config_.fragility.enabled) {
+    const storm::HollandWindField wind_field(config_.surge.wind_options);
+    util::Rng rng =
+        util::Rng(config_.base_seed, "wind-damage").child("realization", index);
+    for (std::size_t a = 0; a < assets_.size(); ++a) {
+      AssetImpact& impact = out.impacts[a];
+      impact.peak_wind_ms =
+          peak_wind_at(track, proj, proj.to_enu(assets_[a].location),
+                       wind_field, config_.fragility.scan_dt_s);
+      const FragilityCurve* curve = nullptr;
+      switch (assets_[a].exposure_class) {
+        case ExposureClass::kFacility: break;  // wind-hardened building
+        case ExposureClass::kPowerPlant:
+          curve = &config_.fragility.power_plant;
+          break;
+        case ExposureClass::kSubstation:
+          curve = &config_.fragility.substation;
+          break;
+      }
+      if (curve != nullptr) {
+        impact.wind_failed =
+            rng.bernoulli(damage_probability(*curve, impact.peak_wind_ms));
+      }
+    }
+  }
+  out.max_shoreline_wse_m =
+      shore_wse.empty() ? 0.0
+                        : *std::max_element(shore_wse.begin(), shore_wse.end());
+  return out;
+}
+
+std::vector<HurricaneRealization> RealizationEngine::run_batch(
+    std::size_t count) const {
+  std::vector<HurricaneRealization> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(run(static_cast<std::uint64_t>(i)));
+  }
+  return out;
+}
+
+std::vector<HurricaneRealization> RealizationEngine::run_batch_parallel(
+    std::size_t count, unsigned threads) const {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || count < 2) return run_batch(count);
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(count));
+
+  std::vector<HurricaneRealization> out(count);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      out[i] = run(static_cast<std::uint64_t>(i));
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+}  // namespace ct::surge

@@ -1,0 +1,75 @@
+#include "surge/surge_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ct::surge {
+
+namespace {
+constexpr double kGravity = 9.81;        // m/s^2
+constexpr double kWaterDensity = 1025.0; // kg/m^3 (sea water)
+}  // namespace
+
+mesh::NodeField SurgeSolver::instantaneous(const mesh::CoastalMesh& cm,
+                                           const storm::StormState& state,
+                                           const geo::EnuProjection& proj) const {
+  const storm::HollandWindField wind_field(config_.wind_options);
+  const geo::Vec2 center = proj.to_enu(state.center);
+  const std::size_t n = cm.mesh.node_count();
+  mesh::NodeField wse(n, 0.0);
+
+  for (mesh::NodeId i = 0; i < n; ++i) {
+    const mesh::Node& node = cm.mesh.node(i);
+    const storm::WindSample w =
+        wind_field.sample(state.vortex, center, state.translation_ms,
+                          node.position);
+
+    // Onshore direction: opposite the station's outward normal.
+    const geo::Vec2 onshore =
+        cm.stations[cm.station_of_node[i]].outward_normal * -1.0;
+    const double u_on = std::max(0.0, w.velocity_ms.dot(onshore));
+
+    const double depth = std::max(config_.min_depth_m, -node.elevation_m);
+    const double eta_wind =
+        config_.wind_setup_scale_m * u_on *
+        std::pow(w.speed_ms, config_.wind_setup_exponent - 1.0) /
+        (kGravity * depth);
+    const double eta_pressure =
+        std::max(0.0, state.vortex.ambient_pressure_pa - w.pressure_pa) /
+        (kWaterDensity * kGravity);
+    const double eta_wave = config_.wave_setup_per_ms * u_on;
+
+    wse[i] = eta_wind + eta_pressure + eta_wave;
+  }
+  return wse;
+}
+
+mesh::NodeField SurgeSolver::max_envelope(const mesh::CoastalMesh& cm,
+                                          const storm::StormTrack& track,
+                                          const geo::EnuProjection& proj) const {
+  const std::size_t n = cm.mesh.node_count();
+  mesh::NodeField envelope(n, 0.0);
+
+  // Skip time steps while the storm is too far away to matter.
+  geo::BBox box;
+  for (const mesh::Node& node : cm.mesh.nodes()) box.expand(node.position);
+  const geo::Vec2 mesh_center = box.center();
+  const double mesh_radius =
+      std::max(box.width(), box.height()) / 2.0 +
+      config_.max_considered_distance_m;
+
+  for (double t = track.start_time(); t <= track.end_time();
+       t += config_.dt_s) {
+    const storm::StormState state = track.state_at(t, proj);
+    const geo::Vec2 center = proj.to_enu(state.center);
+    if (geo::distance(center, mesh_center) > mesh_radius) continue;
+
+    const mesh::NodeField step = instantaneous(cm, state, proj);
+    for (std::size_t i = 0; i < n; ++i) {
+      envelope[i] = std::max(envelope[i], step[i]);
+    }
+  }
+  return envelope;
+}
+
+}  // namespace ct::surge

@@ -1,0 +1,72 @@
+#include "terrain/oahu.h"
+
+namespace ct::terrain {
+
+IslandParams oahu_params() {
+  IslandParams p;
+  p.name = "Oahu, Hawaii (synthetic DEM)";
+  // Approximate Oahu outline, counter-clockwise from KaÊ»ena Point (west tip).
+  // Vertex density is higher along the south shore, where the case-study
+  // assets sit and where surge resolution matters most.
+  p.coastline = {
+      {21.5750, -158.2800},  // KaÊ»ena Point
+      {21.5000, -158.2250},  // MÄkaha
+      {21.4450, -158.1900},  // WaiÊ»anae
+      {21.3900, -158.1550},  // MÄÊ»ili
+      {21.3540, -158.1310},  // Kahe Point
+      {21.3100, -158.1050},  // Barbers Point
+      {21.2980, -158.0500},  // Kalaeloa
+      {21.3070, -158.0050},  // Ê»Ewa Beach
+      {21.3180, -157.9750},  // Pearl Harbor entrance (west side)
+      // Pearl Harbor: the inlet reaches ~7 km inland. Waiau sits at its
+      // head; hurricane surge funnels up the lochs, which is exactly why
+      // the paper finds Waiau flooded in every realization that floods
+      // Honolulu.
+      {21.3500, -157.9780},  // West Loch
+      {21.3680, -157.9600},  // Middle Loch
+      {21.3850, -157.9500},  // East Loch head (Waiau)
+      {21.3650, -157.9430},  // East Loch east shore
+      {21.3450, -157.9500},  // Ford Island channel
+      {21.3300, -157.9550},  // harbor mouth east side
+      {21.3220, -157.9550},  // Pearl Harbor entrance (east side)
+      {21.3050, -157.9250},  // Airport reef runway
+      {21.2920, -157.8700},  // Honolulu Harbor
+      {21.2750, -157.8250},  // WaikÄ«kÄ«
+      {21.2550, -157.8050},  // Diamond Head
+      {21.2700, -157.7650},  // KÄhala
+      {21.2800, -157.7100},  // Hawaiʻi Kai
+      {21.3100, -157.6500},  // MakapuÊ»u Point
+      {21.3400, -157.7000},  // WaimÄnalo
+      {21.4000, -157.7400},  // Kailua
+      {21.4700, -157.8300},  // KÄneÊ»ohe Bay
+      {21.5500, -157.8700},  // KaÊ»aÊ»awa
+      {21.6450, -157.9200},  // LÄÊ»ie
+      {21.7100, -157.9800},  // Kahuku Point
+      {21.6400, -158.0600},  // Waimea Bay
+      {21.5900, -158.1100},  // HaleÊ»iwa
+      {21.5800, -158.1900},  // MokulÄ“Ê»ia
+  };
+  p.projection_reference = {21.45, -157.95};  // island centroid-ish
+
+  // WaiÊ»anae range (west, peak KaÊ»ala ~1220 m) and KoÊ»olau range (east,
+  // crest ~600-960 m). Gaussian ridges: height and sigma tuned so coastal
+  // sites stay on the plain and the interior rises realistically.
+  p.ridges = {
+      {{21.3800, -158.1200}, {21.5300, -158.1800}, 1100.0, 4000.0},  // WaiÊ»anae
+      {{21.2900, -157.6900}, {21.5900, -157.9500}, 850.0, 3500.0},   // KoÊ»olau
+  };
+
+  p.shore_elevation_m = 0.8;
+  p.plain_slope = 0.004;     // ~4 m per km on the coastal plain
+  p.nearshore_slope = 0.02;  // reef shelf: 20 m depth 1 km offshore
+  p.offshore_slope = 0.08;   // steep volcanic island flanks
+  p.shelf_width_m = 3000.0;
+  p.max_depth_m = 4500.0;
+  return p;
+}
+
+std::unique_ptr<SyntheticIslandTerrain> make_oahu_terrain() {
+  return std::make_unique<SyntheticIslandTerrain>(oahu_params());
+}
+
+}  // namespace ct::terrain

@@ -1,0 +1,36 @@
+// Built-in synthetic Oahu terrain: a ~25-vertex coastline tracing the real
+// island outline, plus the two real mountain ranges (WaiÊ»anae and KoÊ»olau)
+// as Gaussian ridge fields. This is the substitution for the real DEM /
+// ADCIRC mesh used by the paper (see DESIGN.md §2).
+#pragma once
+
+#include <memory>
+
+#include "terrain/terrain.h"
+
+namespace ct::terrain {
+
+/// Parameters for the synthetic Oahu island (exposed so tests can assert
+/// properties of the geography independent of the Terrain interface).
+IslandParams oahu_params();
+
+/// Constructs the synthetic Oahu terrain.
+std::unique_ptr<SyntheticIslandTerrain> make_oahu_terrain();
+
+/// Geographic coordinates of named Oahu locations used by the case study.
+/// These are the real coordinates of the sites discussed in the paper
+/// (control centers, data centers, power plants).
+namespace oahu_sites {
+inline constexpr geo::GeoPoint kHonolulu{21.3069, -157.8583};
+inline constexpr geo::GeoPoint kWaiau{21.3859, -157.9451};
+inline constexpr geo::GeoPoint kKahe{21.3542, -158.1297};
+inline constexpr geo::GeoPoint kDrFortress{21.3394, -157.9208};
+inline constexpr geo::GeoPoint kAlohaNap{21.3083, -157.8639};
+inline constexpr geo::GeoPoint kKalaeloa{21.3042, -158.0892};
+inline constexpr geo::GeoPoint kWaialua{21.5764, -158.1236};
+inline constexpr geo::GeoPoint kKoolau{21.4014, -157.7911};
+inline constexpr geo::GeoPoint kWahiawa{21.5028, -158.0236};
+inline constexpr geo::GeoPoint kAirport{21.3245, -157.9251};
+}  // namespace oahu_sites
+
+}  // namespace ct::terrain

@@ -1,0 +1,62 @@
+#include "terrain/shoreline.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ct::terrain {
+
+std::vector<ShorePoint> sample_shoreline(const geo::Polygon& coast,
+                                         double spacing) {
+  if (spacing <= 0.0) {
+    throw std::invalid_argument("sample_shoreline: spacing must be positive");
+  }
+  const auto& verts = coast.vertices();
+  const std::size_t nverts = verts.size();
+
+  // Cumulative arclength of the closed boundary: cum[i] is the distance from
+  // vertex 0 to vertex i along the outline; cum[nverts] is the perimeter.
+  std::vector<double> cum(nverts + 1, 0.0);
+  for (std::size_t i = 0; i < nverts; ++i) {
+    cum[i + 1] = cum[i] + geo::distance(verts[i], verts[(i + 1) % nverts]);
+  }
+  const double perimeter = cum[nverts];
+  if (perimeter <= 0.0) {
+    throw std::invalid_argument("sample_shoreline: degenerate polygon");
+  }
+
+  std::vector<ShorePoint> out;
+  out.reserve(static_cast<std::size_t>(perimeter / spacing) + 1);
+  std::size_t seg = 0;
+  for (double s = 0.0; s < perimeter; s += spacing) {
+    while (seg + 1 < nverts && cum[seg + 1] <= s) ++seg;
+    const geo::Vec2 a = verts[seg];
+    const geo::Vec2 b = verts[(seg + 1) % nverts];
+    const double seg_len = cum[seg + 1] - cum[seg];
+    const double t = seg_len > 0.0 ? (s - cum[seg]) / seg_len : 0.0;
+    const geo::Vec2 pos = a + (b - a) * t;
+    const geo::Vec2 tangent = (b - a).normalized();
+    // Outward normal: the perpendicular whose offset point lies outside.
+    // The polygon spans kilometers, so a 1 m probe is safely local.
+    geo::Vec2 n = tangent.perp().normalized();
+    if (coast.contains(pos + n * 1.0)) n = n * -1.0;
+    out.push_back({pos, n, s});
+  }
+  return out;
+}
+
+std::size_t nearest_shore_point(const std::vector<ShorePoint>& shore,
+                                geo::Vec2 p) noexcept {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < shore.size(); ++i) {
+    const double d2 = (shore[i].position - p).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace ct::terrain

@@ -1,0 +1,31 @@
+// Shoreline sampling: turns the coastline polygon into evenly spaced
+// shoreline stations with outward normals. Surge is evaluated at these
+// stations and then extended onto land (paper §V-A post-processing).
+#pragma once
+
+#include <vector>
+
+#include "geo/polygon.h"
+#include "geo/vec2.h"
+
+namespace ct::terrain {
+
+/// One shoreline station.
+struct ShorePoint {
+  geo::Vec2 position;        ///< ENU meters.
+  geo::Vec2 outward_normal;  ///< Unit vector pointing offshore.
+  double arclength = 0.0;    ///< Distance along the shoreline from station 0.
+};
+
+/// Samples the polygon boundary every `spacing` meters (the final segment
+/// may be shorter). Outward normals point away from the polygon interior.
+/// The winding order of `coast` does not matter.
+std::vector<ShorePoint> sample_shoreline(const geo::Polygon& coast,
+                                         double spacing);
+
+/// Index of the shoreline station nearest to `p` (linear scan; callers that
+/// need many queries should build a geo::GridIndex over the positions).
+std::size_t nearest_shore_point(const std::vector<ShorePoint>& shore,
+                                geo::Vec2 p) noexcept;
+
+}  // namespace ct::terrain

@@ -1,0 +1,61 @@
+#include "terrain/terrain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::terrain {
+
+SyntheticIslandTerrain::SyntheticIslandTerrain(IslandParams params)
+    : params_(std::move(params)), proj_(params_.projection_reference) {
+  if (params_.coastline.size() < 3) {
+    throw std::invalid_argument("SyntheticIslandTerrain: coastline too small");
+  }
+  std::vector<geo::Vec2> enu;
+  enu.reserve(params_.coastline.size());
+  for (const geo::GeoPoint p : params_.coastline) {
+    enu.push_back(proj_.to_enu(p));
+  }
+  coast_enu_ = geo::Polygon(std::move(enu));
+  ridges_enu_.reserve(params_.ridges.size());
+  for (const RidgeSegment& r : params_.ridges) {
+    ridges_enu_.push_back({proj_.to_enu(r.start), proj_.to_enu(r.end),
+                           r.height_m, r.sigma_m});
+  }
+}
+
+double SyntheticIslandTerrain::ridge_contribution(geo::Vec2 p) const noexcept {
+  double total = 0.0;
+  for (const RidgeEnu& r : ridges_enu_) {
+    const geo::Vec2 q = geo::closest_point_on_segment(r.a, r.b, p);
+    const double d = geo::distance(p, q);
+    total += r.height_m * std::exp(-(d * d) / (2.0 * r.sigma_m * r.sigma_m));
+  }
+  return total;
+}
+
+bool SyntheticIslandTerrain::is_land(geo::Vec2 enu) const {
+  return coast_enu_.contains(enu);
+}
+
+double SyntheticIslandTerrain::elevation(geo::Vec2 enu) const {
+  const double shore_dist = coast_enu_.distance_to_boundary(enu);
+  if (coast_enu_.contains(enu)) {
+    // Coastal plain rising inland, plus ridge fields.
+    const double plain =
+        params_.shore_elevation_m + params_.plain_slope * shore_dist;
+    return plain + ridge_contribution(enu);
+  }
+  // Ocean: shelf with a gentle slope, then a steeper offshore drop.
+  double depth;
+  if (shore_dist <= params_.shelf_width_m) {
+    depth = params_.nearshore_slope * shore_dist;
+  } else {
+    depth = params_.nearshore_slope * params_.shelf_width_m +
+            params_.offshore_slope * (shore_dist - params_.shelf_width_m);
+  }
+  depth = std::min(depth, params_.max_depth_m);
+  return -depth;
+}
+
+}  // namespace ct::terrain

@@ -1,0 +1,111 @@
+// Terrain model: land/sea mask, elevation, and bathymetry for the study
+// region. The paper's analysis consumed an ADCIRC run on real Oahu
+// terrain; we substitute a procedural island terrain (analytic, smooth,
+// deterministic) that reproduces the geographic structure the analysis
+// depends on: a low south-shore coastal plain (Honolulu, Waiau), a high
+// leeward west coast (Kahe), and offshore bathymetry for the surge model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "geo/polygon.h"
+#include "geo/vec2.h"
+
+namespace ct::terrain {
+
+/// Abstract terrain: everything downstream (mesh, surge, inundation) is
+/// written against this interface, so a real DEM could be dropped in.
+class Terrain {
+ public:
+  virtual ~Terrain() = default;
+
+  /// Ground / seafloor elevation in meters above mean sea level at a point
+  /// in the local ENU frame. Negative values are sea floor (depth).
+  virtual double elevation(geo::Vec2 enu) const = 0;
+
+  /// True when the point is land (inside the coastline polygon).
+  virtual bool is_land(geo::Vec2 enu) const = 0;
+
+  /// Island outline in ENU coordinates.
+  virtual const geo::Polygon& coastline() const = 0;
+
+  /// Projection between geographic and local ENU coordinates.
+  virtual const geo::EnuProjection& projection() const = 0;
+
+  /// Human-readable region name, e.g. "Oahu, Hawaii (synthetic DEM)".
+  virtual const std::string& name() const = 0;
+
+  /// Convenience: elevation at a geographic point.
+  double elevation_at(geo::GeoPoint p) const {
+    return elevation(projection().to_enu(p));
+  }
+};
+
+/// A mountain ridge modeled as a Gaussian profile around a line segment:
+/// height * exp(-(distance to segment)^2 / (2 sigma^2)).
+struct RidgeSegment {
+  geo::GeoPoint start;
+  geo::GeoPoint end;
+  double height_m = 0.0;
+  double sigma_m = 1.0;
+};
+
+/// Parameters of a synthetic volcanic-island terrain.
+struct IslandParams {
+  /// Region name used in reports.
+  std::string name = "synthetic island";
+  /// Coastline in geographic coordinates (implicitly closed).
+  std::vector<geo::GeoPoint> coastline;
+  /// Projection reference (typically the island centroid).
+  geo::GeoPoint projection_reference;
+  /// Mountain ridges added on top of the coastal plain.
+  std::vector<RidgeSegment> ridges;
+  /// Elevation right at the shoreline (m).
+  double shore_elevation_m = 0.8;
+  /// Coastal-plain rise per meter of inland distance (m/m).
+  double plain_slope = 0.004;
+  /// Nearshore seafloor drop per meter offshore (m/m).
+  double nearshore_slope = 0.02;
+  /// Offshore slope once past the shelf (m/m).
+  double offshore_slope = 0.08;
+  /// Shelf width over which the nearshore slope applies (m).
+  double shelf_width_m = 3000.0;
+  /// Maximum ocean depth (m, positive number).
+  double max_depth_m = 4500.0;
+};
+
+/// Analytic island terrain built from IslandParams. Elevation is a smooth
+/// deterministic function; there is no gridded raster, so resolution is
+/// unlimited and queries are exact.
+class SyntheticIslandTerrain final : public Terrain {
+ public:
+  explicit SyntheticIslandTerrain(IslandParams params);
+
+  double elevation(geo::Vec2 enu) const override;
+  bool is_land(geo::Vec2 enu) const override;
+  const geo::Polygon& coastline() const override { return coast_enu_; }
+  const geo::EnuProjection& projection() const override { return proj_; }
+  const std::string& name() const override { return params_.name; }
+
+  const IslandParams& params() const noexcept { return params_; }
+
+ private:
+  struct RidgeEnu {
+    geo::Vec2 a;
+    geo::Vec2 b;
+    double height_m;
+    double sigma_m;
+  };
+
+  double ridge_contribution(geo::Vec2 p) const noexcept;
+
+  IslandParams params_;
+  geo::EnuProjection proj_;
+  geo::Polygon coast_enu_;
+  std::vector<RidgeEnu> ridges_enu_;
+};
+
+}  // namespace ct::terrain

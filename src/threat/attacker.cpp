@@ -1,0 +1,146 @@
+#include "threat/attacker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::threat {
+
+SystemState GreedyWorstCaseAttacker::attack(const scada::Configuration& config,
+                                            SystemState state,
+                                            AttackerCapability capability) const {
+  if (state.site_status.size() != config.sites.size()) {
+    throw std::invalid_argument("attack: state/config site count mismatch");
+  }
+  if (state.intrusions.size() != config.sites.size()) {
+    throw std::invalid_argument("attack: state intrusion vector mismatch");
+  }
+  const std::vector<std::size_t> order = site_priority_order(config);
+  const int need = config.safety_threshold();
+
+  // Rule 1: violate safety outright when possible. Intrusions must land in
+  // ONE replication group: for active multisite architectures the group
+  // spans every functional hot site; otherwise each site is its own group.
+  if (capability.intrusions >= need) {
+    if (config.active_multisite) {
+      int available = 0;
+      for (std::size_t i = 0; i < config.sites.size(); ++i) {
+        if (state.site_functional(i) && config.sites[i].hot) {
+          available += config.sites[i].replicas;
+        }
+      }
+      if (available >= need) {
+        int remaining = need;
+        for (const std::size_t i : order) {
+          if (remaining == 0) break;
+          if (!state.site_functional(i) || !config.sites[i].hot) continue;
+          const int take = std::min(remaining, config.sites[i].replicas);
+          state.intrusions[i] += take;
+          remaining -= take;
+        }
+        return state;
+      }
+    } else {
+      for (const std::size_t i : order) {
+        if (state.site_functional(i) && config.sites[i].replicas >= need) {
+          state.intrusions[i] += need;
+          return state;
+        }
+      }
+    }
+  }
+
+  // Rule 2: isolate the most valuable functioning sites (primary first,
+  // then backup, then data centers).
+  int isolations = capability.isolations;
+  for (const std::size_t i : order) {
+    if (isolations == 0) break;
+    if (state.site_status[i] == SiteStatus::kUp) {
+      state.site_status[i] = SiteStatus::kIsolated;
+      --isolations;
+    }
+  }
+
+  // Rule 3: spend remaining intrusions on servers that would otherwise be
+  // functional, reducing operational capacity as much as possible.
+  int intrusions = capability.intrusions;
+  for (const std::size_t i : order) {
+    if (intrusions == 0) break;
+    if (!state.site_functional(i)) continue;
+    const int room = config.sites[i].replicas - state.intrusions[i];
+    const int take = std::min(intrusions, std::max(0, room));
+    state.intrusions[i] += take;
+    intrusions -= take;
+  }
+  return state;
+}
+
+ExhaustiveAttacker::ExhaustiveAttacker(StateRanker ranker)
+    : ranker_(std::move(ranker)) {
+  if (!ranker_) {
+    throw std::invalid_argument("ExhaustiveAttacker: null state ranker");
+  }
+}
+
+SystemState ExhaustiveAttacker::attack(const scada::Configuration& config,
+                                       SystemState state,
+                                       AttackerCapability capability) const {
+  if (state.site_status.size() != config.sites.size()) {
+    throw std::invalid_argument("attack: state/config site count mismatch");
+  }
+  last_candidates_ = 0;
+
+  const std::size_t n = config.sites.size();
+  SystemState best = state;
+  int best_badness = -1;
+
+  const auto consider = [&](const SystemState& candidate) {
+    ++last_candidates_;
+    const int b = badness(ranker_(candidate));
+    if (b > best_badness) {
+      best_badness = b;
+      best = candidate;
+    }
+  };
+
+  // Enumerate isolation subsets via bitmask over sites that are currently
+  // up, filtered by budget.
+  std::vector<std::size_t> up_sites;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.site_status[i] == SiteStatus::kUp) up_sites.push_back(i);
+  }
+
+  const std::size_t masks = std::size_t{1} << up_sites.size();
+  for (std::size_t mask = 0; mask < masks; ++mask) {
+    const int isolated_count = __builtin_popcountll(mask);
+    if (isolated_count > capability.isolations) continue;
+
+    SystemState after_isolation = state;
+    for (std::size_t b = 0; b < up_sites.size(); ++b) {
+      if (mask & (std::size_t{1} << b)) {
+        after_isolation.site_status[up_sites[b]] = SiteStatus::kIsolated;
+      }
+    }
+
+    // Enumerate intrusion placements (per-site counts bounded by replica
+    // count; intrusions only land at functional sites).
+    const std::function<void(std::size_t, int, SystemState&)> place =
+        [&](std::size_t site, int budget, SystemState& current) {
+          if (site == n) {
+            consider(current);
+            return;
+          }
+          const int room = current.site_functional(site)
+                               ? config.sites[site].replicas
+                               : 0;
+          for (int c = 0; c <= std::min(budget, room); ++c) {
+            current.intrusions[site] += c;
+            place(site + 1, budget - c, current);
+            current.intrusions[site] -= c;
+          }
+        };
+    place(0, capability.intrusions, after_isolation);
+  }
+  return best;
+}
+
+}  // namespace ct::threat

@@ -1,0 +1,60 @@
+// Worst-case cyberattacker models (paper §V-B). The attacker observes the
+// post-disaster state and targets its intrusions/isolations to cause the
+// maximum damage. Two implementations:
+//
+//  * GreedyWorstCaseAttacker — the paper's efficient 3-rule algorithm.
+//  * ExhaustiveAttacker — "analyze the results of attacking every possible
+//    combination of targets and choose the worst outcome" (the naive
+//    approach the paper describes); used to validate the greedy rules.
+#pragma once
+
+#include <functional>
+
+#include "scada/configuration.h"
+#include "threat/scenario.h"
+#include "threat/system_state.h"
+
+namespace ct::threat {
+
+/// Ranks final system states; must order states by damage (the framework
+/// supplies the Table-I evaluator). Used by the exhaustive attacker.
+using StateRanker = std::function<OperationalState(const SystemState&)>;
+
+/// The paper's worst-case attack algorithm:
+///  1. If the attacker can compromise enough servers to violate safety
+///     (f + 1 intrusions among functional replicas of one replication
+///     group), it does so.
+///  2. Otherwise it isolates sites: first the functioning primary control
+///     center, then the backup control center, then data centers.
+///  3. Any remaining intrusion budget is spent on servers in functioning
+///     sites (reducing the number of operational servers).
+class GreedyWorstCaseAttacker {
+ public:
+  /// Applies the worst-case attack with `capability` to the post-disaster
+  /// state; returns the final state.
+  SystemState attack(const scada::Configuration& config, SystemState state,
+                     AttackerCapability capability) const;
+};
+
+/// Brute-force worst case: enumerates every combination of site isolations
+/// (up to the budget) and intrusion placements, ranks each final state with
+/// the supplied evaluator, and returns a state achieving maximum badness.
+/// Exponential in the budgets, fine at the paper's scale; exists to verify
+/// the greedy attacker's optimality property claimed in §V-B.
+class ExhaustiveAttacker {
+ public:
+  explicit ExhaustiveAttacker(StateRanker ranker);
+
+  SystemState attack(const scada::Configuration& config, SystemState state,
+                     AttackerCapability capability) const;
+
+  /// Number of candidate attacks examined by the last `attack` call
+  /// (exposed for the A1 ablation bench).
+  std::size_t last_candidates() const noexcept { return last_candidates_; }
+
+ private:
+  StateRanker ranker_;
+  mutable std::size_t last_candidates_ = 0;
+};
+
+}  // namespace ct::threat

@@ -1,0 +1,28 @@
+#include "threat/scenario.h"
+
+namespace ct::threat {
+
+AttackerCapability capability_for(ThreatScenario s) noexcept {
+  switch (s) {
+    case ThreatScenario::kHurricane: return {0, 0};
+    case ThreatScenario::kHurricaneIntrusion: return {1, 0};
+    case ThreatScenario::kHurricaneIsolation: return {0, 1};
+    case ThreatScenario::kHurricaneIntrusionIsolation: return {1, 1};
+  }
+  return {0, 0};
+}
+
+std::string_view scenario_name(ThreatScenario s) noexcept {
+  switch (s) {
+    case ThreatScenario::kHurricane: return "Hurricane";
+    case ThreatScenario::kHurricaneIntrusion:
+      return "Hurricane + Server Intrusion";
+    case ThreatScenario::kHurricaneIsolation:
+      return "Hurricane + Site Isolation";
+    case ThreatScenario::kHurricaneIntrusionIsolation:
+      return "Hurricane + Server Intrusion + Site Isolation";
+  }
+  return "?";
+}
+
+}  // namespace ct::threat

@@ -1,0 +1,39 @@
+// The four compound-threat scenarios of the paper (§III-B) and the
+// attacker-capability model behind them.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace ct::threat {
+
+/// What the cyberattacker is able to do after observing the disaster.
+struct AttackerCapability {
+  int intrusions = 0;  ///< SCADA masters the attacker can compromise.
+  int isolations = 0;  ///< Control sites the attacker can cut off.
+
+  bool operator==(const AttackerCapability&) const = default;
+};
+
+/// The paper's threat scenarios: a baseline hurricane plus three compound
+/// variants.
+enum class ThreatScenario {
+  kHurricane,                     ///< Natural disaster only.
+  kHurricaneIntrusion,            ///< + one server intrusion.
+  kHurricaneIsolation,            ///< + one site isolation.
+  kHurricaneIntrusionIsolation,   ///< + one intrusion and one isolation.
+};
+
+/// All four scenarios in the paper's order (Figs. 6-9).
+constexpr std::array<ThreatScenario, 4> all_scenarios() {
+  return {ThreatScenario::kHurricane, ThreatScenario::kHurricaneIntrusion,
+          ThreatScenario::kHurricaneIsolation,
+          ThreatScenario::kHurricaneIntrusionIsolation};
+}
+
+/// Attacker capability implied by a scenario.
+AttackerCapability capability_for(ThreatScenario s) noexcept;
+
+std::string_view scenario_name(ThreatScenario s) noexcept;
+
+}  // namespace ct::threat

@@ -1,0 +1,78 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace ct::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("CT_LOG_LEVEL")) {
+      g_level.store(parse_log_level(env), std::memory_order_relaxed);
+    }
+  });
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ca = static_cast<unsigned char>(a[i]);
+    const auto cb = static_cast<unsigned char>(b[i]);
+    if (std::tolower(ca) != std::tolower(cb)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  if (iequals(name, "trace")) return LogLevel::kTrace;
+  if (iequals(name, "debug")) return LogLevel::kDebug;
+  if (iequals(name, "info")) return LogLevel::kInfo;
+  if (iequals(name, "warn") || iequals(name, "warning")) return LogLevel::kWarn;
+  if (iequals(name, "error")) return LogLevel::kError;
+  if (iequals(name, "off") || iequals(name, "none")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  init_from_env();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return level >= log_level() && level != LogLevel::kOff;
+}
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  if (!log_enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace ct::util

@@ -1,0 +1,82 @@
+// Streaming statistics, confidence intervals, and histograms used to
+// aggregate Monte-Carlo experiment outcomes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ct::util {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel reduction), Chan et al. update.
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Standard error of the mean.
+  double sem() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const noexcept { return x >= lo && x <= hi; }
+  double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion: `successes` out of `n`
+/// at confidence level `z` standard deviations (default 1.96 ~ 95%).
+/// Behaves sensibly for p near 0 or 1, unlike the normal approximation —
+/// important here because several paper outcomes are exactly 0% or 100%.
+Interval wilson_interval(std::size_t successes, std::size_t n,
+                         double z = 1.96) noexcept;
+
+/// Normal-approximation CI for a mean from running stats.
+Interval mean_interval(const RunningStats& stats, double z = 1.96) noexcept;
+
+/// Fixed-width histogram over [lo, hi); samples outside the range are
+/// counted in saturated edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  /// Left edge of bin `i`.
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Empirical quantile in [0,1] via linear interpolation across bins.
+  /// Returns nullopt when empty.
+  std::optional<double> quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact empirical quantile of a sample (copies and sorts). q in [0,1].
+double exact_quantile(std::vector<double> values, double q);
+
+}  // namespace ct::util

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct::util {
+
+/// Splits on a single-character delimiter; adjacent delimiters yield empty
+/// fields (CSV-like semantics, not whitespace collapsing).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Formats a double with fixed decimals (e.g. percentages in reports).
+std::string format_fixed(double v, int decimals);
+
+/// "90.5%" style percentage of a [0,1] probability.
+std::string format_percent(double probability, int decimals = 1);
+
+}  // namespace ct::util

@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ct::util {
+
+void TextTable::set_columns(std::vector<std::string> names,
+                            std::vector<Align> aligns) {
+  if (!rows_.empty()) {
+    throw std::logic_error("TextTable: set_columns after rows were added");
+  }
+  if (!aligns.empty() && aligns.size() != names.size()) {
+    throw std::invalid_argument("TextTable: aligns/names size mismatch");
+  }
+  columns_ = std::move(names);
+  if (aligns.empty()) {
+    aligns_.assign(columns_.size(), Align::kLeft);
+  } else {
+    aligns_ = std::move(aligns);
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("TextTable: row width != column count");
+  }
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+void TextTable::render(std::ostream& out) const {
+  if (columns_.empty()) return;
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  const auto rule = [&] {
+    out << '+';
+    for (const std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t pad = widths[i] - cells[i].size();
+      out << ' ';
+      if (aligns_[i] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[i];
+      if (aligns_[i] == Align::kLeft) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) rule();
+    line(row.cells);
+  }
+  rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream ss;
+  render(ss);
+  return ss.str();
+}
+
+}  // namespace ct::util

@@ -1,0 +1,53 @@
+// Fixed-width ASCII table rendering. The bench binaries print the paper's
+// figures as tables (configuration x operational-state probability), so the
+// "figure" a bench regenerates is one of these tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ct::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows, then renders with per-column auto-sizing:
+///
+///   +--------+-------+--------+
+///   | config | green |  red   |
+///   +--------+-------+--------+
+///   | 2      | 90.5% |  9.5%  |
+///   +--------+-------+--------+
+class TextTable {
+ public:
+  /// Declares the columns. Must be called before any row.
+  void set_columns(std::vector<std::string> names,
+                   std::vector<Align> aligns = {});
+
+  /// Adds a data row; its size must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table (with borders) to `out`.
+  void render(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> columns_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace ct::util

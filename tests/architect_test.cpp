@@ -1,0 +1,139 @@
+// Tests for the architecture designer: the generated configurations must
+// reproduce the paper's five architectures exactly, size novel ones per
+// the replication rules, and stay compatible with the evaluator/attacker.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "scada/architect.h"
+#include "scada/requirements.h"
+#include "threat/attacker.h"
+
+namespace ct::scada {
+namespace {
+
+TEST(Architect, ReproducesPaperConfig2) {
+  const Configuration designed = design_configuration(
+      {ArchitectureStyle::kPrimaryBackup, 0, 0, 1}, {"hon"});
+  const Configuration factory = make_config_2("hon");
+  EXPECT_EQ(designed.name, factory.name);
+  EXPECT_EQ(designed.style, factory.style);
+  EXPECT_EQ(designed.sites.size(), factory.sites.size());
+  EXPECT_EQ(designed.sites[0].replicas, factory.sites[0].replicas);
+}
+
+TEST(Architect, ReproducesPaperConfig66) {
+  const Configuration designed = design_configuration(
+      {ArchitectureStyle::kBftColdBackup, 1, 1, 2}, {"hon", "waiau"});
+  const Configuration factory = make_config_6_6("hon", "waiau");
+  EXPECT_EQ(designed.name, "6-6");
+  EXPECT_EQ(designed.intrusion_tolerance_f, factory.intrusion_tolerance_f);
+  EXPECT_EQ(designed.sites[1].hot, factory.sites[1].hot);
+  EXPECT_EQ(designed.total_replicas(), factory.total_replicas());
+}
+
+TEST(Architect, ReproducesPaperConfig666) {
+  const Configuration designed = design_configuration(
+      {ArchitectureStyle::kBftActiveMultisite, 1, 1, 3},
+      {"hon", "waiau", "dc"});
+  const Configuration factory = make_config_6_6_6("hon", "waiau", "dc");
+  EXPECT_EQ(designed.name, "6+6+6");
+  EXPECT_TRUE(designed.active_multisite);
+  EXPECT_EQ(designed.min_active_sites, factory.min_active_sites);
+  EXPECT_EQ(designed.total_replicas(), 18);
+  EXPECT_EQ(designed.sites[2].role, SiteRole::kDataCenter);
+}
+
+TEST(Architect, SpecNamesFollowThePaperNotation) {
+  EXPECT_EQ(spec_name({ArchitectureStyle::kPrimaryBackup, 0, 0, 1}), "2");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kPrimaryColdBackup, 0, 0, 2}),
+            "2-2");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kBft, 1, 1, 1}), "6");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kBft, 1, 0, 1}), "4");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kBft, 2, 1, 1}), "9");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kBftActiveMultisite, 2, 1, 3}),
+            "9+9+9");
+  EXPECT_EQ(spec_name({ArchitectureStyle::kBftActiveMultisite, 1, 1, 4}),
+            "3+3+3+3");
+}
+
+TEST(Architect, FourSiteDesignSurvivesOneSiteLoss) {
+  // 3 replicas per site x 4 sites, f=k=1: losing one site leaves 9
+  // connected, 9 - 1 - 1 = 7 >= quorum(12, 1) = 7.
+  const Configuration c = design_configuration(
+      {ArchitectureStyle::kBftActiveMultisite, 1, 1, 4},
+      {"a", "b", "c", "d"});
+  EXPECT_EQ(c.total_replicas(), 12);
+  EXPECT_EQ(c.min_active_sites, 3);
+  threat::SystemState state;
+  state.site_status.assign(4, threat::SiteStatus::kUp);
+  state.intrusions.assign(4, 0);
+  state.site_status[0] = threat::SiteStatus::kFlooded;
+  EXPECT_EQ(core::evaluate(c, state), threat::OperationalState::kGreen);
+  state.site_status[1] = threat::SiteStatus::kIsolated;
+  EXPECT_EQ(core::evaluate(c, state), threat::OperationalState::kRed);
+}
+
+TEST(Architect, HigherToleranceSurvivesStrongerAttacker) {
+  // f=2 single site ("9") survives a 2-intrusion attacker that defeats "6".
+  const Configuration nine = design_configuration(
+      {ArchitectureStyle::kBft, 2, 1, 1}, {"hon"});
+  EXPECT_EQ(nine.total_replicas(), 9);
+  threat::SystemState base;
+  base.site_status = {threat::SiteStatus::kUp};
+  base.intrusions = {0};
+  const threat::GreedyWorstCaseAttacker attacker;
+  const auto attacked = attacker.attack(nine, base, {2, 0});
+  EXPECT_EQ(core::evaluate(nine, attacked), threat::OperationalState::kGreen);
+  const auto defeated = attacker.attack(nine, base, {3, 0});
+  EXPECT_EQ(core::evaluate(nine, defeated), threat::OperationalState::kGray);
+}
+
+TEST(Architect, RequiredSitesAndValidation) {
+  EXPECT_EQ(required_sites({ArchitectureStyle::kBft, 1, 1, 1}), 1);
+  EXPECT_EQ(required_sites({ArchitectureStyle::kBftColdBackup, 1, 1, 2}), 2);
+  EXPECT_EQ(
+      required_sites({ArchitectureStyle::kBftActiveMultisite, 1, 1, 5}), 5);
+
+  EXPECT_THROW(design_configuration({ArchitectureStyle::kBft, 0, 1, 1},
+                                    {"a"}),
+               std::invalid_argument);
+  EXPECT_THROW(design_configuration(
+                   {ArchitectureStyle::kBftActiveMultisite, 1, 1, 2},
+                   {"a", "b"}),
+               std::invalid_argument);
+  EXPECT_THROW(design_configuration({ArchitectureStyle::kBft, 1, 1, 1},
+                                    {"a", "b"}),
+               std::invalid_argument);
+  EXPECT_THROW(design_configuration({ArchitectureStyle::kBft, -1, 1, 1},
+                                    {"a"}),
+               std::invalid_argument);
+}
+
+TEST(Architect, StandardDesignSpace) {
+  const auto space = standard_design_space(2, 4);
+  // 2 PB styles + per (f in {1,2}, k in {0,1}): single, cold backup, and
+  // multisite with 3 and 4 sites = 4 specs -> 2 + 2*2*4 = 18.
+  EXPECT_EQ(space.size(), 18u);
+  // Every spec must produce a valid named configuration.
+  for (const auto& spec : space) {
+    std::vector<std::string> assets;
+    for (int i = 0; i < required_sites(spec); ++i) {
+      assets.push_back("site" + std::to_string(i));
+    }
+    const Configuration c = design_configuration(spec, assets);
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GE(c.total_replicas(), 2);
+  }
+  EXPECT_THROW(standard_design_space(0, 3), std::invalid_argument);
+}
+
+TEST(Architect, StyleNames) {
+  EXPECT_EQ(architecture_style_name(ArchitectureStyle::kPrimaryBackup),
+            "primary-backup");
+  EXPECT_EQ(
+      architecture_style_name(ArchitectureStyle::kBftActiveMultisite),
+      "network-attack-resilient intrusion-tolerant");
+}
+
+}  // namespace
+}  // namespace ct::scada

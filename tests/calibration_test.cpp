@@ -1,0 +1,149 @@
+// Statistical calibration tests: assert that the synthetic hurricane
+// ensemble reproduces the structure the paper's analysis depends on
+// (DESIGN.md §2). These run the full 1000-realization ensemble once and
+// check every property against it, so they are the slowest tests in the
+// suite (~10 s).
+#include <gtest/gtest.h>
+
+#include "scada/oahu.h"
+#include "storm/saffir_simpson.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+#include "util/stats.h"
+
+namespace ct::surge {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const scada::ScadaTopology topo = scada::oahu_topology();
+    engine_ = new RealizationEngine(terrain::make_oahu_terrain(),
+                                    topo.exposed_assets(),
+                                    RealizationConfig{});
+    batch_ = new std::vector<HurricaneRealization>(engine_->run_batch(1000));
+  }
+  static void TearDownTestSuite() {
+    delete batch_;
+    delete engine_;
+  }
+
+  static double flood_rate(const char* id) {
+    std::size_t failures = 0;
+    for (const auto& r : *batch_) {
+      if (r.asset_failed(id)) ++failures;
+    }
+    return static_cast<double>(failures) / static_cast<double>(batch_->size());
+  }
+
+  static RealizationEngine* engine_;
+  static std::vector<HurricaneRealization>* batch_;
+};
+
+RealizationEngine* CalibrationTest::engine_ = nullptr;
+std::vector<HurricaneRealization>* CalibrationTest::batch_ = nullptr;
+
+TEST_F(CalibrationTest, HonoluluFloodsNearPaperRate) {
+  // Paper: the Honolulu control center floods in 9.5% of realizations.
+  const double rate = flood_rate(scada::oahu_ids::kHonoluluCc);
+  EXPECT_GE(rate, 0.07);
+  EXPECT_LE(rate, 0.12);
+}
+
+TEST_F(CalibrationTest, WaiauFloodsWheneverHonoluluDoes) {
+  // Paper: "in every hurricane realization in which the primary control
+  // center location is flooded, the backup location is flooded as well."
+  std::size_t honolulu = 0;
+  std::size_t joint = 0;
+  for (const auto& r : *batch_) {
+    if (r.asset_failed(scada::oahu_ids::kHonoluluCc)) {
+      ++honolulu;
+      if (r.asset_failed(scada::oahu_ids::kWaiauCc)) ++joint;
+    }
+  }
+  ASSERT_GT(honolulu, 0u);
+  EXPECT_GE(static_cast<double>(joint) / static_cast<double>(honolulu), 0.92);
+}
+
+TEST_F(CalibrationTest, WaiauRateCloseToHonolulu) {
+  const double hon = flood_rate(scada::oahu_ids::kHonoluluCc);
+  const double wai = flood_rate(scada::oahu_ids::kWaiauCc);
+  EXPECT_NEAR(wai, hon, 0.03);
+}
+
+TEST_F(CalibrationTest, KaheNeverFloods) {
+  // Paper: "Kahe is the site least impacted by the hurricane"; with Kahe as
+  // backup the 9.5% red mass fully converts (Figs. 10-11), which requires
+  // Kahe to survive every realization.
+  EXPECT_EQ(flood_rate(scada::oahu_ids::kKaheCc), 0.0);
+}
+
+TEST_F(CalibrationTest, DataCentersNeverFlood) {
+  // "6+6+6" with Kahe is 100% green in the paper, which requires DRFortress
+  // to stay up whenever needed; the simplest consistent model keeps both
+  // data centers dry.
+  EXPECT_EQ(flood_rate(scada::oahu_ids::kDrFortress), 0.0);
+  EXPECT_EQ(flood_rate(scada::oahu_ids::kAlohaNap), 0.0);
+}
+
+TEST_F(CalibrationTest, HighInlandAssetsNeverFlood) {
+  EXPECT_EQ(flood_rate("wahiawa_ss"), 0.0);
+  EXPECT_EQ(flood_rate("koolau_ss"), 0.0);
+  EXPECT_EQ(flood_rate("pukele_ss"), 0.0);
+}
+
+TEST_F(CalibrationTest, StormsAreCat2Class) {
+  util::RunningStats wind;
+  for (const auto& r : *batch_) wind.add(r.peak_wind_ms);
+  // Mean peak wind should sit in the CAT-1/CAT-2 band (surface winds).
+  EXPECT_GE(wind.mean(), storm::category_min_wind_ms(storm::Category::kCat1));
+  EXPECT_LE(wind.mean(), storm::category_max_wind_ms(storm::Category::kCat2));
+}
+
+TEST_F(CalibrationTest, SurgeMagnitudesArePhysical) {
+  util::RunningStats wse;
+  for (const auto& r : *batch_) wse.add(r.max_shoreline_wse_m);
+  // Hawaii CAT-2 planning guidance: peak surge (with wave setup) of a few
+  // meters; nothing should approach Katrina-scale 8 m+.
+  EXPECT_GT(wse.mean(), 0.8);
+  EXPECT_LT(wse.max(), 6.0);
+}
+
+TEST_F(CalibrationTest, SomeRealizationsAreHarmless) {
+  // Distant passes should leave every control asset dry: the compound
+  // threat analysis needs benign realizations too.
+  std::size_t harmless = 0;
+  for (const auto& r : *batch_) {
+    bool any = false;
+    for (const auto& impact : r.impacts) any = any || impact.failed;
+    if (!any) ++harmless;
+  }
+  EXPECT_GT(static_cast<double>(harmless) / static_cast<double>(batch_->size()),
+            0.5);
+}
+
+TEST_F(CalibrationTest, HarborTreatmentMattersForWaiau) {
+  // Ablation: with the harbor transfer disabled, Waiau decouples from the
+  // open coast and the Waiau|Honolulu conditional flood probability drops.
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  RealizationConfig config;
+  config.harbor.enabled = false;
+  const RealizationEngine no_harbor(terrain::make_oahu_terrain(),
+                                    topo.exposed_assets(), config);
+  std::size_t honolulu = 0;
+  std::size_t joint = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const HurricaneRealization r = no_harbor.run(i);
+    if (r.asset_failed(scada::oahu_ids::kHonoluluCc)) {
+      ++honolulu;
+      if (r.asset_failed(scada::oahu_ids::kWaiauCc)) ++joint;
+    }
+  }
+  if (honolulu > 0) {
+    EXPECT_LT(static_cast<double>(joint) / static_cast<double>(honolulu),
+              0.92);
+  }
+}
+
+}  // namespace
+}  // namespace ct::surge

@@ -1,0 +1,141 @@
+// Coverage for the remaining extension surfaces: the simulator's event
+// limit (storm guard), sea-level-rise offsets, and hot- vs cold-backup
+// evaluator semantics for custom architectures.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "scada/configuration.h"
+#include "scada/oahu.h"
+#include "sim/scada_des.h"
+#include "sim/simulator.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+
+namespace ct {
+namespace {
+
+TEST(EventLimit, StopsRunawaySimulations) {
+  sim::Simulator simulator;
+  simulator.set_event_limit(100);
+  std::function<void()> bomb = [&] {
+    // Two children per event: exponential growth without a limit.
+    simulator.schedule_in(0.001, bomb);
+    simulator.schedule_in(0.001, bomb);
+  };
+  simulator.schedule_at(0.0, bomb);
+  simulator.run_until(1000.0);
+  EXPECT_TRUE(simulator.event_limit_hit());
+  EXPECT_EQ(simulator.events_processed(), 100u);
+}
+
+TEST(EventLimit, ZeroMeansUnlimited) {
+  sim::Simulator simulator;
+  for (int i = 0; i < 500; ++i) simulator.schedule_at(i, [] {});
+  simulator.run_until(1000.0);
+  EXPECT_FALSE(simulator.event_limit_hit());
+  EXPECT_EQ(simulator.events_processed(), 500u);
+}
+
+TEST(EventLimit, DesReportsTruncation) {
+  sim::DesOptions options;
+  options.horizon_s = 300.0;
+  options.attack_time_s = 60.0;
+  options.event_limit = 200;  // absurdly small: guaranteed truncation
+  const sim::ScadaDes des(scada::make_config_6("p"), options);
+  threat::SystemState state;
+  state.site_status = {threat::SiteStatus::kUp};
+  state.intrusions = {0};
+  const sim::DesOutcome outcome = des.run(state);
+  EXPECT_TRUE(outcome.truncated);
+  EXPECT_LE(outcome.events, 200u);
+}
+
+TEST(SeaLevelRise, FloodProbabilityMonotonic) {
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  double previous = -1.0;
+  for (const double slr : {0.0, 0.4, 0.8}) {
+    surge::RealizationConfig config;
+    config.sea_level_offset_m = slr;
+    const surge::RealizationEngine engine(terrain::make_oahu_terrain(),
+                                          topo.exposed_assets(), config);
+    std::size_t failures = 0;
+    const std::size_t n = 150;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (engine.run(i).asset_failed(scada::oahu_ids::kHonoluluCc)) {
+        ++failures;
+      }
+    }
+    const double rate = static_cast<double>(failures) / static_cast<double>(n);
+    EXPECT_GE(rate, previous);
+    previous = rate;
+  }
+  // 0.8 m of SLR must visibly worsen flooding over the baseline.
+  EXPECT_GT(previous, 0.25);
+}
+
+TEST(SeaLevelRise, NegativeOffsetProtects) {
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  surge::RealizationConfig config;
+  config.sea_level_offset_m = -0.5;
+  const surge::RealizationEngine engine(terrain::make_oahu_terrain(),
+                                        topo.exposed_assets(), config);
+  surge::RealizationConfig baseline;
+  const surge::RealizationEngine base_engine(terrain::make_oahu_terrain(),
+                                             topo.exposed_assets(), baseline);
+  std::size_t failures = 0;
+  std::size_t base_failures = 0;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    if (engine.run(i).asset_failed(scada::oahu_ids::kHonoluluCc)) ++failures;
+    if (base_engine.run(i).asset_failed(scada::oahu_ids::kHonoluluCc)) {
+      ++base_failures;
+    }
+  }
+  // Half a meter of protection must eliminate nearly all failures.
+  EXPECT_LE(failures, 1u);
+  EXPECT_LT(failures, base_failures);
+}
+
+TEST(Evaluator, HotBackupFailsOverWithoutDowntime) {
+  // A custom architecture with a HOT backup site: failover is immediate,
+  // so losing the primary is green, not orange.
+  scada::Configuration hot = scada::make_config_2_2("p", "b");
+  hot.name = "2-2hot";
+  hot.sites[1].hot = true;
+  threat::SystemState state;
+  state.site_status = {threat::SiteStatus::kFlooded, threat::SiteStatus::kUp};
+  state.intrusions = {0, 0};
+  EXPECT_EQ(core::evaluate(hot, state), threat::OperationalState::kGreen);
+
+  // The paper's cold variant is orange in the same state.
+  const scada::Configuration cold = scada::make_config_2_2("p", "b");
+  EXPECT_EQ(core::evaluate(cold, state), threat::OperationalState::kOrange);
+}
+
+TEST(Evaluator, MinActiveSitesRespected) {
+  // A 3-site group configured to need all 3 sites goes red on any loss.
+  scada::Configuration strict = scada::make_config_6_6_6("p", "b", "d");
+  strict.min_active_sites = 3;
+  threat::SystemState state;
+  state.site_status = {threat::SiteStatus::kUp, threat::SiteStatus::kIsolated,
+                       threat::SiteStatus::kUp};
+  state.intrusions = {0, 0, 0};
+  EXPECT_EQ(core::evaluate(strict, state), threat::OperationalState::kRed);
+}
+
+TEST(Rng, ExponentialMeanAndSupport) {
+  util::Rng rng(77);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_DOUBLE_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.exponential(-2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,138 @@
+// Tests for the wind-fragility extension (grid-asset damage channel the
+// paper defers; see fragility.h).
+#include <gtest/gtest.h>
+
+#include "scada/oahu.h"
+#include "surge/fragility.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+
+namespace ct::surge {
+namespace {
+
+TEST(Fragility, CurveIsAProperCdf) {
+  const FragilityCurve curve{55.0, 0.25};
+  EXPECT_DOUBLE_EQ(damage_probability(curve, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(damage_probability(curve, -5.0), 0.0);
+  EXPECT_NEAR(damage_probability(curve, 55.0), 0.5, 1e-9);  // median
+  double previous = 0.0;
+  for (double v = 10.0; v <= 120.0; v += 5.0) {
+    const double p = damage_probability(curve, v);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+  EXPECT_LT(damage_probability(curve, 30.0), 0.02);
+  EXPECT_GT(damage_probability(curve, 90.0), 0.95);
+}
+
+TEST(Fragility, SharperDispersionSteepensTheCurve) {
+  const FragilityCurve wide{55.0, 0.5};
+  const FragilityCurve narrow{55.0, 0.1};
+  EXPECT_GT(damage_probability(wide, 40.0), damage_probability(narrow, 40.0));
+  EXPECT_LT(damage_probability(wide, 70.0), damage_probability(narrow, 70.0));
+}
+
+TEST(Fragility, Validation) {
+  EXPECT_THROW(damage_probability({0.0, 0.25}, 50.0), std::invalid_argument);
+  EXPECT_THROW(damage_probability({55.0, -1.0}, 50.0), std::invalid_argument);
+}
+
+TEST(Fragility, PeakWindHigherNearTheTrack) {
+  const storm::TrackGenerator generator{storm::TrackEnsembleConfig{}};
+  const storm::StormTrack track = generator.base_track();
+  const geo::EnuProjection proj({21.3, -158.0});
+  const storm::HollandWindField field;
+  // A point near the track's closest approach vs one far inland/north.
+  const double near_track =
+      peak_wind_at(track, proj, proj.to_enu({21.25, -158.05}), field, 1800.0);
+  const double far_away =
+      peak_wind_at(track, proj, proj.to_enu({22.4, -156.8}), field, 1800.0);
+  EXPECT_GT(near_track, far_away);
+  EXPECT_GT(near_track, 25.0);
+  EXPECT_THROW(peak_wind_at(track, proj, {0, 0}, field, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Fragility, DisabledByDefault) {
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  const RealizationEngine engine(terrain::make_oahu_terrain(),
+                                 topo.exposed_assets(), {});
+  const HurricaneRealization r = engine.run(0);
+  EXPECT_EQ(r.wind_damage_count(), 0u);
+  for (const AssetImpact& impact : r.impacts) {
+    EXPECT_DOUBLE_EQ(impact.peak_wind_ms, 0.0);
+    EXPECT_FALSE(impact.wind_failed);
+  }
+}
+
+class FragilityEnabledTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const scada::ScadaTopology topo = scada::oahu_topology();
+    RealizationConfig config;
+    config.fragility.enabled = true;
+    // Fragile grid for test visibility: CAT-2 winds should break things.
+    config.fragility.substation = {38.0, 0.25};
+    config.fragility.power_plant = {45.0, 0.25};
+    engine_ = new RealizationEngine(terrain::make_oahu_terrain(),
+                                    topo.exposed_assets(), config);
+  }
+  static void TearDownTestSuite() { delete engine_; }
+  static RealizationEngine* engine_;
+};
+
+RealizationEngine* FragilityEnabledTest::engine_ = nullptr;
+
+TEST_F(FragilityEnabledTest, RecordsPeakWindsAtAllAssets) {
+  const HurricaneRealization r = engine_->run(0);
+  for (const AssetImpact& impact : r.impacts) {
+    EXPECT_GT(impact.peak_wind_ms, 5.0) << impact.asset_id;
+    EXPECT_LT(impact.peak_wind_ms, 80.0) << impact.asset_id;
+  }
+}
+
+TEST_F(FragilityEnabledTest, OnlyOutdoorAssetsSufferWindDamage) {
+  std::size_t substation_failures = 0;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const HurricaneRealization r = engine_->run(i);
+    for (const AssetImpact& impact : r.impacts) {
+      if (impact.wind_failed) {
+        // Control centers and data centers are wind-hardened facilities.
+        EXPECT_EQ(impact.asset_id.find("_cc"), std::string::npos);
+        EXPECT_EQ(impact.asset_id.find("_dc"), std::string::npos);
+        ++substation_failures;
+      }
+    }
+  }
+  // With a deliberately fragile grid and CAT-2 winds, some damage occurs.
+  EXPECT_GT(substation_failures, 0u);
+}
+
+TEST_F(FragilityEnabledTest, Deterministic) {
+  const HurricaneRealization a = engine_->run(7);
+  const HurricaneRealization b = engine_->run(7);
+  for (std::size_t i = 0; i < a.impacts.size(); ++i) {
+    EXPECT_EQ(a.impacts[i].wind_failed, b.impacts[i].wind_failed);
+    EXPECT_DOUBLE_EQ(a.impacts[i].peak_wind_ms, b.impacts[i].peak_wind_ms);
+  }
+}
+
+TEST_F(FragilityEnabledTest, HelpersCountDamage) {
+  // Find some realization with damage among the first 40.
+  bool found = false;
+  for (std::uint64_t i = 0; i < 40 && !found; ++i) {
+    const HurricaneRealization r = engine_->run(i);
+    if (r.wind_damage_count() > 0) {
+      found = true;
+      for (const AssetImpact& impact : r.impacts) {
+        EXPECT_EQ(r.asset_wind_failed(impact.asset_id), impact.wind_failed);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ct::surge

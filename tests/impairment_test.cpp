@@ -1,0 +1,152 @@
+// Tests for network impairments (loss, jitter) and protocol robustness
+// under an imperfect WAN: the Table-I classification must be stable with
+// realistic loss rates, since the paper's architectures are deployed over
+// real wide-area networks.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "scada/configuration.h"
+#include "sim/network.h"
+#include "sim/scada_des.h"
+#include "sim/simulator.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+
+namespace ct::sim {
+namespace {
+
+TEST(Impairment, LossDropsTheConfiguredFraction) {
+  Simulator sim;
+  NetworkOptions options;
+  options.loss_probability = 0.2;
+  Network net(sim, {1, 1}, options);
+  std::size_t received = 0;
+  net.register_handler({1, 0}, [&](const Message&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.type = Message::Type::kRequest;
+    net.send({0, 0}, {1, 0}, m);
+  }
+  sim.run_until(10.0);
+  EXPECT_NEAR(static_cast<double>(net.messages_dropped()) / n, 0.2, 0.02);
+  EXPECT_EQ(received + net.messages_dropped(), static_cast<std::size_t>(n));
+}
+
+TEST(Impairment, LossIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    NetworkOptions options;
+    options.loss_probability = 0.3;
+    options.impairment_seed = seed;
+    Network net(sim, {1, 1}, options);
+    net.register_handler({1, 0}, [](const Message&) {});
+    for (int i = 0; i < 1000; ++i) {
+      Message m;
+      net.send({0, 0}, {1, 0}, m);
+    }
+    sim.run_until(10.0);
+    return net.messages_dropped();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Impairment, JitterDelaysWithinBound) {
+  Simulator sim;
+  NetworkOptions options;
+  options.inter_site_latency_s = 0.02;
+  options.latency_jitter_s = 0.05;
+  Network net(sim, {1, 1}, options);
+  std::vector<double> arrivals;
+  net.register_handler({1, 0}, [&](const Message&) {
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 200; ++i) {
+    Message m;
+    net.send({0, 0}, {1, 0}, m);
+  }
+  sim.run_until(1.0);
+  ASSERT_EQ(arrivals.size(), 200u);
+  double min_arrival = 1e9;
+  double max_arrival = 0.0;
+  for (const double t : arrivals) {
+    min_arrival = std::min(min_arrival, t);
+    max_arrival = std::max(max_arrival, t);
+  }
+  EXPECT_GE(min_arrival, 0.02);
+  EXPECT_LE(max_arrival, 0.07 + 1e-9);
+  EXPECT_GT(max_arrival - min_arrival, 0.01);  // jitter actually varies
+}
+
+TEST(Impairment, Validation) {
+  Simulator sim;
+  NetworkOptions bad;
+  bad.loss_probability = 1.0;
+  EXPECT_THROW(Network(sim, {1}, bad), std::invalid_argument);
+  NetworkOptions bad2;
+  bad2.latency_jitter_s = -0.1;
+  EXPECT_THROW(Network(sim, {1}, bad2), std::invalid_argument);
+}
+
+/// The headline robustness property: with 3% WAN loss and 10 ms jitter,
+/// the DES still classifies every compound-threat case like Table I.
+class LossyDesMatchesTableOne
+    : public ::testing::TestWithParam<scada::Configuration> {};
+
+TEST_P(LossyDesMatchesTableOne, ObservedStateStable) {
+  const scada::Configuration& config = GetParam();
+  DesOptions options;
+  options.horizon_s = 600.0;
+  options.attack_time_s = 120.0;
+  options.settle_window_s = 150.0;
+  options.orange_gap_s = 70.0;
+  options.pb.activation_delay_s = 120.0;
+  options.pb.controller_outage_threshold_s = 15.0;
+  options.pb.controller_check_interval_s = 3.0;
+  options.bft.activation_delay_s = 120.0;
+  options.bft.view_timeout_s = 8.0;
+  options.net.loss_probability = 0.03;
+  options.net.latency_jitter_s = 0.010;
+  // Loss can eat single replies; judge availability over more attempts.
+  options.request_interval_s = 2.0;
+
+  const ScadaDes des(config, options);
+  const threat::GreedyWorstCaseAttacker attacker;
+  const std::size_t n = config.sites.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    threat::SystemState base;
+    base.intrusions.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      base.site_status.push_back((mask >> i) & 1
+                                     ? threat::SiteStatus::kFlooded
+                                     : threat::SiteStatus::kUp);
+    }
+    for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+      const threat::SystemState attacked =
+          attacker.attack(config, base, threat::capability_for(scenario));
+      EXPECT_EQ(des.run(attacked).observed, core::evaluate(config, attacked))
+          << config.name << " mask=" << mask << " "
+          << threat::scenario_name(scenario);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigurations, LossyDesMatchesTableOne,
+    ::testing::Values(scada::make_config_2("p"),
+                      scada::make_config_2_2("p", "b"),
+                      scada::make_config_6("p"),
+                      scada::make_config_6_6("p", "b"),
+                      scada::make_config_6_6_6("p", "b", "d")),
+    [](const ::testing::TestParamInfo<scada::Configuration>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+        if (c == '+') c = 'p';
+      }
+      return "c" + name;
+    });
+
+}  // namespace
+}  // namespace ct::sim

@@ -1,0 +1,150 @@
+// Tests for topology CSV interchange and the ASCII region map.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/map.h"
+#include "scada/oahu.h"
+#include "scada/topology_io.h"
+#include "terrain/oahu.h"
+
+namespace ct::scada {
+namespace {
+
+TEST(TopologyIo, ParseAssetType) {
+  EXPECT_EQ(parse_asset_type("control center"), AssetType::kControlCenter);
+  EXPECT_EQ(parse_asset_type("Control_Center"), AssetType::kControlCenter);
+  EXPECT_EQ(parse_asset_type(" data center "), AssetType::kDataCenter);
+  EXPECT_EQ(parse_asset_type("POWER PLANT"), AssetType::kPowerPlant);
+  EXPECT_EQ(parse_asset_type("substation"), AssetType::kSubstation);
+  EXPECT_EQ(parse_asset_type("widget"), std::nullopt);
+}
+
+TEST(TopologyIo, RoundTripPreservesEverything) {
+  const ScadaTopology original = oahu_topology();
+  std::stringstream buffer;
+  save_topology_csv(buffer, original);
+  const ScadaTopology loaded = load_topology_csv(buffer);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.assets().size(); ++i) {
+    const Asset& a = original.assets()[i];
+    const Asset& b = loaded.assets()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_NEAR(a.location.lat_deg, b.location.lat_deg, 1e-8);
+    EXPECT_NEAR(a.location.lon_deg, b.location.lon_deg, 1e-8);
+    EXPECT_NEAR(a.ground_elevation_m, b.ground_elevation_m, 1e-6);
+  }
+}
+
+TEST(TopologyIo, RoundTripsNamesWithCommas) {
+  ScadaTopology original;
+  original.add({"cc1", "Main, Primary \"A\" Control",
+                AssetType::kControlCenter, {21.30, -157.85}, 1.5});
+  std::stringstream buffer;
+  save_topology_csv(buffer, original);
+  const ScadaTopology loaded = load_topology_csv(buffer);
+  EXPECT_EQ(loaded.at("cc1").name, "Main, Primary \"A\" Control");
+}
+
+TEST(TopologyIo, LoadsHandWrittenCsv) {
+  std::istringstream in(
+      "id,name,type,lat,lon,elevation_m\n"
+      "cc1,Main Control,control center,21.30,-157.85,1.5\n"
+      "\n"
+      "ss1,East Sub,substation,21.40,-157.70,12\n");
+  const ScadaTopology topo = load_topology_csv(in);
+  ASSERT_EQ(topo.size(), 2u);
+  EXPECT_EQ(topo.at("cc1").type, AssetType::kControlCenter);
+  EXPECT_DOUBLE_EQ(topo.at("ss1").ground_elevation_m, 12.0);
+}
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* csv, const char* needle) {
+    std::istringstream in(csv);
+    try {
+      load_topology_csv(in);
+      FAIL() << "expected failure for: " << csv;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("", "empty input");
+  expect_error("id,nope\n", "expected header");
+  expect_error("id,name,type,lat,lon,elevation_m\na,b,substation,21.3\n",
+               "line 2");
+  expect_error(
+      "id,name,type,lat,lon,elevation_m\na,b,widget,21.3,-157.8,1\n",
+      "unknown asset type");
+  expect_error(
+      "id,name,type,lat,lon,elevation_m\na,b,substation,x,-157.8,1\n",
+      "cannot parse lat");
+  expect_error(
+      "id,name,type,lat,lon,elevation_m\na,b,substation,121.3,-157.8,1\n",
+      "latitude out of range");
+  expect_error(
+      "id,name,type,lat,lon,elevation_m\n"
+      "a,b,substation,21.3,-157.8,1\n"
+      "a,c,substation,21.4,-157.9,2\n",
+      "duplicate");
+}
+
+}  // namespace
+}  // namespace ct::scada
+
+namespace ct::core {
+namespace {
+
+TEST(RegionMap, RendersTerrainAndAssets) {
+  const auto terrain = terrain::make_oahu_terrain();
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  const std::string map = render_region_map(*terrain, topo);
+
+  EXPECT_NE(map.find('~'), std::string::npos);  // ocean
+  EXPECT_NE(map.find('.'), std::string::npos);  // plain
+  EXPECT_NE(map.find('^'), std::string::npos);  // mountains
+  EXPECT_NE(map.find('C'), std::string::npos);  // control center
+  EXPECT_NE(map.find('D'), std::string::npos);  // data center
+  EXPECT_NE(map.find("honolulu_cc"), std::string::npos);  // legend
+}
+
+TEST(RegionMap, FloodedAssetsRenderAsX) {
+  const auto terrain = terrain::make_oahu_terrain();
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  surge::HurricaneRealization realization;
+  surge::AssetImpact impact;
+  impact.asset_id = scada::oahu_ids::kHonoluluCc;
+  impact.failed = true;
+  realization.impacts.push_back(impact);
+
+  const std::string map = render_region_map(*terrain, topo, &realization);
+  EXPECT_NE(map.find('X'), std::string::npos);
+  EXPECT_NE(map.find("[FLOODED]"), std::string::npos);
+}
+
+TEST(RegionMap, DimensionsRespected) {
+  const auto terrain = terrain::make_oahu_terrain();
+  const scada::ScadaTopology topo = scada::oahu_topology();
+  MapOptions options;
+  options.width = 40;
+  options.height = 12;
+  options.legend = false;
+  const std::string map = render_region_map(*terrain, topo, nullptr, options);
+  std::istringstream stream(map);
+  std::string line;
+  std::getline(stream, line);  // title
+  std::size_t rows = 0;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), 40u);
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, 12u);
+}
+
+}  // namespace
+}  // namespace ct::core

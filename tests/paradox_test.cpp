@@ -1,0 +1,149 @@
+// Structural property tests across the whole pipeline, including the
+// paper's own counterintuitive observation (§VI-B): "Interestingly,
+// however, this probability is not 100%: if the hurricane renders the
+// system non-operational by flooding the control center(s), there are no
+// operational servers for the attacker to compromise" — i.e. more flooding
+// can IMPROVE the outcome under the badness order, because red is better
+// than gray. Monotonicity in the flood set therefore only holds for the
+// hurricane-only scenario; the compound scenarios exhibit the paradox.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "scada/configuration.h"
+#include "threat/scenario.h"
+
+namespace ct::core {
+namespace {
+
+using threat::OperationalState;
+using threat::ThreatScenario;
+
+surge::HurricaneRealization realization_with(std::vector<std::string> failed) {
+  surge::HurricaneRealization r;
+  for (std::string& id : failed) {
+    surge::AssetImpact impact;
+    impact.asset_id = std::move(id);
+    impact.failed = true;
+    r.impacts.push_back(std::move(impact));
+  }
+  return r;
+}
+
+/// All subsets of the given asset ids, ordered by inclusion-compatible
+/// bitmask (A subset of B iff maskA & maskB == maskA).
+std::vector<std::vector<std::string>> subsets(
+    const std::vector<std::string>& ids) {
+  std::vector<std::vector<std::string>> out;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << ids.size()); ++mask) {
+    std::vector<std::string> subset;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(ids[i]);
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+struct ParadoxCase {
+  const char* label;
+  scada::Configuration config;
+  std::vector<std::string> site_ids;
+};
+
+std::vector<ParadoxCase> paradox_cases() {
+  return {
+      {"c2", scada::make_config_2("a"), {"a"}},
+      {"c22", scada::make_config_2_2("a", "b"), {"a", "b"}},
+      {"c6", scada::make_config_6("a"), {"a"}},
+      {"c66", scada::make_config_6_6("a", "b"), {"a", "b"}},
+      {"c666", scada::make_config_6_6_6("a", "b", "c"), {"a", "b", "c"}},
+  };
+}
+
+class FloodMonotonicity : public ::testing::TestWithParam<ParadoxCase> {};
+
+TEST_P(FloodMonotonicity, HurricaneOnlyOutcomeMonotoneInFloodSet) {
+  const auto& param = GetParam();
+  const AnalysisPipeline pipeline;
+  const auto all = subsets(param.site_ids);
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    for (std::size_t b = 0; b < all.size(); ++b) {
+      // Subset relation via bitmask inclusion.
+      if ((a & b) != a) continue;
+      const OperationalState less = pipeline.outcome_for(
+          param.config, ThreatScenario::kHurricane, realization_with(all[a]));
+      const OperationalState more = pipeline.outcome_for(
+          param.config, ThreatScenario::kHurricane, realization_with(all[b]));
+      EXPECT_LE(threat::badness(less), threat::badness(more))
+          << param.label << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigurations, FloodMonotonicity,
+                         ::testing::ValuesIn(paradox_cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+TEST(FloodParadox, MoreFloodingCanPreventTheGrayState) {
+  // The paper's §VI-B observation, as an executable fact: under hurricane +
+  // intrusion, "2" is GRAY when its control center survives but only RED
+  // when the hurricane already destroyed it.
+  const AnalysisPipeline pipeline;
+  const auto config = scada::make_config_2("a");
+  const OperationalState survived = pipeline.outcome_for(
+      config, ThreatScenario::kHurricaneIntrusion, realization_with({}));
+  const OperationalState destroyed = pipeline.outcome_for(
+      config, ThreatScenario::kHurricaneIntrusion, realization_with({"a"}));
+  EXPECT_EQ(survived, OperationalState::kGray);
+  EXPECT_EQ(destroyed, OperationalState::kRed);
+  // Badness DECREASES as flooding increases: the paradox.
+  EXPECT_GT(threat::badness(survived), threat::badness(destroyed));
+}
+
+TEST(FloodParadox, AvailabilityViewIsStillMonotone) {
+  // Seen purely as "is the system serving" (green/orange vs red/gray-as-
+  // unavailable-to-trust), more flooding never helps: green never appears
+  // where a subset of the flooding produced a non-green state.
+  const AnalysisPipeline pipeline;
+  for (const auto& param : paradox_cases()) {
+    const auto all = subsets(param.site_ids);
+    for (const ThreatScenario scenario : threat::all_scenarios()) {
+      for (std::size_t a = 0; a < all.size(); ++a) {
+        for (std::size_t b = 0; b < all.size(); ++b) {
+          if ((a & b) != a) continue;
+          const OperationalState less = pipeline.outcome_for(
+              param.config, scenario, realization_with(all[a]));
+          const OperationalState more = pipeline.outcome_for(
+              param.config, scenario, realization_with(all[b]));
+          const auto usable = [](OperationalState s) {
+            return s == OperationalState::kGreen ||
+                   s == OperationalState::kOrange;
+          };
+          if (usable(more)) {
+            EXPECT_TRUE(usable(less))
+                << param.label << " " << threat::scenario_name(scenario)
+                << " a=" << a << " b=" << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FloodParadox, IrrelevantAssetsDoNotAffectOutcomes) {
+  // Flooding assets that host no control site never changes the result.
+  const AnalysisPipeline pipeline;
+  const auto config = scada::make_config_6_6("a", "b");
+  for (const ThreatScenario scenario : threat::all_scenarios()) {
+    const OperationalState base = pipeline.outcome_for(
+        config, scenario, realization_with({"substation_x"}));
+    const OperationalState clean =
+        pipeline.outcome_for(config, scenario, realization_with({}));
+    EXPECT_EQ(base, clean) << threat::scenario_name(scenario);
+  }
+}
+
+}  // namespace
+}  // namespace ct::core

@@ -1,0 +1,253 @@
+// Protocol-level tests: primary-backup failover machinery and the BFT
+// replication group, exercised directly (the end-to-end compound-threat
+// validation lives in scada_des_test.cpp).
+#include <gtest/gtest.h>
+
+#include "sim/bft.h"
+#include "sim/network.h"
+#include "sim/primary_backup.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace ct::sim {
+namespace {
+
+// ------------------------------------------------------------ primary-backup
+
+struct PbHarness {
+  PbHarness(int sites, bool with_controller)
+      : net(sim, [&] {
+          std::vector<int> n(static_cast<std::size_t>(sites), 2);
+          n.push_back(2);  // client site
+          return n;
+        }()) {
+    options.activation_delay_s = 30.0;
+    options.controller_outage_threshold_s = 6.0;
+    options.controller_check_interval_s = 1.0;
+    WorkloadOptions wopts;
+    wopts.request_interval_s = 1.0;
+    wopts.replies_needed = 1;
+    client = std::make_unique<ClientWorkload>(
+        sim, net, NodeAddr{sites, 0}, wopts);
+    std::vector<NodeAddr> targets;
+    for (int s = 0; s < sites; ++s) {
+      for (int n = 0; n < 2; ++n) {
+        targets.push_back({s, n});
+        replicas.push_back(std::make_unique<PbReplica>(
+            sim, net, NodeAddr{s, n}, options, /*active=*/s == 0));
+      }
+    }
+    client->set_targets(std::move(targets));
+    if (with_controller) {
+      controller = std::make_unique<FailoverController>(
+          sim, net, NodeAddr{sites, 1}, *client, /*backup_site=*/1, options);
+    }
+  }
+
+  void run(double horizon) {
+    for (auto& r : replicas) r->start();
+    client->start(0.0, horizon);
+    if (controller) controller->start(0.0, horizon);
+    sim.run_until(horizon);
+  }
+
+  Simulator sim;
+  Network net;
+  PbOptions options;
+  std::vector<std::unique_ptr<PbReplica>> replicas;
+  std::unique_ptr<ClientWorkload> client;
+  std::unique_ptr<FailoverController> controller;
+};
+
+TEST(PrimaryBackup, PrimaryServesRequests) {
+  PbHarness h(1, false);
+  h.run(20.0);
+  EXPECT_GT(h.client->success_fraction(0.0, 19.0), 0.95);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_TRUE(h.replicas[0]->is_primary());
+  EXPECT_FALSE(h.replicas[1]->is_primary());
+}
+
+TEST(PrimaryBackup, HotStandbyTakesOverWithinSeconds) {
+  PbHarness h(1, false);
+  // Silence the primary at t=10 by compromising-free means: mark it
+  // compromised = stops heartbeating and serving correct replies... use
+  // a cleaner lever: drop the whole site is too blunt, so emulate primary
+  // crash by marking it compromised AND ignoring its corrupt replies is
+  // wrong. Instead: we test takeover via heartbeat loss when the primary
+  // is partitioned -- not representable per-node, so this test uses the
+  // watchdog directly: stop heartbeats by compromising the primary, and
+  // assert the standby promotes (corrupt replies then exist, which is the
+  // compromised-primary scenario of the paper).
+  h.sim.schedule_at(10.0, [&] { h.replicas[0]->set_compromised(true); });
+  h.run(30.0);
+  EXPECT_TRUE(h.replicas[1]->is_primary());
+  EXPECT_TRUE(h.client->safety_violated());  // compromised primary forges
+}
+
+TEST(PrimaryBackup, ColdSiteActivationAfterDelay) {
+  PbHarness h(2, true);
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_down(0, true); });
+  h.run(90.0);
+  // Outage detected ~16s, activation delay 30s: service back before ~50s.
+  EXPECT_TRUE(h.controller->activation_sent());
+  EXPECT_TRUE(h.replicas[2]->site_active());
+  EXPECT_TRUE(h.replicas[2]->is_primary());
+  EXPECT_GT(h.client->success_fraction(60.0, 85.0), 0.9);
+  const double gap = h.client->max_gap(0.0, 85.0);
+  EXPECT_GT(gap, 30.0);
+  EXPECT_LT(gap, 60.0);
+}
+
+TEST(PrimaryBackup, NoSpuriousFailoverWhenHealthy) {
+  PbHarness h(2, true);
+  h.run(40.0);
+  EXPECT_FALSE(h.controller->activation_sent());
+  EXPECT_FALSE(h.replicas[2]->site_active());
+}
+
+TEST(PrimaryBackup, IsolatedActiveSiteTriggersFailover) {
+  PbHarness h(2, true);
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_isolated(0, true); });
+  h.run(90.0);
+  EXPECT_TRUE(h.controller->activation_sent());
+  EXPECT_GT(h.client->success_fraction(60.0, 85.0), 0.9);
+}
+
+// ---------------------------------------------------------------- bft
+
+struct BftHarness {
+  /// sites x replicas_per_site, one group across all sites.
+  BftHarness(const std::vector<int>& replicas_per_site, BftOptions opts = {})
+      : options(opts), net(sim, [&] {
+          std::vector<int> n = replicas_per_site;
+          n.push_back(2);
+          return n;
+        }()) {
+    const int n_sites = static_cast<int>(replicas_per_site.size());
+    std::vector<int> site_ids;
+    for (int s = 0; s < n_sites; ++s) site_ids.push_back(s);
+    const std::vector<NodeAddr> group =
+        interleaved_group(site_ids, replicas_per_site);
+    WorkloadOptions wopts;
+    wopts.request_interval_s = 1.0;
+    wopts.replies_needed = options.f + 1;
+    client = std::make_unique<ClientWorkload>(
+        sim, net, NodeAddr{n_sites, 0}, wopts);
+    client->set_targets(group);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      replicas.push_back(std::make_unique<BftReplica>(
+          sim, net, group[i], group, static_cast<int>(i), options, true));
+    }
+  }
+
+  void run(double horizon) {
+    for (auto& r : replicas) r->start();
+    client->start(0.0, horizon);
+    sim.run_until(horizon);
+  }
+
+  BftOptions options;
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<BftReplica>> replicas;
+  std::unique_ptr<ClientWorkload> client;
+};
+
+TEST(Bft, SingleSiteGroupCommits) {
+  BftHarness h({6});
+  h.run(20.0);
+  EXPECT_GT(h.client->success_fraction(0.0, 19.0), 0.95);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GT(h.replicas[0]->executed_count(), 15u);
+}
+
+TEST(Bft, ToleratesOneCompromisedReplica) {
+  BftHarness h({6});
+  h.sim.schedule_at(5.0, [&] { h.replicas[1]->set_compromised(true); });
+  h.run(30.0);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GT(h.client->success_fraction(10.0, 29.0), 0.9);
+}
+
+TEST(Bft, CompromisedLeaderCausesViewChangeNotOutage) {
+  BftHarness h({6});
+  h.sim.schedule_at(5.0, [&] { h.replicas[0]->set_compromised(true); });
+  h.run(40.0);
+  EXPECT_FALSE(h.client->safety_violated());
+  // Brief stall during the view change, then service resumes.
+  EXPECT_GT(h.client->success_fraction(25.0, 39.0), 0.9);
+  EXPECT_GT(h.replicas[1]->view(), 0);
+  const double gap = h.client->max_gap(0.0, 39.0);
+  EXPECT_LT(gap, 3.0 * h.options.view_timeout_s);
+}
+
+TEST(Bft, TwoCompromisedReplicasViolateSafety) {
+  BftHarness h({6});
+  h.sim.schedule_at(5.0, [&] {
+    h.replicas[1]->set_compromised(true);
+    h.replicas[2]->set_compromised(true);
+  });
+  h.run(30.0);
+  EXPECT_TRUE(h.client->safety_violated());
+}
+
+TEST(Bft, ProactiveRecoveryRotationKeepsServiceUp) {
+  BftOptions opts;
+  opts.recovery_period_s = 8.0;
+  opts.recovery_duration_s = 3.0;
+  BftHarness h({6}, opts);
+  std::vector<BftReplica*> members;
+  for (auto& r : h.replicas) members.push_back(r.get());
+  RecoveryScheduler scheduler(h.sim, members, opts);
+  scheduler.start(4.0);
+  h.run(60.0);
+  EXPECT_GT(h.client->success_fraction(0.0, 59.0), 0.85);
+  EXPECT_FALSE(h.client->safety_violated());
+}
+
+TEST(Bft, ThreeSiteGroupSurvivesSiteIsolation) {
+  BftHarness h({6, 6, 6});
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_isolated(0, true); });
+  h.run(60.0);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GT(h.client->success_fraction(40.0, 59.0), 0.9);
+}
+
+TEST(Bft, ThreeSiteGroupStallsWithTwoSitesDown) {
+  BftHarness h({6, 6, 6});
+  h.sim.schedule_at(10.0, [&] {
+    h.net.set_site_down(0, true);
+    h.net.set_site_down(1, true);
+  });
+  h.run(50.0);
+  EXPECT_DOUBLE_EQ(h.client->success_fraction(15.0, 45.0), 0.0);
+}
+
+TEST(Bft, InterleavedGroupAlternatesSites) {
+  const auto group = interleaved_group({0, 1, 2}, {6, 6, 6});
+  ASSERT_EQ(group.size(), 18u);
+  EXPECT_EQ(group[0], (NodeAddr{0, 0}));
+  EXPECT_EQ(group[1], (NodeAddr{1, 0}));
+  EXPECT_EQ(group[2], (NodeAddr{2, 0}));
+  EXPECT_EQ(group[3], (NodeAddr{0, 1}));
+  // Uneven sites still covered.
+  const auto uneven = interleaved_group({0, 1}, {2, 1});
+  ASSERT_EQ(uneven.size(), 3u);
+  EXPECT_EQ(uneven[2], (NodeAddr{0, 1}));
+  EXPECT_THROW(interleaved_group({0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Bft, Validation) {
+  Simulator sim;
+  Network net(sim, {2});
+  const std::vector<NodeAddr> group = {{0, 0}, {0, 1}};
+  EXPECT_THROW(
+      BftReplica(sim, net, {0, 0}, group, 1, BftOptions{}, true),
+      std::invalid_argument);
+  EXPECT_THROW(RecoveryScheduler(sim, {nullptr}, BftOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ct::sim

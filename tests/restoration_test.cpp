@@ -1,0 +1,154 @@
+// Tests for the restoration/downtime model that quantifies the paper's
+// orange / red / gray state semantics.
+#include <gtest/gtest.h>
+
+#include "core/restoration.h"
+#include "scada/configuration.h"
+#include "util/stats.h"
+
+namespace ct::core {
+namespace {
+
+using threat::SiteStatus;
+using threat::SystemState;
+
+SystemState state_of(std::vector<SiteStatus> status,
+                     std::vector<int> intrusions) {
+  SystemState s;
+  s.site_status = std::move(status);
+  s.intrusions = std::move(intrusions);
+  return s;
+}
+
+const RestorationModel kModel{};  // defaults
+
+TEST(Restoration, GreenCostsNothing) {
+  const auto config = scada::make_config_2("p");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kUp}, {0}), kModel);
+  EXPECT_DOUBLE_EQ(costs.downtime_hours, 0.0);
+  EXPECT_DOUBLE_EQ(costs.incorrect_hours, 0.0);
+}
+
+TEST(Restoration, OrangeCostsActivationTime) {
+  const auto config = scada::make_config_2_2("p", "b");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kFlooded, SiteStatus::kUp}, {0, 0}),
+      kModel);
+  EXPECT_NEAR(costs.downtime_hours, kModel.activation_minutes / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(costs.incorrect_hours, 0.0);
+}
+
+TEST(Restoration, RedFromIsolationEndsWithTheAttack) {
+  const auto config = scada::make_config_2("p");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kIsolated}, {0}), kModel);
+  EXPECT_NEAR(costs.downtime_hours, kModel.isolation_duration_hours, 1e-12);
+}
+
+TEST(Restoration, RedFromFloodingWaitsForRepair) {
+  const auto config = scada::make_config_2("p");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kFlooded}, {0}), kModel);
+  EXPECT_NEAR(costs.downtime_hours, kModel.flood_repair_hours, 1e-12);
+}
+
+TEST(Restoration, RedTakesTheFastestRestorationPath) {
+  // "2-2" with the primary flooded AND the backup isolated: the isolation
+  // ends long before the flood repair, so service resumes via the backup
+  // (plus its activation delay).
+  const auto config = scada::make_config_2_2("p", "b");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kFlooded, SiteStatus::kIsolated}, {0, 0}),
+      kModel);
+  EXPECT_NEAR(costs.downtime_hours,
+              kModel.isolation_duration_hours + kModel.activation_minutes / 60.0,
+              1e-12);
+}
+
+TEST(Restoration, MultisiteRedNeedsEnoughSitesBack) {
+  // "6+6+6" with two sites flooded and one up: red until ONE flooded site
+  // repairs (then 2 of 3 are up -> green, no activation delay).
+  const auto config = scada::make_config_6_6_6("p", "b", "d");
+  const IncidentCosts costs = expected_incident_costs(
+      config,
+      state_of({SiteStatus::kFlooded, SiteStatus::kFlooded, SiteStatus::kUp},
+               {0, 0, 0}),
+      kModel);
+  EXPECT_NEAR(costs.downtime_hours, kModel.flood_repair_hours, 1e-12);
+}
+
+TEST(Restoration, GrayCostsDetectionPlusCleanup) {
+  const auto config = scada::make_config_2("p");
+  const IncidentCosts costs = expected_incident_costs(
+      config, state_of({SiteStatus::kUp}, {1}), kModel);
+  EXPECT_NEAR(costs.incorrect_hours, kModel.compromise_detection_hours, 1e-12);
+  EXPECT_NEAR(costs.downtime_hours, kModel.compromise_cleanup_hours, 1e-12);
+}
+
+TEST(Restoration, SampledMeanApproachesAnalytic) {
+  const auto config = scada::make_config_2("p");
+  const SystemState red = state_of({SiteStatus::kFlooded}, {0});
+  util::Rng rng(404);
+  util::RunningStats downtime;
+  for (int i = 0; i < 20000; ++i) {
+    downtime.add(sample_incident_costs(config, red, kModel, rng).downtime_hours);
+  }
+  EXPECT_NEAR(downtime.mean(), kModel.flood_repair_hours,
+              kModel.flood_repair_hours * 0.03);
+}
+
+TEST(Restoration, AnalyzeAggregatesOverRealizations) {
+  const auto config = scada::make_config_2_2("hon", "waiau");
+  std::vector<surge::HurricaneRealization> batch;
+  const auto realization_with = [](std::vector<std::string> failed) {
+    surge::HurricaneRealization r;
+    for (std::string& id : failed) {
+      surge::AssetImpact impact;
+      impact.asset_id = std::move(id);
+      impact.failed = true;
+      r.impacts.push_back(std::move(impact));
+    }
+    return r;
+  };
+  for (int i = 0; i < 8; ++i) batch.push_back(realization_with({}));
+  batch.push_back(realization_with({"hon"}));
+  batch.push_back(realization_with({"hon", "waiau"}));
+
+  const RestorationResult result = analyze_restoration(
+      config, threat::ThreatScenario::kHurricane, batch, kModel,
+      /*samples_per_realization=*/0);
+  // 8 green (0 h) + 1 orange (1/6 h) + 1 red (96 h) over 10 realizations.
+  EXPECT_NEAR(result.expected_downtime_hours,
+              (kModel.activation_minutes / 60.0 + kModel.flood_repair_hours) /
+                  10.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(result.expected_incorrect_hours, 0.0);
+  EXPECT_NEAR(result.p_any_downtime, 0.2, 1e-12);
+  EXPECT_EQ(result.config_name, "2-2");
+}
+
+TEST(Restoration, IntrusionScenarioAccruesIncorrectHours) {
+  const auto config = scada::make_config_2("hon");
+  surge::HurricaneRealization clean;
+  const RestorationResult result = analyze_restoration(
+      config, threat::ThreatScenario::kHurricaneIntrusion, {clean}, kModel,
+      0);
+  EXPECT_NEAR(result.expected_incorrect_hours,
+              kModel.compromise_detection_hours, 1e-9);
+  EXPECT_NEAR(result.expected_downtime_hours, kModel.compromise_cleanup_hours,
+              1e-9);
+}
+
+TEST(Restoration, IntrusionTolerantConfigAvoidsIncorrectHours) {
+  const auto config = scada::make_config_6("hon");
+  surge::HurricaneRealization clean;
+  const RestorationResult result = analyze_restoration(
+      config, threat::ThreatScenario::kHurricaneIntrusion, {clean}, kModel,
+      0);
+  EXPECT_DOUBLE_EQ(result.expected_incorrect_hours, 0.0);
+  EXPECT_DOUBLE_EQ(result.expected_downtime_hours, 0.0);
+}
+
+}  // namespace
+}  // namespace ct::core

@@ -1,0 +1,138 @@
+// End-to-end validation of Table I from protocol behaviour: for every
+// paper configuration, every threat scenario, and every flood pattern of
+// its sites, the discrete-event simulation's observed operational state
+// must equal the analytic evaluator's classification. This is the "the
+// rules in the paper actually follow from how the protocols behave" test.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/pipeline.h"
+#include "scada/configuration.h"
+#include "sim/scada_des.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+
+namespace ct::sim {
+namespace {
+
+using scada::Configuration;
+using threat::AttackerCapability;
+using threat::OperationalState;
+using threat::SiteStatus;
+using threat::SystemState;
+using threat::ThreatScenario;
+
+/// Reduced timeline so the full sweep stays fast while every phase (detect,
+/// cold activation, settle) still fits.
+DesOptions fast_options() {
+  DesOptions options;
+  options.horizon_s = 600.0;
+  options.attack_time_s = 120.0;
+  options.settle_window_s = 150.0;
+  options.orange_gap_s = 70.0;
+  options.request_interval_s = 2.0;
+  options.pb.activation_delay_s = 120.0;
+  options.pb.controller_outage_threshold_s = 15.0;
+  options.pb.controller_check_interval_s = 3.0;
+  options.bft.activation_delay_s = 120.0;
+  options.bft.view_timeout_s = 8.0;
+  options.bft.recovery_period_s = 60.0;
+  options.bft.recovery_duration_s = 10.0;
+  return options;
+}
+
+struct DesCase {
+  const char* label;
+  Configuration config;
+};
+
+class DesMatchesTableOne : public ::testing::TestWithParam<DesCase> {};
+
+TEST_P(DesMatchesTableOne, ObservedStateEqualsAnalyticState) {
+  const Configuration& config = GetParam().config;
+  const ScadaDes des(config, fast_options());
+  const threat::GreedyWorstCaseAttacker attacker;
+
+  const std::size_t n = config.sites.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<bool> flooded(n);
+    SystemState base;
+    base.intrusions.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      flooded[i] = (mask >> i) & 1;
+      base.site_status.push_back(flooded[i] ? SiteStatus::kFlooded
+                                            : SiteStatus::kUp);
+    }
+    for (const ThreatScenario scenario : threat::all_scenarios()) {
+      const AttackerCapability capability = threat::capability_for(scenario);
+      const SystemState attacked = attacker.attack(config, base, capability);
+      const OperationalState analytic = core::evaluate(config, attacked);
+      const DesOutcome observed = des.run(attacked);
+      EXPECT_EQ(observed.observed, analytic)
+          << GetParam().label << " mask=" << mask << " scenario "
+          << threat::scenario_name(scenario)
+          << " (availability=" << observed.steady_availability
+          << ", outage=" << observed.max_outage_s
+          << ", violated=" << observed.safety_violated << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigurations, DesMatchesTableOne,
+    ::testing::Values(DesCase{"c2", scada::make_config_2("p")},
+                      DesCase{"c22", scada::make_config_2_2("p", "b")},
+                      DesCase{"c6", scada::make_config_6("p")},
+                      DesCase{"c66", scada::make_config_6_6("p", "b")},
+                      DesCase{"c666", scada::make_config_6_6_6("p", "b", "d")}),
+    [](const ::testing::TestParamInfo<DesCase>& info) {
+      return info.param.label;
+    });
+
+TEST(ScadaDes, FloodMaskConvenienceOverloadMatchesExplicitState) {
+  const Configuration config = scada::make_config_6_6("p", "b");
+  const ScadaDes des(config, fast_options());
+  const DesOutcome a =
+      des.run({false, false}, threat::capability_for(
+                                  ThreatScenario::kHurricaneIsolation));
+  SystemState base;
+  base.site_status = {SiteStatus::kUp, SiteStatus::kUp};
+  base.intrusions = {0, 0};
+  const SystemState attacked = threat::GreedyWorstCaseAttacker{}.attack(
+      config, base, {0, 1});
+  const DesOutcome b = des.run(attacked);
+  EXPECT_EQ(a.observed, b.observed);
+  EXPECT_EQ(a.observed, OperationalState::kOrange);
+}
+
+TEST(ScadaDes, TraceCapturesAttackEvents) {
+  DesOptions options = fast_options();
+  options.tracing = true;
+  const Configuration config = scada::make_config_2("p");
+  const ScadaDes des(config, options);
+  const DesOutcome outcome =
+      des.run({false}, threat::capability_for(
+                           ThreatScenario::kHurricaneIntrusion));
+  EXPECT_EQ(outcome.observed, OperationalState::kGray);
+  bool saw_compromise = false;
+  for (const std::string& line : outcome.trace) {
+    if (line.find("COMPROMISED") != std::string::npos) saw_compromise = true;
+  }
+  EXPECT_TRUE(saw_compromise);
+  EXPECT_GT(outcome.events, 0u);
+  EXPECT_GT(outcome.messages, 0u);
+}
+
+TEST(ScadaDes, Validation) {
+  Configuration empty;
+  empty.name = "empty";
+  EXPECT_THROW(ScadaDes{empty}, std::invalid_argument);
+  const ScadaDes des(scada::make_config_2("p"), fast_options());
+  EXPECT_THROW(des.run({true, false}, AttackerCapability{}),
+               std::invalid_argument);
+  SystemState bad;
+  EXPECT_THROW(des.run(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ct::sim

@@ -1,0 +1,320 @@
+// Tests for the discrete-event engine, the network model, and the client
+// workload.
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace ct::sim {
+namespace {
+
+// ---------------------------------------------------------------- engine
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, FifoTieBreakAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, StopsAtHorizonEvenWithPendingEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(50.0, [&] { ran = true; });
+  sim.run_until(10.0);
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  sim.run_until(100.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RejectsPastAndNullEvents) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(10.0, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, TraceGatedByFlag) {
+  Simulator sim;
+  sim.trace("ignored");
+  EXPECT_TRUE(sim.trace_log().empty());
+  sim.set_tracing(true);
+  sim.trace("kept");
+  ASSERT_EQ(sim.trace_log().size(), 1u);
+  EXPECT_NE(sim.trace_log()[0].find("kept"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- network
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, {2, 2, 1}) {
+    for (int s = 0; s < 3; ++s) {
+      for (int n = 0; n < net_.nodes_at(s); ++n) {
+        net_.register_handler({s, n}, [this, s, n](const Message& m) {
+          received_.push_back({{s, n}, m});
+        });
+      }
+    }
+  }
+
+  Message request() {
+    Message m;
+    m.type = Message::Type::kRequest;
+    m.request_id = 42;
+    return m;
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::vector<std::pair<NodeAddr, Message>> received_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  net_.send({0, 0}, {0, 1}, request());  // intra-site
+  net_.send({0, 0}, {1, 0}, request());  // inter-site
+  sim_.run_until(0.01);
+  ASSERT_EQ(received_.size(), 1u);  // only intra-site arrived yet
+  EXPECT_EQ(received_[0].first, (NodeAddr{0, 1}));
+  sim_.run_until(0.1);
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[1].second.sender, (NodeAddr{0, 0}));
+}
+
+TEST_F(NetworkTest, DownSiteNeitherSendsNorReceives) {
+  net_.set_site_down(1, true);
+  net_.send({0, 0}, {1, 0}, request());
+  net_.send({1, 0}, {0, 0}, request());
+  sim_.run_until(1.0);
+  EXPECT_TRUE(received_.empty());
+  EXPECT_FALSE(net_.can_communicate({0, 0}, {1, 0}));
+  net_.set_site_down(1, false);
+  EXPECT_TRUE(net_.can_communicate({0, 0}, {1, 0}));
+}
+
+TEST_F(NetworkTest, IsolatedSiteKeepsIntraSiteTraffic) {
+  net_.set_site_isolated(0, true);
+  net_.send({0, 0}, {0, 1}, request());  // intra-site still works
+  net_.send({0, 0}, {1, 0}, request());  // cross-boundary blocked
+  net_.send({1, 0}, {0, 0}, request());  // inbound blocked too
+  sim_.run_until(1.0);
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, (NodeAddr{0, 1}));
+}
+
+TEST_F(NetworkTest, InFlightTrafficDroppedWhenSiteGoesDown) {
+  net_.send({0, 0}, {1, 0}, request());
+  net_.set_site_down(1, true);  // goes down while the packet is in flight
+  sim_.run_until(1.0);
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(NetworkTest, BroadcastExcludesSender) {
+  net_.broadcast({0, 0}, request());
+  sim_.run_until(1.0);
+  EXPECT_EQ(received_.size(), 4u);  // 5 nodes minus the sender
+  for (const auto& [addr, msg] : received_) {
+    EXPECT_FALSE(addr == (NodeAddr{0, 0}));
+  }
+}
+
+TEST_F(NetworkTest, SendToSite) {
+  net_.send_to_site({2, 0}, 1, request());
+  sim_.run_until(1.0);
+  EXPECT_EQ(received_.size(), 2u);
+}
+
+TEST_F(NetworkTest, CountsAndValidation) {
+  net_.send({0, 0}, {1, 0}, request());
+  sim_.run_until(1.0);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(net_.messages_delivered(), 1u);
+  EXPECT_THROW(net_.send({0, 0}, {5, 0}, request()), std::out_of_range);
+  EXPECT_THROW(net_.send({0, 7}, {1, 0}, request()), std::out_of_range);
+  EXPECT_THROW(Network(sim_, {}), std::invalid_argument);
+  EXPECT_THROW(Network(sim_, {-1}), std::invalid_argument);
+}
+
+TEST(NetworkNames, ToString) {
+  EXPECT_EQ(to_string(NodeAddr{2, 3}), "s2/n3");
+  EXPECT_EQ(to_string(Message::Type::kProposal), "PROPOSAL");
+  EXPECT_EQ(to_string(Message::Type::kViewChange), "VIEW-CHANGE");
+}
+
+// ---------------------------------------------------------------- workload
+
+/// A scripted responder standing in for a SCADA master.
+class FakeServer {
+ public:
+  FakeServer(Simulator& sim, Network& net, NodeAddr self, bool corrupt,
+             std::int64_t value_offset = 0)
+      : sim_(sim), net_(net), self_(self), corrupt_(corrupt),
+        value_offset_(value_offset) {
+    net_.register_handler(self_, [this](const Message& m) {
+      if (m.type != Message::Type::kRequest || silent_) return;
+      Message reply;
+      reply.type = Message::Type::kReply;
+      reply.request_id = m.request_id;
+      reply.value = m.request_id + value_offset_;
+      reply.corrupt = corrupt_;
+      net_.send(self_, m.sender, reply);
+    });
+  }
+  void set_silent(bool silent) { silent_ = silent; }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  bool corrupt_;
+  std::int64_t value_offset_;
+  bool silent_ = false;
+};
+
+TEST(Workload, SingleReplySufficesForPrimaryBackup) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.request_interval_s = 1.0;
+  options.replies_needed = 1;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FakeServer server(sim, net, {0, 0}, /*corrupt=*/false);
+  client.start(0.0, 10.0);
+  sim.run_until(12.0);
+  EXPECT_EQ(client.records().size(), 10u);
+  EXPECT_FALSE(client.safety_violated());
+  EXPECT_DOUBLE_EQ(client.success_fraction(0.0, 9.5), 1.0);
+  EXPECT_LT(client.max_gap(0.0, 9.5), 1.5);
+}
+
+TEST(Workload, CorruptReplyAcceptedIsViolation) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.replies_needed = 1;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FakeServer server(sim, net, {0, 0}, /*corrupt=*/true);
+  client.start(0.0, 5.0);
+  sim.run_until(6.0);
+  EXPECT_TRUE(client.safety_violated());
+  EXPECT_GE(client.first_violation_at(), 0.0);
+  // Corrupt completions never count toward availability.
+  EXPECT_DOUBLE_EQ(client.success_fraction(0.0, 4.5), 0.0);
+}
+
+TEST(Workload, QuorumOfMatchingRepliesRequired) {
+  Simulator sim;
+  Network net(sim, {3, 1});
+  WorkloadOptions options;
+  options.replies_needed = 2;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}, {0, 1}, {0, 2}});
+  FakeServer bad(sim, net, {0, 0}, /*corrupt=*/true);
+  FakeServer good1(sim, net, {0, 1}, false);
+  FakeServer good2(sim, net, {0, 2}, false);
+  client.start(0.0, 5.0);
+  sim.run_until(6.0);
+  // One corrupt voice cannot win; two matching correct replies accept.
+  EXPECT_FALSE(client.safety_violated());
+  EXPECT_GT(client.success_fraction(0.0, 4.5), 0.9);
+}
+
+TEST(Workload, TwoCollusdingForgersDefeatFPlusOne) {
+  Simulator sim;
+  Network net(sim, {3, 1});
+  WorkloadOptions options;
+  options.replies_needed = 2;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}, {0, 1}, {0, 2}});
+  FakeServer bad1(sim, net, {0, 0}, true);
+  FakeServer bad2(sim, net, {0, 1}, true);
+  FakeServer good(sim, net, {0, 2}, false);
+  client.start(0.0, 5.0);
+  sim.run_until(6.0);
+  EXPECT_TRUE(client.safety_violated());
+}
+
+TEST(Workload, MismatchedValuesDoNotAccumulate) {
+  Simulator sim;
+  Network net(sim, {2, 1});
+  WorkloadOptions options;
+  options.replies_needed = 2;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}, {0, 1}});
+  // Two servers disagree on the value: no signature reaches 2 votes.
+  FakeServer a(sim, net, {0, 0}, false, /*value_offset=*/0);
+  FakeServer b(sim, net, {0, 1}, false, /*value_offset=*/1000);
+  client.start(0.0, 5.0);
+  sim.run_until(6.0);
+  EXPECT_DOUBLE_EQ(client.success_fraction(0.0, 4.5), 0.0);
+  for (const auto& r : client.records()) EXPECT_LT(r.completed_at, 0.0);
+}
+
+TEST(Workload, MaxGapSeesOutage) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.request_interval_s = 1.0;
+  options.replies_needed = 1;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FakeServer server(sim, net, {0, 0}, false);
+  client.start(0.0, 30.0);
+  // Outage from t=10 to t=20.
+  sim.schedule_at(10.0, [&] { net.set_site_down(0, true); });
+  sim.schedule_at(20.0, [&] { net.set_site_down(0, false); });
+  sim.run_until(31.0);
+  const double gap = client.max_gap(0.0, 29.5);
+  EXPECT_GT(gap, 9.0);
+  EXPECT_LT(gap, 13.0);
+  const double during = client.success_fraction(10.5, 19.0);
+  EXPECT_DOUBLE_EQ(during, 0.0);
+  EXPECT_GT(client.success_fraction(21.0, 29.0), 0.9);
+}
+
+TEST(Workload, Validation) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions bad;
+  bad.request_interval_s = 0.0;
+  EXPECT_THROW(ClientWorkload(sim, net, {1, 0}, bad), std::invalid_argument);
+  WorkloadOptions bad2;
+  bad2.replies_needed = 0;
+  EXPECT_THROW(ClientWorkload(sim, net, {1, 0}, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ct::sim

@@ -1,0 +1,286 @@
+// Tests for the storm substrate: Saffir-Simpson scale, Holland vortex,
+// tracks, and the CAT-2 ensemble generator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "storm/generator.h"
+#include "storm/holland.h"
+#include "storm/saffir_simpson.h"
+#include "storm/track.h"
+#include "util/rng.h"
+
+namespace ct::storm {
+namespace {
+
+// ---------------------------------------------------------------- scale
+
+TEST(SaffirSimpson, CategoryBoundaries) {
+  EXPECT_EQ(category_for_wind(30.0), Category::kTropicalStorm);
+  EXPECT_EQ(category_for_wind(33.0), Category::kCat1);
+  EXPECT_EQ(category_for_wind(43.0), Category::kCat2);
+  EXPECT_EQ(category_for_wind(49.9), Category::kCat2);
+  EXPECT_EQ(category_for_wind(50.0), Category::kCat3);
+  EXPECT_EQ(category_for_wind(58.0), Category::kCat4);
+  EXPECT_EQ(category_for_wind(75.0), Category::kCat5);
+}
+
+TEST(SaffirSimpson, BandsAreContiguous) {
+  for (const Category c : {Category::kTropicalStorm, Category::kCat1,
+                           Category::kCat2, Category::kCat3, Category::kCat4}) {
+    const Category next = static_cast<Category>(static_cast<int>(c) + 1);
+    EXPECT_DOUBLE_EQ(category_max_wind_ms(c), category_min_wind_ms(next));
+  }
+}
+
+TEST(SaffirSimpson, WindPressureRoundTrip) {
+  for (const double wind : {25.0, 35.0, 45.0, 60.0}) {
+    const double pc = central_pressure_for_wind(wind);
+    EXPECT_LT(pc, 101000.0);
+    EXPECT_NEAR(wind_for_central_pressure(pc), wind, 0.1);
+  }
+}
+
+TEST(SaffirSimpson, Cat2PressureIsPlausible) {
+  // CAT-2 storms typically have central pressures ~ 965-980 hPa.
+  const double pc = central_pressure_for_wind(46.0);
+  EXPECT_GT(pc, 94500.0);
+  EXPECT_LT(pc, 98500.0);
+  EXPECT_EQ(category_name(Category::kCat2), "Cat2");
+}
+
+// ---------------------------------------------------------------- holland
+
+VortexParams cat2_vortex() {
+  VortexParams v;
+  v.central_pressure_pa = 96800.0;
+  v.ambient_pressure_pa = 101000.0;
+  v.rmax_m = 40000.0;
+  v.holland_b = 1.35;
+  v.latitude_deg = 21.0;
+  return v;
+}
+
+TEST(Holland, CalmEyeAndPeakNearRmax) {
+  const VortexParams v = cat2_vortex();
+  EXPECT_DOUBLE_EQ(holland_gradient_wind(v, 0.5), 0.0);
+  const double at_rmax = holland_gradient_wind(v, v.rmax_m);
+  // The gradient-wind peak sits almost exactly at Rmax.
+  EXPECT_GT(at_rmax, holland_gradient_wind(v, v.rmax_m / 3.0));
+  EXPECT_GT(at_rmax, holland_gradient_wind(v, v.rmax_m * 3.0));
+  // CAT-2-ish magnitude.
+  EXPECT_GT(at_rmax, 40.0);
+  EXPECT_LT(at_rmax, 60.0);
+}
+
+TEST(Holland, WindDecaysFarField) {
+  const VortexParams v = cat2_vortex();
+  double prev = holland_gradient_wind(v, 100000.0);
+  for (double r = 150000.0; r <= 400000.0; r += 50000.0) {
+    const double now = holland_gradient_wind(v, r);
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Holland, PressureProfileMonotonic) {
+  const VortexParams v = cat2_vortex();
+  EXPECT_DOUBLE_EQ(holland_pressure(v, 0.5), v.central_pressure_pa);
+  double prev = holland_pressure(v, 5000.0);
+  for (double r = 20000.0; r <= 300000.0; r += 20000.0) {
+    const double now = holland_pressure(v, r);
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+  EXPECT_NEAR(holland_pressure(v, 1e7), v.ambient_pressure_pa, 10.0);
+}
+
+TEST(Holland, CoriolisSignAndMagnitude) {
+  EXPECT_GT(coriolis_parameter(21.0), 0.0);
+  EXPECT_LT(coriolis_parameter(-21.0), 0.0);
+  EXPECT_NEAR(coriolis_parameter(90.0), 1.4584e-4, 1e-7);
+}
+
+TEST(WindField, CounterClockwiseRotation) {
+  const HollandWindField field({.inflow_angle_deg = 0.0,
+                                .translation_fraction = 0.0});
+  const VortexParams v = cat2_vortex();
+  // Point due east of the center: CCW rotation means northward wind.
+  const WindSample east =
+      field.sample(v, {0, 0}, {0, 0}, {v.rmax_m, 0.0});
+  EXPECT_GT(east.velocity_ms.y, 0.0);
+  EXPECT_NEAR(east.velocity_ms.x, 0.0, 1e-9);
+  // Point due north: westward wind.
+  const WindSample north =
+      field.sample(v, {0, 0}, {0, 0}, {0.0, v.rmax_m});
+  EXPECT_LT(north.velocity_ms.x, 0.0);
+}
+
+TEST(WindField, InflowTurnsWindInward) {
+  const HollandWindField field({.inflow_angle_deg = 20.0,
+                                .translation_fraction = 0.0});
+  const VortexParams v = cat2_vortex();
+  const WindSample east = field.sample(v, {0, 0}, {0, 0}, {v.rmax_m, 0.0});
+  // Radially inward at the east point = negative x.
+  EXPECT_LT(east.velocity_ms.x, 0.0);
+}
+
+TEST(WindField, ForwardMotionAsymmetry) {
+  const HollandWindField field;
+  const VortexParams v = cat2_vortex();
+  const geo::Vec2 northward_motion{0.0, 6.0};
+  // Storm moving north: right of track (east) is stronger than left.
+  const WindSample right =
+      field.sample(v, {0, 0}, northward_motion, {v.rmax_m, 0.0});
+  const WindSample left =
+      field.sample(v, {0, 0}, northward_motion, {-v.rmax_m, 0.0});
+  EXPECT_GT(right.speed_ms, left.speed_ms);
+}
+
+TEST(WindField, SampleReportsPressure) {
+  const HollandWindField field;
+  const VortexParams v = cat2_vortex();
+  const WindSample s = field.sample(v, {0, 0}, {0, 0}, {v.rmax_m, 0.0});
+  EXPECT_GT(s.pressure_pa, v.central_pressure_pa);
+  EXPECT_LT(s.pressure_pa, v.ambient_pressure_pa);
+  const WindSample center = field.sample(v, {0, 0}, {0, 0}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(center.speed_ms, 0.0);
+}
+
+// ---------------------------------------------------------------- track
+
+StormTrack simple_track() {
+  TrackPoint a;
+  a.time_s = 0.0;
+  a.center = {20.0, -158.0};
+  a.vortex = cat2_vortex();
+  TrackPoint b = a;
+  b.time_s = 36000.0;
+  b.center = {21.0, -158.0};  // due north
+  return StormTrack({a, b});
+}
+
+TEST(Track, InterpolationAndClamping) {
+  const StormTrack track = simple_track();
+  const geo::EnuProjection proj({20.5, -158.0});
+  const StormState mid = track.state_at(18000.0, proj);
+  EXPECT_NEAR(mid.center.lat_deg, 20.5, 1e-9);
+  const StormState before = track.state_at(-100.0, proj);
+  EXPECT_NEAR(before.center.lat_deg, 20.0, 1e-9);
+  const StormState after = track.state_at(1e9, proj);
+  EXPECT_NEAR(after.center.lat_deg, 21.0, 1e-9);
+  EXPECT_DOUBLE_EQ(track.duration(), 36000.0);
+}
+
+TEST(Track, TranslationVelocity) {
+  const StormTrack track = simple_track();
+  const geo::EnuProjection proj({20.5, -158.0});
+  const StormState mid = track.state_at(18000.0, proj);
+  // 111.2 km of latitude in 10 h ~ 3.09 m/s northward.
+  EXPECT_NEAR(mid.translation_ms.y, 3.09, 0.05);
+  EXPECT_NEAR(mid.translation_ms.x, 0.0, 0.05);
+}
+
+TEST(Track, ClosestApproach) {
+  const StormTrack track = simple_track();
+  const geo::EnuProjection proj({20.5, -158.0});
+  const double t = track.time_of_closest_approach({20.5, -157.9}, proj);
+  EXPECT_NEAR(t, 18000.0, 1200.0);
+}
+
+TEST(Track, Validation) {
+  EXPECT_THROW(StormTrack(std::vector<TrackPoint>{}), std::invalid_argument);
+  TrackPoint only;
+  EXPECT_THROW(StormTrack({only}), std::invalid_argument);
+  TrackPoint a;
+  a.time_s = 10.0;
+  TrackPoint b;
+  b.time_s = 10.0;  // not increasing
+  EXPECT_THROW(StormTrack({a, b}), std::invalid_argument);
+}
+
+TEST(Track, PeakCategory) {
+  const StormTrack track = simple_track();
+  EXPECT_GE(static_cast<int>(track.peak_category()),
+            static_cast<int>(Category::kCat1));
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, Deterministic) {
+  const TrackGenerator gen{TrackEnsembleConfig{}};
+  const StormTrack a = gen.generate(123, 7);
+  const StormTrack b = gen.generate(123, 7);
+  ASSERT_EQ(a.points().size(), b.points().size());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].center.lat_deg, b.points()[i].center.lat_deg);
+    EXPECT_DOUBLE_EQ(a.points()[i].vortex.rmax_m, b.points()[i].vortex.rmax_m);
+  }
+}
+
+TEST(Generator, RealizationsDiffer) {
+  const TrackGenerator gen{TrackEnsembleConfig{}};
+  const StormTrack a = gen.generate(123, 0);
+  const StormTrack b = gen.generate(123, 1);
+  EXPECT_NE(a.points().front().center.lon_deg,
+            b.points().front().center.lon_deg);
+}
+
+TEST(Generator, ParametersWithinTruncationBounds) {
+  const TrackEnsembleConfig config;
+  const TrackGenerator gen(config);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const StormTrack t = gen.generate(99, i);
+    const VortexParams& v = t.points().front().vortex;
+    EXPECT_GE(v.rmax_m, config.rmax_min_m);
+    EXPECT_LE(v.rmax_m, config.rmax_max_m);
+    EXPECT_GE(v.holland_b, 1.0);
+    EXPECT_LE(v.holland_b, 2.2);
+    const double dp = v.ambient_pressure_pa - v.central_pressure_pa;
+    EXPECT_GT(dp, 1000.0);
+    EXPECT_LT(dp, 7000.0);
+  }
+}
+
+TEST(Generator, EnsembleIsMostlyCat2) {
+  const TrackGenerator gen{TrackEnsembleConfig{}};
+  int cat2ish = 0;
+  const int n = 100;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Category c = gen.generate(7, i).peak_category();
+    if (c == Category::kCat1 || c == Category::kCat2) ++cat2ish;
+  }
+  EXPECT_GE(cat2ish, 90);
+}
+
+TEST(Generator, BaseTrackPassesNearAimPoint) {
+  const TrackEnsembleConfig config;
+  const TrackGenerator gen(config);
+  const StormTrack base = gen.base_track();
+  const geo::EnuProjection proj(config.base_aim);
+  const double t = base.time_of_closest_approach(config.base_aim, proj);
+  const StormState s = base.state_at(t, proj);
+  EXPECT_LT(geo::distance(proj.to_enu(s.center), proj.to_enu(config.base_aim)),
+            10000.0);
+}
+
+TEST(Generator, TrackHeadsNorthwest) {
+  const TrackGenerator gen{TrackEnsembleConfig{}};
+  const StormTrack t = gen.generate(1, 0);
+  const geo::GeoPoint start = t.points().front().center;
+  const geo::GeoPoint end = t.points().back().center;
+  EXPECT_GT(end.lat_deg, start.lat_deg);   // moving north
+  EXPECT_LT(end.lon_deg, start.lon_deg);   // and west
+}
+
+TEST(Generator, FixSpacingMatchesConfig) {
+  TrackEnsembleConfig config;
+  config.fix_interval_s = 1800.0;
+  const TrackGenerator gen(config);
+  const StormTrack t = gen.generate(5, 3);
+  ASSERT_GE(t.points().size(), 3u);
+  EXPECT_NEAR(t.points()[1].time_s - t.points()[0].time_s, 1800.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ct::storm

@@ -1,0 +1,166 @@
+// Tests for the procedural terrain and shoreline sampling.
+#include <gtest/gtest.h>
+
+#include "terrain/oahu.h"
+#include "terrain/shoreline.h"
+#include "terrain/terrain.h"
+
+namespace ct::terrain {
+namespace {
+
+IslandParams tiny_island() {
+  IslandParams p;
+  p.name = "diamond";
+  // Diamond roughly 20 km across.
+  p.coastline = {{21.0, -158.0}, {21.09, -157.9}, {21.18, -158.0},
+                 {21.09, -158.1}};
+  p.projection_reference = {21.09, -158.0};
+  p.shore_elevation_m = 1.0;
+  p.plain_slope = 0.01;
+  return p;
+}
+
+TEST(SyntheticIsland, LandSeaClassification) {
+  const SyntheticIslandTerrain island(tiny_island());
+  const auto& proj = island.projection();
+  EXPECT_TRUE(island.is_land(proj.to_enu({21.09, -158.0})));     // center
+  EXPECT_FALSE(island.is_land(proj.to_enu({21.09, -158.5})));    // far west
+  EXPECT_FALSE(island.is_land(proj.to_enu({22.0, -158.0})));     // far north
+}
+
+TEST(SyntheticIsland, ElevationSigns) {
+  const SyntheticIslandTerrain island(tiny_island());
+  const auto& proj = island.projection();
+  EXPECT_GT(island.elevation(proj.to_enu({21.09, -158.0})), 0.0);
+  EXPECT_LT(island.elevation(proj.to_enu({21.09, -158.4})), 0.0);
+}
+
+TEST(SyntheticIsland, PlainRisesInland) {
+  const SyntheticIslandTerrain island(tiny_island());
+  const auto& proj = island.projection();
+  const double near_shore = island.elevation(proj.to_enu({21.005, -158.0}));
+  const double center = island.elevation(proj.to_enu({21.09, -158.0}));
+  EXPECT_GT(center, near_shore);
+}
+
+TEST(SyntheticIsland, OceanDeepensOffshore) {
+  const SyntheticIslandTerrain island(tiny_island());
+  const auto& proj = island.projection();
+  const double shallow = island.elevation(proj.to_enu({21.09, -158.12}));
+  const double deep = island.elevation(proj.to_enu({21.09, -158.5}));
+  EXPECT_LT(deep, shallow);
+  EXPECT_GE(deep, -island.params().max_depth_m - 1e-9);
+}
+
+TEST(SyntheticIsland, RidgeRaisesElevation) {
+  IslandParams p = tiny_island();
+  const SyntheticIslandTerrain flat(p);
+  p.ridges = {{{21.06, -158.0}, {21.12, -158.0}, 500.0, 2000.0}};
+  const SyntheticIslandTerrain ridged(p);
+  const geo::Vec2 on_ridge = ridged.projection().to_enu({21.09, -158.0});
+  EXPECT_NEAR(ridged.elevation(on_ridge) - flat.elevation(on_ridge), 500.0,
+              50.0);
+}
+
+TEST(SyntheticIsland, RejectsDegenerateCoast) {
+  IslandParams p = tiny_island();
+  p.coastline = {{21.0, -158.0}, {21.1, -158.0}};
+  EXPECT_THROW(SyntheticIslandTerrain{p}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- oahu
+
+TEST(Oahu, ParamsAreSane) {
+  const IslandParams p = oahu_params();
+  EXPECT_GE(p.coastline.size(), 20u);
+  EXPECT_EQ(p.ridges.size(), 2u);  // WaiÊ»anae and KoÊ»olau
+  EXPECT_GT(p.max_depth_m, 1000.0);
+}
+
+TEST(Oahu, CaseStudySitesAreOnLand) {
+  const auto oahu = make_oahu_terrain();
+  for (const geo::GeoPoint site :
+       {oahu_sites::kHonolulu, oahu_sites::kWaiau, oahu_sites::kKahe,
+        oahu_sites::kDrFortress, oahu_sites::kWahiawa}) {
+    EXPECT_TRUE(oahu->is_land(oahu->projection().to_enu(site)))
+        << site.lat_deg << "," << site.lon_deg;
+  }
+}
+
+TEST(Oahu, MountainsAreHigh) {
+  const auto oahu = make_oahu_terrain();
+  // Near the WaiÊ»anae crest (Mt. KaÊ»ala area).
+  const double waianae = oahu->elevation_at({21.47, -158.15});
+  EXPECT_GT(waianae, 500.0);
+  // Wahiawa plateau sits between the ranges, moderately high.
+  const double wahiawa = oahu->elevation_at(oahu_sites::kWahiawa);
+  EXPECT_GT(wahiawa, 50.0);
+  EXPECT_LT(wahiawa, waianae);
+}
+
+TEST(Oahu, OffshoreIsOcean) {
+  const auto oahu = make_oahu_terrain();
+  EXPECT_LT(oahu->elevation_at({20.8, -158.0}), -100.0);
+  EXPECT_LT(oahu->elevation_at({21.45, -157.4}), -100.0);
+}
+
+TEST(Oahu, IslandAreaIsPlausible) {
+  // Real Oahu is ~1545 km^2; the synthetic outline should be same order.
+  const auto oahu = make_oahu_terrain();
+  const double area_km2 = oahu->coastline().abs_area() / 1e6;
+  EXPECT_GT(area_km2, 1000.0);
+  EXPECT_LT(area_km2, 2300.0);
+}
+
+// ---------------------------------------------------------------- shoreline
+
+TEST(Shoreline, SpacingAndArclength) {
+  const geo::Polygon square(
+      {{0, 0}, {10000, 0}, {10000, 10000}, {0, 10000}});
+  const auto shore = sample_shoreline(square, 1000.0);
+  EXPECT_EQ(shore.size(), 40u);  // perimeter 40 km / 1 km
+  for (std::size_t i = 1; i < shore.size(); ++i) {
+    EXPECT_NEAR(shore[i].arclength - shore[i - 1].arclength, 1000.0, 1e-6);
+  }
+}
+
+TEST(Shoreline, NormalsPointOutward) {
+  const geo::Polygon square(
+      {{0, 0}, {10000, 0}, {10000, 10000}, {0, 10000}});
+  for (const auto& sp : sample_shoreline(square, 500.0)) {
+    EXPECT_NEAR(sp.outward_normal.norm(), 1.0, 1e-9);
+    EXPECT_FALSE(square.contains(sp.position + sp.outward_normal * 10.0));
+  }
+}
+
+TEST(Shoreline, NormalsOutwardOnOahu) {
+  const auto oahu = make_oahu_terrain();
+  const auto shore = sample_shoreline(oahu->coastline(), 2000.0);
+  EXPECT_GT(shore.size(), 50u);
+  std::size_t outward = 0;
+  for (const auto& sp : shore) {
+    if (!oahu->coastline().contains(sp.position + sp.outward_normal * 50.0)) {
+      ++outward;
+    }
+  }
+  // All but possibly a couple of stations at sharp concave corners.
+  EXPECT_GE(outward, shore.size() - 2);
+}
+
+TEST(Shoreline, NearestShorePoint) {
+  const geo::Polygon square(
+      {{0, 0}, {10000, 0}, {10000, 10000}, {0, 10000}});
+  const auto shore = sample_shoreline(square, 1000.0);
+  const std::size_t idx = nearest_shore_point(shore, {5100.0, -300.0});
+  EXPECT_NEAR(shore[idx].position.x, 5000.0, 600.0);
+  EXPECT_NEAR(shore[idx].position.y, 0.0, 1e-9);
+}
+
+TEST(Shoreline, RejectsBadSpacing) {
+  const geo::Polygon square({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_THROW(sample_shoreline(square, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_shoreline(square, -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ct::terrain

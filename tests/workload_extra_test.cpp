@@ -1,0 +1,129 @@
+// Tests for client retransmission and the availability time series.
+#include <gtest/gtest.h>
+
+#include "scada/configuration.h"
+#include "sim/network.h"
+#include "sim/scada_des.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "threat/system_state.h"
+
+namespace ct::sim {
+namespace {
+
+/// Server that ignores the first `drop_first` requests per id (simulating
+/// loss) and then answers.
+class FlakyServer {
+ public:
+  FlakyServer(Network& net, NodeAddr self, int drop_first)
+      : net_(net), self_(self), drop_first_(drop_first) {
+    net_.register_handler(self_, [this](const Message& m) {
+      if (m.type != Message::Type::kRequest) return;
+      if (++seen_[m.request_id] <= drop_first_) return;  // swallow
+      Message reply;
+      reply.type = Message::Type::kReply;
+      reply.request_id = m.request_id;
+      reply.value = m.request_id;
+      net_.send(self_, m.sender, reply);
+    });
+  }
+
+ private:
+  Network& net_;
+  NodeAddr self_;
+  int drop_first_;
+  std::map<std::int64_t, int> seen_;
+};
+
+TEST(Retransmission, RecoversSwallowedRequests) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.request_interval_s = 2.0;
+  options.request_timeout_s = 1.0;
+  options.retransmit_limit = 2;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FlakyServer server(net, {0, 0}, /*drop_first=*/1);
+  client.start(0.0, 20.0);
+  sim.run_until(25.0);
+  // Every request's first copy is swallowed; the retransmit lands.
+  std::size_t completed = 0;
+  for (const auto& r : client.records()) {
+    if (r.completed_at >= 0.0) ++completed;
+  }
+  EXPECT_EQ(completed, client.records().size());
+  // Completion happens after the timeout (the retransmit round trip), so
+  // timeout-bounded availability sees them as failures...
+  EXPECT_LT(client.success_fraction(0.0, 19.0), 0.1);
+  // ...but the service-gap view sees continuous (delayed) service.
+  EXPECT_LT(client.max_gap(2.0, 19.0), 4.0);
+}
+
+TEST(Retransmission, GivesUpAfterLimit) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.request_timeout_s = 0.5;
+  options.retransmit_limit = 2;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FlakyServer server(net, {0, 0}, /*drop_first=*/10);  // never answers
+  client.start(0.0, 6.0);
+  sim.run_until(10.0);
+  for (const auto& r : client.records()) EXPECT_LT(r.completed_at, 0.0);
+}
+
+TEST(AvailabilitySeries, CapturesOutageShape) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  WorkloadOptions options;
+  options.request_interval_s = 1.0;
+  ClientWorkload client(sim, net, {1, 0}, options);
+  client.set_targets({{0, 0}});
+  FlakyServer server(net, {0, 0}, 0);
+  client.start(0.0, 30.0);
+  sim.schedule_at(10.0, [&] { net.set_site_down(0, true); });
+  sim.schedule_at(20.0, [&] { net.set_site_down(0, false); });
+  sim.run_until(35.0);
+  const std::vector<double> series = client.availability_series(10.0, 0.0, 30.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_GT(series[0], 0.9);   // up
+  EXPECT_LT(series[1], 0.15);  // outage
+  EXPECT_GT(series[2], 0.9);   // recovered
+}
+
+TEST(AvailabilitySeries, EmptyBucketsReadNoData) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  ClientWorkload client(sim, net, {1, 0}, {});
+  client.set_targets({{0, 0}});
+  client.start(100.0, 110.0);
+  sim.run_until(120.0);
+  const std::vector<double> series =
+      client.availability_series(50.0, 0.0, 150.0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], -1.0);  // nothing issued before t=100
+  EXPECT_TRUE(client.availability_series(0.0, 0.0, 10.0).empty());
+}
+
+TEST(AvailabilitySeries, DesOutcomeCarriesTimeline) {
+  sim::DesOptions options;
+  options.horizon_s = 600.0;
+  options.attack_time_s = 120.0;
+  options.pb.activation_delay_s = 120.0;
+  options.pb.controller_outage_threshold_s = 15.0;
+  const ScadaDes des(scada::make_config_2_2("p", "b"), options);
+  threat::SystemState state;
+  state.site_status = {threat::SiteStatus::kFlooded, threat::SiteStatus::kUp};
+  state.intrusions = {0, 0};
+  const DesOutcome outcome = des.run(state);
+  ASSERT_EQ(outcome.availability_timeline.size(), 10u);  // 600 s / 60 s
+  // Early buckets are an outage (primary flooded, backup cold)...
+  EXPECT_LT(outcome.availability_timeline[0], 0.1);
+  // ...late buckets are healthy (backup activated).
+  EXPECT_GT(outcome.availability_timeline.back(), 0.9);
+}
+
+}  // namespace
+}  // namespace ct::sim
