@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attacker.dir/bench_attacker.cpp.o"
+  "CMakeFiles/bench_attacker.dir/bench_attacker.cpp.o.d"
+  "bench_attacker"
+  "bench_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

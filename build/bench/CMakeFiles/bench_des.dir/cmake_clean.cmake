@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des.dir/bench_des.cpp.o"
+  "CMakeFiles/bench_des.dir/bench_des.cpp.o.d"
+  "bench_des"
+  "bench_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

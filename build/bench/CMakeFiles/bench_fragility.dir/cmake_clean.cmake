@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fragility.dir/bench_fragility.cpp.o"
+  "CMakeFiles/bench_fragility.dir/bench_fragility.cpp.o.d"
+  "bench_fragility"
+  "bench_fragility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fragility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_siting.dir/bench_siting.cpp.o"
+  "CMakeFiles/bench_siting.dir/bench_siting.cpp.o.d"
+  "bench_siting"
+  "bench_siting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_siting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

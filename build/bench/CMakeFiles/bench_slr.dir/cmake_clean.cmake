@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slr.dir/bench_slr.cpp.o"
+  "CMakeFiles/bench_slr.dir/bench_slr.cpp.o.d"
+  "bench_slr"
+  "bench_slr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_bench_common.dir/figure_bench.cpp.o"
+  "CMakeFiles/ct_bench_common.dir/figure_bench.cpp.o.d"
+  "libct_bench_common.a"
+  "libct_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctctl.dir/ctctl.cpp.o"
+  "CMakeFiles/ctctl.dir/ctctl.cpp.o.d"
+  "ctctl"
+  "ctctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/des_replay.cpp" "examples/CMakeFiles/des_replay.dir/des_replay.cpp.o" "gcc" "examples/CMakeFiles/des_replay.dir/des_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threat/CMakeFiles/ct_threat.dir/DependInfo.cmake"
+  "/root/repo/build/src/scada/CMakeFiles/ct_scada.dir/DependInfo.cmake"
+  "/root/repo/build/src/surge/CMakeFiles/ct_surge.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/ct_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/ct_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

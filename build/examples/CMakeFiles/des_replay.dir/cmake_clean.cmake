@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_replay.dir/des_replay.cpp.o"
+  "CMakeFiles/des_replay.dir/des_replay.cpp.o.d"
+  "des_replay"
+  "des_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

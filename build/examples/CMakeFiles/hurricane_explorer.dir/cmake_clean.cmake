@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_explorer.dir/hurricane_explorer.cpp.o"
+  "CMakeFiles/hurricane_explorer.dir/hurricane_explorer.cpp.o.d"
+  "hurricane_explorer"
+  "hurricane_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

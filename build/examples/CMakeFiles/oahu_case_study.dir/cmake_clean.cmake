@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oahu_case_study.dir/oahu_case_study.cpp.o"
+  "CMakeFiles/oahu_case_study.dir/oahu_case_study.cpp.o.d"
+  "oahu_case_study"
+  "oahu_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oahu_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/siting_optimization.dir/siting_optimization.cpp.o"
+  "CMakeFiles/siting_optimization.dir/siting_optimization.cpp.o.d"
+  "siting_optimization"
+  "siting_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/siting_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacker_power.cpp" "src/core/CMakeFiles/ct_core.dir/attacker_power.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/attacker_power.cpp.o.d"
+  "/root/repo/src/core/case_study.cpp" "src/core/CMakeFiles/ct_core.dir/case_study.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/case_study.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/ct_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/map.cpp" "src/core/CMakeFiles/ct_core.dir/map.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/map.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/ct_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ct_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/restoration.cpp" "src/core/CMakeFiles/ct_core.dir/restoration.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/restoration.cpp.o.d"
+  "/root/repo/src/core/siting.cpp" "src/core/CMakeFiles/ct_core.dir/siting.cpp.o" "gcc" "src/core/CMakeFiles/ct_core.dir/siting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threat/CMakeFiles/ct_threat.dir/DependInfo.cmake"
+  "/root/repo/build/src/scada/CMakeFiles/ct_scada.dir/DependInfo.cmake"
+  "/root/repo/build/src/surge/CMakeFiles/ct_surge.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/ct_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/ct_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

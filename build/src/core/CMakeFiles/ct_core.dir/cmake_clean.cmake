@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/attacker_power.cpp.o"
+  "CMakeFiles/ct_core.dir/attacker_power.cpp.o.d"
+  "CMakeFiles/ct_core.dir/case_study.cpp.o"
+  "CMakeFiles/ct_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/ct_core.dir/evaluator.cpp.o"
+  "CMakeFiles/ct_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ct_core.dir/map.cpp.o"
+  "CMakeFiles/ct_core.dir/map.cpp.o.d"
+  "CMakeFiles/ct_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ct_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ct_core.dir/report.cpp.o"
+  "CMakeFiles/ct_core.dir/report.cpp.o.d"
+  "CMakeFiles/ct_core.dir/restoration.cpp.o"
+  "CMakeFiles/ct_core.dir/restoration.cpp.o.d"
+  "CMakeFiles/ct_core.dir/siting.cpp.o"
+  "CMakeFiles/ct_core.dir/siting.cpp.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geopoint.cpp" "src/geo/CMakeFiles/ct_geo.dir/geopoint.cpp.o" "gcc" "src/geo/CMakeFiles/ct_geo.dir/geopoint.cpp.o.d"
+  "/root/repo/src/geo/grid_index.cpp" "src/geo/CMakeFiles/ct_geo.dir/grid_index.cpp.o" "gcc" "src/geo/CMakeFiles/ct_geo.dir/grid_index.cpp.o.d"
+  "/root/repo/src/geo/polygon.cpp" "src/geo/CMakeFiles/ct_geo.dir/polygon.cpp.o" "gcc" "src/geo/CMakeFiles/ct_geo.dir/polygon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

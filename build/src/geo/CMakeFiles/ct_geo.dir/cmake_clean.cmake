@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_geo.dir/geopoint.cpp.o"
+  "CMakeFiles/ct_geo.dir/geopoint.cpp.o.d"
+  "CMakeFiles/ct_geo.dir/grid_index.cpp.o"
+  "CMakeFiles/ct_geo.dir/grid_index.cpp.o.d"
+  "CMakeFiles/ct_geo.dir/polygon.cpp.o"
+  "CMakeFiles/ct_geo.dir/polygon.cpp.o.d"
+  "libct_geo.a"
+  "libct_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

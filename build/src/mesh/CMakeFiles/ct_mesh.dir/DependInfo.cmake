@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/coastal_builder.cpp" "src/mesh/CMakeFiles/ct_mesh.dir/coastal_builder.cpp.o" "gcc" "src/mesh/CMakeFiles/ct_mesh.dir/coastal_builder.cpp.o.d"
+  "/root/repo/src/mesh/field.cpp" "src/mesh/CMakeFiles/ct_mesh.dir/field.cpp.o" "gcc" "src/mesh/CMakeFiles/ct_mesh.dir/field.cpp.o.d"
+  "/root/repo/src/mesh/trimesh.cpp" "src/mesh/CMakeFiles/ct_mesh.dir/trimesh.cpp.o" "gcc" "src/mesh/CMakeFiles/ct_mesh.dir/trimesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_mesh.dir/coastal_builder.cpp.o"
+  "CMakeFiles/ct_mesh.dir/coastal_builder.cpp.o.d"
+  "CMakeFiles/ct_mesh.dir/field.cpp.o"
+  "CMakeFiles/ct_mesh.dir/field.cpp.o.d"
+  "CMakeFiles/ct_mesh.dir/trimesh.cpp.o"
+  "CMakeFiles/ct_mesh.dir/trimesh.cpp.o.d"
+  "libct_mesh.a"
+  "libct_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scada/architect.cpp" "src/scada/CMakeFiles/ct_scada.dir/architect.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/architect.cpp.o.d"
+  "/root/repo/src/scada/asset.cpp" "src/scada/CMakeFiles/ct_scada.dir/asset.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/asset.cpp.o.d"
+  "/root/repo/src/scada/configuration.cpp" "src/scada/CMakeFiles/ct_scada.dir/configuration.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/configuration.cpp.o.d"
+  "/root/repo/src/scada/oahu.cpp" "src/scada/CMakeFiles/ct_scada.dir/oahu.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/oahu.cpp.o.d"
+  "/root/repo/src/scada/requirements.cpp" "src/scada/CMakeFiles/ct_scada.dir/requirements.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/requirements.cpp.o.d"
+  "/root/repo/src/scada/topology_io.cpp" "src/scada/CMakeFiles/ct_scada.dir/topology_io.cpp.o" "gcc" "src/scada/CMakeFiles/ct_scada.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/surge/CMakeFiles/ct_surge.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/ct_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/ct_storm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

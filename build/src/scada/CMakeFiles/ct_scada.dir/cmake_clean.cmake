@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_scada.dir/architect.cpp.o"
+  "CMakeFiles/ct_scada.dir/architect.cpp.o.d"
+  "CMakeFiles/ct_scada.dir/asset.cpp.o"
+  "CMakeFiles/ct_scada.dir/asset.cpp.o.d"
+  "CMakeFiles/ct_scada.dir/configuration.cpp.o"
+  "CMakeFiles/ct_scada.dir/configuration.cpp.o.d"
+  "CMakeFiles/ct_scada.dir/oahu.cpp.o"
+  "CMakeFiles/ct_scada.dir/oahu.cpp.o.d"
+  "CMakeFiles/ct_scada.dir/requirements.cpp.o"
+  "CMakeFiles/ct_scada.dir/requirements.cpp.o.d"
+  "CMakeFiles/ct_scada.dir/topology_io.cpp.o"
+  "CMakeFiles/ct_scada.dir/topology_io.cpp.o.d"
+  "libct_scada.a"
+  "libct_scada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_scada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

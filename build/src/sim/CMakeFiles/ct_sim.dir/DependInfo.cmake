@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bft.cpp" "src/sim/CMakeFiles/ct_sim.dir/bft.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/bft.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/ct_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/primary_backup.cpp" "src/sim/CMakeFiles/ct_sim.dir/primary_backup.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/primary_backup.cpp.o.d"
+  "/root/repo/src/sim/scada_des.cpp" "src/sim/CMakeFiles/ct_sim.dir/scada_des.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/scada_des.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ct_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/ct_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/ct_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scada/CMakeFiles/ct_scada.dir/DependInfo.cmake"
+  "/root/repo/build/src/threat/CMakeFiles/ct_threat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/surge/CMakeFiles/ct_surge.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/ct_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/ct_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_sim.dir/bft.cpp.o"
+  "CMakeFiles/ct_sim.dir/bft.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/network.cpp.o"
+  "CMakeFiles/ct_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/primary_backup.cpp.o"
+  "CMakeFiles/ct_sim.dir/primary_backup.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/scada_des.cpp.o"
+  "CMakeFiles/ct_sim.dir/scada_des.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ct_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ct_sim.dir/workload.cpp.o"
+  "CMakeFiles/ct_sim.dir/workload.cpp.o.d"
+  "libct_sim.a"
+  "libct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

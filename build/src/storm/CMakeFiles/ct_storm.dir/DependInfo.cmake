@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storm/generator.cpp" "src/storm/CMakeFiles/ct_storm.dir/generator.cpp.o" "gcc" "src/storm/CMakeFiles/ct_storm.dir/generator.cpp.o.d"
+  "/root/repo/src/storm/holland.cpp" "src/storm/CMakeFiles/ct_storm.dir/holland.cpp.o" "gcc" "src/storm/CMakeFiles/ct_storm.dir/holland.cpp.o.d"
+  "/root/repo/src/storm/saffir_simpson.cpp" "src/storm/CMakeFiles/ct_storm.dir/saffir_simpson.cpp.o" "gcc" "src/storm/CMakeFiles/ct_storm.dir/saffir_simpson.cpp.o.d"
+  "/root/repo/src/storm/track.cpp" "src/storm/CMakeFiles/ct_storm.dir/track.cpp.o" "gcc" "src/storm/CMakeFiles/ct_storm.dir/track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

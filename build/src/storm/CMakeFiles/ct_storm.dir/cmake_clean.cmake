@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_storm.dir/generator.cpp.o"
+  "CMakeFiles/ct_storm.dir/generator.cpp.o.d"
+  "CMakeFiles/ct_storm.dir/holland.cpp.o"
+  "CMakeFiles/ct_storm.dir/holland.cpp.o.d"
+  "CMakeFiles/ct_storm.dir/saffir_simpson.cpp.o"
+  "CMakeFiles/ct_storm.dir/saffir_simpson.cpp.o.d"
+  "CMakeFiles/ct_storm.dir/track.cpp.o"
+  "CMakeFiles/ct_storm.dir/track.cpp.o.d"
+  "libct_storm.a"
+  "libct_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

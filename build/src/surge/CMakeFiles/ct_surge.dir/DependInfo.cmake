@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surge/fragility.cpp" "src/surge/CMakeFiles/ct_surge.dir/fragility.cpp.o" "gcc" "src/surge/CMakeFiles/ct_surge.dir/fragility.cpp.o.d"
+  "/root/repo/src/surge/harbor.cpp" "src/surge/CMakeFiles/ct_surge.dir/harbor.cpp.o" "gcc" "src/surge/CMakeFiles/ct_surge.dir/harbor.cpp.o.d"
+  "/root/repo/src/surge/inundation.cpp" "src/surge/CMakeFiles/ct_surge.dir/inundation.cpp.o" "gcc" "src/surge/CMakeFiles/ct_surge.dir/inundation.cpp.o.d"
+  "/root/repo/src/surge/realization.cpp" "src/surge/CMakeFiles/ct_surge.dir/realization.cpp.o" "gcc" "src/surge/CMakeFiles/ct_surge.dir/realization.cpp.o.d"
+  "/root/repo/src/surge/surge_model.cpp" "src/surge/CMakeFiles/ct_surge.dir/surge_model.cpp.o" "gcc" "src/surge/CMakeFiles/ct_surge.dir/surge_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/ct_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/ct_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/terrain/CMakeFiles/ct_terrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_surge.dir/fragility.cpp.o"
+  "CMakeFiles/ct_surge.dir/fragility.cpp.o.d"
+  "CMakeFiles/ct_surge.dir/harbor.cpp.o"
+  "CMakeFiles/ct_surge.dir/harbor.cpp.o.d"
+  "CMakeFiles/ct_surge.dir/inundation.cpp.o"
+  "CMakeFiles/ct_surge.dir/inundation.cpp.o.d"
+  "CMakeFiles/ct_surge.dir/realization.cpp.o"
+  "CMakeFiles/ct_surge.dir/realization.cpp.o.d"
+  "CMakeFiles/ct_surge.dir/surge_model.cpp.o"
+  "CMakeFiles/ct_surge.dir/surge_model.cpp.o.d"
+  "libct_surge.a"
+  "libct_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

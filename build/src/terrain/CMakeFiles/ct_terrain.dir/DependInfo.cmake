@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/terrain/oahu.cpp" "src/terrain/CMakeFiles/ct_terrain.dir/oahu.cpp.o" "gcc" "src/terrain/CMakeFiles/ct_terrain.dir/oahu.cpp.o.d"
+  "/root/repo/src/terrain/shoreline.cpp" "src/terrain/CMakeFiles/ct_terrain.dir/shoreline.cpp.o" "gcc" "src/terrain/CMakeFiles/ct_terrain.dir/shoreline.cpp.o.d"
+  "/root/repo/src/terrain/terrain.cpp" "src/terrain/CMakeFiles/ct_terrain.dir/terrain.cpp.o" "gcc" "src/terrain/CMakeFiles/ct_terrain.dir/terrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/ct_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

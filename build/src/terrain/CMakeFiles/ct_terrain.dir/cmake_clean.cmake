@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_terrain.dir/oahu.cpp.o"
+  "CMakeFiles/ct_terrain.dir/oahu.cpp.o.d"
+  "CMakeFiles/ct_terrain.dir/shoreline.cpp.o"
+  "CMakeFiles/ct_terrain.dir/shoreline.cpp.o.d"
+  "CMakeFiles/ct_terrain.dir/terrain.cpp.o"
+  "CMakeFiles/ct_terrain.dir/terrain.cpp.o.d"
+  "libct_terrain.a"
+  "libct_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

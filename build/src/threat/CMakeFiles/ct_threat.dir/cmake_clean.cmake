@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_threat.dir/attacker.cpp.o"
+  "CMakeFiles/ct_threat.dir/attacker.cpp.o.d"
+  "CMakeFiles/ct_threat.dir/probabilistic_attacker.cpp.o"
+  "CMakeFiles/ct_threat.dir/probabilistic_attacker.cpp.o.d"
+  "CMakeFiles/ct_threat.dir/scenario.cpp.o"
+  "CMakeFiles/ct_threat.dir/scenario.cpp.o.d"
+  "CMakeFiles/ct_threat.dir/system_state.cpp.o"
+  "CMakeFiles/ct_threat.dir/system_state.cpp.o.d"
+  "libct_threat.a"
+  "libct_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_util.dir/csv.cpp.o"
+  "CMakeFiles/ct_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ct_util.dir/json_writer.cpp.o"
+  "CMakeFiles/ct_util.dir/json_writer.cpp.o.d"
+  "CMakeFiles/ct_util.dir/log.cpp.o"
+  "CMakeFiles/ct_util.dir/log.cpp.o.d"
+  "CMakeFiles/ct_util.dir/rng.cpp.o"
+  "CMakeFiles/ct_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ct_util.dir/stats.cpp.o"
+  "CMakeFiles/ct_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ct_util.dir/strings.cpp.o"
+  "CMakeFiles/ct_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ct_util.dir/table.cpp.o"
+  "CMakeFiles/ct_util.dir/table.cpp.o.d"
+  "libct_util.a"
+  "libct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

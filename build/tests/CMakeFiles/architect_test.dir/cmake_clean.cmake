@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architect_test.dir/architect_test.cpp.o"
+  "CMakeFiles/architect_test.dir/architect_test.cpp.o.d"
+  "architect_test"
+  "architect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_misc_test.dir/extension_misc_test.cpp.o"
+  "CMakeFiles/extension_misc_test.dir/extension_misc_test.cpp.o.d"
+  "extension_misc_test"
+  "extension_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

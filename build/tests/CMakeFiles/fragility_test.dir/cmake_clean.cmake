@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragility_test.dir/fragility_test.cpp.o"
+  "CMakeFiles/fragility_test.dir/fragility_test.cpp.o.d"
+  "fragility_test"
+  "fragility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

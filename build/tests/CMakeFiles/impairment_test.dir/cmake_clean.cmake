@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impairment_test.dir/impairment_test.cpp.o"
+  "CMakeFiles/impairment_test.dir/impairment_test.cpp.o.d"
+  "impairment_test"
+  "impairment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impairment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_map_test.dir/io_map_test.cpp.o"
+  "CMakeFiles/io_map_test.dir/io_map_test.cpp.o.d"
+  "io_map_test"
+  "io_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

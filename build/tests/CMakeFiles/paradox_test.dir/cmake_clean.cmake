@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_test.dir/paradox_test.cpp.o"
+  "CMakeFiles/paradox_test.dir/paradox_test.cpp.o.d"
+  "paradox_test"
+  "paradox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restoration_test.dir/restoration_test.cpp.o"
+  "CMakeFiles/restoration_test.dir/restoration_test.cpp.o.d"
+  "restoration_test"
+  "restoration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restoration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

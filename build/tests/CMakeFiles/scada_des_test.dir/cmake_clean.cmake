@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scada_des_test.dir/scada_des_test.cpp.o"
+  "CMakeFiles/scada_des_test.dir/scada_des_test.cpp.o.d"
+  "scada_des_test"
+  "scada_des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scada_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

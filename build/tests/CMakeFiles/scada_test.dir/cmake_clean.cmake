@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scada_test.dir/scada_test.cpp.o"
+  "CMakeFiles/scada_test.dir/scada_test.cpp.o.d"
+  "scada_test"
+  "scada_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scada_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_test.dir/surge_test.cpp.o"
+  "CMakeFiles/surge_test.dir/surge_test.cpp.o.d"
+  "surge_test"
+  "surge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

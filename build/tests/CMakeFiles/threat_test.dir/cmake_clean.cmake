@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threat_test.dir/threat_test.cpp.o"
+  "CMakeFiles/threat_test.dir/threat_test.cpp.o.d"
+  "threat_test"
+  "threat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_extra_test.dir/workload_extra_test.cpp.o"
+  "CMakeFiles/workload_extra_test.dir/workload_extra_test.cpp.o.d"
+  "workload_extra_test"
+  "workload_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
