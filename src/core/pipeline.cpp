@@ -1,8 +1,40 @@
 #include "core/pipeline.h"
 
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
 #include "core/evaluator.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/strings.h"
 
 namespace ct::core {
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  s = util::trim(s);
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end && !s.empty();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  s = util::trim(s);
+  if (s.empty()) return false;
+  // std::from_chars<double> is not universally available; strtod on a
+  // bounded copy keeps this portable.
+  std::string copy(s);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+}  // namespace
 
 void OutcomeDistribution::add(threat::OperationalState s) noexcept {
   ++counts_[static_cast<std::size_t>(s)];
@@ -63,6 +95,84 @@ ScenarioResult AnalysisPipeline::analyze(
     result.outcomes.add(outcome_for(config, scenario, r));
   }
   return result;
+}
+
+ScenarioResult AnalysisPipeline::analyze_csv(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    std::istream& in) const {
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  ScenarioResult result = analyze(config, scenario, loaded.realizations);
+  result.skipped_realizations = loaded.skipped_rows;
+  return result;
+}
+
+LoadedRealizations load_realizations_csv(std::istream& in) {
+  LoadedRealizations out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    std::vector<std::string> fields;
+    std::string why;
+    try {
+      fields = util::parse_csv_line(trimmed);
+    } catch (const std::invalid_argument& e) {
+      why = e.what();
+    }
+    if (why.empty() && !fields.empty() && fields[0] == "realization") {
+      continue;  // header row
+    }
+    surge::HurricaneRealization r;
+    if (why.empty() && fields.size() != 4) {
+      why = "expected 4 fields, got " + std::to_string(fields.size());
+    }
+    if (why.empty() && !parse_u64(fields[0], r.index)) {
+      why = "bad realization index '" + fields[0] + "'";
+    }
+    if (why.empty() && !parse_double(fields[2], r.peak_wind_ms)) {
+      why = "bad peak_wind_ms '" + fields[2] + "'";
+    }
+    if (why.empty() && !parse_double(fields[3], r.max_shoreline_wse_m)) {
+      why = "bad max_wse_m '" + fields[3] + "'";
+    }
+    if (!why.empty()) {
+      ++out.skipped_rows;
+      CT_LOG(kWarn, "pipeline") << "skipping malformed realization row "
+                                << line_no << ": " << why;
+      continue;
+    }
+    for (const std::string& asset : util::split(fields[1], ';')) {
+      const std::string_view id = util::trim(asset);
+      if (id.empty()) continue;
+      surge::AssetImpact impact;
+      impact.asset_id = std::string(id);
+      impact.failed = true;
+      r.impacts.push_back(std::move(impact));
+    }
+    out.realizations.push_back(std::move(r));
+  }
+  return out;
+}
+
+void write_realizations_csv(
+    std::ostream& out,
+    const std::vector<surge::HurricaneRealization>& realizations) {
+  util::CsvWriter writer(out);
+  writer.header({"realization", "flooded_assets", "peak_wind_ms", "max_wse_m"});
+  for (const surge::HurricaneRealization& r : realizations) {
+    std::vector<std::string> flooded;
+    for (const surge::AssetImpact& impact : r.impacts) {
+      if (impact.failed) flooded.push_back(impact.asset_id);
+    }
+    writer.field(static_cast<std::size_t>(r.index))
+        .field(util::join(flooded, ";"))
+        .field(r.peak_wind_ms)
+        .field(r.max_shoreline_wse_m);
+    writer.end_row();
+  }
 }
 
 std::vector<ScenarioResult> AnalysisPipeline::analyze_all(

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,33 @@ struct ScenarioResult {
   std::string config_name;
   threat::ThreatScenario scenario{};
   OutcomeDistribution outcomes;
+  /// Realization rows that were malformed and skipped (only non-zero when
+  /// the realizations came from an external CSV; see analyze_csv).
+  std::size_t skipped_realizations = 0;
 };
+
+/// Realizations parsed from a CSV stream, plus the malformed rows that
+/// were skipped instead of aborting the sweep.
+struct LoadedRealizations {
+  std::vector<surge::HurricaneRealization> realizations;
+  std::size_t skipped_rows = 0;
+};
+
+/// Parses the realization interchange CSV
+///
+///   realization,flooded_assets,peak_wind_ms,max_wse_m
+///   17,sub-honolulu;cc-waiau,43.1,1.82
+///
+/// (`flooded_assets` is ';'-separated, possibly empty). A malformed row —
+/// wrong field count, unparsable number — is skipped, counted, and logged
+/// as a warning; the rest of the sweep proceeds.
+LoadedRealizations load_realizations_csv(std::istream& in);
+
+/// Writes the same interchange format (round-trips through
+/// load_realizations_csv for the fields the analysis consumes).
+void write_realizations_csv(
+    std::ostream& out,
+    const std::vector<surge::HurricaneRealization>& realizations);
 
 /// Which attacker model drives the cyberattack stage.
 enum class AttackerModel {
@@ -66,6 +93,13 @@ class AnalysisPipeline {
   ScenarioResult analyze(
       const scada::Configuration& config, threat::ThreatScenario scenario,
       const std::vector<surge::HurricaneRealization>& realizations) const;
+
+  /// Like analyze(), but over realizations streamed from the interchange
+  /// CSV. Malformed rows degrade gracefully: they are skipped and surfaced
+  /// in ScenarioResult::skipped_realizations rather than aborting the run.
+  ScenarioResult analyze_csv(const scada::Configuration& config,
+                             threat::ThreatScenario scenario,
+                             std::istream& in) const;
 
   /// Convenience: all configurations x one scenario.
   std::vector<ScenarioResult> analyze_all(

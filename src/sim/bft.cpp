@@ -26,6 +26,13 @@ void BftReplica::start() {
   watchdog_loop();
 }
 
+void BftReplica::set_compromised(bool compromised) noexcept {
+  if (compromised && !compromised_ && monitor_ != nullptr) {
+    monitor_->on_compromise(self_);
+  }
+  compromised_ = compromised;
+}
+
 bool BftReplica::is_leader() const {
   return static_cast<std::size_t>(view_ % static_cast<std::int64_t>(
              group_.size())) == static_cast<std::size_t>(index_);
@@ -176,10 +183,13 @@ void BftReplica::on_accept(const Message& msg) {
   if (voter_index < 0) return;  // not a group member
   auto& votes = accept_votes_[msg.request_id];
   votes.insert(voter_index);
-  if (static_cast<int>(votes.size()) >= quorum_) execute(msg.request_id);
+  if (static_cast<int>(votes.size()) >= quorum_) {
+    execute(msg.request_id, msg.view, msg.seq);
+  }
 }
 
-void BftReplica::execute(std::int64_t request_id) {
+void BftReplica::execute(std::int64_t request_id, std::int64_t view,
+                         std::int64_t seq) {
   const auto pending = pending_.find(request_id);
   NodeAddr client{};
   bool have_client = false;
@@ -191,6 +201,9 @@ void BftReplica::execute(std::int64_t request_id) {
   executed_[request_id] = client;
   accept_votes_.erase(request_id);
   last_progress_ = sim_.now();
+  if (monitor_ != nullptr && !compromised_) {
+    monitor_->on_execute(self_, group_id_, view, seq, request_id);
+  }
   if (have_client) {
     Message reply;
     reply.type = Message::Type::kReply;
@@ -225,7 +238,7 @@ void BftReplica::on_view_change(const Message& msg) {
 
 void BftReplica::watchdog_loop() {
   if (active_ && !recovering_ && !compromised_ && !pending_.empty() &&
-      sim_.now() - last_progress_ > options_.view_timeout_s) {
+      sim_.now() - last_progress_ > options_.view_timeout_s * timeout_scale_) {
     ++view_;
     last_progress_ = sim_.now();
     proposed_this_view_.clear();

@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -42,13 +43,24 @@ class BftReplica {
              std::vector<NodeAddr> group, int index, BftOptions options,
              bool group_initially_active);
 
-  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+  void set_compromised(bool compromised) noexcept;
   bool compromised() const noexcept { return compromised_; }
 
   /// Proactive recovery control (driven by RecoveryScheduler).
   void begin_recovery();
   void end_recovery();
   bool recovering() const noexcept { return recovering_; }
+
+  /// Wires the invariant monitor; `group_id` distinguishes replication
+  /// groups when a configuration runs several.
+  void set_monitor(InvariantMonitor* monitor, int group_id) noexcept {
+    monitor_ = monitor;
+    group_id_ = group_id;
+  }
+
+  /// Fault injection: scales the view-change timeout (clock skew).
+  void set_timeout_scale(double scale) noexcept { timeout_scale_ = scale; }
+  double timeout_scale() const noexcept { return timeout_scale_; }
 
   /// Starts the view watchdog. Call once before the run.
   void start();
@@ -67,7 +79,7 @@ class BftReplica {
   void propose_pending();
   void broadcast_to_group(const Message& msg);
   bool is_leader() const;
-  void execute(std::int64_t request_id);
+  void execute(std::int64_t request_id, std::int64_t view, std::int64_t seq);
 
   Simulator& sim_;
   Network& net_;
@@ -80,6 +92,9 @@ class BftReplica {
   bool activation_pending_ = false;
   bool compromised_ = false;
   bool recovering_ = false;
+  InvariantMonitor* monitor_ = nullptr;
+  int group_id_ = 0;
+  double timeout_scale_ = 1.0;
 
   std::int64_t view_ = 0;
   std::int64_t next_seq_ = 0;

@@ -1,0 +1,367 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace ct::sim {
+
+std::string_view fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kLinkFlap: return "flap-link";
+    case FaultKind::kSiteFlap: return "flap-site";
+    case FaultKind::kSkew: return "skew";
+    case FaultKind::kCompromise: return "compromise";
+  }
+  return "?";
+}
+
+bool FaultPlan::benign() const noexcept {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kCompromise) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<double, double>> FaultPlan::excused_windows(
+    double pad_s) const {
+  std::vector<std::pair<double, double>> windows;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kLinkFlap ||
+        e.kind == FaultKind::kSiteFlap) {
+      windows.emplace_back(e.at, e.at + e.duration + pad_s);
+    }
+  }
+  std::sort(windows.begin(), windows.end());
+  // Merge overlaps so callers can treat the result as disjoint intervals.
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& w : windows) {
+    if (!merged.empty() && w.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+std::string format_time(double t) {
+  std::ostringstream out;
+  out << t;
+  return out.str();
+}
+
+NodeAddr parse_node(std::string_view token) {
+  // "s<site>/n<node>", the to_string(NodeAddr) format.
+  const std::size_t slash = token.find('/');
+  if (token.size() < 4 || token[0] != 's' || slash == std::string_view::npos ||
+      slash + 1 >= token.size() || token[slash + 1] != 'n') {
+    throw std::invalid_argument("FaultPlan: bad node address '" +
+                                std::string(token) + "'");
+  }
+  NodeAddr addr;
+  addr.site = std::stoi(std::string(token.substr(1, slash - 1)));
+  addr.node = std::stoi(std::string(token.substr(slash + 2)));
+  return addr;
+}
+
+}  // namespace
+
+std::string FaultPlan::to_schedule() const {
+  std::ostringstream out;
+  if (duplicate_probability > 0.0) {
+    out << "dup " << duplicate_probability << "\n";
+  }
+  if (reorder_probability > 0.0) {
+    out << "reorder " << reorder_probability << " " << reorder_window_s
+        << "\n";
+  }
+  for (const FaultEvent& e : events) {
+    out << fault_kind_name(e.kind) << " @" << format_time(e.at);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        out << " " << to_string(e.node) << " +" << format_time(e.duration);
+        break;
+      case FaultKind::kLinkFlap:
+        out << " " << e.site_a << "-" << e.site_b << " +"
+            << format_time(e.duration);
+        break;
+      case FaultKind::kSiteFlap:
+        out << " " << e.site_a << " +" << format_time(e.duration);
+        break;
+      case FaultKind::kSkew:
+        out << " " << to_string(e.node) << " +" << format_time(e.duration)
+            << " x" << e.factor;
+        break;
+      case FaultKind::kCompromise:
+        out << " " << to_string(e.node);
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse_schedule(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = std::string(util::trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields(trimmed);
+    std::string word;
+    fields >> word;
+    if (word == "dup") {
+      if (!(fields >> plan.duplicate_probability)) {
+        throw std::invalid_argument("FaultPlan: bad dup line: " + trimmed);
+      }
+      continue;
+    }
+    if (word == "reorder") {
+      if (!(fields >> plan.reorder_probability >> plan.reorder_window_s)) {
+        throw std::invalid_argument("FaultPlan: bad reorder line: " + trimmed);
+      }
+      continue;
+    }
+    FaultEvent e;
+    if (word == "crash") {
+      e.kind = FaultKind::kCrash;
+    } else if (word == "flap-link") {
+      e.kind = FaultKind::kLinkFlap;
+    } else if (word == "flap-site") {
+      e.kind = FaultKind::kSiteFlap;
+    } else if (word == "skew") {
+      e.kind = FaultKind::kSkew;
+    } else if (word == "compromise") {
+      e.kind = FaultKind::kCompromise;
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown directive: " + trimmed);
+    }
+    std::string at_token;
+    fields >> at_token;
+    if (at_token.empty() || at_token[0] != '@') {
+      throw std::invalid_argument("FaultPlan: missing @time: " + trimmed);
+    }
+    e.at = std::stod(at_token.substr(1));
+    std::string rest;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kSkew:
+      case FaultKind::kCompromise: {
+        fields >> rest;
+        e.node = parse_node(rest);
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        fields >> rest;
+        const std::size_t dash = rest.find('-');
+        if (dash == std::string::npos) {
+          throw std::invalid_argument("FaultPlan: bad link pair: " + trimmed);
+        }
+        e.site_a = std::stoi(rest.substr(0, dash));
+        e.site_b = std::stoi(rest.substr(dash + 1));
+        break;
+      }
+      case FaultKind::kSiteFlap: {
+        fields >> e.site_a;
+        break;
+      }
+    }
+    // Optional "+duration" and "x<factor>" suffixes.
+    while (fields >> rest) {
+      if (rest[0] == '+') {
+        e.duration = std::stod(rest.substr(1));
+      } else if (rest[0] == 'x') {
+        e.factor = std::stod(rest.substr(1));
+      } else {
+        throw std::invalid_argument("FaultPlan: bad suffix '" + rest +
+                                    "': " + trimmed);
+      }
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+FaultPlan random_benign_plan(const BenignPlanShape& shape,
+                             const std::vector<int>& nodes_per_site,
+                             util::Rng& rng) {
+  if (nodes_per_site.empty()) {
+    throw std::invalid_argument("random_benign_plan: no sites");
+  }
+  if (shape.window_to_s <= shape.window_from_s) {
+    throw std::invalid_argument("random_benign_plan: empty fault window");
+  }
+  FaultPlan plan;
+  plan.duplicate_probability = shape.duplicate_probability;
+  plan.reorder_probability = shape.reorder_probability;
+  plan.reorder_window_s = shape.reorder_window_s;
+  const int sites = static_cast<int>(nodes_per_site.size());
+
+  const auto random_node = [&]() -> NodeAddr {
+    const int site = static_cast<int>(rng.uniform_int(0, sites - 1));
+    const int node = nodes_per_site[static_cast<std::size_t>(site)] > 0
+                         ? static_cast<int>(rng.uniform_int(
+                               0, nodes_per_site[static_cast<std::size_t>(
+                                      site)] - 1))
+                         : 0;
+    return {site, node};
+  };
+
+  // Crash windows are laid out in disjoint time slots so at most one node
+  // is ever down at a time — the strongest fault a correct stack must ride
+  // through without a color change.
+  const int crashes =
+      static_cast<int>(rng.uniform_int(0, shape.max_crashes));
+  if (crashes > 0) {
+    const double slot =
+        (shape.window_to_s - shape.window_from_s) / crashes;
+    for (int i = 0; i < crashes; ++i) {
+      FaultEvent e;
+      e.kind = FaultKind::kCrash;
+      e.duration = rng.uniform(1.0, shape.max_crash_duration_s);
+      const double slack = std::max(0.0, slot - e.duration);
+      e.at = shape.window_from_s + slot * i + rng.uniform(0.0, slack);
+      e.node = random_node();
+      plan.events.push_back(e);
+    }
+  }
+
+  const int link_flaps =
+      static_cast<int>(rng.uniform_int(0, shape.max_link_flaps));
+  for (int i = 0; i < link_flaps && sites >= 1; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkFlap;
+    e.site_a = static_cast<int>(rng.uniform_int(0, sites - 1));
+    // The peer may be the client site (index == sites): flapping the
+    // service path briefly looks like a loss burst to the client.
+    e.site_b = static_cast<int>(rng.uniform_int(0, sites));
+    if (e.site_b == e.site_a) e.site_b = (e.site_a + 1) % (sites + 1);
+    e.duration = rng.uniform(0.5, shape.max_link_flap_duration_s);
+    e.at = rng.uniform(shape.window_from_s, shape.window_to_s);
+    plan.events.push_back(e);
+  }
+
+  const int site_flaps =
+      static_cast<int>(rng.uniform_int(0, shape.max_site_flaps));
+  for (int i = 0; i < site_flaps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSiteFlap;
+    e.site_a = static_cast<int>(rng.uniform_int(0, sites - 1));
+    e.duration = rng.uniform(0.5, shape.max_site_flap_duration_s);
+    e.at = rng.uniform(shape.window_from_s, shape.window_to_s);
+    plan.events.push_back(e);
+  }
+
+  const int skews = static_cast<int>(rng.uniform_int(0, shape.max_skews));
+  for (int i = 0; i < skews; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSkew;
+    e.node = random_node();
+    e.factor = rng.uniform(shape.min_skew_factor, shape.max_skew_factor);
+    e.at = rng.uniform(shape.window_from_s, shape.window_to_s);
+    e.duration = rng.uniform(10.0, 60.0);
+    plan.events.push_back(e);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, Network& net, FaultPlan plan,
+                             Hooks hooks)
+    : sim_(sim), net_(net), plan_(std::move(plan)), hooks_(std::move(hooks)) {}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  armed_ = true;
+  for (const FaultEvent& e : plan_.events) {
+    ++events_armed_;
+    switch (e.kind) {
+      case FaultKind::kCrash: {
+        const NodeAddr node = e.node;
+        sim_.schedule_at(e.at, [this, node] {
+          net_.set_node_crashed(node, true);
+          sim_.trace(to_string(node) + " CRASHED (fault plan)");
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, node] {
+            net_.set_node_crashed(node, false);
+            sim_.trace(to_string(node) + " restarted (fault plan)");
+          });
+        }
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        const int a = e.site_a;
+        const int b = e.site_b;
+        sim_.schedule_at(e.at, [this, a, b] {
+          net_.set_link_down(a, b, true);
+          sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
+                     " DOWN (fault plan)");
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, a, b] {
+            net_.set_link_down(a, b, false);
+            sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
+                       " restored (fault plan)");
+          });
+        }
+        break;
+      }
+      case FaultKind::kSiteFlap: {
+        const int site = e.site_a;
+        // Restore to the pre-flap state so a flap scheduled against a site
+        // that is already flooded does not resurrect it.
+        sim_.schedule_at(e.at, [this, site, duration = e.duration] {
+          const bool was_down = net_.site_down(site);
+          net_.set_site_down(site, true);
+          sim_.trace("site " + std::to_string(site) + " FLAPPED down");
+          if (duration > 0.0) {
+            sim_.schedule_in(duration, [this, site, was_down] {
+              net_.set_site_down(site, was_down);
+              sim_.trace("site " + std::to_string(site) + " flap over");
+            });
+          }
+        });
+        break;
+      }
+      case FaultKind::kSkew: {
+        if (!hooks_.set_timeout_scale) break;
+        const NodeAddr node = e.node;
+        const double factor = e.factor;
+        sim_.schedule_at(e.at, [this, node, factor] {
+          hooks_.set_timeout_scale(node, factor);
+          sim_.trace(to_string(node) + " timeout skew x" +
+                     std::to_string(factor));
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, node] {
+            hooks_.set_timeout_scale(node, 1.0);
+          });
+        }
+        break;
+      }
+      case FaultKind::kCompromise: {
+        if (!hooks_.compromise) break;
+        const NodeAddr node = e.node;
+        sim_.schedule_at(e.at, [this, node] {
+          hooks_.compromise(node);
+          sim_.trace(to_string(node) + " COMPROMISED (fault plan)");
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,136 @@
+// Fault-injection for the SCADA discrete-event simulator: a FaultPlan is a
+// deterministic, replayable schedule of timed fault events (replica
+// crash/restart, link and site flapping, timeout-clock skew, replica
+// compromise) plus whole-run message impairments (duplication, bounded
+// reordering). A FaultInjector arms a plan against a Network/Simulator
+// pair; random *benign* plans — faults a correct protocol stack must ride
+// through without changing its Table-I color — are generated from a
+// (seed, shape) pair via util::Rng, so every chaos run is reproducible
+// bit-for-bit and any failure can be replayed from its printed schedule.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+
+/// What one scheduled fault does.
+enum class FaultKind {
+  kCrash,       ///< Node neither sends nor receives for the window.
+  kLinkFlap,    ///< Link between two sites is down for the window.
+  kSiteFlap,    ///< Whole site is down for the window.
+  kSkew,        ///< Node's timeout clock runs scaled by `factor`.
+  kCompromise,  ///< Node becomes attacker-controlled (never benign).
+};
+
+std::string_view fault_kind_name(FaultKind k) noexcept;
+
+/// One timed fault. Fields beyond (kind, at) are kind-specific; unused
+/// fields keep their defaults.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  double at = 0.0;        ///< Start time (s, simulation clock).
+  double duration = 0.0;  ///< Window length; 0 = permanent.
+  NodeAddr node;          ///< kCrash / kSkew / kCompromise target.
+  int site_a = 0;         ///< kLinkFlap endpoint / kSiteFlap site.
+  int site_b = 0;         ///< kLinkFlap endpoint.
+  double factor = 1.0;    ///< kSkew timeout scale.
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// A complete fault schedule for one simulated run.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Whole-run message impairments layered on top of NetworkOptions.
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  double reorder_window_s = 0.0;
+
+  /// True when no event is a compromise: every fault is one a correct
+  /// protocol stack is expected to tolerate.
+  bool benign() const noexcept;
+
+  /// Time windows during which liveness checking is excused (each
+  /// crash/flap window padded by `pad_s` of recovery allowance).
+  std::vector<std::pair<double, double>> excused_windows(double pad_s) const;
+
+  /// Human-readable, machine-parsable schedule (one directive per line).
+  std::string to_schedule() const;
+  /// Inverse of to_schedule(). Ignores blank lines and '#' comments;
+  /// throws std::invalid_argument on an unrecognized directive.
+  static FaultPlan parse_schedule(std::string_view text);
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Shape of randomly generated benign plans. Defaults are tuned so a
+/// healthy replicated SCADA stack absorbs every fault without its
+/// operational color changing: at most one node is crashed at a time,
+/// windows are short, and everything ends before `window_to_s`.
+struct BenignPlanShape {
+  int max_crashes = 2;             ///< Crash windows (disjoint in time).
+  double max_crash_duration_s = 12.0;
+  int max_link_flaps = 2;          ///< Brief inter-site link outages.
+  double max_link_flap_duration_s = 3.0;
+  int max_site_flaps = 1;          ///< Brief whole-site outages.
+  double max_site_flap_duration_s = 3.0;
+  int max_skews = 2;               ///< Timeout-clock skew windows.
+  double min_skew_factor = 0.8;
+  double max_skew_factor = 1.5;
+  double duplicate_probability = 0.05;
+  double reorder_probability = 0.10;
+  double reorder_window_s = 0.05;
+  /// Faults are scheduled inside [window_from_s, window_to_s); keep the
+  /// upper bound well before the availability settle window.
+  double window_from_s = 10.0;
+  double window_to_s = 300.0;
+};
+
+/// Deterministically generates a benign plan for a system of
+/// `control_sites` sites with `nodes_per_site[s]` replicas each (the
+/// client site is never faulted). The same (shape, rng state) always
+/// yields the same plan.
+FaultPlan random_benign_plan(const BenignPlanShape& shape,
+                             const std::vector<int>& nodes_per_site,
+                             util::Rng& rng);
+
+/// Arms a FaultPlan against a simulation: schedules every event on the
+/// simulator, driving the network's crash/link/site controls directly and
+/// reaching into protocol state (timeout skew, compromise) through hooks
+/// supplied by the harness that owns the replicas.
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Applies a timeout-clock scale factor to one node (1.0 = nominal).
+    std::function<void(NodeAddr, double)> set_timeout_scale;
+    /// Hands one node to the attacker.
+    std::function<void(NodeAddr)> compromise;
+  };
+
+  FaultInjector(Simulator& sim, Network& net, FaultPlan plan,
+                Hooks hooks = {});
+
+  /// Schedules all plan events. Call once, before the run starts.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  int events_armed() const noexcept { return events_armed_; }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  int events_armed_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace ct::sim

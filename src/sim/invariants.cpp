@@ -1,0 +1,101 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ct::sim {
+
+InvariantMonitor::InvariantMonitor(Simulator& sim, InvariantOptions options)
+    : sim_(sim), options_(options) {}
+
+void InvariantMonitor::record(const std::string& violation) {
+  std::ostringstream line;
+  line << "t=" << sim_.now() << " " << violation;
+  violations_.push_back(line.str());
+  sim_.trace("INVARIANT VIOLATION: " + violation);
+}
+
+void InvariantMonitor::on_execute(NodeAddr replica, int group,
+                                  std::int64_t view, std::int64_t seq,
+                                  std::int64_t request_id) {
+  const auto key = std::make_tuple(group, view, seq);
+  const auto [it, inserted] =
+      committed_.try_emplace(key, std::make_pair(request_id, replica));
+  if (!inserted && it->second.first != request_id) {
+    std::ostringstream what;
+    what << "safety-agreement: group " << group << " view " << view << " seq "
+         << seq << " executed as request " << it->second.first << " by "
+         << to_string(it->second.second) << " but as request " << request_id
+         << " by " << to_string(replica);
+    record(what.str());
+  }
+}
+
+void InvariantMonitor::on_compromise(NodeAddr replica) {
+  compromised_.insert({replica.site, replica.node});
+}
+
+void InvariantMonitor::on_client_accept(std::int64_t request_id,
+                                        bool corrupt) {
+  if (!corrupt) {
+    correct_accepts_.push_back(sim_.now());
+    return;
+  }
+  if (compromised_count() <= options_.f) {
+    std::ostringstream what;
+    what << "safety-forgery: client accepted forged reply for request "
+         << request_id << " with only " << compromised_count()
+         << " compromised replicas (f=" << options_.f << ")";
+    record(what.str());
+  }
+}
+
+void InvariantMonitor::declare_outage(double from, double to) {
+  if (to <= from) return;
+  outages_.emplace_back(from, to);
+}
+
+double InvariantMonitor::uncovered_span(double from, double to) const {
+  std::vector<std::pair<double, double>> merged = outages_;
+  std::sort(merged.begin(), merged.end());
+  double longest = 0.0;
+  double cursor = from;
+  for (const auto& [lo, hi] : merged) {
+    if (hi <= cursor) continue;
+    if (lo >= to) break;
+    if (lo > cursor) longest = std::max(longest, std::min(lo, to) - cursor);
+    cursor = std::max(cursor, hi);
+    if (cursor >= to) return longest;
+  }
+  if (cursor < to) longest = std::max(longest, to - cursor);
+  return longest;
+}
+
+void InvariantMonitor::finalize(double judge_from, double judge_to) {
+  if (options_.liveness_gap_s <= 0.0 || judge_to <= judge_from) return;
+  // Gap endpoints: the judged-window edges plus every correct completion.
+  std::vector<double> points;
+  points.push_back(judge_from);
+  for (const double t : correct_accepts_) {
+    if (t >= judge_from && t <= judge_to) points.push_back(t);
+  }
+  points.push_back(judge_to);
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double lo = points[i - 1];
+    const double hi = points[i];
+    if (hi - lo <= options_.liveness_gap_s) continue;
+    const double unexplained = uncovered_span(lo, hi);
+    if (unexplained > options_.liveness_gap_s) {
+      std::ostringstream what;
+      what << "liveness: " << unexplained
+           << " s without a correct completion in [" << lo << ", " << hi
+           << ") outside declared outages (bound " << options_.liveness_gap_s
+           << " s)";
+      record(what.str());
+      return;  // one liveness finding per run is enough
+    }
+  }
+}
+
+}  // namespace ct::sim

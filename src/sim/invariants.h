@@ -1,0 +1,97 @@
+// Protocol invariant monitor: a passive observer wired into the replicas
+// and the client workload that checks, during a simulated run,
+//
+//   SAFETY-AGREEMENT  no two correct replicas of the same replication
+//                     group execute different operations at the same
+//                     (view, sequence) slot — only an equivocating
+//                     (compromised) leader can cause that;
+//   SAFETY-FORGERY    the client never accepts a forged reply while at
+//                     most f replicas are compromised;
+//   LIVENESS          outside declared outage windows, the gap between
+//                     consecutive correct request completions stays under
+//                     a bound.
+//
+// Violations are recorded as human-readable strings and surfaced through
+// DesOutcome::invariant_violations; a clean chaos sweep is one where every
+// run's monitor comes back empty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ct::sim {
+
+struct InvariantOptions {
+  /// Intrusions the architecture tolerates: accepting a forged reply with
+  /// at most `f` compromised replicas is a safety violation; with f+1 or
+  /// more it is the expected gray outcome.
+  int f = 0;
+  /// Liveness bound on the gap between correct completions outside
+  /// declared outage windows (0 disables the liveness check).
+  double liveness_gap_s = 0.0;
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(Simulator& sim, InvariantOptions options);
+
+  // ---- wiring: called by the protocol objects during the run ----
+
+  /// A correct replica of `group` executed `request_id` at slot
+  /// (view, seq). The slot is per-view because this simulator's BFT
+  /// leaders do not transfer their sequence counter across view changes
+  /// (the same request may legitimately re-commit at a fresh seq after a
+  /// view change); within a view, one slot maps to exactly one request.
+  void on_execute(NodeAddr replica, int group, std::int64_t view,
+                  std::int64_t seq, std::int64_t request_id);
+  /// A replica fell to the attacker.
+  void on_compromise(NodeAddr replica);
+  /// The client accepted a result (corrupt = forged signature quorum).
+  void on_client_accept(std::int64_t request_id, bool corrupt);
+
+  // ---- declared expectations ----
+
+  /// Excuses liveness over [from, to): flood/attack effects and scheduled
+  /// fault windows are declared up front, so only *unexplained* outages
+  /// count as violations.
+  void declare_outage(double from, double to);
+
+  /// Runs the liveness check over [judge_from, judge_to) against the
+  /// correct-completion timestamps observed so far. Call once, after the
+  /// simulation finishes.
+  void finalize(double judge_from, double judge_to);
+
+  int compromised_count() const noexcept {
+    return static_cast<int>(compromised_.size());
+  }
+  const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  bool ok() const noexcept { return violations_.empty(); }
+
+ private:
+  void record(const std::string& violation);
+  /// Longest sub-interval of [from, to] not covered by declared outages.
+  double uncovered_span(double from, double to) const;
+
+  Simulator& sim_;
+  InvariantOptions options_;
+  /// (group, view, seq) -> first (request_id, replica) committed there.
+  std::map<std::tuple<int, std::int64_t, std::int64_t>,
+           std::pair<std::int64_t, NodeAddr>>
+      committed_;
+  std::set<std::pair<int, int>> compromised_;  // (site, node)
+  std::vector<std::pair<double, double>> outages_;  // merged lazily
+  std::vector<double> correct_accepts_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace ct::sim

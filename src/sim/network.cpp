@@ -31,6 +31,15 @@ Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
   if (options_.latency_jitter_s < 0.0) {
     throw std::invalid_argument("Network: negative jitter");
   }
+  if (options_.duplicate_probability < 0.0 ||
+      options_.duplicate_probability >= 1.0) {
+    throw std::invalid_argument(
+        "Network: duplicate probability must be in [0, 1)");
+  }
+  if (options_.reorder_probability < 0.0 ||
+      options_.reorder_probability >= 1.0 || options_.reorder_window_s < 0.0) {
+    throw std::invalid_argument("Network: bad reordering parameters");
+  }
   if (nodes_per_site_.empty()) {
     throw std::invalid_argument("Network: need at least one site");
   }
@@ -43,6 +52,8 @@ Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
   handlers_.resize(total);
   down_.assign(nodes_per_site_.size(), false);
   isolated_.assign(nodes_per_site_.size(), false);
+  crashed_.assign(total, false);
+  link_down_.assign(nodes_per_site_.size() * nodes_per_site_.size(), false);
 }
 
 void Network::check_addr(NodeAddr a) const {
@@ -78,37 +89,61 @@ bool Network::site_isolated(int site) const {
   return isolated_.at(static_cast<std::size_t>(site));
 }
 
+void Network::set_node_crashed(NodeAddr addr, bool crashed) {
+  crashed_[flat_index(addr)] = crashed;
+}
+
+bool Network::node_crashed(NodeAddr addr) const {
+  return crashed_[flat_index(addr)];
+}
+
+void Network::set_link_down(int site_a, int site_b, bool down) {
+  if (site_a < 0 || site_a >= site_count() || site_b < 0 ||
+      site_b >= site_count()) {
+    throw std::out_of_range("Network: bad link site index");
+  }
+  const auto n = static_cast<std::size_t>(site_count());
+  link_down_[static_cast<std::size_t>(site_a) * n +
+             static_cast<std::size_t>(site_b)] = down;
+  link_down_[static_cast<std::size_t>(site_b) * n +
+             static_cast<std::size_t>(site_a)] = down;
+}
+
+bool Network::link_down(int site_a, int site_b) const {
+  if (site_a < 0 || site_a >= site_count() || site_b < 0 ||
+      site_b >= site_count()) {
+    throw std::out_of_range("Network: bad link site index");
+  }
+  return link_down_[static_cast<std::size_t>(site_a) *
+                        static_cast<std::size_t>(site_count()) +
+                    static_cast<std::size_t>(site_b)];
+}
+
 bool Network::can_communicate(NodeAddr from, NodeAddr to) const {
   check_addr(from);
   check_addr(to);
+  if (node_crashed(from) || node_crashed(to)) return false;
   if (site_down(from.site) || site_down(to.site)) return false;
   if (from.site != to.site &&
       (site_isolated(from.site) || site_isolated(to.site))) {
     return false;
   }
+  if (from.site != to.site && link_down(from.site, to.site)) return false;
   return true;
 }
 
-void Network::send(NodeAddr from, NodeAddr to, Message msg) {
-  ++sent_;
-  if (!can_communicate(from, to)) return;
-  if (options_.loss_probability > 0.0 &&
-      impairment_rng_.bernoulli(options_.loss_probability)) {
-    ++dropped_;
-    return;
-  }
-  msg.sender = from;
-  double latency = from.site == to.site ? options_.intra_site_latency_s
-                                        : options_.inter_site_latency_s;
-  if (options_.latency_jitter_s > 0.0) {
-    latency += impairment_rng_.uniform(0.0, options_.latency_jitter_s);
-  }
+void Network::deliver(NodeAddr to, const Message& msg, double latency) {
   sim_.schedule_in(latency, [this, to, msg] {
     // Re-check destination health at delivery time: packets in flight to a
-    // site that just flooded or got cut off are lost.
-    if (site_down(to.site)) return;
+    // site that just flooded, got cut off, or whose node crashed are lost.
+    if (site_down(to.site) || node_crashed(to)) {
+      ++drops_.in_flight;
+      return;
+    }
     if (msg.sender.site != to.site &&
-        (site_isolated(to.site) || site_isolated(msg.sender.site))) {
+        (site_isolated(to.site) || site_isolated(msg.sender.site) ||
+         link_down(msg.sender.site, to.site))) {
+      ++drops_.in_flight;
       return;
     }
     const Handler& h = handlers_[flat_index(to)];
@@ -117,6 +152,55 @@ void Network::send(NodeAddr from, NodeAddr to, Message msg) {
       h(msg);
     }
   });
+}
+
+void Network::send(NodeAddr from, NodeAddr to, Message msg) {
+  ++sent_;
+  check_addr(from);
+  check_addr(to);
+  // Classify send-time blocks by cause (first matching cause wins).
+  if (node_crashed(from) || node_crashed(to)) {
+    ++drops_.crashed;
+    return;
+  }
+  if (site_down(from.site) || site_down(to.site)) {
+    ++drops_.site_down;
+    return;
+  }
+  if (from.site != to.site &&
+      (site_isolated(from.site) || site_isolated(to.site))) {
+    ++drops_.isolation;
+    return;
+  }
+  if (from.site != to.site && link_down(from.site, to.site)) {
+    ++drops_.link_down;
+    return;
+  }
+  if (options_.loss_probability > 0.0 &&
+      impairment_rng_.bernoulli(options_.loss_probability)) {
+    ++drops_.loss;
+    return;
+  }
+  msg.sender = from;
+  const auto draw_latency = [&] {
+    double latency = from.site == to.site ? options_.intra_site_latency_s
+                                          : options_.inter_site_latency_s;
+    if (options_.latency_jitter_s > 0.0) {
+      latency += impairment_rng_.uniform(0.0, options_.latency_jitter_s);
+    }
+    if (options_.reorder_probability > 0.0 &&
+        impairment_rng_.bernoulli(options_.reorder_probability)) {
+      // Holding a message back lets traffic sent later overtake it.
+      latency += impairment_rng_.uniform(0.0, options_.reorder_window_s);
+    }
+    return latency;
+  };
+  deliver(to, msg, draw_latency());
+  if (options_.duplicate_probability > 0.0 &&
+      impairment_rng_.bernoulli(options_.duplicate_probability)) {
+    ++duplicated_;
+    deliver(to, msg, draw_latency());
+  }
 }
 
 void Network::broadcast(NodeAddr from, Message msg) {

@@ -49,9 +49,10 @@ struct Message {
 
 std::string to_string(Message::Type t);
 
-/// Latency and impairment parameters. Loss and jitter default to off; the
-/// protocol robustness tests turn them on to check that the Table-I
-/// classification is stable under an imperfect WAN.
+/// Latency and impairment parameters. Loss, jitter, duplication and
+/// reordering default to off; the protocol robustness and chaos tests turn
+/// them on to check that the Table-I classification is stable under an
+/// imperfect WAN.
 struct NetworkOptions {
   double intra_site_latency_s = 0.002;
   double inter_site_latency_s = 0.025;
@@ -59,8 +60,31 @@ struct NetworkOptions {
   double loss_probability = 0.0;
   /// Uniform extra delay in [0, jitter] added per message (s).
   double latency_jitter_s = 0.0;
-  /// Seed for the (deterministic) loss/jitter stream.
+  /// Probability that a delivered message is delivered twice (the copy
+  /// draws its own latency, so duplicates may arrive out of order).
+  double duplicate_probability = 0.0;
+  /// Probability that a message is held back by up to `reorder_window_s`,
+  /// letting later traffic overtake it (bounded reordering).
+  double reorder_probability = 0.0;
+  double reorder_window_s = 0.0;
+  /// Seed for the (deterministic) loss/jitter/duplication stream.
   std::uint64_t impairment_seed = 1;
+};
+
+/// Messages dropped, broken down by cause. `total()` preserves the old
+/// single-counter view; the per-cause split is what chaos runs report.
+struct DropCounters {
+  std::uint64_t loss = 0;        ///< Random WAN loss.
+  std::uint64_t site_down = 0;   ///< Endpoint site down at send time.
+  std::uint64_t isolation = 0;   ///< Endpoint site isolated at send time.
+  std::uint64_t link_down = 0;   ///< Inter-site link flapped down.
+  std::uint64_t crashed = 0;     ///< Endpoint node crashed.
+  std::uint64_t in_flight = 0;   ///< In flight into a site that flooded /
+                                 ///< isolated / crashed before delivery.
+
+  std::uint64_t total() const noexcept {
+    return loss + site_down + isolation + link_down + crashed + in_flight;
+  }
 };
 
 class Network {
@@ -83,6 +107,18 @@ class Network {
   bool site_down(int site) const;
   bool site_isolated(int site) const;
 
+  /// Node crash control (fault injection): a crashed node neither sends
+  /// nor receives; its protocol timers keep running, modeling a process
+  /// whose host is temporarily off the network and restarts with state.
+  void set_node_crashed(NodeAddr addr, bool crashed);
+  bool node_crashed(NodeAddr addr) const;
+
+  /// Link flapping (fault injection): takes down traffic between two
+  /// specific sites without touching either site's health. Order of the
+  /// pair does not matter.
+  void set_link_down(int site_a, int site_b, bool down);
+  bool link_down(int site_a, int site_b) const;
+
   /// True when a message from `from` would currently be delivered to `to`.
   bool can_communicate(NodeAddr from, NodeAddr to) const;
 
@@ -100,11 +136,17 @@ class Network {
 
   std::uint64_t messages_sent() const noexcept { return sent_; }
   std::uint64_t messages_delivered() const noexcept { return delivered_; }
-  std::uint64_t messages_dropped() const noexcept { return dropped_; }
+  /// Total drops across all causes (legacy single-counter view).
+  std::uint64_t messages_dropped() const noexcept { return drops_.total(); }
+  /// Drops broken down by cause.
+  const DropCounters& drop_counters() const noexcept { return drops_; }
+  /// Extra deliveries caused by duplication.
+  std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
 
  private:
   std::size_t flat_index(NodeAddr a) const;
   void check_addr(NodeAddr a) const;
+  void deliver(NodeAddr to, const Message& msg, double latency);
 
   Simulator& sim_;
   std::vector<int> nodes_per_site_;
@@ -113,9 +155,12 @@ class Network {
   std::vector<std::size_t> offsets_;  // site -> first flat index
   std::vector<bool> down_;
   std::vector<bool> isolated_;
+  std::vector<bool> crashed_;         // flat, indexed by flat_index
+  std::vector<bool> link_down_;       // site_count^2, symmetric
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  DropCounters drops_;
   util::Rng impairment_rng_;
 };
 

@@ -16,6 +16,13 @@ void PbReplica::start() {
   watchdog_loop();
 }
 
+void PbReplica::set_compromised(bool compromised) noexcept {
+  if (compromised && !compromised_ && monitor_ != nullptr) {
+    monitor_->on_compromise(self_);
+  }
+  compromised_ = compromised;
+}
+
 void PbReplica::become_primary() {
   if (primary_) return;
   primary_ = true;
@@ -78,7 +85,8 @@ void PbReplica::heartbeat_loop() {
 
 void PbReplica::watchdog_loop() {
   if (active_ && !primary_ &&
-      sim_.now() - last_heartbeat_ > options_.heartbeat_timeout_s) {
+      sim_.now() - last_heartbeat_ >
+          options_.heartbeat_timeout_s * timeout_scale_) {
     become_primary();
   }
   sim_.schedule_in(options_.heartbeat_interval_s, [this] { watchdog_loop(); });

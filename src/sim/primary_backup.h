@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
@@ -32,10 +33,17 @@ class PbReplica {
 
   /// Marks the replica as attacker-controlled: it answers every request
   /// with a forged result.
-  void set_compromised(bool compromised) noexcept { compromised_ = compromised; }
+  void set_compromised(bool compromised) noexcept;
   bool compromised() const noexcept { return compromised_; }
   bool is_primary() const noexcept { return primary_; }
   bool site_active() const noexcept { return active_; }
+
+  /// Wires the invariant monitor (compromise accounting).
+  void set_monitor(InvariantMonitor* monitor) noexcept { monitor_ = monitor; }
+
+  /// Fault injection: scales the heartbeat watchdog timeout (clock skew).
+  void set_timeout_scale(double scale) noexcept { timeout_scale_ = scale; }
+  double timeout_scale() const noexcept { return timeout_scale_; }
 
   /// Starts heartbeat/watchdog loops. Call once before the run.
   void start();
@@ -55,6 +63,8 @@ class PbReplica {
   bool compromised_ = false;
   bool activation_pending_ = false;
   double last_heartbeat_ = 0.0;
+  InvariantMonitor* monitor_ = nullptr;
+  double timeout_scale_ = 1.0;
 };
 
 /// Failover controller for two-site primary-backup and BFT architectures:

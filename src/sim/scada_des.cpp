@@ -1,9 +1,11 @@
 #include "sim/scada_des.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 #include "threat/attacker.h"
+#include "util/log.h"
 
 namespace ct::sim {
 
@@ -30,6 +32,16 @@ DesOutcome ScadaDes::run(const std::vector<bool>& site_flooded,
 }
 
 DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
+  return run_impl(attacked_state, nullptr);
+}
+
+DesOutcome ScadaDes::run(const threat::SystemState& attacked_state,
+                         const FaultPlan& plan) const {
+  return run_impl(attacked_state, &plan);
+}
+
+DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
+                              const FaultPlan* plan) const {
   const std::size_t n_sites = config_.sites.size();
   if (attacked_state.site_status.size() != n_sites ||
       attacked_state.intrusions.size() != n_sites) {
@@ -47,7 +59,26 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
   }
   const int client_site = static_cast<int>(n_sites);
   nodes_per_site.push_back(2);  // client + failover controller
-  Network net(sim, nodes_per_site, options_.net);
+  NetworkOptions net_options = options_.net;
+  if (plan != nullptr) {
+    // The plan's message impairments are layered on top of the base WAN.
+    net_options.duplicate_probability =
+        std::max(net_options.duplicate_probability,
+                 plan->duplicate_probability);
+    net_options.reorder_probability =
+        std::max(net_options.reorder_probability, plan->reorder_probability);
+    net_options.reorder_window_s =
+        std::max(net_options.reorder_window_s, plan->reorder_window_s);
+  }
+  Network net(sim, nodes_per_site, net_options);
+
+  // Invariant monitor: safety is always watched; liveness when enabled.
+  InvariantOptions inv_options;
+  inv_options.f = config_.style == scada::ReplicationStyle::kIntrusionTolerant
+                      ? config_.intrusion_tolerance_f
+                      : 0;
+  inv_options.liveness_gap_s = options_.liveness_gap_s;
+  InvariantMonitor monitor(sim, inv_options);
 
   // Client workload.
   const bool bft = config_.style == scada::ReplicationStyle::kIntrusionTolerant;
@@ -56,6 +87,7 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
   wopts.request_timeout_s = options_.request_timeout_s;
   wopts.replies_needed = bft ? config_.intrusion_tolerance_f + 1 : 1;
   ClientWorkload client(sim, net, {client_site, 0}, wopts);
+  client.set_monitor(&monitor);
   std::vector<NodeAddr> targets;
   for (std::size_t s = 0; s < n_sites; ++s) {
     for (int node = 0; node < config_.sites[s].replicas; ++node) {
@@ -76,6 +108,7 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
   group_opts.f = config_.intrusion_tolerance_f;
   group_opts.k = config_.proactive_recovery_k;
 
+  int next_group_id = 0;
   const auto make_bft_group = [&](const std::vector<int>& sites,
                                   bool initially_active) {
     std::vector<int> counts;
@@ -84,10 +117,12 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
     }
     const std::vector<NodeAddr> group = interleaved_group(sites, counts);
     std::vector<BftReplica*> members;
+    const int group_id = next_group_id++;
     for (std::size_t i = 0; i < group.size(); ++i) {
       auto replica = std::make_unique<BftReplica>(
           sim, net, group[i], group, static_cast<int>(i), group_opts,
           initially_active);
+      replica->set_monitor(&monitor, group_id);
       members.push_back(replica.get());
       bft_by_site[static_cast<std::size_t>(group[i].site)].push_back(
           replica.get());
@@ -118,6 +153,7 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
         auto replica = std::make_unique<PbReplica>(
             sim, net, NodeAddr{static_cast<int>(s), node}, options_.pb,
             config_.sites[s].hot);
+        replica->set_monitor(&monitor);
         pb_by_site[s].push_back(replica.get());
         pb_replicas.push_back(std::move(replica));
       }
@@ -133,6 +169,63 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
           options_.pb);
       break;
     }
+  }
+
+  // Fault plan: map skew/compromise hooks onto the replica objects and arm
+  // every scheduled event.
+  std::unique_ptr<FaultInjector> injector;
+  if (plan != nullptr) {
+    const auto for_replica = [&, bft](NodeAddr addr, auto&& pb_fn,
+                                      auto&& bft_fn) {
+      if (addr.site < 0 || static_cast<std::size_t>(addr.site) >= n_sites) {
+        return;  // client site and out-of-range targets are not replicas
+      }
+      const auto site = static_cast<std::size_t>(addr.site);
+      const auto node = static_cast<std::size_t>(addr.node);
+      if (bft) {
+        if (node < bft_by_site[site].size()) bft_fn(bft_by_site[site][node]);
+      } else {
+        if (node < pb_by_site[site].size()) pb_fn(pb_by_site[site][node]);
+      }
+    };
+    FaultInjector::Hooks hooks;
+    hooks.set_timeout_scale = [for_replica](NodeAddr addr, double scale) {
+      for_replica(
+          addr, [scale](PbReplica* r) { r->set_timeout_scale(scale); },
+          [scale](BftReplica* r) { r->set_timeout_scale(scale); });
+    };
+    hooks.compromise = [for_replica](NodeAddr addr) {
+      for_replica(
+          addr, [](PbReplica* r) { r->set_compromised(true); },
+          [](BftReplica* r) { r->set_compromised(true); });
+    };
+    injector = std::make_unique<FaultInjector>(sim, net, *plan,
+                                               std::move(hooks));
+    injector->arm();
+    // Scheduled fault windows are declared outages: only gaps the plan
+    // does not explain count against liveness.
+    for (const auto& [from, to] :
+         plan->excused_windows(options_.liveness_pad_s)) {
+      monitor.declare_outage(from, to);
+    }
+  }
+
+  // Declared outages from the compound threat itself: a flooded site
+  // shapes service from t=0; isolation/intrusion effects start at attack
+  // time. The liveness invariant only bites on unexplained gaps.
+  bool any_flooded = false;
+  bool any_attack = false;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    any_flooded |=
+        attacked_state.site_status[s] == threat::SiteStatus::kFlooded;
+    any_attack |=
+        attacked_state.site_status[s] == threat::SiteStatus::kIsolated ||
+        attacked_state.intrusions[s] > 0;
+  }
+  if (any_flooded) {
+    monitor.declare_outage(0.0, options_.horizon_s);
+  } else if (any_attack) {
+    monitor.declare_outage(options_.attack_time_s, options_.horizon_s);
   }
 
   // Timeline. Floods are in effect from t=0.
@@ -180,9 +273,20 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
   outcome.events = sim.events_processed();
   outcome.messages = net.messages_sent();
   outcome.truncated = sim.event_limit_hit();
+  outcome.drops = net.drop_counters();
+  outcome.duplicates = net.messages_duplicated();
+  monitor.finalize(0.0, judge_to);
+  outcome.invariant_violations = monitor.violations();
   outcome.availability_timeline =
       client.availability_series(60.0, 0.0, options_.horizon_s);
   outcome.trace = sim.trace_log();
+
+  if (outcome.truncated) {
+    CT_LOG(kWarn, "scada_des")
+        << "run for configuration '" << config_.name
+        << "' hit the event limit (" << outcome.events
+        << " events) — observed color may be wrong";
+  }
 
   if (outcome.safety_violated) {
     outcome.observed = threat::OperationalState::kGray;

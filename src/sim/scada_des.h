@@ -12,6 +12,8 @@
 
 #include "scada/configuration.h"
 #include "sim/bft.h"
+#include "sim/fault_injector.h"
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/primary_backup.h"
 #include "sim/workload.h"
@@ -39,6 +41,12 @@ struct DesOptions {
   bool tracing = false;
   /// Hard cap on simulation events (storm guard; 0 = unlimited).
   std::uint64_t event_limit = 20000000;
+  /// Liveness bound for the invariant monitor (0 disables the check).
+  /// Safety invariants are always monitored.
+  double liveness_gap_s = 0.0;
+  /// Recovery allowance padded around injected fault windows before the
+  /// liveness check treats a gap as unexplained.
+  double liveness_pad_s = 30.0;
 };
 
 /// What one simulated run produced.
@@ -51,6 +59,13 @@ struct DesOutcome {
   std::uint64_t messages = 0;
   /// True when the run hit the event limit (protocol storm guard).
   bool truncated = false;
+  /// Messages dropped by the network, broken down by cause.
+  DropCounters drops;
+  /// Extra deliveries injected by message duplication.
+  std::uint64_t duplicates = 0;
+  /// Protocol invariant violations observed by the InvariantMonitor
+  /// (empty on a clean run; see sim/invariants.h).
+  std::vector<std::string> invariant_violations;
   /// Availability per 60 s bucket over the whole run (-1 = no requests).
   std::vector<double> availability_timeline;
   std::vector<std::string> trace;
@@ -67,6 +82,13 @@ class ScadaDes {
   /// the initial primary/leader, the worst case).
   DesOutcome run(const threat::SystemState& attacked_state) const;
 
+  /// Simulates the compound threat with a fault plan layered on top: the
+  /// plan's events (crash/restart, flapping, skew, compromise) and message
+  /// impairments (duplication, reordering) are armed before the run, and
+  /// its crash/flap windows are excused from the liveness check.
+  DesOutcome run(const threat::SystemState& attacked_state,
+                 const FaultPlan& plan) const;
+
   /// Convenience: derives the attacked state from a flood mask and an
   /// attacker capability via the paper's greedy worst-case attacker, then
   /// simulates it.
@@ -77,6 +99,9 @@ class ScadaDes {
   const DesOptions& options() const noexcept { return options_; }
 
  private:
+  DesOutcome run_impl(const threat::SystemState& attacked_state,
+                      const FaultPlan* plan) const;
+
   scada::Configuration config_;
   DesOptions options_;
 };

@@ -57,6 +57,9 @@ void ClientWorkload::on_message(const Message& msg) {
 
   record.completed_at = sim_.now();
   record.corrupt = msg.corrupt;
+  if (monitor_ != nullptr) {
+    monitor_->on_client_accept(msg.request_id, msg.corrupt);
+  }
   if (msg.corrupt && !safety_violated_) {
     safety_violated_ = true;
     first_violation_at_ = sim_.now();

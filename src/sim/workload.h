@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -43,6 +44,10 @@ class ClientWorkload {
 
   /// Replicas that receive each request.
   void set_targets(std::vector<NodeAddr> targets);
+
+  /// Wires the invariant monitor: every accepted result is reported, so
+  /// the monitor can flag forged accepts and judge liveness.
+  void set_monitor(InvariantMonitor* monitor) noexcept { monitor_ = monitor; }
 
   /// Issues requests every interval in [start, end).
   void start(double start_s, double end_s);
@@ -99,6 +104,7 @@ class ClientWorkload {
 
   bool safety_violated_ = false;
   double first_violation_at_ = -1.0;
+  InvariantMonitor* monitor_ = nullptr;
 };
 
 }  // namespace ct::sim

@@ -376,5 +376,66 @@ TEST(Report, CsvOutput) {
   EXPECT_NE(csv.find("fig6,6,Hurricane,green,1"), std::string::npos);
 }
 
+// ------------------------------------- realization CSV graceful degradation
+
+TEST(RealizationCsv, RoundTripsThroughWriterAndLoader) {
+  std::vector<surge::HurricaneRealization> realizations(2);
+  realizations[0].index = 0;
+  realizations[0].peak_wind_ms = 42.5;
+  realizations[0].max_shoreline_wse_m = 1.25;
+  surge::AssetImpact impact;
+  impact.asset_id = "p";
+  impact.failed = true;
+  realizations[0].impacts.push_back(impact);
+  realizations[1].index = 1;
+  realizations[1].peak_wind_ms = 38.0;
+
+  std::ostringstream out;
+  write_realizations_csv(out, realizations);
+  std::istringstream in(out.str());
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  EXPECT_EQ(loaded.skipped_rows, 0u);
+  ASSERT_EQ(loaded.realizations.size(), 2u);
+  EXPECT_TRUE(loaded.realizations[0].asset_failed("p"));
+  EXPECT_FALSE(loaded.realizations[1].asset_failed("p"));
+  EXPECT_DOUBLE_EQ(loaded.realizations[0].peak_wind_ms, 42.5);
+  EXPECT_DOUBLE_EQ(loaded.realizations[0].max_shoreline_wse_m, 1.25);
+}
+
+TEST(RealizationCsv, MalformedRowsAreSkippedNotFatal) {
+  const std::string csv =
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "# comment line\n"
+      "0,,40.0,1.0\n"
+      "oops,not,a,row\n"        // non-numeric index
+      "1,p,45.0\n"              // wrong field count
+      "2,p,forty,2.0\n"         // non-numeric wind
+      "3,p,45.0,2.0\n";
+  std::istringstream in(csv);
+  ::testing::internal::CaptureStderr();
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(loaded.skipped_rows, 3u);
+  ASSERT_EQ(loaded.realizations.size(), 2u);
+  EXPECT_TRUE(loaded.realizations[1].asset_failed("p"));
+  EXPECT_NE(stderr_text.find("malformed realization row"), std::string::npos);
+}
+
+TEST(RealizationCsv, AnalyzeCsvCountsSkippedAndClassifiesTheRest) {
+  const std::string csv =
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "0,,40.0,1.0\n"           // nothing flooded: green
+      "garbage row here\n"      // skipped
+      "1,p,45.0,2.0\n";         // primary flooded: red for config "2"
+  std::istringstream in(csv);
+  const AnalysisPipeline pipeline;
+  const ScenarioResult result = pipeline.analyze_csv(
+      scada::make_config_2("p"), ThreatScenario::kHurricane, in);
+  EXPECT_EQ(result.skipped_realizations, 1u);
+  EXPECT_EQ(result.outcomes.total(), 2u);
+  EXPECT_EQ(result.outcomes.count(OperationalState::kGreen), 1u);
+  EXPECT_EQ(result.outcomes.count(OperationalState::kRed), 1u);
+}
+
 }  // namespace
 }  // namespace ct::core

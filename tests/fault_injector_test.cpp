@@ -1,0 +1,276 @@
+// FaultPlan / FaultInjector tests: deterministic seeded plan generation,
+// schedule round-tripping, and the network-level fault mechanics (crash,
+// link flap, site flap, duplication, reordering, per-cause drop counters).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+namespace {
+
+TEST(FaultPlan, RandomBenignPlanIsDeterministicPerSeed) {
+  const BenignPlanShape shape;
+  const std::vector<int> nodes{3, 3};
+  util::Rng a(42, "plans");
+  util::Rng b(42, "plans");
+  util::Rng c(43, "plans");
+  const FaultPlan pa = random_benign_plan(shape, nodes, a);
+  const FaultPlan pb = random_benign_plan(shape, nodes, b);
+  const FaultPlan pc = random_benign_plan(shape, nodes, c);
+  EXPECT_EQ(pa, pb);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(FaultPlan, RandomBenignPlanStaysBenignAndInWindow) {
+  BenignPlanShape shape;
+  shape.window_from_s = 20.0;
+  shape.window_to_s = 100.0;
+  const std::vector<int> nodes{2, 2, 2};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed, "plans");
+    const FaultPlan plan = random_benign_plan(shape, nodes, rng);
+    EXPECT_TRUE(plan.benign());
+    for (const FaultEvent& e : plan.events) {
+      EXPECT_GE(e.at, shape.window_from_s);
+      EXPECT_LT(e.at, shape.window_to_s);
+      EXPECT_NE(e.kind, FaultKind::kCompromise);
+    }
+  }
+}
+
+TEST(FaultPlan, BenignCrashSlotsAreDisjoint) {
+  BenignPlanShape shape;
+  shape.max_crashes = 4;
+  const std::vector<int> nodes{3, 3};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed, "crash-slots");
+    const FaultPlan plan = random_benign_plan(shape, nodes, rng);
+    double last_end = -1.0;
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind != FaultKind::kCrash) continue;
+      EXPECT_GE(e.at, last_end) << "seed " << seed;
+      last_end = e.at + e.duration;
+    }
+  }
+}
+
+TEST(FaultPlan, ScheduleRoundTrips) {
+  FaultPlan plan;
+  plan.duplicate_probability = 0.05;
+  plan.reorder_probability = 0.1;
+  plan.reorder_window_s = 0.05;
+  plan.events.push_back(
+      {FaultKind::kCrash, 15.0, 10.0, {0, 1}, 0, 0, 1.0});
+  plan.events.push_back({FaultKind::kSkew, 20.0, 30.0, {0, 0}, 0, 0, 1.5});
+  plan.events.push_back({FaultKind::kLinkFlap, 30.0, 2.0, {}, 0, 2, 1.0});
+  plan.events.push_back({FaultKind::kSiteFlap, 40.0, 3.0, {}, 1, 0, 1.0});
+  plan.events.push_back(
+      {FaultKind::kCompromise, 120.0, 0.0, {0, 2}, 0, 0, 1.0});
+
+  const std::string schedule = plan.to_schedule();
+  EXPECT_NE(schedule.find("crash @15 s0/n1 +10"), std::string::npos);
+  EXPECT_NE(schedule.find("compromise @120 s0/n2"), std::string::npos);
+  EXPECT_EQ(FaultPlan::parse_schedule(schedule), plan);
+}
+
+TEST(FaultPlan, ParseScheduleIgnoresCommentsAndRejectsGarbage) {
+  const FaultPlan plan = FaultPlan::parse_schedule(
+      "# comment\n\n  crash @5 s1/n0 +2\ndup 0.01\n");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.duplicate_probability, 0.01);
+  EXPECT_THROW(FaultPlan::parse_schedule("explode @5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_schedule("crash s0/n0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_schedule("crash @5 bogus"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ExcusedWindowsMergeAndPad) {
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kCrash, 10.0, 5.0, {0, 0}, 0, 0, 1.0});
+  plan.events.push_back({FaultKind::kLinkFlap, 14.0, 2.0, {}, 0, 1, 1.0});
+  plan.events.push_back({FaultKind::kSiteFlap, 100.0, 3.0, {}, 0, 0, 1.0});
+  plan.events.push_back({FaultKind::kSkew, 50.0, 10.0, {0, 0}, 0, 0, 1.2});
+  const auto windows = plan.excused_windows(2.0);
+  // Crash [10,17) and flap [14,18) merge; skew is not an outage.
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].first, 10.0);
+  EXPECT_DOUBLE_EQ(windows[0].second, 18.0);
+  EXPECT_DOUBLE_EQ(windows[1].first, 100.0);
+  EXPECT_DOUBLE_EQ(windows[1].second, 105.0);
+}
+
+TEST(FaultInjector, CrashMutesNodeAndRestartRestores) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  int received = 0;
+  net.register_handler({1, 0}, [&](const Message&) { ++received; });
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kCrash, 5.0, 5.0, {1, 0}, 0, 0, 1.0});
+  FaultInjector injector(sim, net, plan);
+  injector.arm();
+  EXPECT_EQ(injector.events_armed(), 1);
+  for (const double t : {1.0, 7.0, 12.0}) {
+    sim.schedule_at(t, [&] { net.send({0, 0}, {1, 0}, Message{}); });
+  }
+  sim.run_until(20.0);
+  EXPECT_EQ(received, 2);  // t=7 send hits the crash window
+  EXPECT_EQ(net.drop_counters().crashed, 1u);
+  EXPECT_FALSE(net.node_crashed({1, 0}));
+}
+
+TEST(FaultInjector, LinkFlapBlocksOnlyThatSitePair) {
+  Simulator sim;
+  Network net(sim, {1, 1, 1});
+  int to_site1 = 0;
+  int to_site2 = 0;
+  net.register_handler({1, 0}, [&](const Message&) { ++to_site1; });
+  net.register_handler({2, 0}, [&](const Message&) { ++to_site2; });
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kLinkFlap, 5.0, 5.0, {}, 0, 1, 1.0});
+  FaultInjector injector(sim, net, plan);
+  injector.arm();
+  sim.schedule_at(7.0, [&] {
+    net.send({0, 0}, {1, 0}, Message{});
+    net.send({0, 0}, {2, 0}, Message{});
+  });
+  sim.schedule_at(12.0, [&] { net.send({0, 0}, {1, 0}, Message{}); });
+  sim.run_until(20.0);
+  EXPECT_EQ(to_site1, 1);  // only the post-flap send arrives
+  EXPECT_EQ(to_site2, 1);  // the 0-2 link never flapped
+  EXPECT_EQ(net.drop_counters().link_down, 1u);
+}
+
+TEST(FaultInjector, SiteFlapRestoresPriorState) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  net.set_site_down(1, true);  // already flooded
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kSiteFlap, 5.0, 2.0, {}, 1, 0, 1.0});
+  FaultInjector injector(sim, net, plan);
+  injector.arm();
+  sim.run_until(20.0);
+  EXPECT_TRUE(net.site_down(1));  // the flap must not resurrect the site
+}
+
+TEST(FaultInjector, SkewHookAppliesAndClears) {
+  Simulator sim;
+  Network net(sim, {1});
+  std::vector<std::pair<double, double>> calls;  // (time, factor)
+  FaultInjector::Hooks hooks;
+  hooks.set_timeout_scale = [&](NodeAddr addr, double factor) {
+    EXPECT_EQ(addr, (NodeAddr{0, 0}));
+    calls.emplace_back(sim.now(), factor);
+  };
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kSkew, 5.0, 10.0, {0, 0}, 0, 0, 1.5});
+  FaultInjector injector(sim, net, plan, hooks);
+  injector.arm();
+  sim.run_until(30.0);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_DOUBLE_EQ(calls[0].second, 1.5);
+  EXPECT_DOUBLE_EQ(calls[1].second, 1.0);
+  EXPECT_DOUBLE_EQ(calls[1].first, 15.0);
+}
+
+TEST(FaultInjector, ArmTwiceThrows) {
+  Simulator sim;
+  Network net(sim, {1});
+  FaultInjector injector(sim, net, FaultPlan{});
+  injector.arm();
+  EXPECT_THROW(injector.arm(), std::logic_error);
+}
+
+TEST(Impairment, DuplicationDeliversExtraCopies) {
+  Simulator sim;
+  NetworkOptions options;
+  options.duplicate_probability = 0.2;
+  Network net(sim, {1, 1}, options);
+  int received = 0;
+  net.register_handler({1, 0}, [&](const Message&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) net.send({0, 0}, {1, 0}, Message{});
+  sim.run_until(10.0);
+  EXPECT_NEAR(static_cast<double>(net.messages_duplicated()) / n, 0.2, 0.02);
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            n + net.messages_duplicated());
+  EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+TEST(Impairment, ReorderingShufflesWithinBound) {
+  Simulator sim;
+  NetworkOptions options;
+  options.inter_site_latency_s = 0.025;
+  options.reorder_probability = 0.5;
+  options.reorder_window_s = 0.05;
+  Network net(sim, {1, 1}, options);
+  std::vector<std::int64_t> order;
+  std::vector<double> arrivals;
+  net.register_handler({1, 0}, [&](const Message& m) {
+    order.push_back(m.request_id);
+    arrivals.push_back(sim.now());
+  });
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.request_id = i;
+    net.send({0, 0}, {1, 0}, m);
+  }
+  sim.run_until(1.0);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  bool inverted = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) inverted = true;
+  }
+  EXPECT_TRUE(inverted);  // some later message overtook an earlier one
+  for (const double t : arrivals) {
+    EXPECT_GE(t, 0.025);
+    EXPECT_LE(t, 0.025 + 0.05 + 1e-9);  // hold-back is bounded
+  }
+}
+
+TEST(Impairment, DropCountersSplitByCause) {
+  Simulator sim;
+  Network net(sim, {1, 1, 1, 1});
+  net.register_handler({1, 0}, [](const Message&) {});
+  net.set_site_down(1, true);
+  net.set_site_isolated(2, true);
+  net.set_link_down(0, 3, true);
+  net.set_node_crashed({0, 0}, true);
+  net.send({0, 0}, {1, 0}, Message{});  // crashed sender wins classification
+  net.set_node_crashed({0, 0}, false);
+  net.send({0, 0}, {1, 0}, Message{});  // site down
+  net.send({0, 0}, {2, 0}, Message{});  // isolation
+  net.send({0, 0}, {3, 0}, Message{});  // link down
+  sim.run_until(1.0);
+  const DropCounters& drops = net.drop_counters();
+  EXPECT_EQ(drops.crashed, 1u);
+  EXPECT_EQ(drops.site_down, 1u);
+  EXPECT_EQ(drops.isolation, 1u);
+  EXPECT_EQ(drops.link_down, 1u);
+  EXPECT_EQ(drops.loss, 0u);
+  EXPECT_EQ(drops.in_flight, 0u);
+  EXPECT_EQ(net.messages_dropped(), drops.total());
+  EXPECT_EQ(drops.total(), 4u);
+}
+
+TEST(Impairment, InFlightDropWhenDestinationCrashesMidFlight) {
+  Simulator sim;
+  Network net(sim, {1, 1});
+  int received = 0;
+  net.register_handler({1, 0}, [&](const Message&) { ++received; });
+  net.send({0, 0}, {1, 0}, Message{});           // in flight now
+  net.set_node_crashed({1, 0}, true);            // crashes before delivery
+  sim.run_until(1.0);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.drop_counters().in_flight, 1u);
+}
+
+}  // namespace
+}  // namespace ct::sim

@@ -15,12 +15,12 @@ namespace {
 // ------------------------------------------------------------ primary-backup
 
 struct PbHarness {
-  PbHarness(int sites, bool with_controller)
+  PbHarness(int sites, bool with_controller, NetworkOptions nopts = {})
       : net(sim, [&] {
           std::vector<int> n(static_cast<std::size_t>(sites), 2);
           n.push_back(2);  // client site
           return n;
-        }()) {
+        }(), nopts) {
     options.activation_delay_s = 30.0;
     options.controller_outage_threshold_s = 6.0;
     options.controller_check_interval_s = 1.0;
@@ -118,12 +118,13 @@ TEST(PrimaryBackup, IsolatedActiveSiteTriggersFailover) {
 
 struct BftHarness {
   /// sites x replicas_per_site, one group across all sites.
-  BftHarness(const std::vector<int>& replicas_per_site, BftOptions opts = {})
+  BftHarness(const std::vector<int>& replicas_per_site, BftOptions opts = {},
+             NetworkOptions nopts = {})
       : options(opts), net(sim, [&] {
           std::vector<int> n = replicas_per_site;
           n.push_back(2);
           return n;
-        }()) {
+        }(), nopts) {
     const int n_sites = static_cast<int>(replicas_per_site.size());
     std::vector<int> site_ids;
     for (int s = 0; s < n_sites; ++s) site_ids.push_back(s);
@@ -222,6 +223,43 @@ TEST(Bft, ThreeSiteGroupStallsWithTwoSitesDown) {
   });
   h.run(50.0);
   EXPECT_DOUBLE_EQ(h.client->success_fraction(15.0, 45.0), 0.0);
+}
+
+// ------------------------------------------- combined WAN impairments
+
+NetworkOptions combined_impairments(std::uint64_t seed) {
+  NetworkOptions nopts;
+  nopts.loss_probability = 0.03;
+  nopts.latency_jitter_s = 0.010;
+  nopts.duplicate_probability = 0.05;
+  nopts.reorder_probability = 0.10;
+  nopts.reorder_window_s = 0.05;
+  nopts.impairment_seed = seed;
+  return nopts;
+}
+
+TEST(PrimaryBackup, ServesThroughCombinedImpairmentsAcrossSeeds) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    PbHarness h(1, false, combined_impairments(seed));
+    h.run(30.0);
+    EXPECT_GE(h.client->success_fraction(0.0, 29.0), 0.85) << "seed " << seed;
+    EXPECT_FALSE(h.client->safety_violated()) << "seed " << seed;
+    EXPECT_GT(h.net.messages_duplicated(), 0u);
+    EXPECT_GT(h.net.drop_counters().loss, 0u);
+  }
+}
+
+TEST(Bft, CommitsThroughCombinedImpairmentsAcrossSeeds) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    BftHarness h({6}, BftOptions{}, combined_impairments(seed));
+    h.run(30.0);
+    EXPECT_GE(h.client->success_fraction(0.0, 29.0), 0.85) << "seed " << seed;
+    EXPECT_FALSE(h.client->safety_violated()) << "seed " << seed;
+    // Duplicated accepts/replies must not double-execute or double-count:
+    // every replica still executes each request exactly once.
+    EXPECT_GT(h.net.messages_duplicated(), 0u);
+    EXPECT_LE(h.replicas[0]->executed_count(), 30u);
+  }
 }
 
 TEST(Bft, InterleavedGroupAlternatesSites) {

@@ -123,6 +123,83 @@ TEST(ScadaDes, TraceCapturesAttackEvents) {
   EXPECT_GT(outcome.messages, 0u);
 }
 
+TEST(ScadaDes, EventLimitTruncationIsReported) {
+  DesOptions options = fast_options();
+  options.event_limit = 500;  // far too small for a full run
+  const Configuration config = scada::make_config_2("p");
+  const ScadaDes des(config, options);
+  ::testing::internal::CaptureStderr();
+  const DesOutcome outcome =
+      des.run({false}, threat::capability_for(ThreatScenario::kHurricane));
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(outcome.truncated);
+  // The warning names the configuration so a sweep log points at the
+  // offending run.
+  EXPECT_NE(stderr_text.find("event limit"), std::string::npos)
+      << stderr_text;
+  EXPECT_NE(stderr_text.find("'2'"), std::string::npos) << stderr_text;
+}
+
+TEST(ScadaDes, NoTruncationWarningOnCleanRun) {
+  const Configuration config = scada::make_config_2("p");
+  const ScadaDes des(config, fast_options());
+  ::testing::internal::CaptureStderr();
+  const DesOutcome outcome =
+      des.run({false}, threat::capability_for(ThreatScenario::kHurricane));
+  const std::string stderr_text = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(outcome.truncated);
+  EXPECT_EQ(stderr_text.find("event limit"), std::string::npos)
+      << stderr_text;
+}
+
+/// Satellite robustness sweep: with loss, jitter, duplication and bounded
+/// reordering all active at once, the observed color still matches the
+/// analytic evaluator across impairment seeds for every scenario.
+class CombinedImpairmentDes
+    : public ::testing::TestWithParam<scada::Configuration> {};
+
+TEST_P(CombinedImpairmentDes, ColorsMatchAnalyticAcrossSeeds) {
+  const Configuration& config = GetParam();
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    DesOptions options = fast_options();
+    options.net.loss_probability = 0.03;
+    options.net.latency_jitter_s = 0.010;
+    options.net.duplicate_probability = 0.05;
+    options.net.reorder_probability = 0.10;
+    options.net.reorder_window_s = 0.05;
+    options.net.impairment_seed = seed;
+    const ScadaDes des(config, options);
+    const threat::GreedyWorstCaseAttacker attacker;
+    const std::size_t n = config.sites.size();
+    SystemState base;
+    base.site_status.assign(n, SiteStatus::kUp);
+    base.intrusions.assign(n, 0);
+    for (const ThreatScenario scenario : threat::all_scenarios()) {
+      const SystemState attacked =
+          attacker.attack(config, base, threat::capability_for(scenario));
+      const OperationalState analytic = core::evaluate(config, attacked);
+      const DesOutcome observed = des.run(attacked);
+      EXPECT_EQ(observed.observed, analytic)
+          << config.name << " seed " << seed << " scenario "
+          << threat::scenario_name(scenario);
+      EXPECT_TRUE(observed.invariant_violations.empty())
+          << config.name << " seed " << seed << ": "
+          << observed.invariant_violations.front();
+      // Duplication was genuinely active.
+      EXPECT_GT(observed.duplicates, 0u);
+      EXPECT_GT(observed.drops.loss, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigurations, CombinedImpairmentDes,
+    ::testing::Values(scada::make_config_2_2("p", "b"),
+                      scada::make_config_6_6("p", "b")),
+    [](const ::testing::TestParamInfo<scada::Configuration>& info) {
+      return info.param.name == "2-2" ? "c22" : "c66";
+    });
+
 TEST(ScadaDes, Validation) {
   Configuration empty;
   empty.name = "empty";
