@@ -1,9 +1,15 @@
-// Chaos acceptance sweep: >= 50 seeded benign fault plans per paper
-// configuration, each run under every threat scenario, asserting that the
-// DES-observed Table-I color stays equal to the analytic evaluator's and
-// that the protocol invariant monitor stays silent. Also runs the f+1
-// compromise detection probe and prints the shrunk minimal reproducer.
+// Chaos acceptance sweep: seeded fault plans per paper configuration
+// (default 50, overridable via argv for CI smoke runs), each run under
+// every threat scenario, asserting that the DES-observed Table-I color
+// stays equal to the analytic evaluator's and that the protocol invariant
+// monitor stays silent. Two sweeps run per configuration: benign plans
+// (crash/flap/skew/duplication/reordering) and restart-heavy plans
+// (back-to-back crash/restart windows plus recovery-plane message loss,
+// exercising the checkpoint / state-transfer / rejoin machinery). Also
+// runs the f+1 compromise detection probe and prints the shrunk minimal
+// reproducer for any finding.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/chaos.h"
@@ -14,21 +20,19 @@
 
 using namespace ct;
 
-int main() {
-  std::cout << "=== chaos sweep: benign fault plans vs Table I ===\n\n";
+namespace {
 
-  core::ChaosOptions options;
-  options.plans = 50;
-  const core::ChaosRunner runner(options);
-
+int run_sweep(const core::ChaosRunner& runner, const char* title) {
+  std::cout << "=== chaos sweep: " << title << " ===\n\n";
   util::TextTable table;
   table.set_columns(
-      {"config", "plans", "runs", "drops", "duplicates", "findings", "ms"},
+      {"config", "plans", "runs", "drops", "duplicates", "rejoins",
+       "findings", "ms"},
       {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
        util::Align::kRight, util::Align::kRight, util::Align::kRight,
-       util::Align::kRight});
+       util::Align::kRight, util::Align::kRight});
 
-  int total_findings = 0;
+  int findings = 0;
   for (const auto& config :
        scada::paper_configurations("primary", "backup", "dc")) {
     const auto start = std::chrono::steady_clock::now();
@@ -39,9 +43,10 @@ int main() {
                    std::to_string(report.runs),
                    std::to_string(report.total_drops),
                    std::to_string(report.total_duplicates),
+                   std::to_string(report.total_rejoins),
                    std::to_string(report.findings.size()),
                    std::to_string(elapsed.count())});
-    total_findings += static_cast<int>(report.findings.size());
+    findings += static_cast<int>(report.findings.size());
     for (const core::ChaosFinding& finding : report.findings) {
       std::cout << "FINDING " << finding.config_name << " seed "
                 << finding.plan_seed << " scenario "
@@ -55,8 +60,33 @@ int main() {
     }
   }
   std::cout << table.to_string() << "\n";
+  return findings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int plans = argc > 1 ? std::atoi(argv[1]) : 50;
+  if (plans <= 0) {
+    std::cerr << "usage: bench_chaos [plans-per-config]\n";
+    return 2;
+  }
+
+  int total_findings = 0;
+
+  core::ChaosOptions benign;
+  benign.plans = plans;
+  total_findings +=
+      run_sweep(core::ChaosRunner(benign), "benign fault plans vs Table I");
+
+  core::ChaosOptions restart_heavy;
+  restart_heavy.plans = plans;
+  restart_heavy.plan_style = core::ChaosOptions::PlanStyle::kRestartHeavy;
+  total_findings += run_sweep(core::ChaosRunner(restart_heavy),
+                              "restart-heavy plans with transfer loss");
 
   std::cout << "=== detection probe: f+1 compromised replicas ===\n\n";
+  const core::ChaosRunner runner(benign);
   for (const auto& config :
        scada::paper_configurations("primary", "backup", "dc")) {
     const core::ChaosFinding finding = runner.compromise_probe(config);

@@ -84,6 +84,11 @@ sim::FaultPlan ChaosRunner::shrink(const scada::Configuration& config,
     candidate.reorder_window_s = 0.0;
     if (fails(config, attacked, expected, candidate)) minimal = candidate;
   }
+  {
+    sim::FaultPlan candidate = minimal;
+    candidate.transfer_loss_probability = 0.0;
+    if (fails(config, attacked, expected, candidate)) minimal = candidate;
+  }
   return minimal;
 }
 
@@ -96,19 +101,25 @@ ChaosReport ChaosRunner::sweep(const scada::Configuration& config) const {
   for (const scada::ControlSite& site : config.sites) {
     nodes_per_site.push_back(site.replicas);
   }
-  sim::BenignPlanShape shape = options_.shape;
   // Faults must settle before the availability window starts, or benign
   // hiccups would legitimately change the color.
-  shape.window_to_s = std::max(
-      shape.window_from_s + 1.0,
+  const double window_to = std::max(
+      options_.shape.window_from_s + 1.0,
       options_.des.horizon_s - options_.des.settle_window_s - 60.0);
+  sim::BenignPlanShape shape = options_.shape;
+  shape.window_to_s = window_to;
+  sim::RestartPlanShape restart_shape = options_.restart_shape;
+  restart_shape.window_to_s =
+      std::max(restart_shape.window_from_s + 1.0, window_to);
 
   const util::Rng base_rng(options_.base_seed, "chaos");
   for (int p = 0; p < options_.plans; ++p) {
     util::Rng plan_rng =
         base_rng.child("plan", static_cast<std::uint64_t>(p));
     const sim::FaultPlan plan =
-        sim::random_benign_plan(shape, nodes_per_site, plan_rng);
+        options_.plan_style == ChaosOptions::PlanStyle::kRestartHeavy
+            ? sim::random_restart_plan(restart_shape, nodes_per_site, plan_rng)
+            : sim::random_benign_plan(shape, nodes_per_site, plan_rng);
     ++report.plans_run;
     for (const threat::ThreatScenario scenario : options_.scenarios) {
       const threat::SystemState attacked =
@@ -118,6 +129,7 @@ ChaosReport ChaosRunner::sweep(const scada::Configuration& config) const {
       ++report.runs;
       report.total_drops += outcome.drops.total();
       report.total_duplicates += outcome.duplicates;
+      report.total_rejoins += outcome.rejoins;
       if (outcome.observed == expected &&
           outcome.invariant_violations.empty()) {
         continue;

@@ -30,6 +30,12 @@ namespace ct::core {
 sim::DesOptions chaos_des_options();
 
 struct ChaosOptions {
+  /// What the seeded plans stress: kBenign mixes mild crash/flap/skew
+  /// windows; kRestartHeavy generates back-to-back crash/restart and
+  /// site-bounce windows plus recovery-plane message loss, exercising the
+  /// checkpoint / state-transfer / rejoin machinery.
+  enum class PlanStyle { kBenign, kRestartHeavy };
+
   /// Seeded benign plans per configuration.
   int plans = 50;
   std::uint64_t base_seed = 20220627;
@@ -40,7 +46,9 @@ struct ChaosOptions {
       threat::ThreatScenario::kHurricaneIsolation,
       threat::ThreatScenario::kHurricaneIntrusionIsolation};
   sim::DesOptions des = chaos_des_options();
+  PlanStyle plan_style = PlanStyle::kBenign;
   sim::BenignPlanShape shape{};
+  sim::RestartPlanShape restart_shape{};
 };
 
 /// One confirmed failure: a (plan, scenario) pair whose run misclassified
@@ -64,6 +72,9 @@ struct ChaosReport {
   int runs = 0;
   std::uint64_t total_drops = 0;
   std::uint64_t total_duplicates = 0;
+  /// Successful rejoin catch-ups summed over all runs (restart-heavy
+  /// sweeps assert this is non-zero: the machinery actually exercised).
+  int total_rejoins = 0;
   std::vector<ChaosFinding> findings;
 
   bool ok() const noexcept { return findings.empty(); }

@@ -18,6 +18,21 @@ BftReplica::BftReplica(Simulator& sim, Network& net, NodeAddr self,
       !(group_[static_cast<std::size_t>(index_)] == self_)) {
     throw std::invalid_argument("BftReplica: index does not match group slot");
   }
+  stable_digest_ = state_digest({});
+  // Catch-up installs need f+1 matching peers: at most f can lie, so any
+  // f+1 matching certificate has a correct voucher.
+  transfer_ = std::make_unique<StateTransferClient>(
+      sim_, options_.state_transfer, options_.f + 1,
+      StateTransferClient::Callbacks{
+          [this](std::int64_t epoch) {
+            Message req;
+            req.type = Message::Type::kStateRequest;
+            req.request_id = epoch;
+            req.seq = static_cast<std::int64_t>(executed_.size());
+            broadcast_to_group(req);
+          },
+          [this](const StateTransferClient::Result& r) { install_state(r); },
+          [this](int rounds) { catchup_failed(rounds); }});
   net_.register_handler(self_, [this](const Message& m) { on_message(m); });
 }
 
@@ -47,6 +62,10 @@ void BftReplica::broadcast_to_group(const Message& msg) {
 
 void BftReplica::begin_recovery() {
   recovering_ = true;
+  // A rejuvenating replica abandons any in-flight catch-up; end_recovery
+  // starts a fresh one with a fresh retry budget.
+  transfer_->abort();
+  catching_up_ = false;
   // Note: the compromised_ flag is NOT cleared here. The paper's analysis
   // classifies a static post-attack state, so the simulator keeps the
   // attacker's foothold for the whole analysis window; what proactive
@@ -59,10 +78,74 @@ void BftReplica::end_recovery() {
   recovering_ = false;
   last_progress_ = sim_.now();
   sim_.trace(to_string(self_) + " proactive recovery ends");
+  begin_catchup("proactive recovery");
+}
+
+void BftReplica::on_restart() {
+  if (!active_ || compromised_ || recovering_) return;
+  begin_catchup("restart");
+}
+
+void BftReplica::begin_catchup(const char* reason) {
+  if (!active_ || compromised_) return;
+  // A restart gives a previously passive replica a fresh retry budget.
+  passive_ = false;
+  catching_up_ = true;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " catch-up transfer begins (" +
+             std::string(reason) + ")");
+  transfer_->begin();
+}
+
+void BftReplica::install_state(const StateTransferClient::Result& result) {
+  for (const std::int64_t id : result.ids) {
+    if (executed_.contains(id)) continue;
+    // The transferred tail carries no client address; the client has long
+    // since collected its reply quorum from the peers that executed live.
+    executed_[id] = NodeAddr{};
+    pending_.erase(id);
+    accept_votes_.erase(id);
+  }
+  if (result.count > stable_count_) {
+    stable_count_ = result.count;
+    stable_digest_ = result.digest;
+    gc_below_stable();
+  }
+  if (monitor_ != nullptr) {
+    monitor_->on_state_install(self_, group_id_, result.count, result.digest);
+  }
+  catching_up_ = false;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " installed state (count " +
+             std::to_string(result.count) + ", " +
+             std::to_string(result.rounds) + " round(s))");
+  if (is_leader()) propose_pending();
+}
+
+void BftReplica::catchup_failed(int rounds) {
+  catching_up_ = false;
+  passive_ = true;
+  sim_.trace(to_string(self_) + " catch-up failed after " +
+             std::to_string(rounds) + " rounds; degrading to passive");
+}
+
+RejoinStats BftReplica::rejoin_stats() const {
+  RejoinStats s;
+  s.rejoins = transfer_->transfers_completed();
+  s.failures = transfer_->transfers_failed();
+  s.retry_rounds = transfer_->retry_rounds();
+  s.max_catchup_s = transfer_->max_catchup_s();
+  return s;
 }
 
 void BftReplica::on_message(const Message& msg) {
   if (msg.type == Message::Type::kActivate) {
+    // Ack unconditionally (idempotent) so the controller's retransmit loop
+    // stops even when the first activation is already pending.
+    Message ack;
+    ack.type = Message::Type::kActivateAck;
+    ack.request_id = msg.request_id;
+    net_.send(self_, msg.sender, ack);
     if (active_ || activation_pending_) return;
     activation_pending_ = true;
     sim_.schedule_in(options_.activation_delay_s, [this] {
@@ -70,6 +153,10 @@ void BftReplica::on_message(const Message& msg) {
       activation_pending_ = false;
       last_progress_ = sim_.now();
       sim_.trace(to_string(self_) + " cold BFT group activated");
+      // A freshly activated group member syncs before serving. With every
+      // member equally cold the transfer converges on the trivial (empty)
+      // certificate; a staggered activation picks up real state.
+      begin_catchup("cold activation");
     });
     return;
   }
@@ -87,15 +174,33 @@ void BftReplica::on_message(const Message& msg) {
     }
     return;
   }
-  if (recovering_ || !active_) return;
+  if (recovering_ || !active_ || passive_) return;
 
+  // While catching up, the replica answers state requests and overhears
+  // the ordering protocol (per-request slots make that safe) but does not
+  // serve clients; serving resumes once the transfer installs.
   switch (msg.type) {
-    case Message::Type::kRequest: return on_request(msg);
+    case Message::Type::kStateRequest: return on_state_request(msg);
+    case Message::Type::kStateReply: return transfer_->on_reply(msg);
+    case Message::Type::kCheckpoint: return on_checkpoint_vote(msg);
+    case Message::Type::kRequest:
+      if (catching_up_) return;
+      return on_request(msg);
     case Message::Type::kProposal: return on_proposal(msg);
     case Message::Type::kAccept: return on_accept(msg);
     case Message::Type::kViewChange: return on_view_change(msg);
     default: return;
   }
+}
+
+void BftReplica::on_state_request(const Message& msg) {
+  Message reply;
+  reply.type = Message::Type::kStateReply;
+  reply.request_id = msg.request_id;  // echo the transfer epoch
+  reply.seq = stable_count_;
+  reply.value = stable_digest_;
+  reply.payload = executed_ids();
+  net_.send(self_, msg.sender, reply);
 }
 
 void BftReplica::on_request(const Message& msg) {
@@ -113,7 +218,78 @@ void BftReplica::on_request(const Message& msg) {
   if (is_leader()) propose_pending();
 }
 
+std::vector<std::int64_t> BftReplica::executed_ids() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(executed_.size());
+  for (const auto& [id, client] : executed_) {
+    (void)client;
+    ids.push_back(id);  // std::map iteration is already sorted
+  }
+  return ids;
+}
+
+void BftReplica::maybe_broadcast_checkpoint() {
+  if (++executions_since_checkpoint_ < options_.checkpoint_interval) return;
+  executions_since_checkpoint_ = 0;
+  const std::vector<std::int64_t> ids = executed_ids();
+  const auto count = static_cast<std::int64_t>(ids.size());
+  const std::int64_t digest = state_digest(ids);
+  if (monitor_ != nullptr) {
+    monitor_->on_checkpoint(self_, group_id_, count, digest);
+  }
+  Message vote;
+  vote.type = Message::Type::kCheckpoint;
+  vote.seq = count;
+  vote.value = digest;
+  broadcast_to_group(vote);
+  tally_checkpoint_vote(index_, count, digest);
+}
+
+void BftReplica::on_checkpoint_vote(const Message& msg) {
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == msg.sender) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;  // not a group member
+  tally_checkpoint_vote(voter_index, msg.seq, msg.value);
+}
+
+void BftReplica::tally_checkpoint_vote(int voter_index, std::int64_t count,
+                                       std::int64_t digest) {
+  if (count <= stable_count_) return;  // already superseded
+  auto& votes = checkpoint_votes_[{count, digest}];
+  votes.insert(voter_index);
+  // f+1 matching votes cannot all come from faulty replicas, so the
+  // certificate is vouched for by at least one correct execution history.
+  if (static_cast<int>(votes.size()) < options_.f + 1) return;
+  stable_count_ = count;
+  stable_digest_ = digest;
+  ++checkpoints_formed_;
+  gc_below_stable();
+  sim_.trace(to_string(self_) + " stable checkpoint at count " +
+             std::to_string(count));
+}
+
+void BftReplica::gc_below_stable() {
+  // Ordering state for executed requests is redundant once a checkpoint
+  // covering them is stable: a re-proposal of a reclaimed id simply
+  // re-votes (execution stays idempotent), so dropping the dedup sets is
+  // safe and keeps per-request state bounded by the checkpoint interval.
+  std::erase_if(checkpoint_votes_, [this](const auto& entry) {
+    return entry.first.first <= stable_count_;
+  });
+  for (const auto& [id, client] : executed_) {
+    (void)client;
+    voted_.erase(id);
+    announced_view_.erase(id);
+  }
+}
+
 void BftReplica::propose_pending() {
+  if (!active_ || recovering_ || catching_up_ || passive_) return;
   // Snapshot: voting for our own proposal below can complete a quorum and
   // execute the request, which erases it from pending_ — iterating the
   // live map would be invalidated mid-loop.
@@ -211,6 +387,7 @@ void BftReplica::execute(std::int64_t request_id, std::int64_t view,
     reply.value = request_id;
     net_.send(self_, client, reply);
   }
+  maybe_broadcast_checkpoint();
 }
 
 void BftReplica::on_view_change(const Message& msg) {
@@ -237,7 +414,8 @@ void BftReplica::on_view_change(const Message& msg) {
 }
 
 void BftReplica::watchdog_loop() {
-  if (active_ && !recovering_ && !compromised_ && !pending_.empty() &&
+  if (active_ && !recovering_ && !compromised_ && !catching_up_ &&
+      !passive_ && !pending_.empty() &&
       sim_.now() - last_progress_ > options_.view_timeout_s * timeout_scale_) {
     ++view_;
     last_progress_ = sim_.now();

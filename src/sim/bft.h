@@ -10,11 +10,13 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/state_transfer.h"
 
 namespace ct::sim {
 
@@ -31,6 +33,11 @@ struct BftOptions {
   double recovery_duration_s = 20.0;
   /// Cold-group activation delay (for the backup group of "6-6").
   double activation_delay_s = 300.0;
+  /// Executions between checkpoint votes; a checkpoint becomes stable once
+  /// f+1 replicas vote for the same (count, digest).
+  int checkpoint_interval = 8;
+  /// Retry/backoff budget for rejoin catch-up transfers.
+  StateTransferOptions state_transfer{};
 };
 
 /// One BFT SCADA master replica.
@@ -51,6 +58,10 @@ class BftReplica {
   void end_recovery();
   bool recovering() const noexcept { return recovering_; }
 
+  /// Fault injection: the node's host just came back from a crash or site
+  /// flap — re-enter the group through a catch-up transfer.
+  void on_restart();
+
   /// Wires the invariant monitor; `group_id` distinguishes replication
   /// groups when a configuration runs several.
   void set_monitor(InvariantMonitor* monitor, int group_id) noexcept {
@@ -69,17 +80,43 @@ class BftReplica {
   bool group_active() const noexcept { return active_; }
   std::size_t executed_count() const noexcept { return executed_.size(); }
 
+  /// True while a catch-up transfer is in flight (replica overhears the
+  /// ordering protocol and answers state requests, but does not serve
+  /// clients or propose).
+  bool catching_up() const noexcept { return catching_up_; }
+  /// True after a catch-up transfer exhausted its retry budget: the
+  /// replica has degraded out of the group instead of wedging it.
+  bool passive() const noexcept { return passive_; }
+  /// Latest stable checkpoint certificate this replica holds.
+  std::int64_t stable_checkpoint_count() const noexcept { return stable_count_; }
+  /// Stable checkpoints this replica saw form (f+1 matching votes).
+  int checkpoints_formed() const noexcept { return checkpoints_formed_; }
+  RejoinStats rejoin_stats() const;
+
  private:
   void on_message(const Message& msg);
   void on_request(const Message& msg);
   void on_proposal(const Message& msg);
   void on_accept(const Message& msg);
   void on_view_change(const Message& msg);
+  void on_checkpoint_vote(const Message& msg);
+  void on_state_request(const Message& msg);
   void watchdog_loop();
   void propose_pending();
   void broadcast_to_group(const Message& msg);
   bool is_leader() const;
   void execute(std::int64_t request_id, std::int64_t view, std::int64_t seq);
+  /// Current executed set as a sorted id list (checkpoint/transfer input).
+  std::vector<std::int64_t> executed_ids() const;
+  void maybe_broadcast_checkpoint();
+  void tally_checkpoint_vote(int voter_index, std::int64_t count,
+                             std::int64_t digest);
+  /// Reclaims per-request ordering state made redundant by the stable
+  /// checkpoint (re-proposals of reclaimed ids simply re-vote).
+  void gc_below_stable();
+  void begin_catchup(const char* reason);
+  void install_state(const StateTransferClient::Result& result);
+  void catchup_failed(int rounds);
 
   Simulator& sim_;
   Network& net_;
@@ -92,6 +129,8 @@ class BftReplica {
   bool activation_pending_ = false;
   bool compromised_ = false;
   bool recovering_ = false;
+  bool catching_up_ = false;
+  bool passive_ = false;
   InvariantMonitor* monitor_ = nullptr;
   int group_id_ = 0;
   double timeout_scale_ = 1.0;
@@ -116,6 +155,17 @@ class BftReplica {
   std::map<std::int64_t, NodeAddr> executed_;
   /// view -> distinct view-change voters (for catching up).
   std::map<std::int64_t, std::set<int>> view_votes_;
+
+  /// Latest stable checkpoint certificate (f+1 matching votes).
+  std::int64_t stable_count_ = 0;
+  std::int64_t stable_digest_ = 0;
+  int executions_since_checkpoint_ = 0;
+  int checkpoints_formed_ = 0;
+  /// (count, digest) -> distinct checkpoint voters.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::set<int>>
+      checkpoint_votes_;
+  /// Drives rejoin catch-up after recovery / restart / cold activation.
+  std::unique_ptr<StateTransferClient> transfer_;
 };
 
 /// Rotates proactive recovery through a group of replicas (k = 1).

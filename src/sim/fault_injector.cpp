@@ -81,6 +81,9 @@ std::string FaultPlan::to_schedule() const {
     out << "reorder " << reorder_probability << " " << reorder_window_s
         << "\n";
   }
+  if (transfer_loss_probability > 0.0) {
+    out << "xferloss " << transfer_loss_probability << "\n";
+  }
   for (const FaultEvent& e : events) {
     out << fault_kind_name(e.kind) << " @" << format_time(e.at);
     switch (e.kind) {
@@ -126,6 +129,12 @@ FaultPlan FaultPlan::parse_schedule(std::string_view text) {
     if (word == "reorder") {
       if (!(fields >> plan.reorder_probability >> plan.reorder_window_s)) {
         throw std::invalid_argument("FaultPlan: bad reorder line: " + trimmed);
+      }
+      continue;
+    }
+    if (word == "xferloss") {
+      if (!(fields >> plan.transfer_loss_probability)) {
+        throw std::invalid_argument("FaultPlan: bad xferloss line: " + trimmed);
       }
       continue;
     }
@@ -277,6 +286,74 @@ FaultPlan random_benign_plan(const BenignPlanShape& shape,
   return plan;
 }
 
+FaultPlan random_restart_plan(const RestartPlanShape& shape,
+                              const std::vector<int>& nodes_per_site,
+                              util::Rng& rng) {
+  if (nodes_per_site.empty()) {
+    throw std::invalid_argument("random_restart_plan: no sites");
+  }
+  if (shape.window_to_s <= shape.window_from_s) {
+    throw std::invalid_argument("random_restart_plan: empty fault window");
+  }
+  if (shape.min_restarts < 1 || shape.max_restarts < shape.min_restarts ||
+      shape.min_crash_duration_s <= 0.0 ||
+      shape.max_crash_duration_s < shape.min_crash_duration_s) {
+    throw std::invalid_argument("random_restart_plan: bad restart bounds");
+  }
+  FaultPlan plan;
+  plan.duplicate_probability = shape.duplicate_probability;
+  plan.reorder_probability = shape.reorder_probability;
+  plan.reorder_window_s = shape.reorder_window_s;
+  plan.transfer_loss_probability = shape.transfer_loss_probability;
+  const int sites = static_cast<int>(nodes_per_site.size());
+
+  const auto random_node = [&]() -> NodeAddr {
+    const int site = static_cast<int>(rng.uniform_int(0, sites - 1));
+    const int node = nodes_per_site[static_cast<std::size_t>(site)] > 0
+                         ? static_cast<int>(rng.uniform_int(
+                               0, nodes_per_site[static_cast<std::size_t>(
+                                      site)] - 1))
+                         : 0;
+    return {site, node};
+  };
+
+  // Disjoint crash slots, like the benign generator, but every crash has a
+  // strictly positive duration: each one ENDS inside the run, so every
+  // event forces a restart and a rejoin catch-up.
+  const int restarts = static_cast<int>(
+      rng.uniform_int(shape.min_restarts, shape.max_restarts));
+  const double slot = (shape.window_to_s - shape.window_from_s) / restarts;
+  for (int i = 0; i < restarts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCrash;
+    const double max_duration =
+        std::min(shape.max_crash_duration_s, std::max(1.0, slot - 1.0));
+    e.duration = rng.uniform(
+        std::min(shape.min_crash_duration_s, max_duration), max_duration);
+    const double slack = std::max(0.0, slot - e.duration);
+    e.at = shape.window_from_s + slot * i + rng.uniform(0.0, slack);
+    e.node = random_node();
+    plan.events.push_back(e);
+  }
+
+  const int site_flaps =
+      static_cast<int>(rng.uniform_int(0, shape.max_site_flaps));
+  for (int i = 0; i < site_flaps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSiteFlap;
+    e.site_a = static_cast<int>(rng.uniform_int(0, sites - 1));
+    e.duration = rng.uniform(1.0, shape.max_site_flap_duration_s);
+    e.at = rng.uniform(shape.window_from_s, shape.window_to_s);
+    plan.events.push_back(e);
+  }
+
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, Network& net, FaultPlan plan,
                              Hooks hooks)
     : sim_(sim), net_(net), plan_(std::move(plan)), hooks_(std::move(hooks)) {}
@@ -297,6 +374,7 @@ void FaultInjector::arm() {
           sim_.schedule_at(e.at + e.duration, [this, node] {
             net_.set_node_crashed(node, false);
             sim_.trace(to_string(node) + " restarted (fault plan)");
+            if (hooks_.restart) hooks_.restart(node);
           });
         }
         break;
@@ -330,6 +408,13 @@ void FaultInjector::arm() {
             sim_.schedule_in(duration, [this, site, was_down] {
               net_.set_site_down(site, was_down);
               sim_.trace("site " + std::to_string(site) + " flap over");
+              // Every node of a bounced site restarts (unless the site was
+              // already flooded and the flap changed nothing).
+              if (!was_down && hooks_.restart) {
+                for (int n = 0; n < net_.nodes_at(site); ++n) {
+                  hooks_.restart({site, n});
+                }
+              }
             });
           }
         });

@@ -53,6 +53,10 @@ struct FaultPlan {
   double duplicate_probability = 0.0;
   double reorder_probability = 0.0;
   double reorder_window_s = 0.0;
+  /// Extra drop probability for recovery-plane traffic (checkpoints,
+  /// state transfer, activation) — starves rejoin retry budgets without
+  /// touching the ordering protocol. Schedule directive: "xferloss p".
+  double transfer_loss_probability = 0.0;
 
   /// True when no event is a compromise: every fault is one a correct
   /// protocol stack is expected to tolerate.
@@ -102,6 +106,31 @@ FaultPlan random_benign_plan(const BenignPlanShape& shape,
                              const std::vector<int>& nodes_per_site,
                              util::Rng& rng);
 
+/// Shape of restart-heavy plans: many crash/restart and site-flap windows
+/// (every one ends inside the run, so each triggers a rejoin catch-up)
+/// plus a transfer-loss probability that pressures the retry budget.
+struct RestartPlanShape {
+  int min_restarts = 3;  ///< Crash windows, each with a restart.
+  int max_restarts = 6;
+  double min_crash_duration_s = 8.0;
+  double max_crash_duration_s = 25.0;
+  int max_site_flaps = 1;  ///< Whole-site bounce (all nodes restart).
+  double max_site_flap_duration_s = 6.0;
+  double transfer_loss_probability = 0.15;
+  double duplicate_probability = 0.03;
+  double reorder_probability = 0.05;
+  double reorder_window_s = 0.05;
+  double window_from_s = 10.0;
+  double window_to_s = 300.0;
+};
+
+/// Deterministically generates a restart-heavy benign plan: disjoint
+/// crash/restart slots (every crash ends, forcing a catch-up transfer),
+/// an optional site flap, and recovery-plane message loss.
+FaultPlan random_restart_plan(const RestartPlanShape& shape,
+                              const std::vector<int>& nodes_per_site,
+                              util::Rng& rng);
+
 /// Arms a FaultPlan against a simulation: schedules every event on the
 /// simulator, driving the network's crash/link/site controls directly and
 /// reaching into protocol state (timeout skew, compromise) through hooks
@@ -113,6 +142,9 @@ class FaultInjector {
     std::function<void(NodeAddr, double)> set_timeout_scale;
     /// Hands one node to the attacker.
     std::function<void(NodeAddr)> compromise;
+    /// The node's host just came back (crash window or site flap ended):
+    /// replicas use this to run their rejoin catch-up.
+    std::function<void(NodeAddr)> restart;
   };
 
   FaultInjector(Simulator& sim, Network& net, FaultPlan plan,

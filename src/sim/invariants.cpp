@@ -50,6 +50,28 @@ void InvariantMonitor::on_client_accept(std::int64_t request_id,
   }
 }
 
+void InvariantMonitor::on_checkpoint(NodeAddr replica, int group,
+                                     std::int64_t count, std::int64_t digest) {
+  if (compromised_.contains({replica.site, replica.node})) return;
+  checkpoints_[group].insert({count, digest});
+}
+
+void InvariantMonitor::on_state_install(NodeAddr replica, int group,
+                                        std::int64_t count,
+                                        std::int64_t digest) {
+  // A trivial install (empty state) is always legitimate: cold groups have
+  // no checkpoint history yet.
+  if (count == 0) return;
+  const auto it = checkpoints_.find(group);
+  if (it != checkpoints_.end() && it->second.contains({count, digest})) return;
+  std::ostringstream what;
+  what << "state-transfer: " << to_string(replica) << " of group " << group
+       << " installed state claiming checkpoint (count " << count
+       << ", digest " << digest
+       << ") that no correct replica ever voted for";
+  record(what.str());
+}
+
 void InvariantMonitor::declare_outage(double from, double to) {
   if (to <= from) return;
   outages_.emplace_back(from, to);

@@ -9,7 +9,11 @@
 //                     most f replicas are compromised;
 //   LIVENESS          outside declared outage windows, the gap between
 //                     consecutive correct request completions stays under
-//                     a bound.
+//                     a bound;
+//   STATE-TRANSFER    a rejoined replica only installs state that matches
+//                     a checkpoint certificate some correct replica voted
+//                     for — a divergent transfer (wrong digest for the
+//                     claimed count) is a safety violation.
 //
 // Violations are recorded as human-readable strings and surfaced through
 // DesOutcome::invariant_violations; a clean chaos sweep is one where every
@@ -56,6 +60,16 @@ class InvariantMonitor {
   void on_compromise(NodeAddr replica);
   /// The client accepted a result (corrupt = forged signature quorum).
   void on_client_accept(std::int64_t request_id, bool corrupt);
+  /// A correct replica of `group` voted for checkpoint (count, digest).
+  void on_checkpoint(NodeAddr replica, int group, std::int64_t count,
+                     std::int64_t digest);
+  /// A rejoining replica of `group` installed transferred state claiming
+  /// certificate (count, digest). Unless the install is trivial
+  /// (count == 0), the certificate must match some checkpoint a correct
+  /// replica voted for — otherwise the transfer handed the rejoiner
+  /// divergent state.
+  void on_state_install(NodeAddr replica, int group, std::int64_t count,
+                        std::int64_t digest);
 
   // ---- declared expectations ----
 
@@ -89,6 +103,9 @@ class InvariantMonitor {
            std::pair<std::int64_t, NodeAddr>>
       committed_;
   std::set<std::pair<int, int>> compromised_;  // (site, node)
+  /// group -> checkpoint certificates (count, digest) correct replicas
+  /// voted for; installs are validated against this set.
+  std::map<int, std::set<std::pair<std::int64_t, std::int64_t>>> checkpoints_;
   std::vector<std::pair<double, double>> outages_;  // merged lazily
   std::vector<double> correct_accepts_;
   std::vector<std::string> violations_;

@@ -17,8 +17,25 @@ std::string to_string(Message::Type t) {
     case Message::Type::kHeartbeat: return "HEARTBEAT";
     case Message::Type::kActivate: return "ACTIVATE";
     case Message::Type::kViewChange: return "VIEW-CHANGE";
+    case Message::Type::kActivateAck: return "ACTIVATE-ACK";
+    case Message::Type::kCheckpoint: return "CHECKPOINT";
+    case Message::Type::kStateRequest: return "STATE-REQUEST";
+    case Message::Type::kStateReply: return "STATE-REPLY";
   }
   return "?";
+}
+
+bool is_control_message(Message::Type t) noexcept {
+  switch (t) {
+    case Message::Type::kActivate:
+    case Message::Type::kActivateAck:
+    case Message::Type::kCheckpoint:
+    case Message::Type::kStateRequest:
+    case Message::Type::kStateReply:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
@@ -39,6 +56,11 @@ Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
   if (options_.reorder_probability < 0.0 ||
       options_.reorder_probability >= 1.0 || options_.reorder_window_s < 0.0) {
     throw std::invalid_argument("Network: bad reordering parameters");
+  }
+  if (options_.control_loss_probability < 0.0 ||
+      options_.control_loss_probability > 1.0) {
+    throw std::invalid_argument(
+        "Network: control loss probability must be in [0, 1]");
   }
   if (nodes_per_site_.empty()) {
     throw std::invalid_argument("Network: need at least one site");
@@ -179,6 +201,11 @@ void Network::send(NodeAddr from, NodeAddr to, Message msg) {
   if (options_.loss_probability > 0.0 &&
       impairment_rng_.bernoulli(options_.loss_probability)) {
     ++drops_.loss;
+    return;
+  }
+  if (options_.control_loss_probability > 0.0 && is_control_message(msg.type) &&
+      impairment_rng_.bernoulli(options_.control_loss_probability)) {
+    ++drops_.transfer_loss;
     return;
   }
   msg.sender = from;

@@ -36,6 +36,10 @@ struct Message {
     kHeartbeat,   ///< PB primary -> standby liveness signal
     kActivate,    ///< failover controller -> cold site: start serving
     kViewChange,  ///< BFT replica -> replicas: move to a new view
+    kActivateAck,    ///< activated node -> controller: activation received
+    kCheckpoint,     ///< replica -> replicas: vote for (count, digest)
+    kStateRequest,   ///< rejoining replica -> peers: send me your state
+    kStateReply,     ///< peer -> rejoiner: stable cert + executed ids
   };
 
   Type type = Type::kRequest;
@@ -45,7 +49,13 @@ struct Message {
   std::int64_t view = 0;   ///< BFT view number.
   std::int64_t value = 0;  ///< Execution result carried by kReply.
   bool corrupt = false;    ///< Reply forged by a compromised replica.
+  /// Bulk data for kStateReply: the sender's executed request ids.
+  std::vector<std::int64_t> payload;
 };
+
+/// True for recovery-plane traffic (activation, checkpointing, state
+/// transfer) — the messages `control_loss_probability` targets.
+bool is_control_message(Message::Type t) noexcept;
 
 std::string to_string(Message::Type t);
 
@@ -67,6 +77,11 @@ struct NetworkOptions {
   /// letting later traffic overtake it (bounded reordering).
   double reorder_probability = 0.0;
   double reorder_window_s = 0.0;
+  /// Extra, independent drop probability applied only to recovery-plane
+  /// traffic (kActivate/kActivateAck/kCheckpoint/kStateRequest/kStateReply)
+  /// on top of `loss_probability`. Chaos plans use it to starve the state
+  /// transfer retry budget without disturbing the ordering protocol.
+  double control_loss_probability = 0.0;
   /// Seed for the (deterministic) loss/jitter/duplication stream.
   std::uint64_t impairment_seed = 1;
 };
@@ -81,9 +96,12 @@ struct DropCounters {
   std::uint64_t crashed = 0;     ///< Endpoint node crashed.
   std::uint64_t in_flight = 0;   ///< In flight into a site that flooded /
                                  ///< isolated / crashed before delivery.
+  std::uint64_t transfer_loss = 0;  ///< Recovery-plane traffic dropped by
+                                    ///< control_loss_probability.
 
   std::uint64_t total() const noexcept {
-    return loss + site_down + isolation + link_down + crashed + in_flight;
+    return loss + site_down + isolation + link_down + crashed + in_flight +
+           transfer_loss;
   }
 };
 

@@ -7,6 +7,31 @@ PbReplica::PbReplica(Simulator& sim, Network& net, NodeAddr self,
     : sim_(sim), net_(net), self_(self), options_(options),
       active_(site_initially_active),
       primary_(site_initially_active && self.node == 0) {
+  // One matching peer suffices: primary-backup has no Byzantine quorum —
+  // whichever site peer answers first is the surviving log.
+  sync_ = std::make_unique<StateTransferClient>(
+      sim_, options_.sync, 1,
+      StateTransferClient::Callbacks{
+          [this](std::int64_t epoch) {
+            Message req;
+            req.type = Message::Type::kStateRequest;
+            req.request_id = epoch;
+            req.seq = static_cast<std::int64_t>(executed_.size());
+            net_.send_to_site(self_, self_.site, req);
+          },
+          [this](const StateTransferClient::Result& r) {
+            executed_.insert(r.ids.begin(), r.ids.end());
+            syncing_ = false;
+            sim_.trace(to_string(self_) + " synced executed log (" +
+                       std::to_string(r.ids.size()) + " ids)");
+          },
+          [this](int rounds) {
+            // Fail-open: availability beats consistency for this stack.
+            syncing_ = false;
+            sim_.trace(to_string(self_) + " log sync failed after " +
+                       std::to_string(rounds) +
+                       " rounds; serving from local log (fail-open)");
+          }});
   net_.register_handler(self_, [this](const Message& m) { on_message(m); });
 }
 
@@ -27,6 +52,29 @@ void PbReplica::become_primary() {
   if (primary_) return;
   primary_ = true;
   sim_.trace(to_string(self_) + " promoted to primary");
+  start_sync("promotion");
+}
+
+void PbReplica::start_sync(const char* reason) {
+  if (!active_ || compromised_) return;
+  syncing_ = true;
+  sim_.trace(to_string(self_) + " executed-log sync begins (" +
+             std::string(reason) + ")");
+  sync_->begin();
+}
+
+void PbReplica::on_restart() {
+  if (!active_ || !primary_ || compromised_) return;
+  start_sync("restart");
+}
+
+RejoinStats PbReplica::rejoin_stats() const {
+  RejoinStats s;
+  s.rejoins = sync_->transfers_completed();
+  s.failures = sync_->transfers_failed();
+  s.retry_rounds = sync_->retry_rounds();
+  s.max_catchup_s = sync_->max_catchup_s();
+  return s;
 }
 
 void PbReplica::on_message(const Message& msg) {
@@ -43,7 +91,8 @@ void PbReplica::on_message(const Message& msg) {
         net_.send(self_, msg.sender, reply);
         return;
       }
-      if (active_ && primary_) {
+      if (active_ && primary_ && !syncing_) {
+        executed_.insert(msg.request_id);
         Message reply;
         reply.type = Message::Type::kReply;
         reply.request_id = msg.request_id;
@@ -57,6 +106,12 @@ void PbReplica::on_message(const Message& msg) {
       return;
     }
     case Message::Type::kActivate: {
+      // Ack unconditionally (idempotent) so the controller's retransmit
+      // loop stops even when activation is already pending or complete.
+      Message ack;
+      ack.type = Message::Type::kActivateAck;
+      ack.request_id = msg.request_id;
+      net_.send(self_, msg.sender, ack);
       if (active_ || activation_pending_) return;
       activation_pending_ = true;
       sim_.trace(to_string(self_) + " cold site activation started");
@@ -64,9 +119,25 @@ void PbReplica::on_message(const Message& msg) {
         active_ = true;
         activation_pending_ = false;
         last_heartbeat_ = sim_.now();
+        // become_primary syncs the executed log before the new site serves.
         if (self_.node == 0) become_primary();
         sim_.trace(to_string(self_) + " cold site activation complete");
       });
+      return;
+    }
+    case Message::Type::kStateRequest: {
+      if (!active_ || compromised_) return;
+      Message reply;
+      reply.type = Message::Type::kStateReply;
+      reply.request_id = msg.request_id;  // echo the sync epoch
+      reply.seq = static_cast<std::int64_t>(executed_.size());
+      reply.payload.assign(executed_.begin(), executed_.end());
+      reply.value = state_digest(reply.payload);
+      net_.send(self_, msg.sender, reply);
+      return;
+    }
+    case Message::Type::kStateReply: {
+      sync_->on_reply(msg);
       return;
     }
     default:
@@ -97,7 +168,25 @@ FailoverController::FailoverController(Simulator& sim, Network& net,
                                        const ClientWorkload& workload,
                                        int backup_site, PbOptions options)
     : sim_(sim), net_(net), self_(self), workload_(workload),
-      backup_site_(backup_site), options_(options) {}
+      backup_site_(backup_site), options_(options) {
+  net_.register_handler(self_, [this](const Message& msg) {
+    if (msg.type == Message::Type::kActivateAck &&
+        msg.sender.site == backup_site_) {
+      const bool was_acked = activation_acked();
+      acked_nodes_.insert(msg.sender.node);
+      if (!was_acked && activation_acked()) {
+        sim_.trace("failover controller: backup site " +
+                   std::to_string(backup_site_) +
+                   " acked activation (all nodes)");
+      }
+    }
+  });
+}
+
+bool FailoverController::activation_acked() const noexcept {
+  return static_cast<int>(acked_nodes_.size()) >=
+         net_.nodes_at(backup_site_);
+}
 
 void FailoverController::start(double start_s, double end_s) {
   start_s_ = start_s;
@@ -118,16 +207,32 @@ double FailoverController::last_success_time() const {
 
 void FailoverController::check() {
   if (sim_.now() >= end_s_) return;
-  if (!activation_sent_ &&
+  if (activation_attempts_ == 0 &&
       sim_.now() - last_success_time() > options_.controller_outage_threshold_s) {
-    activation_sent_ = true;
     sim_.trace("failover controller activating backup site " +
                std::to_string(backup_site_));
-    Message activate;
-    activate.type = Message::Type::kActivate;
-    net_.send_to_site(self_, backup_site_, activate);
+    send_activate();
   }
   sim_.schedule_in(options_.controller_check_interval_s, [this] { check(); });
+}
+
+void FailoverController::send_activate() {
+  // Activation is retransmitted on a capped backoff schedule until every
+  // backup-site node acks: a partially delivered broadcast over a lossy
+  // WAN can leave the backup group permanently below quorum.
+  if (activation_acked() || sim_.now() >= end_s_) return;
+  if (options_.activation_max_attempts > 0 &&
+      activation_attempts_ >= options_.activation_max_attempts) {
+    return;
+  }
+  ++activation_attempts_;
+  Message activate;
+  activate.type = Message::Type::kActivate;
+  activate.request_id = activation_attempts_;
+  net_.send_to_site(self_, backup_site_, activate);
+  const double wait =
+      options_.activation_retry.delay(activation_attempts_ - 1);
+  sim_.schedule_in(wait, [this] { send_activate(); });
 }
 
 }  // namespace ct::sim

@@ -5,11 +5,15 @@
 // minutes (the paper's orange state).
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/state_transfer.h"
 #include "sim/workload.h"
 
 namespace ct::sim {
@@ -22,6 +26,16 @@ struct PbOptions {
   /// Failover-controller polling interval and outage threshold.
   double controller_check_interval_s = 5.0;
   double controller_outage_threshold_s = 20.0;
+  /// Executed-log sync budget for a promoted/reactivated/restarted SM.
+  /// Deliberately tight and FAIL-OPEN: primary-backup trades consistency
+  /// for availability, so a sync that cannot reach a peer serves from the
+  /// local log rather than refusing service.
+  StateTransferOptions sync{1.0, {1.0, 2.0, 4.0, 0.0}, 2};
+  /// Backoff schedule for kActivate retransmissions until an ack arrives.
+  BackoffPolicy activation_retry{3.0, 2.0, 24.0, 0.0};
+  /// Cap on kActivate attempts; 0 = keep retrying until acked or the
+  /// monitoring window ends. 1 reproduces the legacy fire-and-forget send.
+  int activation_max_attempts = 0;
 };
 
 /// One primary-backup SCADA master.
@@ -38,6 +52,16 @@ class PbReplica {
   bool is_primary() const noexcept { return primary_; }
   bool site_active() const noexcept { return active_; }
 
+  /// Fault injection: the node's host just came back from a crash or site
+  /// flap — a serving primary re-syncs its log before serving again.
+  void on_restart();
+
+  /// True while the executed-log sync is in flight (replica holds off
+  /// serving; heartbeats keep flowing so the peer does not double-promote).
+  bool syncing() const noexcept { return syncing_; }
+  std::size_t executed_count() const noexcept { return executed_.size(); }
+  RejoinStats rejoin_stats() const;
+
   /// Wires the invariant monitor (compromise accounting).
   void set_monitor(InvariantMonitor* monitor) noexcept { monitor_ = monitor; }
 
@@ -53,6 +77,7 @@ class PbReplica {
   void heartbeat_loop();
   void watchdog_loop();
   void become_primary();
+  void start_sync(const char* reason);
 
   Simulator& sim_;
   Network& net_;
@@ -62,9 +87,14 @@ class PbReplica {
   bool primary_;      ///< This replica is the serving SM.
   bool compromised_ = false;
   bool activation_pending_ = false;
+  bool syncing_ = false;
   double last_heartbeat_ = 0.0;
   InvariantMonitor* monitor_ = nullptr;
   double timeout_scale_ = 1.0;
+  /// Request ids this SM has served (the log a successor syncs).
+  std::set<std::int64_t> executed_;
+  /// Drives the executed-log sync (matching_needed = 1, fail-open).
+  std::unique_ptr<StateTransferClient> sync_;
 };
 
 /// Failover controller for two-site primary-backup and BFT architectures:
@@ -79,10 +109,17 @@ class FailoverController {
   /// Starts the monitoring loop over [start, end).
   void start(double start_s, double end_s);
 
-  bool activation_sent() const noexcept { return activation_sent_; }
+  bool activation_sent() const noexcept { return activation_attempts_ > 0; }
+  /// True once every backup-site node acknowledged an activation command.
+  /// Per-node acks matter: a partially delivered kActivate broadcast can
+  /// leave a BFT backup group permanently below quorum.
+  bool activation_acked() const noexcept;
+  /// kActivate transmissions so far (first send + retransmissions).
+  int activation_attempts() const noexcept { return activation_attempts_; }
 
  private:
   void check();
+  void send_activate();
   double last_success_time() const;
 
   Simulator& sim_;
@@ -93,7 +130,9 @@ class FailoverController {
   PbOptions options_;
   double start_s_ = 0.0;
   double end_s_ = 0.0;
-  bool activation_sent_ = false;
+  int activation_attempts_ = 0;
+  /// Backup-site nodes that acked kActivate so far.
+  std::set<int> acked_nodes_;
 };
 
 }  // namespace ct::sim

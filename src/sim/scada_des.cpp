@@ -69,6 +69,9 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
         std::max(net_options.reorder_probability, plan->reorder_probability);
     net_options.reorder_window_s =
         std::max(net_options.reorder_window_s, plan->reorder_window_s);
+    net_options.control_loss_probability =
+        std::max(net_options.control_loss_probability,
+                 plan->transfer_loss_probability);
   }
   Network net(sim, nodes_per_site, net_options);
 
@@ -86,6 +89,8 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
   wopts.request_interval_s = options_.request_interval_s;
   wopts.request_timeout_s = options_.request_timeout_s;
   wopts.replies_needed = bft ? config_.intrusion_tolerance_f + 1 : 1;
+  wopts.retransmit_limit = options_.request_retransmit_limit;
+  wopts.retransmit_seed = options_.net.impairment_seed;
   ClientWorkload client(sim, net, {client_site, 0}, wopts);
   client.set_monitor(&monitor);
   std::vector<NodeAddr> targets;
@@ -199,6 +204,11 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
           addr, [](PbReplica* r) { r->set_compromised(true); },
           [](BftReplica* r) { r->set_compromised(true); });
     };
+    hooks.restart = [for_replica](NodeAddr addr) {
+      for_replica(
+          addr, [](PbReplica* r) { r->on_restart(); },
+          [](BftReplica* r) { r->on_restart(); });
+    };
     injector = std::make_unique<FaultInjector>(sim, net, *plan,
                                                std::move(hooks));
     injector->arm();
@@ -280,6 +290,20 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
   outcome.availability_timeline =
       client.availability_series(60.0, 0.0, options_.horizon_s);
   outcome.trace = sim.trace_log();
+
+  // Recovery accounting across both stacks.
+  const auto fold_stats = [&outcome](const RejoinStats& s) {
+    outcome.rejoins += s.rejoins;
+    outcome.rejoin_failures += s.failures;
+    outcome.transfer_retry_rounds += s.retry_rounds;
+    outcome.max_catchup_s = std::max(outcome.max_catchup_s, s.max_catchup_s);
+  };
+  for (const auto& r : bft_replicas) {
+    fold_stats(r->rejoin_stats());
+    if (r->passive()) ++outcome.passive_replicas;
+    outcome.stable_checkpoints += r->checkpoints_formed();
+  }
+  for (const auto& r : pb_replicas) fold_stats(r->rejoin_stats());
 
   if (outcome.truncated) {
     CT_LOG(kWarn, "scada_des")

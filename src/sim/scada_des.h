@@ -38,6 +38,9 @@ struct DesOptions {
   NetworkOptions net{};
   double request_interval_s = 2.0;
   double request_timeout_s = 2.0;
+  /// Client retransmissions per request (capped-backoff schedule; 0 = the
+  /// paper's fire-and-forget polling).
+  int request_retransmit_limit = 0;
   bool tracing = false;
   /// Hard cap on simulation events (storm guard; 0 = unlimited).
   std::uint64_t event_limit = 20000000;
@@ -69,6 +72,21 @@ struct DesOutcome {
   /// Availability per 60 s bucket over the whole run (-1 = no requests).
   std::vector<double> availability_timeline;
   std::vector<std::string> trace;
+
+  // ---- recovery / state-transfer accounting (summed over replicas) ----
+  /// Catch-up transfers that installed state (rejoins that converged).
+  int rejoins = 0;
+  /// Transfers that exhausted their retry budget (BFT: degraded to
+  /// passive; PB: served fail-open from the local log).
+  int rejoin_failures = 0;
+  /// Extra transfer rounds beyond the first (retry pressure).
+  int transfer_retry_rounds = 0;
+  /// Slowest successful catch-up across all replicas (s).
+  double max_catchup_s = 0.0;
+  /// BFT replicas that ended the run degraded to passive.
+  int passive_replicas = 0;
+  /// Stable checkpoints formed, summed over BFT replicas.
+  int stable_checkpoints = 0;
 };
 
 class ScadaDes {

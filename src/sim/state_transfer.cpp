@@ -1,0 +1,134 @@
+#include "sim/state_transfer.h"
+
+#include <algorithm>
+
+namespace ct::sim {
+
+double BackoffPolicy::delay(int attempt, util::Rng* rng) const {
+  double d = initial_s;
+  for (int i = 0; i < attempt; ++i) {
+    d = std::min(cap_s, d * multiplier);
+  }
+  d = std::min(cap_s, d);
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    d += rng->uniform(0.0, jitter_fraction * d);
+  }
+  return d;
+}
+
+std::int64_t state_digest(const std::vector<std::int64_t>& sorted_ids) {
+  // FNV-1a over the id bytes, folded into the non-negative int64 range so
+  // the digest can travel in Message::value.
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::int64_t id : sorted_ids) {
+    auto u = static_cast<std::uint64_t>(id);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (u >> (byte * 8)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<std::int64_t>(h & 0x7fffffffffffffffull);
+}
+
+StateTransferClient::StateTransferClient(Simulator& sim,
+                                         StateTransferOptions options,
+                                         int matching_needed,
+                                         Callbacks callbacks)
+    : sim_(sim),
+      options_(options),
+      matching_needed_(std::max(1, matching_needed)),
+      callbacks_(std::move(callbacks)) {}
+
+void StateTransferClient::begin() {
+  ++epoch_;
+  in_progress_ = true;
+  round_ = 1;
+  started_at_ = sim_.now();
+  replies_.clear();
+  send_round();
+}
+
+void StateTransferClient::abort() {
+  if (!in_progress_) return;
+  in_progress_ = false;
+  // Bumping the epoch invalidates in-flight replies and pending timeouts.
+  ++epoch_;
+  replies_.clear();
+}
+
+void StateTransferClient::send_round() {
+  callbacks_.send_request(epoch_);
+  const std::int64_t epoch = epoch_;
+  const int round = round_;
+  sim_.schedule_in(options_.round_timeout_s,
+                   [this, epoch, round] { round_timed_out(epoch, round); });
+}
+
+void StateTransferClient::round_timed_out(std::int64_t epoch, int round) {
+  if (!in_progress_ || epoch != epoch_ || round != round_) return;
+  if (round_ >= options_.max_rounds) {
+    in_progress_ = false;
+    ++failed_;
+    replies_.clear();
+    callbacks_.fail(round_);
+    return;
+  }
+  ++retry_rounds_;
+  const double wait = options_.backoff.delay(round_ - 1);
+  ++round_;
+  const std::int64_t cur_epoch = epoch_;
+  const int cur_round = round_;
+  sim_.schedule_in(wait, [this, cur_epoch, cur_round] {
+    if (!in_progress_ || cur_epoch != epoch_ || cur_round != round_) return;
+    send_round();
+  });
+}
+
+void StateTransferClient::on_reply(const Message& msg) {
+  if (!in_progress_ || msg.request_id != epoch_) return;
+  Reply reply;
+  reply.count = msg.seq;
+  reply.digest = msg.value;
+  reply.ids = msg.payload;
+  std::sort(reply.ids.begin(), reply.ids.end());
+  replies_[{msg.sender.site, msg.sender.node}] = std::move(reply);
+  try_complete();
+}
+
+void StateTransferClient::try_complete() {
+  // Group replies by certificate (count, digest); install once any
+  // certificate has matching_needed distinct voters.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> votes;
+  for (const auto& [sender, reply] : replies_) {
+    (void)sender;
+    ++votes[{reply.count, reply.digest}];
+  }
+  for (const auto& [cert, n] : votes) {
+    if (n < matching_needed_) continue;
+    Result result;
+    result.count = cert.first;
+    result.digest = cert.second;
+    result.rounds = round_;
+    result.elapsed_s = sim_.now() - started_at_;
+    // Install only ids vouched for by >= matching_needed of the
+    // cert-matching replies, so one stale tail cannot pollute the set.
+    std::map<std::int64_t, int> id_votes;
+    for (const auto& [sender, reply] : replies_) {
+      (void)sender;
+      if (reply.count != cert.first || reply.digest != cert.second) continue;
+      for (std::int64_t id : reply.ids) ++id_votes[id];
+    }
+    for (const auto& [id, id_n] : id_votes) {
+      if (id_n >= matching_needed_) result.ids.push_back(id);
+    }
+    in_progress_ = false;
+    ++completed_;
+    max_catchup_s_ = std::max(max_catchup_s_, result.elapsed_s);
+    replies_.clear();
+    ++epoch_;  // invalidate any still-pending timeout
+    callbacks_.install(result);
+    return;
+  }
+}
+
+}  // namespace ct::sim

@@ -1,0 +1,144 @@
+// Checkpointing, state transfer, and rejoin catch-up for the replication
+// stacks. Replicas periodically agree on a checkpoint of the executed set
+// (count + order-canonical digest); a replica returning from proactive
+// recovery, a crash/restart, a site flap, or cold activation catches up by
+// asking its peers for the latest stable checkpoint plus the executed tail
+// and installing it once enough peers vouch for the same certificate.
+// Transfers run under a per-round timeout with capped exponential backoff
+// and a bounded retry budget; exhausting the budget degrades the replica
+// to passive instead of wedging the group. BackoffPolicy is the shared
+// retry schedule used by every acked/retried path in the simulator (state
+// transfer, failover activation, client retransmission).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+
+/// Capped exponential backoff with optional deterministic seeded jitter.
+struct BackoffPolicy {
+  double initial_s = 2.0;
+  double multiplier = 2.0;
+  double cap_s = 30.0;
+  /// When an Rng is supplied, each delay is padded by a uniform draw in
+  /// [0, jitter_fraction * delay) so synchronized retriers de-correlate.
+  double jitter_fraction = 0.0;
+
+  /// Delay before retry number `attempt` (0-based: attempt 0 waits
+  /// `initial_s`, each further attempt multiplies, capped at `cap_s`).
+  double delay(int attempt, util::Rng* rng = nullptr) const;
+};
+
+/// Order-canonical digest of an executed-request-id set (FNV-1a over the
+/// sorted ids, folded to a non-negative int64 so it rides in a Message
+/// field). The empty set has a well-defined digest.
+std::int64_t state_digest(const std::vector<std::int64_t>& sorted_ids);
+
+/// Per-replica rejoin accounting, aggregated into DesOutcome.
+struct RejoinStats {
+  int rejoins = 0;          ///< Catch-up transfers that installed state.
+  int failures = 0;         ///< Transfers that exhausted the retry budget.
+  int retry_rounds = 0;     ///< Extra transfer rounds beyond the first.
+  double max_catchup_s = 0.0;  ///< Slowest successful catch-up.
+};
+
+/// Retry/backoff parameters for one replica's catch-up transfers.
+struct StateTransferOptions {
+  /// How long one round waits for matching replies before retrying.
+  double round_timeout_s = 4.0;
+  /// Backoff between failed rounds.
+  BackoffPolicy backoff{2.0, 2.0, 16.0, 0.0};
+  /// Rounds before the transfer is declared failed (graceful degradation).
+  int max_rounds = 4;
+};
+
+/// Drives one replica's rejoin catch-up: broadcasts kStateRequest,
+/// accumulates kStateReply messages across retry rounds, and installs once
+/// `matching_needed` distinct peers vouch for the same checkpoint
+/// certificate (count, digest). The installed id set is the ids present in
+/// at least `matching_needed` of the matching replies, so a single stale
+/// or lying tail cannot slip divergent state past the rejoiner.
+class StateTransferClient {
+ public:
+  struct Result {
+    /// Ids vouched for by >= matching_needed matching replies (sorted).
+    std::vector<std::int64_t> ids;
+    /// The agreed checkpoint certificate.
+    std::int64_t count = 0;
+    std::int64_t digest = 0;
+    int rounds = 1;
+    double elapsed_s = 0.0;
+  };
+
+  struct Callbacks {
+    /// Sends one round's kStateRequest(s); `epoch` must ride in
+    /// Message::request_id so replies can be matched to this transfer.
+    std::function<void(std::int64_t epoch)> send_request;
+    /// Enough matching replies arrived; install the result.
+    std::function<void(const Result&)> install;
+    /// The retry budget is exhausted; degrade.
+    std::function<void(int rounds)> fail;
+  };
+
+  StateTransferClient(Simulator& sim, StateTransferOptions options,
+                      int matching_needed, Callbacks callbacks);
+
+  /// Starts (or restarts) a transfer with a fresh epoch and a fresh retry
+  /// budget. Any in-flight transfer is superseded.
+  void begin();
+  /// Cancels an in-flight transfer (counts as neither success nor failure).
+  void abort();
+  /// Feeds a kStateReply; stale-epoch and duplicate-sender replies are
+  /// ignored, fresh ones may complete the transfer.
+  void on_reply(const Message& msg);
+
+  bool in_progress() const noexcept { return in_progress_; }
+  std::int64_t epoch() const noexcept { return epoch_; }
+
+  // Lifetime accounting (summed over every transfer this client ran).
+  int transfers_completed() const noexcept { return completed_; }
+  int transfers_failed() const noexcept { return failed_; }
+  /// Rounds beyond the first, summed over all transfers (retry pressure).
+  int retry_rounds() const noexcept { return retry_rounds_; }
+  /// Longest begin()-to-install latency observed (s).
+  double max_catchup_s() const noexcept { return max_catchup_s_; }
+
+ private:
+  struct Reply {
+    std::int64_t count = 0;
+    std::int64_t digest = 0;
+    std::vector<std::int64_t> ids;
+  };
+
+  void send_round();
+  void round_timed_out(std::int64_t epoch, int round);
+  void try_complete();
+
+  Simulator& sim_;
+  StateTransferOptions options_;
+  int matching_needed_;
+  Callbacks callbacks_;
+
+  bool in_progress_ = false;
+  std::int64_t epoch_ = 0;
+  int round_ = 0;
+  double started_at_ = 0.0;
+  /// Distinct sender -> latest reply (accumulated across rounds).
+  std::map<std::pair<int, int>, Reply> replies_;
+
+  int completed_ = 0;
+  int failed_ = 0;
+  int retry_rounds_ = 0;
+  double max_catchup_s_ = 0.0;
+};
+
+}  // namespace ct::sim

@@ -7,9 +7,15 @@ namespace ct::sim {
 
 ClientWorkload::ClientWorkload(Simulator& sim, Network& net, NodeAddr self,
                                WorkloadOptions options)
-    : sim_(sim), net_(net), self_(self), options_(options) {
+    : sim_(sim), net_(net), self_(self), options_(options),
+      retransmit_rng_(options.retransmit_seed, "workload-retransmit") {
   if (options_.request_interval_s <= 0.0 || options_.replies_needed < 1) {
     throw std::invalid_argument("ClientWorkload: bad options");
+  }
+  if (options_.retransmit_backoff_multiplier < 1.0 ||
+      options_.retransmit_backoff_cap_s <= 0.0 ||
+      options_.retransmit_jitter_fraction < 0.0) {
+    throw std::invalid_argument("ClientWorkload: bad retransmit backoff");
   }
   net_.register_handler(self_, [this](const Message& m) { on_message(m); });
 }
@@ -86,7 +92,15 @@ double ClientWorkload::success_fraction(double from, double to) const {
 
 void ClientWorkload::schedule_retransmit(std::int64_t request_id,
                                          int remaining) {
-  sim_.schedule_in(options_.request_timeout_s, [this, request_id, remaining] {
+  // Capped exponential backoff from the base timeout, with seeded jitter:
+  // attempt 0 waits ~timeout, each further attempt doubles (by default).
+  const BackoffPolicy backoff{options_.request_timeout_s,
+                              options_.retransmit_backoff_multiplier,
+                              options_.retransmit_backoff_cap_s,
+                              options_.retransmit_jitter_fraction};
+  const int attempt = options_.retransmit_limit - remaining;
+  const double wait = backoff.delay(attempt, &retransmit_rng_);
+  sim_.schedule_in(wait, [this, request_id, remaining] {
     const auto it = record_index_.find(request_id);
     if (it == record_index_.end()) return;
     if (records_[it->second].completed_at >= 0.0) return;  // done

@@ -14,6 +14,8 @@
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/state_transfer.h"
+#include "util/rng.h"
 
 namespace ct::sim {
 
@@ -27,6 +29,14 @@ struct WorkloadOptions {
   /// Times an uncompleted request is re-sent after the timeout (0 = none).
   /// Real SCADA polling retries; retransmissions do not reset `sent_at`.
   int retransmit_limit = 0;
+  /// Retransmissions back off exponentially from `request_timeout_s`
+  /// (capped) with deterministic seeded jitter, so a fleet of waiting
+  /// requests cannot re-fire in lockstep and amplify an outage into a
+  /// self-inflicted request storm.
+  double retransmit_backoff_multiplier = 2.0;
+  double retransmit_backoff_cap_s = 30.0;
+  double retransmit_jitter_fraction = 0.1;
+  std::uint64_t retransmit_seed = 1;
 };
 
 class ClientWorkload {
@@ -105,6 +115,8 @@ class ClientWorkload {
   bool safety_violated_ = false;
   double first_violation_at_ = -1.0;
   InvariantMonitor* monitor_ = nullptr;
+  /// Jitter stream for retransmission backoff (seeded, replayable).
+  util::Rng retransmit_rng_;
 };
 
 }  // namespace ct::sim

@@ -42,6 +42,27 @@ TEST(Chaos, BenignSweepIsCleanOnBft) {
   EXPECT_EQ(report.runs, 5 * 4);
 }
 
+TEST(Chaos, RestartHeavySweepIsCleanAndExercisesRejoins) {
+  ChaosOptions options = small_sweep_options();
+  options.plan_style = ChaosOptions::PlanStyle::kRestartHeavy;
+  const ChaosRunner runner(options);
+  const ChaosReport report = runner.sweep(scada::make_config_6("p"));
+  EXPECT_TRUE(report.ok()) << report.findings.size() << " finding(s), first: "
+                           << report.findings.front().replay_schedule;
+  EXPECT_EQ(report.runs, 5 * 4);
+  // Restart-heavy plans must actually drive the catch-up machinery.
+  EXPECT_GT(report.total_rejoins, 0);
+}
+
+TEST(Chaos, RestartHeavySweepIsCleanOnPrimaryBackup) {
+  ChaosOptions options = small_sweep_options();
+  options.plan_style = ChaosOptions::PlanStyle::kRestartHeavy;
+  const ChaosRunner runner(options);
+  const ChaosReport report = runner.sweep(scada::make_config_2_2("p", "b"));
+  EXPECT_TRUE(report.ok()) << report.findings.size() << " finding(s), first: "
+                           << report.findings.front().replay_schedule;
+}
+
 class CompromiseProbe
     : public ::testing::TestWithParam<scada::Configuration> {};
 

@@ -421,6 +421,59 @@ TEST(RealizationCsv, MalformedRowsAreSkippedNotFatal) {
   EXPECT_NE(stderr_text.find("malformed realization row"), std::string::npos);
 }
 
+TEST(RealizationCsv, QuotedFieldsParseAndBadQuotingIsSkipped) {
+  // Quoted asset lists (with an embedded comma and an escaped quote) must
+  // parse; an unterminated quote is a malformed row, not a crash.
+  const std::string csv =
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "0,\"p;b\",40.0,1.0\n"            // quoted list of two assets
+      "1,\"p,still p\",41.0,1.1\n"      // embedded comma stays one field
+      "2,\"say \"\"p\"\"\",42.0,1.2\n"  // escaped quote
+      "3,\"p,45.0,2.0\n";               // unterminated quote: skipped
+  std::istringstream in(csv);
+  ::testing::internal::CaptureStderr();
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(loaded.skipped_rows, 1u);
+  ASSERT_EQ(loaded.realizations.size(), 3u);
+  EXPECT_TRUE(loaded.realizations[0].asset_failed("p"));
+  EXPECT_TRUE(loaded.realizations[0].asset_failed("b"));
+  EXPECT_TRUE(loaded.realizations[1].asset_failed("p,still p"));
+  EXPECT_TRUE(loaded.realizations[2].asset_failed("say \"p\""));
+}
+
+TEST(RealizationCsv, ShortRowsAndNonNumericCellsCountExactly) {
+  const std::string csv =
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "0,p\n"                   // 2 fields
+      "1\n"                     // 1 field
+      "2,p,45.0,2.0,extra\n"    // 5 fields
+      "three,p,45.0,2.0\n"      // non-numeric index
+      "4,p,fast,2.0\n"          // non-numeric wind
+      "5,p,45.0,high\n"         // non-numeric surge
+      "6,p,45.0,2.0\n";         // the one good row
+  std::istringstream in(csv);
+  ::testing::internal::CaptureStderr();
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(loaded.skipped_rows, 6u);
+  ASSERT_EQ(loaded.realizations.size(), 1u);
+  EXPECT_EQ(loaded.realizations[0].index, 6u);
+}
+
+TEST(RealizationCsv, TrailingBlankLinesAreNeitherRowsNorSkips) {
+  const std::string csv =
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "0,p,45.0,2.0\n"
+      "\n"
+      "   \n"
+      "\n";
+  std::istringstream in(csv);
+  const LoadedRealizations loaded = load_realizations_csv(in);
+  EXPECT_EQ(loaded.skipped_rows, 0u);
+  EXPECT_EQ(loaded.realizations.size(), 1u);
+}
+
 TEST(RealizationCsv, AnalyzeCsvCountsSkippedAndClassifiesTheRest) {
   const std::string csv =
       "realization,flooded_assets,peak_wind_ms,max_wse_m\n"

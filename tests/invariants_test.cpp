@@ -91,6 +91,52 @@ TEST(Invariants, LivenessDisabledByDefault) {
   EXPECT_TRUE(monitor.ok());
 }
 
+TEST(Invariants, StateInstallMatchingAVotedCheckpointIsFine) {
+  Simulator sim;
+  InvariantMonitor monitor(sim, {.f = 1});
+  monitor.on_checkpoint({0, 0}, /*group=*/0, /*count=*/8, /*digest=*/1234);
+  monitor.on_checkpoint({0, 1}, 0, 8, 1234);
+  monitor.on_state_install({0, 2}, 0, 8, 1234);
+  EXPECT_TRUE(monitor.ok());
+}
+
+TEST(Invariants, DivergentStateInstallIsAViolation) {
+  Simulator sim;
+  InvariantMonitor monitor(sim, {.f = 1});
+  monitor.on_checkpoint({0, 0}, /*group=*/0, /*count=*/8, /*digest=*/1234);
+  // Right count, wrong digest: the transfer handed the rejoiner state no
+  // correct replica ever vouched for.
+  monitor.on_state_install({0, 2}, 0, 8, 9999);
+  EXPECT_FALSE(monitor.ok());
+  EXPECT_TRUE(mentions(monitor.violations(), "state-transfer"));
+}
+
+TEST(Invariants, CompromisedCheckpointVotesDoNotLegitimizeInstalls) {
+  Simulator sim;
+  InvariantMonitor monitor(sim, {.f = 1});
+  monitor.on_compromise({0, 0});
+  monitor.on_checkpoint({0, 0}, /*group=*/0, /*count=*/8, /*digest=*/666);
+  monitor.on_state_install({0, 2}, 0, 8, 666);
+  EXPECT_FALSE(monitor.ok());
+}
+
+TEST(Invariants, TrivialEmptyInstallIsIgnored) {
+  Simulator sim;
+  InvariantMonitor monitor(sim, {.f = 1});
+  // A cold replica installing the empty state has no certificate to match.
+  monitor.on_state_install({0, 2}, 0, 0, 42);
+  EXPECT_TRUE(monitor.ok());
+}
+
+TEST(Invariants, CheckpointCertificatesAreScopedPerGroup) {
+  Simulator sim;
+  InvariantMonitor monitor(sim, {.f = 1});
+  monitor.on_checkpoint({0, 0}, /*group=*/0, /*count=*/8, /*digest=*/1234);
+  // Same certificate, different replication group: not vouched for there.
+  monitor.on_state_install({1, 0}, /*group=*/1, 8, 1234);
+  EXPECT_FALSE(monitor.ok());
+}
+
 TEST(Invariants, ViolationsCarryTimestamps) {
   Simulator sim;
   InvariantMonitor monitor(sim, {.f = 0});

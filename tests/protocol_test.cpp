@@ -114,6 +114,54 @@ TEST(PrimaryBackup, IsolatedActiveSiteTriggersFailover) {
   EXPECT_GT(h.client->success_fraction(60.0, 85.0), 0.9);
 }
 
+TEST(PrimaryBackup, ActivationRetransmitsUntilAckedAcrossLinkFlap) {
+  // The controller's first kActivate is swallowed by a dead controller->
+  // backup link; the acked retransmit loop recovers once the link heals.
+  PbHarness h(2, true);
+  h.sim.schedule_at(0.0, [&] { h.net.set_link_down(1, 2, true); });
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_down(0, true); });
+  h.sim.schedule_at(40.0, [&] { h.net.set_link_down(1, 2, false); });
+  h.run(130.0);
+  EXPECT_TRUE(h.controller->activation_acked());
+  EXPECT_GT(h.controller->activation_attempts(), 1);
+  EXPECT_TRUE(h.replicas[2]->site_active());
+  EXPECT_TRUE(h.replicas[2]->is_primary());
+  EXPECT_GT(h.client->success_fraction(110.0, 125.0), 0.9);
+}
+
+TEST(PrimaryBackup, LegacyFireAndForgetActivationIsLostAcrossLinkFlap) {
+  // Regression guard: activation_max_attempts = 1 reproduces the old
+  // fire-and-forget send, which strands the backup site when the one
+  // kActivate is lost.
+  PbHarness h(2, false);
+  PbOptions capped = h.options;
+  capped.activation_max_attempts = 1;
+  h.controller = std::make_unique<FailoverController>(
+      h.sim, h.net, NodeAddr{2, 1}, *h.client, /*backup_site=*/1, capped);
+  h.sim.schedule_at(0.0, [&] { h.net.set_link_down(1, 2, true); });
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_down(0, true); });
+  h.sim.schedule_at(40.0, [&] { h.net.set_link_down(1, 2, false); });
+  h.run(130.0);
+  EXPECT_EQ(h.controller->activation_attempts(), 1);
+  EXPECT_FALSE(h.controller->activation_acked());
+  EXPECT_FALSE(h.replicas[2]->site_active());
+}
+
+TEST(PrimaryBackup, ActivationSurvivesLossyControlPlane) {
+  // Half the recovery-plane messages vanish; the backoff retransmit loop
+  // still lands kActivate on every backup node.
+  NetworkOptions nopts;
+  nopts.control_loss_probability = 0.5;
+  nopts.impairment_seed = 5;
+  PbHarness h(2, true, nopts);
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_down(0, true); });
+  h.run(150.0);
+  EXPECT_TRUE(h.controller->activation_acked());
+  EXPECT_TRUE(h.replicas[2]->site_active());
+  EXPECT_GT(h.net.drop_counters().transfer_loss, 0u);
+  EXPECT_GT(h.client->success_fraction(120.0, 145.0), 0.9);
+}
+
 // ---------------------------------------------------------------- bft
 
 struct BftHarness {

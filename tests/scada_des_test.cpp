@@ -105,6 +105,34 @@ TEST(ScadaDes, FloodMaskConvenienceOverloadMatchesExplicitState) {
   EXPECT_EQ(a.observed, OperationalState::kOrange);
 }
 
+TEST(ScadaDes, ClientRetransmissionsKeepAnalyticColors) {
+  // Client retransmission (capped backoff + seeded jitter) is a liveness
+  // aid under loss — it must never shift the observed Table-I color.
+  DesOptions options = fast_options();
+  options.request_retransmit_limit = 3;
+  options.net.loss_probability = 0.03;
+  options.net.latency_jitter_s = 0.010;
+  options.net.impairment_seed = 11;
+  const threat::GreedyWorstCaseAttacker attacker;
+  for (const Configuration& config :
+       {scada::make_config_2_2("p", "b"), scada::make_config_6("p")}) {
+    const ScadaDes des(config, options);
+    for (const ThreatScenario scenario : threat::all_scenarios()) {
+      SystemState base;
+      base.intrusions.assign(config.sites.size(), 0);
+      base.site_status.assign(config.sites.size(), SiteStatus::kUp);
+      const SystemState attacked = attacker.attack(
+          config, base, threat::capability_for(scenario));
+      const OperationalState analytic = core::evaluate(config, attacked);
+      const DesOutcome observed = des.run(attacked);
+      EXPECT_EQ(observed.observed, analytic)
+          << config.name << " scenario " << threat::scenario_name(scenario)
+          << " with retransmit limit 3";
+      EXPECT_TRUE(observed.invariant_violations.empty());
+    }
+  }
+}
+
 TEST(ScadaDes, TraceCapturesAttackEvents) {
   DesOptions options = fast_options();
   options.tracing = true;

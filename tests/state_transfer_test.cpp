@@ -1,0 +1,408 @@
+// Checkpointing, state transfer, and rejoin catch-up: the BackoffPolicy /
+// state_digest / StateTransferClient building blocks in isolation, then the
+// BFT and primary-backup rejoin paths end to end (crash/restart catch-up,
+// transfer failure degrading to passive, cold-activation sync).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/bft.h"
+#include "sim/network.h"
+#include "sim/primary_backup.h"
+#include "sim/simulator.h"
+#include "sim/state_transfer.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+namespace {
+
+// ------------------------------------------------------------ BackoffPolicy
+
+TEST(BackoffPolicy, GrowsExponentiallyAndCaps) {
+  const BackoffPolicy policy{2.0, 2.0, 16.0, 0.0};
+  EXPECT_DOUBLE_EQ(policy.delay(0), 2.0);
+  EXPECT_DOUBLE_EQ(policy.delay(1), 4.0);
+  EXPECT_DOUBLE_EQ(policy.delay(2), 8.0);
+  EXPECT_DOUBLE_EQ(policy.delay(3), 16.0);
+  EXPECT_DOUBLE_EQ(policy.delay(10), 16.0);  // capped
+}
+
+TEST(BackoffPolicy, CapBelowInitialClampsEveryDelay) {
+  const BackoffPolicy policy{5.0, 2.0, 3.0, 0.0};
+  EXPECT_DOUBLE_EQ(policy.delay(0), 3.0);
+  EXPECT_DOUBLE_EQ(policy.delay(4), 3.0);
+}
+
+TEST(BackoffPolicy, JitterIsBoundedAndDeterministic) {
+  const BackoffPolicy policy{2.0, 2.0, 30.0, 0.25};
+  util::Rng rng_a(7, "backoff");
+  util::Rng rng_b(7, "backoff");
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double base = policy.delay(attempt);
+    const double jittered = policy.delay(attempt, &rng_a);
+    EXPECT_GE(jittered, base);
+    EXPECT_LT(jittered, base * 1.25);
+    // Same seed, same stream: the schedule replays exactly.
+    EXPECT_DOUBLE_EQ(policy.delay(attempt, &rng_b), jittered);
+  }
+}
+
+// -------------------------------------------------------------- state_digest
+
+TEST(StateDigest, EmptySetHasStableNonNegativeDigest) {
+  const std::int64_t empty = state_digest({});
+  EXPECT_GE(empty, 0);
+  EXPECT_EQ(state_digest({}), empty);
+}
+
+TEST(StateDigest, DistinguishesSets) {
+  const std::int64_t a = state_digest({1, 2, 3});
+  EXPECT_EQ(state_digest({1, 2, 3}), a);
+  EXPECT_NE(state_digest({1, 2, 4}), a);
+  EXPECT_NE(state_digest({1, 2}), a);
+  EXPECT_NE(state_digest({}), a);
+}
+
+// ------------------------------------------------------ StateTransferClient
+
+struct TransferFixture {
+  explicit TransferFixture(StateTransferOptions options, int matching) {
+    client = std::make_unique<StateTransferClient>(
+        sim, options, matching,
+        StateTransferClient::Callbacks{
+            [this](std::int64_t epoch) { request_epochs.push_back(epoch); },
+            [this](const StateTransferClient::Result& r) { installs.push_back(r); },
+            [this](int rounds) { failed_rounds.push_back(rounds); }});
+  }
+
+  Message reply_from(int site, int node, std::int64_t epoch,
+                     std::vector<std::int64_t> ids) const {
+    std::sort(ids.begin(), ids.end());
+    Message msg;
+    msg.type = Message::Type::kStateReply;
+    msg.sender = {site, node};
+    msg.request_id = epoch;
+    msg.seq = static_cast<std::int64_t>(ids.size());
+    msg.value = state_digest(ids);
+    msg.payload = std::move(ids);
+    return msg;
+  }
+
+  Simulator sim;
+  std::vector<std::int64_t> request_epochs;
+  std::vector<StateTransferClient::Result> installs;
+  std::vector<int> failed_rounds;
+  std::unique_ptr<StateTransferClient> client;
+};
+
+TEST(StateTransferClient, InstallsOnceEnoughMatchingRepliesArrive) {
+  TransferFixture fx({4.0, {2.0, 2.0, 16.0, 0.0}, 4}, 2);
+  fx.client->begin();
+  ASSERT_EQ(fx.request_epochs.size(), 1u);
+  const std::int64_t epoch = fx.request_epochs[0];
+
+  fx.client->on_reply(fx.reply_from(0, 1, epoch, {1, 2, 3}));
+  EXPECT_TRUE(fx.client->in_progress());  // one vote is not a certificate
+  fx.client->on_reply(fx.reply_from(0, 2, epoch, {1, 2, 3}));
+
+  ASSERT_EQ(fx.installs.size(), 1u);
+  EXPECT_EQ(fx.installs[0].ids, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(fx.installs[0].count, 3);
+  EXPECT_EQ(fx.installs[0].rounds, 1);
+  EXPECT_FALSE(fx.client->in_progress());
+  EXPECT_EQ(fx.client->transfers_completed(), 1);
+  EXPECT_EQ(fx.client->retry_rounds(), 0);
+}
+
+TEST(StateTransferClient, DuplicateSenderDoesNotFormCertificate) {
+  TransferFixture fx({4.0, {2.0, 2.0, 16.0, 0.0}, 4}, 2);
+  fx.client->begin();
+  const std::int64_t epoch = fx.request_epochs[0];
+  fx.client->on_reply(fx.reply_from(0, 1, epoch, {1, 2}));
+  fx.client->on_reply(fx.reply_from(0, 1, epoch, {1, 2}));  // same sender
+  EXPECT_TRUE(fx.installs.empty());
+  EXPECT_TRUE(fx.client->in_progress());
+}
+
+TEST(StateTransferClient, StaleEpochRepliesAreIgnored) {
+  TransferFixture fx({4.0, {2.0, 2.0, 16.0, 0.0}, 4}, 2);
+  fx.client->begin();
+  const std::int64_t old_epoch = fx.request_epochs[0];
+  fx.client->on_reply(fx.reply_from(0, 1, old_epoch, {9}));
+  fx.client->begin();  // supersedes: fresh epoch, fresh reply set
+  const std::int64_t epoch = fx.request_epochs.back();
+  EXPECT_NE(epoch, old_epoch);
+  fx.client->on_reply(fx.reply_from(0, 1, old_epoch, {9}));  // stale
+  EXPECT_TRUE(fx.installs.empty());
+  fx.client->on_reply(fx.reply_from(0, 2, epoch, {4, 5}));
+  fx.client->on_reply(fx.reply_from(0, 3, epoch, {4, 5}));
+  ASSERT_EQ(fx.installs.size(), 1u);
+  EXPECT_EQ(fx.installs[0].ids, (std::vector<std::int64_t>{4, 5}));
+}
+
+TEST(StateTransferClient, RetriesWithBackoffThenFails) {
+  // Rounds at t=0, 1+0.5=1.5ish: round timeout 1s, backoff 0.5 then 1.0,
+  // max 3 rounds -> fail() by t ~= 4.5 with no replies at all.
+  TransferFixture fx({1.0, {0.5, 2.0, 4.0, 0.0}, 3}, 2);
+  fx.client->begin();
+  fx.sim.run_until(10.0);
+  EXPECT_EQ(fx.request_epochs.size(), 3u);  // initial + 2 retries
+  // All rounds share the transfer's epoch: replies can arrive across rounds.
+  EXPECT_EQ(fx.request_epochs[0], fx.request_epochs[2]);
+  ASSERT_EQ(fx.failed_rounds.size(), 1u);
+  EXPECT_EQ(fx.failed_rounds[0], 3);
+  EXPECT_EQ(fx.client->transfers_failed(), 1);
+  EXPECT_EQ(fx.client->retry_rounds(), 2);
+  EXPECT_FALSE(fx.client->in_progress());
+}
+
+TEST(StateTransferClient, RepliesAccumulateAcrossRounds) {
+  TransferFixture fx({1.0, {0.5, 2.0, 4.0, 0.0}, 4}, 2);
+  fx.client->begin();
+  const std::int64_t epoch = fx.request_epochs[0];
+  // One reply in round 1, the matching one only after the first timeout.
+  fx.client->on_reply(fx.reply_from(0, 1, epoch, {7, 8}));
+  fx.sim.schedule_at(2.0, [&] {
+    fx.client->on_reply(fx.reply_from(0, 2, epoch, {7, 8}));
+  });
+  fx.sim.run_until(10.0);
+  ASSERT_EQ(fx.installs.size(), 1u);
+  EXPECT_GE(fx.installs[0].rounds, 2);
+  EXPECT_EQ(fx.client->transfers_failed(), 0);
+  EXPECT_GT(fx.client->max_catchup_s(), 0.0);
+}
+
+TEST(StateTransferClient, AbortCancelsWithoutCountingFailure) {
+  TransferFixture fx({1.0, {0.5, 2.0, 4.0, 0.0}, 2}, 2);
+  fx.client->begin();
+  fx.client->abort();
+  fx.sim.run_until(10.0);
+  EXPECT_TRUE(fx.failed_rounds.empty());
+  EXPECT_TRUE(fx.installs.empty());
+  EXPECT_EQ(fx.client->transfers_failed(), 0);
+  EXPECT_EQ(fx.request_epochs.size(), 1u);  // no retry rounds after abort
+}
+
+TEST(StateTransferClient, MixedCertificatesInstallMajorityIds) {
+  // Two replies agree on the certificate; a third (stale peer) disagrees.
+  // Only ids vouched for by >= matching_needed of the matching replies
+  // install.
+  TransferFixture fx({4.0, {2.0, 2.0, 16.0, 0.0}, 4}, 2);
+  fx.client->begin();
+  const std::int64_t epoch = fx.request_epochs[0];
+  fx.client->on_reply(fx.reply_from(0, 1, epoch, {10}));  // stale peer
+  fx.client->on_reply(fx.reply_from(0, 2, epoch, {1, 2, 3}));
+  fx.client->on_reply(fx.reply_from(0, 3, epoch, {1, 2, 3}));
+  ASSERT_EQ(fx.installs.size(), 1u);
+  EXPECT_EQ(fx.installs[0].ids, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+// ----------------------------------------------------------- BFT end to end
+
+struct BftHarness {
+  explicit BftHarness(int n, BftOptions opts = {}, NetworkOptions nopts = {})
+      : options(opts), net(sim, {n, 2}, nopts) {
+    std::vector<NodeAddr> group;
+    for (int i = 0; i < n; ++i) group.push_back({0, i});
+    WorkloadOptions wopts;
+    wopts.request_interval_s = 1.0;
+    wopts.replies_needed = options.f + 1;
+    client = std::make_unique<ClientWorkload>(sim, net, NodeAddr{1, 0}, wopts);
+    client->set_targets(group);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      replicas.push_back(std::make_unique<BftReplica>(
+          sim, net, group[i], group, static_cast<int>(i), options, true));
+    }
+  }
+
+  void run(double horizon) {
+    for (auto& r : replicas) r->start();
+    client->start(0.0, horizon);
+    sim.run_until(horizon);
+  }
+
+  BftOptions options;
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<BftReplica>> replicas;
+  std::unique_ptr<ClientWorkload> client;
+};
+
+TEST(BftCheckpoint, CheckpointsBecomeStableAndGcOrderingState) {
+  BftOptions opts;
+  opts.checkpoint_interval = 4;
+  BftHarness h(6, opts);
+  h.run(30.0);
+  for (auto& r : h.replicas) {
+    EXPECT_GT(r->checkpoints_formed(), 0) << "replica lacks stable checkpoint";
+    EXPECT_GT(r->stable_checkpoint_count(), 0);
+    // Stability lags the tip by at most a couple of intervals.
+    EXPECT_GE(r->stable_checkpoint_count() + 3 * opts.checkpoint_interval,
+              static_cast<std::int64_t>(r->executed_count()));
+  }
+}
+
+TEST(BftCheckpoint, CrashedReplicaCatchesUpToGroupExecutedCount) {
+  BftOptions opts;
+  opts.checkpoint_interval = 4;
+  opts.state_transfer = {2.0, {1.0, 2.0, 8.0, 0.0}, 4};
+  BftHarness h(6, opts);
+  const NodeAddr victim{0, 2};
+  h.sim.schedule_at(5.0, [&] { h.net.set_node_crashed(victim, true); });
+  h.sim.schedule_at(20.0, [&] {
+    h.net.set_node_crashed(victim, false);
+    h.replicas[2]->on_restart();
+  });
+  h.run(45.0);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GE(h.replicas[2]->rejoin_stats().rejoins, 1);
+  EXPECT_FALSE(h.replicas[2]->catching_up());
+  EXPECT_FALSE(h.replicas[2]->passive());
+  // Acceptance: the restarted replica's executed count converges to the
+  // group's (late replies for the last in-flight requests may be pending).
+  const std::size_t peer = h.replicas[1]->executed_count();
+  EXPECT_GT(peer, 30u);
+  EXPECT_GE(h.replicas[2]->executed_count() + 3, peer);
+}
+
+TEST(BftCheckpoint, FailedTransferDegradesToPassiveWithoutWedgingGroup) {
+  BftOptions opts;
+  opts.checkpoint_interval = 4;
+  opts.state_transfer = {1.0, {0.5, 2.0, 2.0, 0.0}, 2};
+  NetworkOptions nopts;
+  // The recovery plane is dead: every checkpoint / state-transfer message
+  // is dropped, so the restarted replica's transfer must exhaust its
+  // budget.
+  nopts.control_loss_probability = 1.0;
+  BftHarness h(6, opts, nopts);
+  const NodeAddr victim{0, 3};
+  h.sim.schedule_at(5.0, [&] { h.net.set_node_crashed(victim, true); });
+  h.sim.schedule_at(12.0, [&] {
+    h.net.set_node_crashed(victim, false);
+    h.replicas[3]->on_restart();
+  });
+  h.run(40.0);
+  EXPECT_TRUE(h.replicas[3]->passive());
+  EXPECT_EQ(h.replicas[3]->rejoin_stats().failures, 1);
+  EXPECT_GT(h.net.drop_counters().transfer_loss, 0u);
+  // Acceptance: the group is not wedged — the other five keep serving.
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GT(h.client->success_fraction(20.0, 39.0), 0.9);
+}
+
+TEST(BftCheckpoint, RecoveryRotationCatchesUpEveryReplica) {
+  BftOptions opts;
+  opts.checkpoint_interval = 4;
+  opts.recovery_period_s = 8.0;
+  opts.recovery_duration_s = 3.0;
+  BftHarness h(6, opts);
+  std::vector<BftReplica*> members;
+  for (auto& r : h.replicas) members.push_back(r.get());
+  RecoveryScheduler scheduler(h.sim, members, opts);
+  scheduler.start(4.0);
+  h.run(60.0);
+  EXPECT_FALSE(h.client->safety_violated());
+  EXPECT_GT(h.client->success_fraction(0.0, 59.0), 0.85);
+  int rejoins = 0;
+  for (auto& r : h.replicas) {
+    rejoins += r->rejoin_stats().rejoins;
+    EXPECT_FALSE(r->passive());
+  }
+  // Every completed recovery window ended with a catch-up transfer.
+  EXPECT_GE(rejoins, 5);
+}
+
+// ------------------------------------------------- primary-backup end to end
+
+struct PbHarness {
+  PbHarness(int sites, bool with_controller, NetworkOptions nopts = {})
+      : net(sim, [&] {
+          std::vector<int> n(static_cast<std::size_t>(sites), 2);
+          n.push_back(2);  // client site
+          return n;
+        }(), nopts) {
+    options.activation_delay_s = 30.0;
+    options.controller_outage_threshold_s = 6.0;
+    options.controller_check_interval_s = 1.0;
+    options.activation_retry = {2.0, 2.0, 8.0, 0.0};
+    WorkloadOptions wopts;
+    wopts.request_interval_s = 1.0;
+    wopts.replies_needed = 1;
+    client = std::make_unique<ClientWorkload>(
+        sim, net, NodeAddr{sites, 0}, wopts);
+    std::vector<NodeAddr> targets;
+    for (int s = 0; s < sites; ++s) {
+      for (int n = 0; n < 2; ++n) {
+        targets.push_back({s, n});
+        replicas.push_back(std::make_unique<PbReplica>(
+            sim, net, NodeAddr{s, n}, options, /*active=*/s == 0));
+      }
+    }
+    client->set_targets(std::move(targets));
+    if (with_controller) {
+      controller = std::make_unique<FailoverController>(
+          sim, net, NodeAddr{sites, 1}, *client, /*backup_site=*/1, options);
+    }
+  }
+
+  void run(double horizon) {
+    for (auto& r : replicas) r->start();
+    client->start(0.0, horizon);
+    if (controller) controller->start(0.0, horizon);
+    sim.run_until(horizon);
+  }
+
+  Simulator sim;
+  Network net;
+  PbOptions options;
+  std::vector<std::unique_ptr<PbReplica>> replicas;
+  std::unique_ptr<ClientWorkload> client;
+  std::unique_ptr<FailoverController> controller;
+};
+
+TEST(PbSync, ColdActivationSyncsBeforeServing) {
+  PbHarness h(2, true);
+  h.sim.schedule_at(10.0, [&] { h.net.set_site_down(0, true); });
+  h.run(90.0);
+  EXPECT_TRUE(h.replicas[2]->site_active());
+  EXPECT_TRUE(h.replicas[2]->is_primary());
+  EXPECT_FALSE(h.replicas[2]->syncing());
+  EXPECT_EQ(h.replicas[2]->rejoin_stats().rejoins, 1);
+  EXPECT_GT(h.client->success_fraction(60.0, 85.0), 0.9);
+}
+
+TEST(PbSync, RestartedPrimaryResyncsThenServes) {
+  PbHarness h(1, false);
+  h.sim.schedule_at(10.0, [&] { h.net.set_node_crashed({0, 0}, true); });
+  h.sim.schedule_at(12.0, [&] {
+    h.net.set_node_crashed({0, 0}, false);
+    h.replicas[0]->on_restart();
+  });
+  h.run(30.0);
+  EXPECT_TRUE(h.replicas[0]->is_primary());
+  EXPECT_FALSE(h.replicas[0]->syncing());
+  EXPECT_EQ(h.replicas[0]->rejoin_stats().rejoins, 1);
+  // Brief crash + sync, then service resumes; executed log survives.
+  EXPECT_GT(h.client->success_fraction(15.0, 29.0), 0.9);
+  EXPECT_GT(h.replicas[0]->executed_count(), 20u);
+}
+
+TEST(PbSync, PromotionSyncFailsOpenWhenNoPeerAnswers) {
+  NetworkOptions nopts;
+  nopts.control_loss_probability = 1.0;  // sync can never complete
+  PbHarness h(1, false, nopts);
+  h.sim.schedule_at(10.0, [&] { h.replicas[0]->set_compromised(true); });
+  h.run(40.0);
+  // The standby promotes, its sync exhausts the (tight) budget, and it
+  // serves from the local log instead of wedging the site.
+  EXPECT_TRUE(h.replicas[1]->is_primary());
+  EXPECT_FALSE(h.replicas[1]->syncing());
+  EXPECT_EQ(h.replicas[1]->rejoin_stats().failures, 1);
+  EXPECT_GT(h.replicas[1]->executed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ct::sim
