@@ -1,12 +1,25 @@
 // Microbenchmarks (google-benchmark) for the framework's hot paths: wind
 // sampling, the surge envelope, a full hurricane realization, the analysis
-// pipeline, and the evaluators. These bound the cost of scaling the
-// methodology (more realizations, finer meshes, larger ensembles).
+// pipeline, the evaluators, and the ensemble runtime (task-pool dispatch,
+// content digests, parallel outcome counting). These bound the cost of
+// scaling the methodology (more realizations, finer meshes, larger
+// ensembles).
+//
+// Before running the registered benchmarks, main() times one small
+// end-to-end sweep serially and on the pool and merges the measurement
+// into BENCH_runtime.json (same record format as the figure benches).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "core/pipeline.h"
+#include "figure_bench.h"
 #include "mesh/coastal_builder.h"
+#include "runtime/ensemble_runner.h"
+#include "runtime/task_pool.h"
 #include "scada/oahu.h"
 #include "storm/generator.h"
 #include "storm/holland.h"
@@ -14,6 +27,7 @@
 #include "surge/surge_model.h"
 #include "terrain/oahu.h"
 #include "threat/attacker.h"
+#include "util/strings.h"
 
 using namespace ct;
 
@@ -29,6 +43,13 @@ const surge::RealizationEngine& engine() {
       terrain::make_oahu_terrain(), scada::oahu_topology().exposed_assets(),
       surge::RealizationConfig{});
   return instance;
+}
+
+runtime::EnsembleOptions runner_options(unsigned jobs, bool cache) {
+  runtime::EnsembleOptions options;
+  options.jobs = jobs;
+  options.cache = cache;
+  return options;
 }
 
 void BM_HollandWindSample(benchmark::State& state) {
@@ -124,6 +145,145 @@ void BM_GreedyAttack666(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyAttack666);
 
+// --- ensemble runtime -------------------------------------------------------
+
+/// Pure dispatch overhead of the work-stealing pool: trivial per-element
+/// work, so the numbers are dominated by queueing, stealing, and the batch
+/// barrier. Arg = worker threads (1 = the inline serial path).
+void BM_TaskPoolDispatch(benchmark::State& state) {
+  runtime::TaskPool pool(static_cast<unsigned>(state.range(0)));
+  std::vector<std::uint64_t> out(1 << 14);
+  for (auto _ : state) {
+    pool.parallel_for_each(out.size(), 64, [&](std::size_t i) {
+      out[i] = i * 0x9e3779b97f4a7c15ull;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TaskPoolDispatch)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+/// Content digest of a realization set — the cache-key cost a sweep pays
+/// even on a hit, so it has to stay far below regeneration cost.
+void BM_DigestRealizations(benchmark::State& state) {
+  static const std::vector<surge::HurricaneRealization> rels = [] {
+    std::vector<surge::HurricaneRealization> r;
+    for (std::uint64_t i = 0; i < 8; ++i) r.push_back(engine().run(i));
+    return r;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runtime::EnsembleRunner::digest_realizations(rels));
+  }
+}
+BENCHMARK(BM_DigestRealizations);
+
+/// Outcome counting over a pre-generated ensemble, cache off — isolates the
+/// map_reduce sharding from realization generation. Arg = jobs.
+void BM_EnsembleCount(benchmark::State& state) {
+  static const std::vector<surge::HurricaneRealization> rels = [] {
+    runtime::EnsembleRunner serial(runner_options(1, false));
+    return serial.generate(engine(), 64);
+  }();
+  const auto config = scada::make_config_6_6_6(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+  runtime::EnsembleRunner runner(
+      runner_options(static_cast<unsigned>(state.range(0)), false));
+  const auto outcome = [&](const surge::HurricaneRealization& r) {
+    return static_cast<int>(pipeline.outcome_for(
+        config, threat::ThreatScenario::kHurricaneIntrusionIsolation, r));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.count_outcomes(rels, outcome, ""));
+  }
+}
+BENCHMARK(BM_EnsembleCount)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+/// Times one small end-to-end sweep (all five paper configurations, one
+/// compound scenario) serial vs pooled vs cache-warm and merges the record
+/// into BENCH_runtime.json.
+bench::RuntimeBenchRecord micro_runtime_record() {
+  const std::size_t n = std::min<std::size_t>(bench::bench_realizations(), 200);
+  const unsigned jobs = bench::bench_jobs();
+  const auto scenario = threat::ThreatScenario::kHurricaneIntrusionIsolation;
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+
+  runtime::EnsembleRunner serial(runner_options(1, false));
+  const std::vector<surge::HurricaneRealization> rels =
+      serial.generate(engine(), n);
+  const std::string digest = runtime::EnsembleRunner::digest_realizations(rels);
+
+  const auto timed = [&](auto&& analyze) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::ScenarioResult> results;
+    for (const auto& config : configs) results.push_back(analyze(config));
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    return std::pair(std::move(results), seconds);
+  };
+
+  const auto [serial_results, serial_s] = timed([&](const auto& config) {
+    return pipeline.analyze(config, scenario, rels);
+  });
+
+  runtime::EnsembleRunner pooled(runner_options(jobs, true));
+  const auto [parallel_results, parallel_s] = timed([&](const auto& config) {
+    return pipeline.analyze(config, scenario, rels, pooled, digest);
+  });
+  const auto cold_stats = pooled.cache_stats();
+  const auto [warm_results, warm_s] = timed([&](const auto& config) {
+    return pipeline.analyze(config, scenario, rels, pooled, digest);
+  });
+  const auto stats = pooled.cache_stats();
+
+  const auto identical = [&](const std::vector<core::ScenarioResult>& other) {
+    for (std::size_t i = 0; i < serial_results.size(); ++i) {
+      for (const auto s :
+           {threat::OperationalState::kGreen, threat::OperationalState::kOrange,
+            threat::OperationalState::kRed, threat::OperationalState::kGray}) {
+        if (serial_results[i].outcomes.count(s) != other[i].outcomes.count(s)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  bench::RuntimeBenchRecord record;
+  record.name = "bench_micro";
+  record.realizations = n;
+  record.jobs = jobs;
+  record.serial_s = serial_s;
+  record.parallel_s = parallel_s;
+  record.warm_s = warm_s;
+  record.identical = identical(parallel_results) && identical(warm_results);
+  record.cache_lookups = stats.lookups - cold_stats.lookups;
+  record.cache_hits = stats.hits - cold_stats.hits;
+  return record;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::RuntimeBenchRecord record = micro_runtime_record();
+  bench::write_runtime_bench_record(record);
+  std::cout << "ensemble sweep (" << record.realizations << " realizations): "
+            << "serial " << util::format_fixed(record.serial_s, 2)
+            << " s, parallel(" << record.jobs << ") "
+            << util::format_fixed(record.parallel_s, 2) << " s ("
+            << util::format_fixed(record.speedup(), 2) << "x), warm "
+            << util::format_fixed(record.warm_s, 3) << " s, "
+            << (record.identical ? "bit-identical" : "NOT IDENTICAL")
+            << "; recorded in BENCH_runtime.json\n";
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return record.identical ? 0 : 1;
+}

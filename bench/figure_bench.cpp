@@ -2,7 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/case_study.h"
 #include "core/report.h"
@@ -19,13 +24,93 @@ std::size_t bench_realizations() {
   return 1000;  // the paper's ensemble size
 }
 
+unsigned bench_jobs() {
+  if (const char* env = std::getenv("CT_BENCH_JOBS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 8;
+}
+
+namespace {
+
+std::string record_json(const RuntimeBenchRecord& r) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out << '"' << r.name << "\": {"
+      << "\"realizations\": " << r.realizations << ", \"jobs\": " << r.jobs
+      << std::setprecision(4) << ", \"serial_s\": " << r.serial_s
+      << ", \"parallel_s\": " << r.parallel_s << ", \"warm_s\": " << r.warm_s
+      << std::setprecision(3) << ", \"speedup\": " << r.speedup()
+      << ", \"identical\": " << (r.identical ? "true" : "false")
+      << ", \"cache_lookups\": " << r.cache_lookups
+      << ", \"cache_hits\": " << r.cache_hits
+      << ", \"warm_hit_rate\": " << r.warm_hit_rate() << '}';
+  return out.str();
+}
+
+}  // namespace
+
+void write_runtime_bench_record(const RuntimeBenchRecord& record,
+                                const std::string& path) {
+  // The file is a JSON object with one record per line so every bench
+  // binary can update its own row with a line-level merge — no JSON parser
+  // needed, and `jq` still reads the whole file.
+  std::vector<std::pair<std::string, std::string>> rows;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      std::string body{util::trim(line)};
+      if (body.empty() || body == "{" || body == "}") continue;
+      if (body.back() == ',') body.pop_back();
+      if (body.size() < 2 || body.front() != '"') continue;  // not a record
+      const std::size_t name_end = body.find('"', 1);
+      if (name_end == std::string::npos) continue;
+      const std::string name = body.substr(1, name_end - 1);
+      if (name == record.name) continue;  // superseded by the new record
+      rows.emplace_back(name, std::move(body));
+    }
+  }
+  rows.emplace_back(record.name, record_json(record));
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << rows[i].second << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+namespace {
+
+/// Exact (count-level) equality of two result sets — the determinism
+/// contract is bit-identical histograms, not close probabilities.
+bool identical_outcomes(const std::vector<core::ScenarioResult>& a,
+                        const std::vector<core::ScenarioResult>& b) {
+  if (a.size() != b.size()) return false;
+  constexpr threat::OperationalState kStates[] = {
+      threat::OperationalState::kGreen, threat::OperationalState::kOrange,
+      threat::OperationalState::kRed, threat::OperationalState::kGray};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].outcomes.total() != b[i].outcomes.total()) return false;
+    for (const threat::OperationalState s : kStates) {
+      if (a[i].outcomes.count(s) != b[i].outcomes.count(s)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int run_figure_bench(const std::string& figure_id,
                      threat::ThreatScenario scenario, Siting siting) {
-  const auto start = std::chrono::steady_clock::now();
-
-  core::CaseStudyOptions options;
-  options.realizations = bench_realizations();
-  core::CaseStudyRunner runner = core::make_oahu_case_study(options);
+  const std::size_t realizations = bench_realizations();
+  const unsigned jobs = bench_jobs();
 
   const std::string backup = siting == Siting::kWaiau
                                  ? scada::oahu_ids::kWaiauCc
@@ -36,27 +121,81 @@ int run_figure_bench(const std::string& figure_id,
   std::cout << "=== " << figure_id << ": "
             << threat::scenario_name(scenario) << " (Honolulu + "
             << (siting == Siting::kWaiau ? "Waiau" : "Kahe")
-            << " + DRFortress), " << options.realizations
-            << " realizations ===\n\n";
+            << " + DRFortress), " << realizations << " realizations ===\n\n";
 
-  const auto results = runner.run_configs(configs, scenario);
+  const auto timed_run = [&](core::CaseStudyRunner& runner) {
+    const auto start = std::chrono::steady_clock::now();
+    auto results = runner.run_configs(configs, scenario);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    return std::pair(std::move(results), seconds);
+  };
+
+  // Cold serial reference: one worker, cache off — the pre-runtime code
+  // path, and the baseline both for the speedup and for bit-identity.
+  core::CaseStudyOptions serial_options;
+  serial_options.realizations = realizations;
+  serial_options.runtime.jobs = 1;
+  serial_options.runtime.cache = false;
+  core::CaseStudyRunner serial_runner =
+      core::make_oahu_case_study(serial_options);
+  const auto [serial_results, serial_s] = timed_run(serial_runner);
+
+  // Cold parallel sweep on a fresh runner (nothing shared with the serial
+  // one), then a warm replay on the same runner to measure the cache.
+  core::CaseStudyOptions parallel_options;
+  parallel_options.realizations = realizations;
+  parallel_options.runtime.jobs = jobs;
+  core::CaseStudyRunner parallel_runner =
+      core::make_oahu_case_study(parallel_options);
+  const auto [parallel_results, parallel_s] = timed_run(parallel_runner);
+  const auto cold_stats = parallel_runner.runtime().cache_stats();
+  const auto [warm_results, warm_s] = timed_run(parallel_runner);
+
+  const bool identical = identical_outcomes(serial_results, parallel_results) &&
+                         identical_outcomes(serial_results, warm_results);
 
   std::cout << "measured operational profiles:\n";
-  core::profile_table(results).render(std::cout);
+  core::profile_table(parallel_results).render(std::cout);
 
   const auto& expected = core::paper_expected(figure_id);
   std::cout << "\nmeasured vs paper:\n";
-  core::comparison_table(results, expected).render(std::cout);
+  core::comparison_table(parallel_results, expected).render(std::cout);
 
-  const double delta = core::max_abs_delta(results, expected);
-  const auto elapsed = std::chrono::duration<double>(
-      std::chrono::steady_clock::now() - start);
+  const double delta = core::max_abs_delta(parallel_results, expected);
   std::cout << "\nmax |measured - paper| = "
             << util::format_fixed(delta * 100.0, 2) << " pp across all "
-            << results.size() * 4 << " cells\n"
-            << "wall time: " << util::format_fixed(elapsed.count(), 1)
-            << " s\n\n";
-  return 0;
+            << parallel_results.size() * 4 << " cells\n";
+
+  // Hit rate of the warm replay alone (the cold pass is all misses by
+  // construction, so folding it in would halve the number for no reason).
+  const auto stats = parallel_runner.runtime().cache_stats();
+  RuntimeBenchRecord record;
+  record.name = "bench_" + figure_id;
+  record.realizations = realizations;
+  record.jobs = jobs;
+  record.serial_s = serial_s;
+  record.parallel_s = parallel_s;
+  record.warm_s = warm_s;
+  record.identical = identical;
+  record.cache_lookups = stats.lookups - cold_stats.lookups;
+  record.cache_hits = stats.hits - cold_stats.hits;
+  write_runtime_bench_record(record);
+
+  std::cout << "\nruntime: serial " << util::format_fixed(serial_s, 2)
+            << " s, parallel(" << jobs << ") "
+            << util::format_fixed(parallel_s, 2) << " s ("
+            << util::format_fixed(record.speedup(), 2) << "x), warm replay "
+            << util::format_fixed(warm_s, 3) << " s, cache "
+            << record.cache_hits << "/" << record.cache_lookups << " hits ("
+            << util::format_fixed(record.warm_hit_rate() * 100.0, 1)
+            << "%)\n"
+            << "parallel outcomes "
+            << (identical ? "bit-identical to serial"
+                          : "DIFFER FROM SERIAL — determinism violation")
+            << "; record appended to BENCH_runtime.json\n\n";
+  return identical ? 0 : 1;
 }
 
 }  // namespace ct::bench

@@ -4,10 +4,19 @@
 // prints measured-vs-paper tables, and reports the worst probability
 // delta.
 //
+// Since the ensemble runtime landed, every figure bench also measures the
+// runtime itself: the sweep runs once serially (--jobs 1, cache off) and
+// once on the work-stealing pool, asserts the two outcome distributions
+// are bit-identical, replays the sweep warm to measure the result-cache
+// hit rate, and appends the numbers to BENCH_runtime.json so the perf
+// trajectory is tracked per commit.
+//
 // Realization count defaults to the paper's 1000; set CT_BENCH_REALIZATIONS
-// to override (e.g. 200 for a quick pass).
+// to override (e.g. 200 for a quick pass). CT_BENCH_JOBS sets the parallel
+// worker count (default 8).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "threat/scenario.h"
@@ -23,8 +32,42 @@ enum class Siting {
 /// Number of realizations to run (CT_BENCH_REALIZATIONS or 1000).
 std::size_t bench_realizations();
 
-/// Runs the figure bench: returns 0 on success (the bench always succeeds;
-/// fidelity is reported, not asserted — EXPERIMENTS.md records the deltas).
+/// Parallel worker count for the runtime measurement (CT_BENCH_JOBS or 8).
+unsigned bench_jobs();
+
+/// One serial-vs-parallel runtime measurement, recorded per bench binary.
+struct RuntimeBenchRecord {
+  std::string name;            ///< bench binary name ("bench_fig6", ...)
+  std::size_t realizations = 0;
+  unsigned jobs = 0;           ///< parallel worker count
+  double serial_s = 0.0;       ///< cold sweep, --jobs 1, cache off
+  double parallel_s = 0.0;     ///< cold sweep on the pool
+  double warm_s = 0.0;         ///< repeated sweep served from the cache
+  bool identical = false;      ///< parallel outcomes bit-identical to serial
+  std::uint64_t cache_lookups = 0;  ///< result-cache lookups, warm pass only
+  std::uint64_t cache_hits = 0;     ///< result-cache hits, warm pass only
+
+  double speedup() const noexcept {
+    return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  }
+  double warm_hit_rate() const noexcept {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+/// Merges the record into `path` (default BENCH_runtime.json in the cwd):
+/// one JSON object keyed by record name, one record per line, existing
+/// records for other benches preserved. An unreadable file is rebuilt.
+void write_runtime_bench_record(const RuntimeBenchRecord& record,
+                                const std::string& path = "BENCH_runtime.json");
+
+/// Runs the figure bench: returns 0 when the parallel outcome
+/// distributions are bit-identical to the serial ones (fidelity to the
+/// paper is still reported, not asserted — EXPERIMENTS.md records the
+/// deltas), 1 on a determinism violation.
 int run_figure_bench(const std::string& figure_id,
                      threat::ThreatScenario scenario, Siting siting);
 

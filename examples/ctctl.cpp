@@ -12,6 +12,14 @@
 //     --primary/--backup/--dc <asset id>   default: honolulu/waiau/drfortress
 //     --realizations <n>                   default: 1000
 //     --slr <meters>                       sea-level-rise offset
+//     --jobs <n>                           worker threads (0 = all cores,
+//                                          1 = serial; default 0)
+//     --no-cache                           recompute everything: disable the
+//                                          result cache (default: on-disk
+//                                          cache under CT_CACHE_DIR or
+//                                          ~/.cache/ct, so a repeated
+//                                          analyze of the same inputs is
+//                                          served from cache)
 //   ctctl downtime [same options]          restoration costs in hours
 #include <cstdlib>
 #include <fstream>
@@ -42,15 +50,29 @@ int usage() {
   return 2;
 }
 
+/// Flags that take no value.
+bool is_boolean_flag(const std::string& name) { return name == "no-cache"; }
+
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (!util::starts_with(key, "--")) {
       throw std::runtime_error("expected --flag, got: " + key);
     }
-    flags[key.substr(2)] = argv[i + 1];
+    const std::string name = key.substr(2);
+    if (is_boolean_flag(name)) {
+      flags[name] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      // A trailing flag with no value used to be dropped silently — the
+      // worst possible failure mode for an analysis tool (you get a
+      // default-parameter answer to a non-default question).
+      throw std::runtime_error("flag " + key + " expects a value");
+    }
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -78,6 +100,17 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
   if (const auto it = flags.find("slr"); it != flags.end()) {
     options.realization.sea_level_offset_m =
         std::strtod(it->second.c_str(), nullptr);
+  }
+  // Runtime: parallel by default, with the cross-process disk cache so a
+  // repeated analyze of identical inputs skips the whole sweep.
+  options.runtime.disk_cache = true;
+  if (const auto it = flags.find("jobs"); it != flags.end()) {
+    options.runtime.jobs = static_cast<unsigned>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+  }
+  if (flags.count("no-cache") != 0) {
+    options.runtime.cache = false;
+    options.runtime.disk_cache = false;
   }
   scada::ScadaTopology topology = load_topology(flags);
 
@@ -149,6 +182,18 @@ int cmd_map(int argc, char** argv) {
   return 0;
 }
 
+void print_cache_stats(core::CaseStudyRunner& runner) {
+  const auto stats = runner.runtime().cache_stats();
+  std::cout << "result cache: " << stats.hits << "/" << stats.lookups
+            << " hits (" << util::format_fixed(stats.hit_rate() * 100.0, 1)
+            << "%), " << stats.disk_hits << " from disk";
+  if (stats.corrupt_discarded > 0) {
+    std::cout << ", " << stats.corrupt_discarded
+              << " corrupt record(s) discarded";
+  }
+  std::cout << "\n";
+}
+
 int cmd_analyze(int argc, char** argv) {
   AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
   for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
@@ -157,6 +202,7 @@ int cmd_analyze(int argc, char** argv) {
         .render(std::cout);
     std::cout << "\n";
   }
+  print_cache_stats(setup.runner);
   return 0;
 }
 
@@ -170,7 +216,8 @@ int cmd_downtime(int argc, char** argv) {
                        util::Align::kRight});
     for (const auto& config : setup.configs) {
       const core::RestorationResult r = core::analyze_restoration(
-          config, scenario, setup.runner.realizations(), model, 0);
+          config, scenario, setup.runner.realizations(), model,
+          setup.runner.runtime(), 0);
       table.add_row({config.name,
                      util::format_fixed(r.expected_downtime_hours, 2),
                      util::format_fixed(r.expected_incorrect_hours, 2)});

@@ -11,25 +11,46 @@ CaseStudyRunner::CaseStudyRunner(scada::ScadaTopology topology,
     : topology_(std::move(topology)), options_(options),
       engine_(std::move(terrain), topology_.exposed_assets(),
               options_.realization),
-      pipeline_(options_.attacker) {}
+      pipeline_(options_.attacker), runtime_(options_.runtime) {}
 
 const std::vector<surge::HurricaneRealization>& CaseStudyRunner::realizations() {
   if (!cached_) {
-    cache_ = engine_.run_batch_parallel(options_.realizations);
+    cache_ = runtime_.generate(engine_, options_.realizations);
     cached_ = true;
   }
   return cache_;
 }
 
+const std::string& CaseStudyRunner::batch_digest() {
+  if (batch_digest_.empty()) {
+    batch_digest_ = runtime::EnsembleRunner::digest_engine_batch(
+        engine_, options_.realizations);
+  }
+  return batch_digest_;
+}
+
 ScenarioResult CaseStudyRunner::run(const scada::Configuration& config,
                                     threat::ThreatScenario scenario) {
-  return pipeline_.analyze(config, scenario, realizations());
+  // Lazy: a result-cache hit (same topology, configuration, scenario,
+  // ensemble, attacker — possibly from a previous process via the disk
+  // layer) never generates the realization batch at all.
+  return pipeline_.analyze_lazy(
+      config, scenario,
+      [this]() -> const std::vector<surge::HurricaneRealization>& {
+        return realizations();
+      },
+      runtime_, batch_digest());
 }
 
 std::vector<ScenarioResult> CaseStudyRunner::run_configs(
     const std::vector<scada::Configuration>& configs,
     threat::ThreatScenario scenario) {
-  return pipeline_.analyze_all(configs, scenario, realizations());
+  std::vector<ScenarioResult> out;
+  out.reserve(configs.size());
+  for (const scada::Configuration& config : configs) {
+    out.push_back(run(config, scenario));
+  }
+  return out;
 }
 
 double CaseStudyRunner::asset_flood_probability(std::string_view asset_id) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "runtime/ensemble_runner.h"
 #include "scada/asset.h"
 #include "surge/realization.h"
 #include "terrain/terrain.h"
@@ -24,6 +25,9 @@ struct CaseStudyOptions {
   surge::RealizationConfig realization{};
   /// Attacker model for the cyberattack stage.
   AttackerModel attacker = AttackerModel::kGreedy;
+  /// Execution runtime: --jobs, chunking, result cache (in-memory by
+  /// default; enable disk_cache to share results across processes).
+  runtime::EnsembleOptions runtime{};
 };
 
 class CaseStudyRunner {
@@ -53,12 +57,21 @@ class CaseStudyRunner {
   const scada::ScadaTopology& topology() const noexcept { return topology_; }
   const surge::RealizationEngine& engine() const noexcept { return engine_; }
   const CaseStudyOptions& options() const noexcept { return options_; }
+  /// The shared execution runtime (pool + result cache) every analysis of
+  /// this case study routes through.
+  runtime::EnsembleRunner& runtime() noexcept { return runtime_; }
 
  private:
+  /// Content address of the (engine, realization count) ensemble; computed
+  /// once, lets warm runs hit the result cache without regenerating.
+  const std::string& batch_digest();
+
   scada::ScadaTopology topology_;
   CaseStudyOptions options_;
   surge::RealizationEngine engine_;
   AnalysisPipeline pipeline_;
+  runtime::EnsembleRunner runtime_;
+  std::string batch_digest_;
   std::vector<surge::HurricaneRealization> cache_;
   bool cached_ = false;
 };

@@ -93,6 +93,16 @@ sim::FaultPlan ChaosRunner::shrink(const scada::Configuration& config,
 }
 
 ChaosReport ChaosRunner::sweep(const scada::Configuration& config) const {
+  return sweep_impl(config, nullptr);
+}
+
+ChaosReport ChaosRunner::sweep(const scada::Configuration& config,
+                               runtime::EnsembleRunner& runtime) const {
+  return sweep_impl(config, &runtime.pool());
+}
+
+ChaosReport ChaosRunner::sweep_impl(const scada::Configuration& config,
+                                    runtime::TaskPool* pool) const {
   ChaosReport report;
   report.config_name = config.name;
   const sim::ScadaDes des(config, options_.des);
@@ -112,24 +122,39 @@ ChaosReport ChaosRunner::sweep(const scada::Configuration& config) const {
   restart_shape.window_to_s =
       std::max(restart_shape.window_from_s + 1.0, window_to);
 
+  // Each plan is a pure function of (base_seed, plan index) and every DES
+  // run builds its state locally, so plans are the unit of parallelism;
+  // folding per-plan results in plan order keeps the report identical to
+  // the serial sweep.
+  struct PlanResult {
+    int runs = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    int rejoins = 0;
+    std::vector<ChaosFinding> findings;
+  };
+  const std::size_t plans = static_cast<std::size_t>(
+      std::max(0, options_.plans));
+  std::vector<PlanResult> per_plan(plans);
+
   const util::Rng base_rng(options_.base_seed, "chaos");
-  for (int p = 0; p < options_.plans; ++p) {
+  const auto run_plan = [&](std::size_t p) {
+    PlanResult& slot = per_plan[p];
     util::Rng plan_rng =
         base_rng.child("plan", static_cast<std::uint64_t>(p));
     const sim::FaultPlan plan =
         options_.plan_style == ChaosOptions::PlanStyle::kRestartHeavy
             ? sim::random_restart_plan(restart_shape, nodes_per_site, plan_rng)
             : sim::random_benign_plan(shape, nodes_per_site, plan_rng);
-    ++report.plans_run;
     for (const threat::ThreatScenario scenario : options_.scenarios) {
       const threat::SystemState attacked =
           clean_attacked_state(config, scenario);
       const threat::OperationalState expected = evaluate(config, attacked);
       const sim::DesOutcome outcome = des.run(attacked, plan);
-      ++report.runs;
-      report.total_drops += outcome.drops.total();
-      report.total_duplicates += outcome.duplicates;
-      report.total_rejoins += outcome.rejoins;
+      ++slot.runs;
+      slot.drops += outcome.drops.total();
+      slot.duplicates += outcome.duplicates;
+      slot.rejoins += outcome.rejoins;
       if (outcome.observed == expected &&
           outcome.invariant_violations.empty()) {
         continue;
@@ -150,6 +175,23 @@ ChaosReport ChaosRunner::sweep(const scada::Configuration& config) const {
       finding.violations = outcome.invariant_violations;
       finding.minimal_plan = shrink(config, attacked, expected, plan);
       finding.replay_schedule = finding.minimal_plan.to_schedule();
+      slot.findings.push_back(std::move(finding));
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for_each(plans, 1, run_plan);
+  } else {
+    for (std::size_t p = 0; p < plans; ++p) run_plan(p);
+  }
+
+  for (PlanResult& slot : per_plan) {
+    ++report.plans_run;
+    report.runs += slot.runs;
+    report.total_drops += slot.drops;
+    report.total_duplicates += slot.duplicates;
+    report.total_rejoins += slot.rejoins;
+    for (ChaosFinding& finding : slot.findings) {
       report.findings.push_back(std::move(finding));
     }
   }
@@ -162,6 +204,17 @@ std::vector<ChaosReport> ChaosRunner::sweep_all(
   reports.reserve(configs.size());
   for (const scada::Configuration& config : configs) {
     reports.push_back(sweep(config));
+  }
+  return reports;
+}
+
+std::vector<ChaosReport> ChaosRunner::sweep_all(
+    const std::vector<scada::Configuration>& configs,
+    runtime::EnsembleRunner& runtime) const {
+  std::vector<ChaosReport> reports;
+  reports.reserve(configs.size());
+  for (const scada::Configuration& config : configs) {
+    reports.push_back(sweep(config, runtime));
   }
   return reports;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/ensemble_runner.h"
 #include "scada/configuration.h"
 #include "sim/fault_injector.h"
 #include "sim/scada_des.h"
@@ -88,9 +89,21 @@ class ChaosRunner {
   /// over one configuration; any failure is shrunk and reported.
   ChaosReport sweep(const scada::Configuration& config) const;
 
+  /// Runner-routed sweep: plans are simulated (and failing ones shrunk) on
+  /// the runtime's work-stealing pool, one plan per task, and the report is
+  /// folded in plan order — identical to the serial sweep at any --jobs
+  /// value (each plan's RNG is a child of (base_seed, plan index)).
+  ChaosReport sweep(const scada::Configuration& config,
+                    runtime::EnsembleRunner& runtime) const;
+
   /// All configurations, one report each.
   std::vector<ChaosReport> sweep_all(
       const std::vector<scada::Configuration>& configs) const;
+
+  /// Runner-routed sweep_all (per-plan parallelism within each config).
+  std::vector<ChaosReport> sweep_all(
+      const std::vector<scada::Configuration>& configs,
+      runtime::EnsembleRunner& runtime) const;
 
   /// Detection probe: injects an f+1-replica compromise plan (strictly
   /// more intrusions than the architecture tolerates) into an otherwise
@@ -114,6 +127,9 @@ class ChaosRunner {
              const threat::SystemState& attacked,
              threat::OperationalState expected,
              const sim::FaultPlan& plan) const;
+
+  ChaosReport sweep_impl(const scada::Configuration& config,
+                         runtime::TaskPool* pool) const;
 
   ChaosOptions options_;
 };

@@ -41,6 +41,12 @@ void OutcomeDistribution::add(threat::OperationalState s) noexcept {
   ++total_;
 }
 
+void OutcomeDistribution::add(threat::OperationalState s,
+                              std::size_t n) noexcept {
+  counts_[static_cast<std::size_t>(s)] += n;
+  total_ += n;
+}
+
 std::size_t OutcomeDistribution::count(threat::OperationalState s) const noexcept {
   return counts_[static_cast<std::size_t>(s)];
 }
@@ -95,6 +101,74 @@ ScenarioResult AnalysisPipeline::analyze(
     result.outcomes.add(outcome_for(config, scenario, r));
   }
   return result;
+}
+
+std::string_view AnalysisPipeline::attacker_tag() const noexcept {
+  return model_ == AttackerModel::kGreedy ? "greedy" : "exhaustive";
+}
+
+ScenarioResult AnalysisPipeline::analyze_lazy(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const runtime::EnsembleRunner::RealizationsFn& realizations,
+    runtime::EnsembleRunner& runtime,
+    std::string_view realization_set_digest) const {
+  ScenarioResult result;
+  result.config_name = config.name;
+  result.scenario = scenario;
+
+  const std::string key =
+      realization_set_digest.empty()
+          ? std::string()  // unidentified set: skip the cache, stay correct
+          : runtime::EnsembleRunner::job_key(config, scenario, attacker_tag(),
+                                             realization_set_digest);
+  const runtime::EnsembleCounts counts = runtime.count_outcomes(
+      realizations,
+      [&](const surge::HurricaneRealization& r) {
+        return static_cast<int>(outcome_for(config, scenario, r));
+      },
+      key);
+
+  for (std::size_t i = 0; i < counts.counts.size(); ++i) {
+    result.outcomes.add(static_cast<threat::OperationalState>(i),
+                        static_cast<std::size_t>(counts.counts[i]));
+  }
+  result.from_cache = counts.from_cache;
+  return result;
+}
+
+ScenarioResult AnalysisPipeline::analyze(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations,
+    runtime::EnsembleRunner& runtime,
+    std::string_view realization_set_digest) const {
+  const std::string digest =
+      realization_set_digest.empty()
+          ? runtime::EnsembleRunner::digest_realizations(realizations)
+          : std::string(realization_set_digest);
+  return analyze_lazy(
+      config, scenario,
+      [&realizations]() -> const std::vector<surge::HurricaneRealization>& {
+        return realizations;
+      },
+      runtime, digest);
+}
+
+std::vector<ScenarioResult> AnalysisPipeline::analyze_all(
+    const std::vector<scada::Configuration>& configs,
+    threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations,
+    runtime::EnsembleRunner& runtime,
+    std::string_view realization_set_digest) const {
+  const std::string digest =
+      realization_set_digest.empty()
+          ? runtime::EnsembleRunner::digest_realizations(realizations)
+          : std::string(realization_set_digest);
+  std::vector<ScenarioResult> out;
+  out.reserve(configs.size());
+  for (const scada::Configuration& c : configs) {
+    out.push_back(analyze(c, scenario, realizations, runtime, digest));
+  }
+  return out;
 }
 
 ScenarioResult AnalysisPipeline::analyze_csv(

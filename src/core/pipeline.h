@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/ensemble_runner.h"
 #include "scada/configuration.h"
 #include "surge/realization.h"
 #include "threat/attacker.h"
@@ -24,6 +25,8 @@ namespace ct::core {
 class OutcomeDistribution {
  public:
   void add(threat::OperationalState s) noexcept;
+  /// Bulk insert: `n` outcomes in state `s` (cache hydration, chunk merge).
+  void add(threat::OperationalState s, std::size_t n) noexcept;
 
   std::size_t count(threat::OperationalState s) const noexcept;
   std::size_t total() const noexcept { return total_; }
@@ -45,6 +48,9 @@ struct ScenarioResult {
   /// Realization rows that were malformed and skipped (only non-zero when
   /// the realizations came from an external CSV; see analyze_csv).
   std::size_t skipped_realizations = 0;
+  /// True when the outcomes were served by the runtime's result cache
+  /// instead of being recomputed (runner-routed analyze paths only).
+  bool from_cache = false;
 };
 
 /// Realizations parsed from a CSV stream, plus the malformed rows that
@@ -94,6 +100,26 @@ class AnalysisPipeline {
       const scada::Configuration& config, threat::ThreatScenario scenario,
       const std::vector<surge::HurricaneRealization>& realizations) const;
 
+  /// Runner-routed variant: shards the realization range across the
+  /// runtime's work-stealing pool (bit-identical to the serial analyze at
+  /// any --jobs value) and serves/records the result in its
+  /// content-addressed cache. `realization_set_digest` identifies the
+  /// realization set (EnsembleRunner::digest_* helpers); pass "" to derive
+  /// it from the content.
+  ScenarioResult analyze(
+      const scada::Configuration& config, threat::ThreatScenario scenario,
+      const std::vector<surge::HurricaneRealization>& realizations,
+      runtime::EnsembleRunner& runtime,
+      std::string_view realization_set_digest = {}) const;
+
+  /// Lazy runner-routed variant: `realizations` is only invoked on a cache
+  /// miss, so a warm rerun never materializes the ensemble at all.
+  ScenarioResult analyze_lazy(
+      const scada::Configuration& config, threat::ThreatScenario scenario,
+      const runtime::EnsembleRunner::RealizationsFn& realizations,
+      runtime::EnsembleRunner& runtime,
+      std::string_view realization_set_digest) const;
+
   /// Like analyze(), but over realizations streamed from the interchange
   /// CSV. Malformed rows degrade gracefully: they are skipped and surfaced
   /// in ScenarioResult::skipped_realizations rather than aborting the run.
@@ -107,7 +133,17 @@ class AnalysisPipeline {
       threat::ThreatScenario scenario,
       const std::vector<surge::HurricaneRealization>& realizations) const;
 
+  /// Runner-routed analyze_all.
+  std::vector<ScenarioResult> analyze_all(
+      const std::vector<scada::Configuration>& configs,
+      threat::ThreatScenario scenario,
+      const std::vector<surge::HurricaneRealization>& realizations,
+      runtime::EnsembleRunner& runtime,
+      std::string_view realization_set_digest = {}) const;
+
   AttackerModel attacker_model() const noexcept { return model_; }
+  /// Cache-key tag naming the attack algorithm of this pipeline.
+  std::string_view attacker_tag() const noexcept;
 
  private:
   AttackerModel model_;

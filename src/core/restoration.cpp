@@ -114,49 +114,65 @@ IncidentCosts sample_incident_costs(const scada::Configuration& config,
   return costs_with_restore_times(config, state, restore, model, detection);
 }
 
-RestorationResult analyze_restoration(
-    const scada::Configuration& config, threat::ThreatScenario scenario,
-    const std::vector<surge::HurricaneRealization>& realizations,
+namespace {
+
+/// Costs of one realization: the deterministic expectation plus the
+/// stochastic downtime draws. Pure in (config, scenario, model, seed,
+/// realization index) — the unit of parallelism.
+struct RealizationCosts {
+  IncidentCosts expected;
+  std::vector<double> sampled_downtimes;
+};
+
+RealizationCosts realization_costs(
+    const scada::Configuration& config,
+    const threat::GreedyWorstCaseAttacker& attacker,
+    const threat::AttackerCapability& capability,
+    const surge::HurricaneRealization& realization, std::size_t index,
     const RestorationModel& model, std::size_t samples_per_realization,
-    std::uint64_t seed) {
+    const util::Rng& base) {
+  const SystemState post_disaster = threat::post_disaster_state(
+      config, [&](std::string_view asset_id) {
+        return realization.asset_failed(std::string(asset_id));
+      });
+  const SystemState attacked =
+      attacker.attack(config, post_disaster, capability);
+
+  RealizationCosts costs;
+  costs.expected = expected_incident_costs(config, attacked, model);
+  if (samples_per_realization > 0) {
+    util::Rng rng = base.child("realization", index);
+    costs.sampled_downtimes.reserve(samples_per_realization);
+    for (std::size_t s = 0; s < samples_per_realization; ++s) {
+      costs.sampled_downtimes.push_back(
+          sample_incident_costs(config, attacked, model, rng).downtime_hours);
+    }
+  } else {
+    costs.sampled_downtimes.push_back(costs.expected.downtime_hours);
+  }
+  return costs;
+}
+
+/// Aggregates per-realization costs in realization order (the fold is the
+/// same whether the costs were computed serially or on the pool).
+RestorationResult fold_costs(const scada::Configuration& config,
+                             threat::ThreatScenario scenario,
+                             const std::vector<RealizationCosts>& per_realization) {
   RestorationResult result;
   result.config_name = config.name;
   result.scenario = scenario;
-
-  const threat::GreedyWorstCaseAttacker attacker;
-  const threat::AttackerCapability capability =
-      threat::capability_for(scenario);
 
   util::RunningStats downtime;
   util::RunningStats incorrect;
   std::vector<double> sampled_downtimes;
   std::size_t with_downtime = 0;
-
-  const util::Rng base(seed, "restoration");
-  for (std::size_t r = 0; r < realizations.size(); ++r) {
-    const threat::SystemState post_disaster = threat::post_disaster_state(
-        config, [&](std::string_view asset_id) {
-          return realizations[r].asset_failed(std::string(asset_id));
-        });
-    const threat::SystemState attacked =
-        attacker.attack(config, post_disaster, capability);
-
-    const IncidentCosts expected =
-        expected_incident_costs(config, attacked, model);
-    downtime.add(expected.downtime_hours);
-    incorrect.add(expected.incorrect_hours);
-    if (expected.downtime_hours > 0.0) ++with_downtime;
-
-    if (samples_per_realization > 0) {
-      util::Rng rng = base.child("realization", r);
-      for (std::size_t s = 0; s < samples_per_realization; ++s) {
-        sampled_downtimes.push_back(
-            sample_incident_costs(config, attacked, model, rng)
-                .downtime_hours);
-      }
-    } else {
-      sampled_downtimes.push_back(expected.downtime_hours);
-    }
+  for (const RealizationCosts& costs : per_realization) {
+    downtime.add(costs.expected.downtime_hours);
+    incorrect.add(costs.expected.incorrect_hours);
+    if (costs.expected.downtime_hours > 0.0) ++with_downtime;
+    sampled_downtimes.insert(sampled_downtimes.end(),
+                             costs.sampled_downtimes.begin(),
+                             costs.sampled_downtimes.end());
   }
 
   result.expected_downtime_hours = downtime.mean();
@@ -166,11 +182,52 @@ RestorationResult analyze_restoration(
           ? 0.0
           : util::exact_quantile(sampled_downtimes, 0.95);
   result.p_any_downtime =
-      realizations.empty()
+      per_realization.empty()
           ? 0.0
           : static_cast<double>(with_downtime) /
-                static_cast<double>(realizations.size());
+                static_cast<double>(per_realization.size());
   return result;
+}
+
+}  // namespace
+
+RestorationResult analyze_restoration(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const RestorationModel& model, std::size_t samples_per_realization,
+    std::uint64_t seed) {
+  const threat::GreedyWorstCaseAttacker attacker;
+  const threat::AttackerCapability capability =
+      threat::capability_for(scenario);
+  const util::Rng base(seed, "restoration");
+
+  std::vector<RealizationCosts> per_realization(realizations.size());
+  for (std::size_t r = 0; r < realizations.size(); ++r) {
+    per_realization[r] =
+        realization_costs(config, attacker, capability, realizations[r], r,
+                          model, samples_per_realization, base);
+  }
+  return fold_costs(config, scenario, per_realization);
+}
+
+RestorationResult analyze_restoration(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const RestorationModel& model, runtime::EnsembleRunner& runtime,
+    std::size_t samples_per_realization, std::uint64_t seed) {
+  const threat::GreedyWorstCaseAttacker attacker;
+  const threat::AttackerCapability capability =
+      threat::capability_for(scenario);
+  const util::Rng base(seed, "restoration");
+
+  std::vector<RealizationCosts> per_realization(realizations.size());
+  runtime.pool().parallel_for_each(
+      realizations.size(), runtime.options().chunk, [&](std::size_t r) {
+        per_realization[r] =
+            realization_costs(config, attacker, capability, realizations[r],
+                              r, model, samples_per_realization, base);
+      });
+  return fold_costs(config, scenario, per_realization);
 }
 
 }  // namespace ct::core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "runtime/ensemble_runner.h"
 #include "scada/configuration.h"
 #include "surge/realization.h"
 #include "threat/scenario.h"
@@ -78,5 +79,15 @@ RestorationResult analyze_restoration(
     const std::vector<surge::HurricaneRealization>& realizations,
     const RestorationModel& model, std::size_t samples_per_realization = 8,
     std::uint64_t seed = 7);
+
+/// Runner-routed variant: per-realization incident costs are computed on
+/// the runtime's work-stealing pool and folded in realization order, so the
+/// result is bit-identical to the serial overload at any --jobs value (the
+/// per-realization RNG is already derived from (seed, realization index)).
+RestorationResult analyze_restoration(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const RestorationModel& model, runtime::EnsembleRunner& runtime,
+    std::size_t samples_per_realization = 8, std::uint64_t seed = 7);
 
 }  // namespace ct::core

@@ -1,0 +1,238 @@
+#include "runtime/ensemble_runner.h"
+
+#include <algorithm>
+
+#include "util/digest.h"
+
+namespace ct::runtime {
+
+namespace {
+
+ResultStoreOptions store_options(const EnsembleOptions& o) {
+  ResultStoreOptions s;
+  s.memory_entries = o.memory_entries;
+  s.disk = o.cache && o.disk_cache;
+  s.disk_dir = o.cache_dir;
+  return s;
+}
+
+void digest_impact(util::Digest& d, const surge::AssetImpact& impact) {
+  d.str(impact.asset_id)
+      .boolean(impact.failed)
+      .f64(impact.inundation_depth_m)
+      .boolean(impact.wind_failed);
+}
+
+void digest_realization(util::Digest& d,
+                        const surge::HurricaneRealization& r) {
+  d.u64(r.index).f64(r.peak_wind_ms).f64(r.max_shoreline_wse_m);
+  d.u64(r.impacts.size());
+  for (const surge::AssetImpact& impact : r.impacts) digest_impact(d, impact);
+}
+
+void digest_configuration(util::Digest& d, const scada::Configuration& c) {
+  d.str(c.name)
+      .i64(static_cast<int>(c.style))
+      .i64(c.intrusion_tolerance_f)
+      .i64(c.proactive_recovery_k)
+      .boolean(c.active_multisite)
+      .i64(c.min_active_sites);
+  d.u64(c.sites.size());
+  for (const scada::ControlSite& s : c.sites) {
+    d.str(s.asset_id)
+        .i64(static_cast<int>(s.role))
+        .i64(s.replicas)
+        .boolean(s.hot);
+  }
+}
+
+// Every knob of the realization pipeline. If you add a field to any of
+// these structs, add it here too — a missed field would let the disk cache
+// return results for the OLD semantics. The probe realization mixed into
+// digest_engine_batch() is defense in depth, not a substitute.
+void digest_realization_config(util::Digest& d,
+                               const surge::RealizationConfig& c) {
+  d.f64(c.mesh.shore_spacing_m)
+      .f64(c.mesh.cross_shore_spacing_m)
+      .f64(c.mesh.offshore_extent_m)
+      .f64(c.mesh.inland_extent_m);
+  d.f64(c.surge.dt_s)
+      .f64(c.surge.wind_setup_scale_m)
+      .f64(c.surge.wind_setup_exponent)
+      .f64(c.surge.wave_setup_per_ms)
+      .f64(c.surge.min_depth_m)
+      .f64(c.surge.max_considered_distance_m)
+      .f64(c.surge.wind_options.surface_wind_factor)
+      .f64(c.surge.wind_options.inflow_angle_deg)
+      .f64(c.surge.wind_options.translation_fraction);
+  d.f64(c.inundation.decay_length_m).f64(c.inundation.failure_threshold_m);
+  const storm::TrackEnsembleConfig& e = c.ensemble;
+  d.f64(e.base_aim.lat_deg)
+      .f64(e.base_aim.lon_deg)
+      .f64(e.base_heading_deg)
+      .f64(e.approach_distance_m)
+      .f64(e.departure_distance_m)
+      .f64(e.forward_speed_ms)
+      .f64(e.forward_speed_jitter_ms)
+      .f64(e.cross_track_sigma_m)
+      .f64(e.heading_sigma_deg)
+      .f64(e.pressure_deficit_pa)
+      .f64(e.pressure_deficit_sigma_pa)
+      .f64(e.rmax_m)
+      .f64(e.rmax_sigma_m)
+      .f64(e.rmax_min_m)
+      .f64(e.rmax_max_m)
+      .f64(e.holland_b)
+      .f64(e.holland_b_sigma)
+      .f64(e.fix_interval_s)
+      .f64(e.ambient_pressure_pa);
+  d.boolean(c.harbor.enabled)
+      .f64(c.harbor.ray_length_m)
+      .f64(c.harbor.ray_step_m)
+      .f64(c.harbor.ray_clearance_m)
+      .f64(c.harbor.amplification);
+  d.boolean(c.fragility.enabled)
+      .f64(c.fragility.substation.median_wind_ms)
+      .f64(c.fragility.substation.beta)
+      .f64(c.fragility.power_plant.median_wind_ms)
+      .f64(c.fragility.power_plant.beta)
+      .f64(c.fragility.scan_dt_s);
+  d.f64(c.smoothing_band_m)
+      .i64(c.smoothing_passes)
+      .i64(c.alongshore_window)
+      .f64(c.sea_level_offset_m)
+      .u64(c.base_seed);
+}
+
+}  // namespace
+
+EnsembleRunner::EnsembleRunner(EnsembleOptions options)
+    : options_(options), pool_(options.jobs),
+      store_(store_options(options_)) {
+  if (options_.chunk == 0) options_.chunk = 1;
+}
+
+EnsembleCounts EnsembleRunner::count_outcomes(const RealizationsFn& realizations,
+                                              const OutcomeFn& outcome,
+                                              const std::string& key) {
+  const bool use_cache = options_.cache && !key.empty();
+  if (use_cache) {
+    if (const auto cached = store_.lookup(key)) {
+      EnsembleCounts hit;
+      hit.counts = cached->counts;
+      hit.total = cached->total;
+      hit.from_cache = true;
+      return hit;
+    }
+  }
+  return count_fresh(realizations(), outcome, use_cache ? key : std::string());
+}
+
+EnsembleCounts EnsembleRunner::count_outcomes(
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const OutcomeFn& outcome, const std::string& key) {
+  const bool use_cache = options_.cache && !key.empty();
+  if (use_cache) {
+    if (const auto cached = store_.lookup(key)) {
+      EnsembleCounts hit;
+      hit.counts = cached->counts;
+      hit.total = cached->total;
+      hit.from_cache = true;
+      return hit;
+    }
+  }
+  return count_fresh(realizations, outcome, use_cache ? key : std::string());
+}
+
+EnsembleCounts EnsembleRunner::count_fresh(
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const OutcomeFn& outcome, const std::string& key) {
+  EnsembleCounts fresh = pool_.map_reduce(
+      realizations.size(), options_.chunk, EnsembleCounts{},
+      [&](std::size_t begin, std::size_t end) {
+        EnsembleCounts partial;
+        for (std::size_t i = begin; i < end; ++i) {
+          const int bucket = outcome(realizations[i]);
+          ++partial.counts[static_cast<std::size_t>(bucket) &
+                           (partial.counts.size() - 1)];
+          ++partial.total;
+        }
+        return partial;
+      },
+      [](EnsembleCounts acc, EnsembleCounts part) {
+        for (std::size_t i = 0; i < acc.counts.size(); ++i) {
+          acc.counts[i] += part.counts[i];
+        }
+        acc.total += part.total;
+        return acc;
+      });
+
+  if (!key.empty()) {
+    CachedCounts record;
+    record.counts = fresh.counts;
+    record.total = fresh.total;
+    store_.store(key, record);
+  }
+  return fresh;
+}
+
+std::vector<surge::HurricaneRealization> EnsembleRunner::generate(
+    const surge::RealizationEngine& engine, std::size_t count) {
+  std::vector<surge::HurricaneRealization> out(count);
+  // Generation chunks are larger than analysis chunks: one realization is
+  // the expensive unit (storm + surge solve), so 1-4 per task suffices.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, options_.chunk / 8);
+  pool_.parallel_for_ranges(count, chunk,
+                            [&](std::size_t begin, std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                out[i] = engine.run(
+                                    static_cast<std::uint64_t>(i));
+                              }
+                            });
+  return out;
+}
+
+std::string EnsembleRunner::job_key(const scada::Configuration& config,
+                                    threat::ThreatScenario scenario,
+                                    std::string_view attacker_tag,
+                                    std::string_view realization_set_digest) {
+  util::Digest d;
+  d.str("ct-job").i64(ResultStore::kFormatVersion);
+  digest_configuration(d, config);
+  d.i64(static_cast<int>(scenario));
+  d.str(attacker_tag);
+  d.str(realization_set_digest);
+  return d.hex();
+}
+
+std::string EnsembleRunner::digest_realizations(
+    const std::vector<surge::HurricaneRealization>& realizations) {
+  util::Digest d;
+  d.str("ct-realization-set").u64(realizations.size());
+  for (const surge::HurricaneRealization& r : realizations) {
+    digest_realization(d, r);
+  }
+  return d.hex();
+}
+
+std::string EnsembleRunner::digest_engine_batch(
+    const surge::RealizationEngine& engine, std::size_t count) {
+  util::Digest d;
+  d.str("ct-engine-batch").u64(count);
+  digest_realization_config(d, engine.config());
+  d.u64(engine.assets().size());
+  for (const surge::ExposedAsset& a : engine.assets()) {
+    d.str(a.id)
+        .f64(a.location.lat_deg)
+        .f64(a.location.lon_deg)
+        .f64(a.ground_elevation_m)
+        .i64(static_cast<int>(a.exposure_class));
+  }
+  // Defense in depth against a RealizationConfig field missing above: the
+  // first realization's full content responds to most knobs.
+  if (count > 0) digest_realization(d, engine.run(0));
+  return d.hex();
+}
+
+}  // namespace ct::runtime

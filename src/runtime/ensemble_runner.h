@@ -1,0 +1,127 @@
+// EnsembleRunner — the shared execution engine every Monte Carlo sweep in
+// the repo routes through (core/pipeline, core/case_study, core/siting,
+// core/restoration, core/chaos, the figure benches, ctctl).
+//
+// It combines the work-stealing TaskPool with the content-addressed
+// ResultStore:
+//
+//  * realization generation is sharded across workers (realization i is a
+//    pure function of (base_seed, i), so scheduling cannot change results);
+//  * outcome counting shards the realization range into fixed chunks and
+//    merges per-chunk histograms in ascending chunk order — bit-identical
+//    to the serial loop at any --jobs value;
+//  * a (topology, configuration, scenario, realization set, attacker)
+//    digest addresses the result cache, so repeated sweeps over the same
+//    inputs — warm `ctctl analyze` reruns, the fig6–fig11 benches sharing
+//    one hurricane ensemble — skip the recomputation entirely.
+//
+// Layering: runtime sits BELOW core (it sees configurations, scenarios and
+// realizations, but not the analysis pipeline); core passes the per-
+// realization outcome as a callable. This keeps the dependency graph
+// acyclic while letting every core module share one pool and one cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/result_store.h"
+#include "runtime/task_pool.h"
+#include "scada/configuration.h"
+#include "surge/realization.h"
+#include "threat/scenario.h"
+
+namespace ct::runtime {
+
+struct EnsembleOptions {
+  /// Worker threads: 0 = hardware concurrency, 1 = strictly serial.
+  unsigned jobs = 0;
+  /// Realizations per task; chunk boundaries are thread-count independent.
+  std::size_t chunk = 16;
+  /// In-memory result cache.
+  bool cache = true;
+  /// On-disk result cache (under cache_dir / CT_CACHE_DIR / ~/.cache/ct).
+  bool disk_cache = false;
+  std::string cache_dir;
+  std::size_t memory_entries = 4096;
+};
+
+/// An outcome histogram as the runtime sees it (core converts to its
+/// OutcomeDistribution).
+struct EnsembleCounts {
+  std::array<std::uint64_t, 4> counts{};
+  std::uint64_t total = 0;
+  bool from_cache = false;
+};
+
+class EnsembleRunner {
+ public:
+  explicit EnsembleRunner(EnsembleOptions options = {});
+
+  /// Classifies one realization into an outcome bucket [0, 4).
+  using OutcomeFn = std::function<int(const surge::HurricaneRealization&)>;
+  /// Lazily materializes a realization set (only called on a cache miss).
+  using RealizationsFn =
+      std::function<const std::vector<surge::HurricaneRealization>&()>;
+
+  /// Counts outcomes over `realizations`, parallel + cached. `key` is the
+  /// content address from job_key(); pass "" to bypass the cache (the
+  /// computation is then unconditionally fresh).
+  EnsembleCounts count_outcomes(
+      const std::vector<surge::HurricaneRealization>& realizations,
+      const OutcomeFn& outcome, const std::string& key);
+
+  /// Lazy variant: a cache hit never calls `realizations` at all — a warm
+  /// rerun skips ensemble generation, not just the analysis.
+  EnsembleCounts count_outcomes(const RealizationsFn& realizations,
+                                const OutcomeFn& outcome,
+                                const std::string& key);
+
+  /// Runs realizations [0, count) across the pool; bit-identical to the
+  /// engine's serial run_batch at any jobs value.
+  std::vector<surge::HurricaneRealization> generate(
+      const surge::RealizationEngine& engine, std::size_t count);
+
+  // --- content addressing -------------------------------------------------
+
+  /// Cache key of one (configuration, scenario, attacker, realization-set)
+  /// evaluation. `realization_set_digest` comes from one of the digest_*
+  /// helpers below; `attacker_tag` names the attack algorithm ("greedy",
+  /// "exhaustive", ...).
+  static std::string job_key(const scada::Configuration& config,
+                             threat::ThreatScenario scenario,
+                             std::string_view attacker_tag,
+                             std::string_view realization_set_digest);
+
+  /// Content digest of a realization set (covers CSV-loaded ensembles and
+  /// any engine output: asset ids, failure flags, depths, winds all mix in,
+  /// so topology moves and SLR offsets change the address automatically).
+  static std::string digest_realizations(
+      const std::vector<surge::HurricaneRealization>& realizations);
+
+  /// Cheap identity digest for an engine-generated set: the engine's knobs
+  /// (seed, SLR offset, smoothing, ensemble shape), the exposed-asset list,
+  /// and the count determine the content, so hashing them is equivalent to
+  /// hashing the output — without generating it first.
+  static std::string digest_engine_batch(const surge::RealizationEngine& engine,
+                                         std::size_t count);
+
+  TaskPool& pool() noexcept { return pool_; }
+  ResultStore& store() noexcept { return store_; }
+  const EnsembleOptions& options() const noexcept { return options_; }
+  ResultStore::Stats cache_stats() const { return store_.stats(); }
+
+ private:
+  /// Parallel recount; stores under `key` unless it is empty.
+  EnsembleCounts count_fresh(
+      const std::vector<surge::HurricaneRealization>& realizations,
+      const OutcomeFn& outcome, const std::string& key);
+
+  EnsembleOptions options_;
+  TaskPool pool_;
+  ResultStore store_;
+};
+
+}  // namespace ct::runtime

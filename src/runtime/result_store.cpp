@@ -1,0 +1,180 @@
+#include "runtime/result_store.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/digest.h"
+#include "util/log.h"
+
+namespace ct::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Checksum line binding a record's payload to its key and version, so a
+/// truncated or hand-edited record can never parse as a hit.
+std::string record_checksum(const std::string& key, const CachedCounts& v) {
+  util::Digest d;
+  d.str("ct-result-record").i64(ResultStore::kFormatVersion).str(key);
+  for (const std::uint64_t c : v.counts) d.u64(c);
+  d.u64(v.total).u64(v.skipped);
+  return d.hex();
+}
+
+bool key_is_safe(const std::string& key) {
+  if (key.empty() || key.size() > 128) return false;
+  for (const char c : key) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;  // keys are digest hex; anything else stays out
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ResultStore::default_cache_dir() {
+  if (const char* env = std::getenv("CT_CACHE_DIR"); env && *env) return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg) {
+    return std::string(xdg) + "/ct";
+  }
+  if (const char* home = std::getenv("HOME"); home && *home) {
+    return std::string(home) + "/.cache/ct";
+  }
+  return {};
+}
+
+ResultStore::ResultStore(ResultStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.memory_entries == 0) options_.memory_entries = 1;
+  if (options_.disk) {
+    disk_dir_ = options_.disk_dir.empty() ? default_cache_dir()
+                                          : options_.disk_dir;
+    if (!disk_dir_.empty()) {
+      std::error_code ec;
+      fs::create_directories(disk_dir_, ec);
+      if (ec) {
+        CT_LOG(kWarn, "runtime") << "result cache: cannot create "
+                                 << disk_dir_ << " (" << ec.message()
+                                 << "); disk layer disabled";
+        disk_dir_.clear();
+      }
+    }
+  }
+}
+
+std::string ResultStore::record_path(const std::string& key) const {
+  // Two-level fan-out keeps directories small at production entry counts.
+  return disk_dir_ + "/" + key.substr(0, 2) + "/" + key + ".ctr";
+}
+
+std::optional<CachedCounts> ResultStore::lookup(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+  }
+  if (disk_dir_.empty() || !key_is_safe(key)) return std::nullopt;
+  const std::optional<CachedCounts> from_disk = read_disk(key);
+  if (!from_disk) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  ++stats_.disk_hits;
+  touch_locked(key, *from_disk);
+  return from_disk;
+}
+
+void ResultStore::store(const std::string& key, const CachedCounts& value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    touch_locked(key, value);
+  }
+  if (!disk_dir_.empty() && key_is_safe(key)) write_disk(key, value);
+}
+
+void ResultStore::touch_locked(const std::string& key,
+                               const CachedCounts& value) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, value});
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.memory_entries) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::optional<CachedCounts> ResultStore::read_disk(const std::string& key) {
+  std::ifstream in(record_path(key));
+  if (!in) return std::nullopt;  // plain miss: never cached here
+
+  const auto corrupt = [this]() -> std::optional<CachedCounts> {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt_discarded;
+    return std::nullopt;
+  };
+
+  std::string magic, file_key, check;
+  int version = -1;
+  CachedCounts v;
+  in >> magic >> version >> file_key;
+  if (!in || magic != "ctresult") return corrupt();
+  if (version != kFormatVersion) return corrupt();  // old format: miss
+  if (file_key != key) return corrupt();            // hash-bucket collision
+  for (std::uint64_t& c : v.counts) in >> c;
+  in >> v.total >> v.skipped >> check;
+  if (!in) return corrupt();  // truncated / non-numeric payload
+  if (check != record_checksum(key, v)) return corrupt();
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : v.counts) sum += c;
+  if (sum != v.total) return corrupt();  // internally inconsistent
+  return v;
+}
+
+void ResultStore::write_disk(const std::string& key,
+                             const CachedCounts& value) {
+  std::error_code ec;
+  const fs::path path = record_path(key);
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) return;
+
+  std::ostringstream record;
+  record << "ctresult " << kFormatVersion << " " << key << "\n";
+  for (const std::uint64_t c : value.counts) record << c << " ";
+  record << "\n" << value.total << " " << value.skipped << "\n"
+         << record_checksum(key, value) << "\n";
+
+  // Write-then-rename so a concurrent reader sees either the old record or
+  // the complete new one (and a crash mid-write leaves only a .tmp).
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << record.str();
+    if (!out.flush()) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+ResultStore::Stats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ct::runtime

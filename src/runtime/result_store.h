@@ -1,0 +1,104 @@
+// Content-addressed result cache for ensemble analyses.
+//
+// A key is the hex digest of everything that determines an
+// OutcomeDistribution — topology, configuration, threat scenario,
+// realization set (seed/count/SLR or CSV content), attacker model — so a
+// hit can only ever return the value the computation would have produced.
+// Two layers:
+//
+//  * in-memory LRU (bounded entries, thread-safe), and
+//  * an optional on-disk layer (one small versioned text record per key,
+//    default ~/.cache/ct/, override with CT_CACHE_DIR or options), shared
+//    across processes so a repeated `ctctl analyze` or bench rerun skips
+//    the whole sweep.
+//
+// Disk records are corruption-tolerant by construction: any anomaly —
+// truncation, garbage, checksum or version or key mismatch — makes the
+// lookup a miss (counted in stats), never an error; the next store()
+// rewrites the record. Bumping kFormatVersion invalidates every old entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ct::runtime {
+
+/// The cached payload: an outcome histogram (green/orange/red/gray counts)
+/// plus the skipped-row count CSV-driven sweeps carry along.
+struct CachedCounts {
+  std::array<std::uint64_t, 4> counts{};
+  std::uint64_t total = 0;
+  std::uint64_t skipped = 0;
+
+  bool operator==(const CachedCounts&) const = default;
+};
+
+struct ResultStoreOptions {
+  /// Max in-memory entries before LRU eviction.
+  std::size_t memory_entries = 4096;
+  /// Enable the on-disk layer.
+  bool disk = false;
+  /// Disk directory; empty picks CT_CACHE_DIR, else ~/.cache/ct.
+  std::string disk_dir;
+};
+
+class ResultStore {
+ public:
+  /// On-disk format version; bump on any change to the record layout OR to
+  /// the digest/key derivation (old entries must not alias new ones).
+  static constexpr int kFormatVersion = 1;
+
+  explicit ResultStore(ResultStoreOptions options = {});
+
+  /// Memory first, then disk (a disk hit is promoted into memory).
+  std::optional<CachedCounts> lookup(const std::string& key);
+  /// Inserts/refreshes both layers (disk write failures are silent: the
+  /// cache is an accelerator, never a correctness dependency).
+  void store(const std::string& key, const CachedCounts& value);
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;         ///< memory + disk
+    std::uint64_t disk_hits = 0;
+    std::uint64_t corrupt_discarded = 0;
+    double hit_rate() const noexcept {
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+  Stats stats() const;
+
+  const ResultStoreOptions& options() const noexcept { return options_; }
+  /// Resolved disk directory ("" when the disk layer is off).
+  const std::string& disk_dir() const noexcept { return disk_dir_; }
+
+  /// CT_CACHE_DIR, else $XDG_CACHE_HOME/ct, else $HOME/.cache/ct, else "".
+  static std::string default_cache_dir();
+
+ private:
+  std::string record_path(const std::string& key) const;
+  std::optional<CachedCounts> read_disk(const std::string& key);
+  void write_disk(const std::string& key, const CachedCounts& value);
+  void touch_locked(const std::string& key, const CachedCounts& value);
+
+  ResultStoreOptions options_;
+  std::string disk_dir_;
+
+  mutable std::mutex mutex_;
+  // LRU: list front = most recent; map points into the list.
+  struct Entry {
+    std::string key;
+    CachedCounts value;
+  };
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace ct::runtime

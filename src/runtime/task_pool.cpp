@@ -1,0 +1,139 @@
+#include "runtime/task_pool.h"
+
+#include <algorithm>
+
+namespace ct::runtime {
+
+namespace {
+/// Sentinel "self" for threads without an own deque (submitters): steal only.
+constexpr std::size_t kNoOwnDeque = static_cast<std::size_t>(-1);
+}  // namespace
+
+TaskPool::TaskPool(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1) return;  // inline pool: no workers, no queues
+  deques_.resize(threads);
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool TaskPool::try_pop(std::size_t self, Task& out) {
+  if (self != kNoOwnDeque && !deques_[self].empty()) {
+    out = deques_[self].back();  // own work LIFO: the freshest, warmest chunk
+    deques_[self].pop_back();
+    return true;
+  }
+  for (std::size_t i = 0; i < deques_.size(); ++i) {
+    if (i == self || deques_[i].empty()) continue;
+    out = deques_[i].front();  // steal FIFO: the oldest, coarsest chunk
+    deques_[i].pop_front();
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::run_task(Task& task) noexcept {
+  std::exception_ptr error;
+  try {
+    (*task.batch->fn)(task.begin, task.end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !task.batch->error) task.batch->error = error;
+    done = --task.batch->remaining == 0;
+  }
+  if (done) done_cv_.notify_all();
+}
+
+void TaskPool::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    Task task;
+    if (try_pop(self, task)) {
+      lock.unlock();
+      run_task(task);
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void TaskPool::parallel_for_ranges(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+
+  if (workers_.empty() || chunks == 1) {
+    // The serial path IS the parallel path at chunk granularity: same
+    // boundaries, same order, exceptions propagate directly.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(c * chunk, std::min(n, (c + 1) * chunk));
+    }
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.remaining = chunks;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    Task task{&batch, c * chunk, std::min(n, (c + 1) * chunk)};
+    if (deques_[next_victim_].size() >= kDequeCapacity) {
+      // Bounded queues: instead of growing, apply backpressure by doing
+      // the work ourselves right now.
+      lock.unlock();
+      run_task(task);
+      lock.lock();
+      continue;
+    }
+    deques_[next_victim_].push_back(task);
+    next_victim_ = (next_victim_ + 1) % deques_.size();
+  }
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // Help until our batch drains: makes nested calls deadlock-free and the
+  // submitter a productive participant rather than a blocked thread.
+  lock.lock();
+  while (batch.remaining > 0) {
+    Task task;
+    if (try_pop(kNoOwnDeque, task)) {
+      lock.unlock();
+      run_task(task);
+      lock.lock();
+    } else {
+      done_cv_.wait(lock);
+    }
+  }
+  const std::exception_ptr error = batch.error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskPool::parallel_for_each(std::size_t n, std::size_t chunk,
+                                 const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(n, chunk, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace ct::runtime

@@ -1,0 +1,108 @@
+// Work-stealing thread pool for the ensemble runtime.
+//
+// Each worker owns a bounded deque; it pops its own tasks LIFO (back) and
+// steals FIFO (front) from victims, so big contiguous realization ranges
+// stay cache-warm on their owner while idle workers take the oldest —
+// coarsest — work. The submitting thread participates too: it executes
+// tasks while waiting for its batch, which both bounds queue growth
+// (backpressure: a full deque makes submit run the task inline) and makes
+// nested parallel_for calls deadlock-free.
+//
+// Determinism contract: parallel_for_ranges partitions [0, n) into fixed
+// chunks independent of the thread count, and map_reduce folds the chunk
+// results in ascending chunk order on the calling thread. A pool with
+// `threads <= 1` executes everything inline in submission order — the
+// serial path is not an approximation, it is literally the same code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ct::runtime {
+
+class TaskPool {
+ public:
+  /// `threads` = worker count; 0 picks std::thread::hardware_concurrency().
+  /// 1 (or a 1-core machine) spawns no workers: all work runs inline.
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Workers actually running (0 for the inline/serial pool).
+  unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  /// Degree of parallelism (workers, but at least 1 — the caller).
+  unsigned parallelism() const noexcept {
+    return worker_count() == 0 ? 1u : worker_count();
+  }
+
+  /// Runs fn(begin, end) over a fixed chunking of [0, n); blocks until all
+  /// chunks completed. Chunk boundaries depend only on (n, chunk), never on
+  /// the thread count. The first exception thrown by any chunk is rethrown
+  /// here (remaining chunks still run to completion).
+  void parallel_for_ranges(std::size_t n, std::size_t chunk,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Element-wise convenience: fn(i) for every i in [0, n).
+  void parallel_for_each(std::size_t n, std::size_t chunk,
+                         const std::function<void(std::size_t)>& fn);
+
+  /// Maps fixed chunks of [0, n) to partial results, then reduces them in
+  /// ascending chunk order on the calling thread — the reduction order (and
+  /// therefore any floating-point result) is identical at every thread
+  /// count, including the inline pool.
+  template <typename T, typename Map, typename Reduce>
+  T map_reduce(std::size_t n, std::size_t chunk, T init, Map&& map,
+               Reduce&& reduce) {
+    if (chunk == 0) chunk = 1;
+    const std::size_t chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+    std::vector<T> partials(chunks);
+    parallel_for_ranges(n, chunk,
+                        [&](std::size_t begin, std::size_t end) {
+                          partials[begin / chunk] = map(begin, end);
+                        });
+    T acc = std::move(init);
+    for (T& p : partials) acc = reduce(std::move(acc), std::move(p));
+    return acc;
+  }
+
+  /// Per-worker deque capacity; past it, submit executes inline (backpressure).
+  static constexpr std::size_t kDequeCapacity = 1024;
+
+ private:
+  /// One in-flight parallel_for_ranges call. Lives on the submitter's stack
+  /// (the call blocks until remaining == 0, so tasks never outlive it).
+  struct Batch {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t remaining = 0;          // guarded by mutex_
+    std::exception_ptr error;           // first failure wins; guarded by mutex_
+  };
+  struct Task {
+    Batch* batch = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  /// Pops a task: own back first (cache warmth), then steals victims' fronts.
+  bool try_pop(std::size_t self, Task& out);
+  void run_task(Task& task) noexcept;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: a task was queued
+  std::condition_variable done_cv_;   // submitters: a batch may be complete
+  std::vector<std::deque<Task>> deques_;
+  std::vector<std::thread> workers_;
+  std::size_t next_victim_ = 0;  // round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace ct::runtime

@@ -1,0 +1,266 @@
+// Determinism and cache-correctness tests for the EnsembleRunner — the
+// acceptance gate of the parallel runtime: at any --jobs value the outcome
+// histograms must be bit-identical to the serial sweep for all five paper
+// configurations x four threat scenarios x multiple seeds, and the cache-
+// hit path must reproduce the cold path exactly (including when the hit
+// comes from disk, across runner instances).
+//
+// CT_TEST_JOBS adds one extra thread count to the matrix (CI runs the
+// suite at 1 and 8).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/case_study.h"
+#include "core/pipeline.h"
+#include "runtime/ensemble_runner.h"
+#include "scada/oahu.h"
+#include "surge/realization.h"
+#include "terrain/oahu.h"
+#include "threat/scenario.h"
+
+namespace ct {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kRealizations = 40;  // small but flood-bearing
+constexpr std::uint64_t kSeeds[] = {20220627, 7, 424242};
+
+std::vector<unsigned> job_counts() {
+  std::vector<unsigned> jobs = {2, 4, 8};
+  if (const char* env = std::getenv("CT_TEST_JOBS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n > 0) jobs.push_back(static_cast<unsigned>(n));
+  }
+  return jobs;
+}
+
+runtime::EnsembleOptions make_options(unsigned jobs, bool cache = false) {
+  runtime::EnsembleOptions options;
+  options.jobs = jobs;
+  options.chunk = 7;  // ragged chunking: exercises the merge order
+  options.cache = cache;
+  return options;
+}
+
+surge::RealizationEngine make_engine(std::uint64_t seed) {
+  surge::RealizationConfig config;
+  config.base_seed = seed;
+  return surge::RealizationEngine(terrain::make_oahu_terrain(),
+                                  scada::oahu_topology().exposed_assets(),
+                                  config);
+}
+
+void expect_same(const core::ScenarioResult& a, const core::ScenarioResult& b,
+                 const std::string& context) {
+  for (const auto s :
+       {threat::OperationalState::kGreen, threat::OperationalState::kOrange,
+        threat::OperationalState::kRed, threat::OperationalState::kGray}) {
+    EXPECT_EQ(a.outcomes.count(s), b.outcomes.count(s)) << context;
+  }
+  EXPECT_EQ(a.outcomes.total(), b.outcomes.total()) << context;
+}
+
+/// The full paper matrix: 5 configurations x 4 scenarios x 3 seeds, every
+/// parallel jobs value against the serial reference.
+TEST(EnsembleDeterminismTest, ParallelMatchesSerialAcrossPaperMatrix) {
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+
+  for (const std::uint64_t seed : kSeeds) {
+    const surge::RealizationEngine engine = make_engine(seed);
+
+    // Serial reference: inline pool, realizations generated one by one.
+    runtime::EnsembleRunner serial(make_options(1));
+    const std::vector<surge::HurricaneRealization> reference =
+        serial.generate(engine, kRealizations);
+
+    for (const unsigned jobs : job_counts()) {
+      runtime::EnsembleRunner parallel(make_options(jobs));
+
+      // Generation itself must be schedule-independent.
+      const std::vector<surge::HurricaneRealization> generated =
+          parallel.generate(engine, kRealizations);
+      ASSERT_EQ(generated.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(generated[i].index, reference[i].index);
+        EXPECT_EQ(generated[i].peak_wind_ms, reference[i].peak_wind_ms);
+        EXPECT_EQ(generated[i].max_shoreline_wse_m,
+                  reference[i].max_shoreline_wse_m);
+      }
+
+      for (const auto& config : configs) {
+        for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+          const core::ScenarioResult want =
+              pipeline.analyze(config, scenario, reference);
+          const core::ScenarioResult got =
+              pipeline.analyze(config, scenario, reference, parallel);
+          expect_same(want, got,
+                      config.name + " / " +
+                          std::string(threat::scenario_name(scenario)) +
+                          " / seed " + std::to_string(seed) + " / jobs " +
+                          std::to_string(jobs));
+        }
+      }
+    }
+  }
+}
+
+/// A cache hit must reproduce the cold result exactly and must be flagged.
+TEST(EnsembleCacheTest, WarmHitIsByteIdenticalToColdPath) {
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+
+  runtime::EnsembleRunner runner(make_options(4, /*cache=*/true));
+  const auto rels = runner.generate(engine, kRealizations);
+  const std::string digest = runtime::EnsembleRunner::digest_realizations(rels);
+
+  for (const auto& config : configs) {
+    for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+      const core::ScenarioResult cold =
+          pipeline.analyze(config, scenario, rels, runner, digest);
+      const core::ScenarioResult warm =
+          pipeline.analyze(config, scenario, rels, runner, digest);
+      EXPECT_FALSE(cold.from_cache);
+      EXPECT_TRUE(warm.from_cache) << config.name;
+      expect_same(cold, warm, config.name);
+    }
+  }
+  const auto stats = runner.cache_stats();
+  EXPECT_EQ(stats.hits, configs.size() * threat::all_scenarios().size());
+}
+
+/// On a hit the lazy path must not materialize the ensemble at all.
+TEST(EnsembleCacheTest, LazyProviderSkippedOnHit) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  runtime::EnsembleRunner runner(make_options(2, /*cache=*/true));
+  const auto rels = runner.generate(engine, kRealizations);
+
+  int provider_calls = 0;
+  const runtime::EnsembleRunner::RealizationsFn provide =
+      [&]() -> const std::vector<surge::HurricaneRealization>& {
+    ++provider_calls;
+    return rels;
+  };
+  const runtime::EnsembleRunner::OutcomeFn outcome =
+      [](const surge::HurricaneRealization& r) {
+        return r.impacts.empty() ? 0 : 1;
+      };
+  const std::string key = "ab12cd34ab12cd34ab12cd34ab12cd34";
+
+  const auto cold = runner.count_outcomes(provide, outcome, key);
+  EXPECT_EQ(provider_calls, 1);
+  EXPECT_FALSE(cold.from_cache);
+
+  const auto warm = runner.count_outcomes(provide, outcome, key);
+  EXPECT_EQ(provider_calls, 1) << "hit must not materialize the ensemble";
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.counts, cold.counts);
+  EXPECT_EQ(warm.total, cold.total);
+}
+
+/// Disk cache: a second runner (fresh memory) in the same cache dir gets
+/// the result without recomputing — the cross-process warm-rerun story.
+TEST(EnsembleCacheTest, DiskCacheSharedAcrossRunnerInstances) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ct_ensemble_disk";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const core::AnalysisPipeline pipeline;
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  const auto scenario = threat::ThreatScenario::kHurricaneIntrusionIsolation;
+
+  runtime::EnsembleOptions options = make_options(2, /*cache=*/true);
+  options.disk_cache = true;
+  options.cache_dir = dir.string();
+
+  core::ScenarioResult cold;
+  {
+    runtime::EnsembleRunner writer(options);
+    const auto rels = writer.generate(engine, kRealizations);
+    cold = pipeline.analyze(configs[0], scenario, rels, writer,
+                            runtime::EnsembleRunner::digest_realizations(rels));
+    EXPECT_FALSE(cold.from_cache);
+  }
+
+  runtime::EnsembleRunner reader(options);
+  const auto rels = reader.generate(engine, kRealizations);
+  const core::ScenarioResult warm =
+      pipeline.analyze(configs[0], scenario, rels, reader,
+                       runtime::EnsembleRunner::digest_realizations(rels));
+  EXPECT_TRUE(warm.from_cache);
+  expect_same(cold, warm, "disk round-trip");
+  EXPECT_EQ(reader.cache_stats().disk_hits, 1u);
+
+  fs::remove_all(dir);
+}
+
+/// The cheap engine-batch digest must identify the ensemble: same knobs ->
+/// same key, any knob change (seed, SLR, count) -> different key, and it
+/// must agree with itself without generating the batch.
+TEST(EnsembleCacheTest, EngineBatchDigestTracksKnobs) {
+  const auto base = runtime::EnsembleRunner::digest_engine_batch(
+      make_engine(kSeeds[0]), kRealizations);
+  EXPECT_EQ(base, runtime::EnsembleRunner::digest_engine_batch(
+                      make_engine(kSeeds[0]), kRealizations));
+  EXPECT_NE(base, runtime::EnsembleRunner::digest_engine_batch(
+                      make_engine(kSeeds[1]), kRealizations));
+  EXPECT_NE(base, runtime::EnsembleRunner::digest_engine_batch(
+                      make_engine(kSeeds[0]), kRealizations + 1));
+
+  surge::RealizationConfig slr;
+  slr.base_seed = kSeeds[0];
+  slr.sea_level_offset_m = 0.5;
+  const surge::RealizationEngine slr_engine(
+      terrain::make_oahu_terrain(), scada::oahu_topology().exposed_assets(),
+      slr);
+  EXPECT_NE(base, runtime::EnsembleRunner::digest_engine_batch(slr_engine,
+                                                               kRealizations));
+}
+
+/// End-to-end through the CaseStudyRunner facade: run_configs at several
+/// jobs values matches the serial runner, and a repeated run() is served
+/// from the cache.
+TEST(EnsembleCaseStudyTest, RunnerFacadeDeterministicAndCached) {
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const auto scenario = threat::ThreatScenario::kHurricaneIntrusion;
+
+  core::CaseStudyOptions serial_options;
+  serial_options.realizations = kRealizations;
+  serial_options.runtime = make_options(1);
+  core::CaseStudyRunner serial = core::make_oahu_case_study(serial_options);
+  const auto want = serial.run_configs(configs, scenario);
+
+  for (const unsigned jobs : job_counts()) {
+    core::CaseStudyOptions options;
+    options.realizations = kRealizations;
+    options.runtime = make_options(jobs, /*cache=*/true);
+    core::CaseStudyRunner runner = core::make_oahu_case_study(options);
+    const auto got = runner.run_configs(configs, scenario);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_same(want[i], got[i],
+                  configs[i].name + " jobs " + std::to_string(jobs));
+    }
+    const auto again = runner.run(configs[0], scenario);
+    EXPECT_TRUE(again.from_cache);
+    expect_same(want[0], again, "cached rerun");
+  }
+}
+
+}  // namespace
+}  // namespace ct

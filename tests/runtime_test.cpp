@@ -1,0 +1,366 @@
+// Unit tests for the ensemble runtime's building blocks: the work-stealing
+// TaskPool (coverage + determinism + exception propagation), the typed
+// content digest, and the two-layer ResultStore (LRU, disk round-trip,
+// corruption tolerance, version invalidation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/result_store.h"
+#include "runtime/task_pool.h"
+#include "util/digest.h"
+
+namespace ct {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- TaskPool ---------------------------------------------------------------
+
+TEST(TaskPoolTest, EveryIndexRunsExactlyOnce) {
+  for (const unsigned jobs : {0u, 1u, 4u, 8u}) {
+    runtime::TaskPool pool(jobs);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> seen(kN);
+    pool.parallel_for_each(kN, 7, [&](std::size_t i) { seen[i]++; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(TaskPoolTest, InlinePoolSpawnsNoWorkers) {
+  runtime::TaskPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.parallelism(), 1u);
+}
+
+TEST(TaskPoolTest, HandlesEmptyAndOversizedChunks) {
+  runtime::TaskPool pool(4);
+  int calls = 0;
+  pool.parallel_for_each(0, 16, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<int> count{0};
+  pool.parallel_for_each(5, 1000, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 5);
+
+  // chunk == 0 must not divide by zero; it is treated as 1.
+  count = 0;
+  pool.parallel_for_ranges(3, 0, [&](std::size_t b, std::size_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+/// The floating-point reduction must be bit-identical at every thread
+/// count: chunk boundaries and fold order depend only on (n, chunk).
+TEST(TaskPoolTest, MapReduceBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kN = 10007;  // prime: ragged final chunk
+  const auto run = [&](unsigned jobs) {
+    runtime::TaskPool pool(jobs);
+    return pool.map_reduce(
+        kN, 13, 0.0,
+        [](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            s += 1.0 / (1.0 + static_cast<double>(i) * 0.1);
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = run(1);
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    const double parallel = run(jobs);
+    EXPECT_EQ(serial, parallel) << "jobs " << jobs;  // exact, not NEAR
+  }
+}
+
+TEST(TaskPoolTest, FirstExceptionPropagatesAndPoolSurvives) {
+  runtime::TaskPool pool(4);
+  EXPECT_THROW(pool.parallel_for_each(100, 3,
+                                      [&](std::size_t i) {
+                                        if (i == 37) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                      }),
+               std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for_each(50, 4, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskPoolTest, NestedParallelForDoesNotDeadlock) {
+  runtime::TaskPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_each(4, 1, [&](std::size_t) {
+    pool.parallel_for_each(25, 4, [&](std::size_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 100);
+}
+
+TEST(TaskPoolTest, SubmissionBeyondDequeCapacityCompletes) {
+  runtime::TaskPool pool(2);
+  const std::size_t n = runtime::TaskPool::kDequeCapacity * 4;
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for_each(n, 1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), n);
+}
+
+// --- Digest -----------------------------------------------------------------
+
+TEST(DigestTest, StableAndHexFormatted) {
+  util::Digest a;
+  a.str("hello").u64(42);
+  util::Digest b;
+  b.str("hello").u64(42);
+  EXPECT_EQ(a.hex(), b.hex());
+  EXPECT_EQ(a.hex().size(), 32u);
+  for (const char c : a.hex()) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+/// Length-prefixed typed framing: concatenation and type confusion must not
+/// collide.
+TEST(DigestTest, FramingDisambiguates) {
+  util::Digest ab_c;
+  ab_c.str("ab").str("c");
+  util::Digest a_bc;
+  a_bc.str("a").str("bc");
+  EXPECT_NE(ab_c.hex(), a_bc.hex());
+
+  util::Digest as_u64;
+  as_u64.u64(7);
+  util::Digest as_i64;
+  as_i64.i64(7);
+  util::Digest as_f64;
+  as_f64.f64(7.0);
+  EXPECT_NE(as_u64.hex(), as_i64.hex());
+  EXPECT_NE(as_u64.hex(), as_f64.hex());
+  EXPECT_NE(as_i64.hex(), as_f64.hex());
+
+  util::Digest empty1;
+  util::Digest with_empty;
+  with_empty.str("");
+  EXPECT_NE(empty1.hex(), with_empty.hex());
+}
+
+TEST(DigestTest, SensitiveToEveryInput) {
+  util::Digest base;
+  base.str("topology").u64(1000).f64(0.0).boolean(true);
+  util::Digest flipped;
+  flipped.str("topology").u64(1000).f64(0.0).boolean(false);
+  EXPECT_NE(base.hex(), flipped.hex());
+}
+
+// --- ResultStore ------------------------------------------------------------
+
+runtime::CachedCounts sample_counts() {
+  runtime::CachedCounts c;
+  c.counts = {700, 150, 100, 50};
+  c.total = 1000;
+  c.skipped = 2;
+  return c;
+}
+
+std::string test_key(char fill = 'a') { return std::string(32, fill); }
+
+TEST(ResultStoreTest, MemoryRoundTripAndStats) {
+  runtime::ResultStore store;
+  EXPECT_FALSE(store.lookup(test_key()).has_value());
+  store.store(test_key(), sample_counts());
+  const auto hit = store.lookup(test_key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, sample_counts());
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ResultStoreTest, LruEvictsOldestEntry) {
+  runtime::ResultStoreOptions options;
+  options.memory_entries = 2;
+  runtime::ResultStore store(options);
+  store.store(test_key('a'), sample_counts());
+  store.store(test_key('b'), sample_counts());
+  // Touch 'a' so 'b' becomes the eviction victim.
+  EXPECT_TRUE(store.lookup(test_key('a')).has_value());
+  store.store(test_key('c'), sample_counts());
+  EXPECT_TRUE(store.lookup(test_key('a')).has_value());
+  EXPECT_FALSE(store.lookup(test_key('b')).has_value());
+  EXPECT_TRUE(store.lookup(test_key('c')).has_value());
+}
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("ct_store_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    options_.disk = true;
+    options_.disk_dir = dir_.string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Path of the single record under the cache dir (the record naming
+  /// scheme is an implementation detail; tests find it by extension).
+  fs::path record_path() {
+    for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+      if (entry.is_regular_file()) return entry.path();
+    }
+    return {};
+  }
+
+  fs::path dir_;
+  runtime::ResultStoreOptions options_;
+};
+
+TEST_F(DiskStoreTest, SharedAcrossInstances) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key(), sample_counts());
+  }
+  runtime::ResultStore reader(options_);
+  const auto hit = reader.lookup(test_key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, sample_counts());
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  // A disk hit is promoted to memory: the second lookup is a memory hit.
+  EXPECT_TRUE(reader.lookup(test_key()).has_value());
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().hits, 2u);
+}
+
+TEST_F(DiskStoreTest, TruncatedRecordIsMissThenRewritten) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key(), sample_counts());
+  }
+  const fs::path record = record_path();
+  ASSERT_FALSE(record.empty());
+  fs::resize_file(record, fs::file_size(record) / 2);
+
+  runtime::ResultStore store(options_);
+  EXPECT_FALSE(store.lookup(test_key()).has_value());
+  EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+
+  // The next store() heals the record for future processes.
+  store.store(test_key(), sample_counts());
+  runtime::ResultStore reader(options_);
+  EXPECT_TRUE(reader.lookup(test_key()).has_value());
+}
+
+TEST_F(DiskStoreTest, GarbageRecordIsMissNeverCrash) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key(), sample_counts());
+  }
+  {
+    std::ofstream out(record_path(), std::ios::trunc | std::ios::binary);
+    out << "\x00\xff not a record at all \x7f garbage\nmore\n";
+  }
+  runtime::ResultStore store(options_);
+  EXPECT_FALSE(store.lookup(test_key()).has_value());
+  EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+}
+
+TEST_F(DiskStoreTest, TamperedVersionInvalidatesRecord) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key(), sample_counts());
+  }
+  // Rewrite the header's version field: a record written by any other
+  // format version must read as a miss (the checksum binds the version, so
+  // old-format records can never alias new-format ones).
+  const fs::path record = record_path();
+  std::stringstream contents;
+  contents << std::ifstream(record).rdbuf();
+  std::string text = contents.str();
+  const std::string needle = "ctresult 1";
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "ctresult 0");
+  std::ofstream(record, std::ios::trunc) << text;
+
+  runtime::ResultStore store(options_);
+  EXPECT_FALSE(store.lookup(test_key()).has_value());
+  EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+}
+
+TEST_F(DiskStoreTest, RecordUnderWrongKeyIsMiss) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key('a'), sample_counts());
+  }
+  // Simulate key collision/rename corruption: serve key-a's record when
+  // key-b is asked for. The embedded key must reject it.
+  runtime::ResultStore probe(options_);
+  probe.store(test_key('b'), sample_counts());
+  fs::path a_path, b_path;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.find(test_key('a')) != std::string::npos) a_path = entry.path();
+    if (name.find(test_key('b')) != std::string::npos) b_path = entry.path();
+  }
+  ASSERT_FALSE(a_path.empty());
+  ASSERT_FALSE(b_path.empty());
+  fs::copy_file(a_path, b_path, fs::copy_options::overwrite_existing);
+
+  runtime::ResultStore store(options_);
+  EXPECT_FALSE(store.lookup(test_key('b')).has_value());
+  EXPECT_EQ(store.stats().corrupt_discarded, 1u);
+}
+
+TEST_F(DiskStoreTest, HostileKeysNeverTouchDisk) {
+  runtime::ResultStore store(options_);
+  // Keys are produced by our own digest (lowercase hex), but the store
+  // must not turn anything else into a path traversal.
+  for (const std::string& key :
+       {std::string("../../etc/passwd"), std::string("UPPER"),
+        std::string(200, 'a'), std::string("")}) {
+    store.store(key, sample_counts());
+    // In-memory layer may still serve it; disk must hold only safe names.
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().stem().string();
+    EXPECT_LE(name.size(), 128u);
+    for (const char c : name) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+          << "unexpected on-disk record name: " << name;
+    }
+  }
+}
+
+TEST(ResultStoreDirTest, UnusableDiskDirDegradesToMemory) {
+  // A regular file where the cache dir should be: every disk operation
+  // fails (even for root), and the store must shrug it off.
+  const fs::path blocker = fs::path(::testing::TempDir()) / "ct_store_blocker";
+  std::ofstream(blocker) << "not a directory";
+  runtime::ResultStoreOptions options;
+  options.disk = true;
+  options.disk_dir = (blocker / "sub").string();
+  runtime::ResultStore store(options);
+  store.store(test_key(), sample_counts());  // disk write silently fails
+  EXPECT_TRUE(store.lookup(test_key()).has_value());
+  fs::remove(blocker);
+}
+
+}  // namespace
+}  // namespace ct
