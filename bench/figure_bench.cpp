@@ -49,13 +49,27 @@ std::string record_json(const RuntimeBenchRecord& r) {
   return out.str();
 }
 
-}  // namespace
+std::string record_json(const SurgeBenchRecord& r) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out << '"' << r.name << "\": {"
+      << "\"realizations\": " << r.realizations << std::setprecision(4)
+      << ", \"reference_ms\": " << r.reference_ms
+      << ", \"fast_ms\": " << r.fast_ms
+      << ", \"smoothing_ms\": " << r.smoothing_ms
+      << ", \"asset_bind_ms\": " << r.asset_bind_ms << std::setprecision(3)
+      << ", \"speedup\": " << r.speedup()
+      << ", \"active_nodes\": " << r.active_nodes
+      << ", \"mesh_nodes\": " << r.mesh_nodes
+      << ", \"identical\": " << (r.identical ? "true" : "false") << '}';
+  return out.str();
+}
 
-void write_runtime_bench_record(const RuntimeBenchRecord& record,
-                                const std::string& path) {
-  // The file is a JSON object with one record per line so every bench
-  // binary can update its own row with a line-level merge — no JSON parser
-  // needed, and `jq` still reads the whole file.
+// The bench files are JSON objects with one record per line so every bench
+// binary can update its own row with a line-level merge — no JSON parser
+// needed, and `jq` still reads the whole file.
+void merge_record_line(const std::string& path, const std::string& name,
+                       const std::string& json) {
   std::vector<std::pair<std::string, std::string>> rows;
   {
     std::ifstream in(path);
@@ -67,12 +81,12 @@ void write_runtime_bench_record(const RuntimeBenchRecord& record,
       if (body.size() < 2 || body.front() != '"') continue;  // not a record
       const std::size_t name_end = body.find('"', 1);
       if (name_end == std::string::npos) continue;
-      const std::string name = body.substr(1, name_end - 1);
-      if (name == record.name) continue;  // superseded by the new record
-      rows.emplace_back(name, std::move(body));
+      const std::string row_name = body.substr(1, name_end - 1);
+      if (row_name == name) continue;  // superseded by the new record
+      rows.emplace_back(row_name, std::move(body));
     }
   }
-  rows.emplace_back(record.name, record_json(record));
+  rows.emplace_back(name, json);
 
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -84,6 +98,18 @@ void write_runtime_bench_record(const RuntimeBenchRecord& record,
     out << rows[i].second << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "}\n";
+}
+
+}  // namespace
+
+void write_runtime_bench_record(const RuntimeBenchRecord& record,
+                                const std::string& path) {
+  merge_record_line(path, record.name, record_json(record));
+}
+
+void write_surge_bench_record(const SurgeBenchRecord& record,
+                              const std::string& path) {
+  merge_record_line(path, record.name, record_json(record));
 }
 
 namespace {

@@ -82,7 +82,14 @@ std::size_t GridIndex::nearest(Vec2 query) const noexcept {
 
 std::vector<std::size_t> GridIndex::within(Vec2 query, double radius) const {
   std::vector<std::size_t> out;
-  if (points_.empty() || radius < 0.0) return out;
+  within(query, radius, out);
+  return out;
+}
+
+void GridIndex::within(Vec2 query, double radius,
+                       std::vector<std::size_t>& out) const {
+  out.clear();
+  if (points_.empty() || radius < 0.0) return;
   std::ptrdiff_t lo_x = 0;
   std::ptrdiff_t lo_y = 0;
   std::ptrdiff_t hi_x = 0;
@@ -98,7 +105,6 @@ std::vector<std::size_t> GridIndex::within(Vec2 query, double radius) const {
       }
     }
   }
-  return out;
 }
 
 }  // namespace ct::geo

@@ -2,6 +2,12 @@
 // the coarse ADCIRC output ("we averaged the water surface elevations near
 // the shoreline, and then extended the water surface elevation onto the
 // shoreline"), plus general helpers.
+//
+// Two forms exist: the original allocating, predicate-driven functions
+// (kept as the reference path and for one-off callers), and in-place
+// double-buffered kernels over precomputed node lists (ShorelinePlan) that
+// the realization hot path runs — no per-pass allocation, no std::function
+// in the inner loop, bit-identical results.
 #pragma once
 
 #include <functional>
@@ -17,6 +23,29 @@ namespace ct::mesh {
 NodeField smooth_pass(const TriMesh& mesh, const NodeField& field,
                       const std::function<bool(NodeId)>& affected);
 
+/// In-place kernel form: writes the smoothed values of the nodes in
+/// `affected` into `out` (first assigned from `in`, reusing its capacity).
+/// Averages read `in`, so `out` must be a distinct buffer. Bit-identical to
+/// the predicate form with an equivalent affected set.
+void smooth_pass(const TriMesh& mesh, const NodeField& in, NodeField& out,
+                 const std::vector<NodeId>& affected);
+
+/// Precomputed shoreline fix-up: the node sets the paper's averaging and
+/// extension steps touch, resolved once per mesh instead of per realization.
+struct ShorelinePlan {
+  /// Nodes inside the smoothing band (|cross-shore offset| <= band).
+  std::vector<NodeId> band_nodes;
+  /// Onshore nodes (offset > 0) that receive their station's shore value.
+  std::vector<NodeId> extend_targets;
+  /// The shoreline node whose value each extend target copies.
+  std::vector<NodeId> extend_sources;
+  int passes = 0;
+};
+
+/// Resolves the plan for `band_m` / `passes` (throws when passes < 0).
+ShorelinePlan make_shoreline_plan(const CoastalMesh& cm, double band_m,
+                                  int passes);
+
 /// The paper's shoreline fix-up on a coarse mesh, two steps:
 ///  1. AVERAGE: `passes` neighbor-averaging passes over nodes within
 ///     `band_m` of the shoreline (|cross-shore offset| <= band_m), removing
@@ -29,6 +58,13 @@ NodeField shoreline_average_and_extend(const CoastalMesh& cm,
                                        const NodeField& wse, double band_m,
                                        int passes);
 
+/// In-place plan form: applies the fix-up to `field` using `scratch` as the
+/// double buffer. Allocation-free once both buffers have mesh capacity;
+/// bit-identical to the allocating form with the same band/passes.
+void shoreline_average_and_extend(const CoastalMesh& cm,
+                                  const ShorelinePlan& plan, NodeField& field,
+                                  NodeField& scratch);
+
 /// Min/max over a field (field must be non-empty).
 double field_min(const NodeField& field);
 double field_max(const NodeField& field);
@@ -36,5 +72,9 @@ double field_max(const NodeField& field);
 /// Per-station shoreline value: field sampled at each station's shore node.
 std::vector<double> shoreline_values(const CoastalMesh& cm,
                                      const NodeField& field);
+
+/// Allocation-free variant writing into `out` (resized to station count).
+void shoreline_values(const CoastalMesh& cm, const NodeField& field,
+                      std::vector<double>& out);
 
 }  // namespace ct::mesh

@@ -9,11 +9,14 @@ namespace ct::mesh {
 TriMesh::TriMesh(std::vector<Node> nodes, std::vector<Element> elements)
     : nodes_(std::move(nodes)), elements_(std::move(elements)) {
   if (nodes_.empty()) throw std::invalid_argument("TriMesh: no nodes");
-  adjacency_.resize(nodes_.size());
-  node_elements_.resize(nodes_.size());
+
+  // Gather per-node lists first (preserving first-seen order), then flatten
+  // into CSR so the hot kernels iterate flat contiguous arrays.
+  std::vector<std::vector<NodeId>> adjacency(nodes_.size());
+  std::vector<std::vector<ElementId>> node_elements(nodes_.size());
 
   const auto add_edge = [&](NodeId a, NodeId b) {
-    auto& adj = adjacency_[a];
+    auto& adj = adjacency[a];
     if (std::find(adj.begin(), adj.end(), b) == adj.end()) adj.push_back(b);
   };
 
@@ -23,7 +26,7 @@ TriMesh::TriMesh(std::vector<Node> nodes, std::vector<Element> elements)
       if (n >= nodes_.size()) {
         throw std::out_of_range("TriMesh: element references missing node");
       }
-      node_elements_[n].push_back(e);
+      node_elements[n].push_back(e);
     }
     add_edge(el.nodes[0], el.nodes[1]);
     add_edge(el.nodes[1], el.nodes[0]);
@@ -32,6 +35,22 @@ TriMesh::TriMesh(std::vector<Node> nodes, std::vector<Element> elements)
     add_edge(el.nodes[2], el.nodes[0]);
     add_edge(el.nodes[0], el.nodes[2]);
   }
+
+  const auto flatten = [&](const auto& lists, auto& offsets, auto& flat) {
+    offsets.assign(nodes_.size() + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t n = 0; n < lists.size(); ++n) {
+      offsets[n] = static_cast<std::uint32_t>(total);
+      total += lists[n].size();
+    }
+    offsets[nodes_.size()] = static_cast<std::uint32_t>(total);
+    flat.reserve(total);
+    for (const auto& list : lists) {
+      flat.insert(flat.end(), list.begin(), list.end());
+    }
+  };
+  flatten(adjacency, adj_offsets_, adjacency_);
+  flatten(node_elements, elem_offsets_, node_elements_);
 
   std::vector<geo::Vec2> positions;
   positions.reserve(nodes_.size());
@@ -44,6 +63,12 @@ TriMesh::TriMesh(std::vector<Node> nodes, std::vector<Element> elements)
   const double cell =
       std::max(1.0, std::sqrt(area / static_cast<double>(nodes_.size())));
   index_ = std::make_unique<geo::GridIndex>(positions, cell);
+}
+
+void TriMesh::check_node(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("TriMesh: node id out of range");
+  }
 }
 
 NodeId TriMesh::nearest_node(geo::Vec2 p) const noexcept {
@@ -82,11 +107,11 @@ std::optional<Barycentric> TriMesh::locate(geo::Vec2 p) const noexcept {
     return std::nullopt;
   };
 
-  for (const ElementId e : node_elements_[seed]) {
+  for (const ElementId e : node_elements(seed)) {
     if (auto hit = try_element(e)) return hit;
   }
-  for (const NodeId n : adjacency_[seed]) {
-    for (const ElementId e : node_elements_[n]) {
+  for (const NodeId n : neighbors(seed)) {
+    for (const ElementId e : node_elements(n)) {
       if (auto hit = try_element(e)) return hit;
     }
   }

@@ -46,6 +46,26 @@ struct Barycentric {
   std::array<double, 3> weights{};
 };
 
+/// Contiguous read-only view over one CSR row (a node's neighbor or
+/// incident-element list). Cheap to copy; valid while the mesh lives.
+template <typename T>
+class CsrRow {
+ public:
+  constexpr CsrRow(const T* begin, const T* end) noexcept
+      : begin_(begin), end_(end) {}
+  const T* begin() const noexcept { return begin_; }
+  const T* end() const noexcept { return end_; }
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(end_ - begin_);
+  }
+  bool empty() const noexcept { return begin_ == end_; }
+  T operator[](std::size_t i) const noexcept { return begin_[i]; }
+
+ private:
+  const T* begin_;
+  const T* end_;
+};
+
 class TriMesh {
  public:
   TriMesh(std::vector<Node> nodes, std::vector<Element> elements);
@@ -58,9 +78,20 @@ class TriMesh {
   const Node& node(NodeId id) const { return nodes_.at(id); }
   const Element& element(ElementId id) const { return elements_.at(id); }
 
-  /// Node ids adjacent to `id` (sharing an element edge).
-  const std::vector<NodeId>& neighbors(NodeId id) const {
-    return adjacency_.at(id);
+  /// Node ids adjacent to `id` (sharing an element edge). CSR row over a
+  /// flat array: iterating neighbors in the smoothing kernels touches
+  /// contiguous memory instead of chasing per-node heap vectors.
+  CsrRow<NodeId> neighbors(NodeId id) const {
+    check_node(id);
+    return {adjacency_.data() + adj_offsets_[id],
+            adjacency_.data() + adj_offsets_[id + 1]};
+  }
+
+  /// Element ids incident to node `id` (CSR row).
+  CsrRow<ElementId> node_elements(NodeId id) const {
+    check_node(id);
+    return {node_elements_.data() + elem_offsets_[id],
+            node_elements_.data() + elem_offsets_[id + 1]};
   }
 
   /// Nearest mesh node to a planar point.
@@ -82,10 +113,17 @@ class TriMesh {
   double total_area() const noexcept;
 
  private:
+  void check_node(NodeId id) const;
+
   std::vector<Node> nodes_;
   std::vector<Element> elements_;
-  std::vector<std::vector<NodeId>> adjacency_;
-  std::vector<std::vector<ElementId>> node_elements_;
+  // CSR adjacency: neighbors of node n live in
+  // adjacency_[adj_offsets_[n] .. adj_offsets_[n+1]), insertion-ordered
+  // (first-seen element order, matching the historical per-node vectors).
+  std::vector<std::uint32_t> adj_offsets_;
+  std::vector<NodeId> adjacency_;
+  std::vector<std::uint32_t> elem_offsets_;
+  std::vector<ElementId> node_elements_;
   std::unique_ptr<geo::GridIndex> index_;
 };
 

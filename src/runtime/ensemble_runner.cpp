@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "terrain/terrain.h"
 #include "util/digest.h"
 
 namespace ct::runtime {
@@ -221,6 +222,11 @@ std::string EnsembleRunner::digest_engine_batch(
   util::Digest d;
   d.str("ct-engine-batch").u64(count);
   digest_realization_config(d, engine.config());
+  // The config alone does not identify the inputs: two engines with equal
+  // configs but different terrains (or different mesh-derived precompute)
+  // must never share cached results.
+  terrain::digest_terrain(engine.terrain(), d);
+  engine.bindings().digest_into(d);
   d.u64(engine.assets().size());
   for (const surge::ExposedAsset& a : engine.assets()) {
     d.str(a.id)

@@ -64,4 +64,39 @@ class HollandWindField {
   Options opts_;
 };
 
+/// Per-time-step evaluator: freezes one (params, center, translation)
+/// snapshot and hoists everything constant across sample points out of the
+/// per-node loop (pressure deficit, Coriolis magnitude, inflow-angle
+/// sin/cos, the eyewall wind used for the asymmetry weight). Sampling is
+/// arithmetically identical to HollandWindField::sample — the per-node
+/// operation sequence on varying inputs is unchanged, so results are
+/// bit-equal — but costs one pow/exp and no trig per node instead of
+/// several of each.
+class StormStepKernel {
+ public:
+  StormStepKernel(const WindFieldOptions& opts, const VortexParams& params,
+                  geo::Vec2 center, geo::Vec2 translation_ms) noexcept;
+
+  /// Wind and pressure at `point`; bit-equal to
+  /// HollandWindField{opts}.sample(params, center, translation_ms, point).
+  WindSample sample(geo::Vec2 point) const noexcept;
+
+  /// Eyewall gradient wind V(Rmax) for this snapshot (m/s).
+  double vmax_ms() const noexcept { return vmax_; }
+
+ private:
+  geo::Vec2 center_;
+  geo::Vec2 translation_ms_;
+  double central_pressure_pa_;
+  double rmax_m_;
+  double holland_b_;
+  double dp_;            // max(0, ambient - central)
+  double bdp_;           // B * dp / rho_air
+  double f_;             // |Coriolis parameter|
+  double cos_a_, sin_a_; // inflow angle
+  double vmax_;          // V(Rmax)
+  double surface_factor_;
+  double translation_fraction_;
+};
+
 }  // namespace ct::storm

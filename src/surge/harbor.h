@@ -43,9 +43,17 @@ std::vector<bool> sheltered_stations(const mesh::CoastalMesh& cm,
 
 /// For each sheltered station, the index of the nearest exposed station
 /// (by euclidean distance). Identity for exposed stations and when every
-/// station is sheltered.
+/// station is sheltered. Uses a grid index with an expanding-radius query;
+/// guaranteed to return the same map as harbor_source_map_reference
+/// (candidate radii are inflated past any floating-point rounding of the
+/// distance, then ties resolve to the lowest station index, which is what
+/// the reference scan's strict `<` picks).
 std::vector<std::size_t> harbor_source_map(const mesh::CoastalMesh& cm,
                                            const std::vector<bool>& sheltered);
+
+/// Reference O(stations^2) scan the indexed version is tested against.
+std::vector<std::size_t> harbor_source_map_reference(
+    const mesh::CoastalMesh& cm, const std::vector<bool>& sheltered);
 
 /// Applies the transfer in place: sheltered stations get
 /// `amplification * wse[source]`.
@@ -53,6 +61,15 @@ void apply_harbor_transfer(std::vector<double>& shore_wse,
                            const std::vector<bool>& sheltered,
                            const std::vector<std::size_t>& source_map,
                            double amplification);
+
+/// Allocation-free variant: `snapshot` supplies the pre-transfer copy the
+/// in-place rule reads from (reused across realizations by the engine
+/// scratch). Bit-identical to the two-argument form.
+void apply_harbor_transfer(std::vector<double>& shore_wse,
+                           const std::vector<bool>& sheltered,
+                           const std::vector<std::size_t>& source_map,
+                           double amplification,
+                           std::vector<double>& snapshot);
 
 /// Along-shore moving average over EXPOSED stations (paper §V-A: "we
 /// averaged the water surface elevations near the shoreline"). Each
@@ -62,5 +79,11 @@ void apply_harbor_transfer(std::vector<double>& shore_wse,
 /// apply_harbor_transfer so harbors inherit the averaged open-coast level.
 void alongshore_average(std::vector<double>& shore_wse,
                         const std::vector<bool>& sheltered, int window);
+
+/// Allocation-free variant with a caller-provided snapshot buffer.
+/// Bit-identical to the three-argument form.
+void alongshore_average(std::vector<double>& shore_wse,
+                        const std::vector<bool>& sheltered, int window,
+                        std::vector<double>& snapshot);
 
 }  // namespace ct::surge

@@ -70,6 +70,13 @@ class InundationMapper {
   std::vector<AssetImpact> impacts(const std::vector<ExposedAsset>& assets,
                                    const std::vector<double>& shoreline_wse) const;
 
+  /// Station a point binds to — the exact index `impact` would use.
+  /// Exposed so the precomputed asset stencils (surge/mesh_bindings.h)
+  /// freeze the same station the per-realization path picks.
+  std::size_t nearest_station(geo::Vec2 enu) const noexcept {
+    return station_index_.nearest(enu);
+  }
+
   const InundationConfig& config() const noexcept { return config_; }
 
  private:

@@ -1,0 +1,201 @@
+#include "surge/mesh_bindings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/polygon.h"
+#include "storm/holland.h"
+
+namespace ct::surge {
+
+MeshBindings::MeshBindings(const mesh::CoastalMesh& cm,
+                           const geo::EnuProjection& proj,
+                           const SurgeConfig& surge,
+                           const InundationMapper& mapper,
+                           const std::vector<ExposedAsset>& assets,
+                           double smoothing_band_m, int smoothing_passes)
+    : cm_(cm), surge_(surge), inundation_(mapper.config()) {
+  // Far-skip geometry, computed exactly as SurgeSolver::max_envelope does.
+  geo::BBox box;
+  for (const mesh::Node& node : cm.mesh.nodes()) box.expand(node.position);
+  mesh_center_ = box.center();
+  mesh_radius_ = std::max(box.width(), box.height()) / 2.0 +
+                 surge_.max_considered_distance_m;
+
+  plan_ = mesh::make_shoreline_plan(cm, smoothing_band_m, smoothing_passes);
+
+  // Active set: the only values the pipeline consumes are the per-station
+  // shoreline values AFTER the averaging passes (alongshore averaging,
+  // harbor transfer, impacts, and max_shoreline_wse_m all read those; the
+  // extension step overwrites onshore nodes). A node's initial envelope
+  // value can reach a shore node only by flowing through smoothing-band
+  // nodes, one hop per pass: S_0 = shore nodes, S_k = S_{k-1} union
+  // neighbors(S_{k-1} intersect band). Everything outside S_passes is
+  // write-only in the legacy pipeline and never surfaces in the output.
+  std::vector<char> active(cm.mesh.node_count(), 0);
+  std::vector<char> in_band(cm.mesh.node_count(), 0);
+  for (const mesh::NodeId n : plan_.band_nodes) in_band[n] = 1;
+  std::vector<mesh::NodeId> frontier;
+  for (const mesh::NodeId n : cm.shore_nodes) {
+    if (!active[n]) {
+      active[n] = 1;
+      frontier.push_back(n);
+    }
+  }
+  std::vector<mesh::NodeId> next;
+  for (int pass = 0; pass < smoothing_passes && !frontier.empty(); ++pass) {
+    next.clear();
+    for (const mesh::NodeId n : frontier) {
+      if (!in_band[n]) continue;  // only band nodes are re-averaged
+      for (const mesh::NodeId m : cm.mesh.neighbors(n)) {
+        if (!active[m]) {
+          active[m] = 1;
+          next.push_back(m);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  for (mesh::NodeId n = 0; n < cm.mesh.node_count(); ++n) {
+    if (!active[n]) continue;
+    const mesh::Node& node = cm.mesh.node(n);
+    active_nodes_.push_back(n);
+    active_positions_.push_back(node.position);
+    active_onshore_.push_back(
+        cm.stations[cm.station_of_node[n]].outward_normal * -1.0);
+    const double depth = std::max(surge_.min_depth_m, -node.elevation_m);
+    active_gdepth_.push_back(kGravity * depth);
+  }
+
+  auto index = std::make_shared<AssetIndex>();
+  asset_ids_.reserve(assets.size());
+  asset_ground_m_.reserve(assets.size());
+  stencils_.reserve(assets.size());
+  for (std::size_t a = 0; a < assets.size(); ++a) {
+    const ExposedAsset& asset = assets[a];
+    asset_ids_.push_back(asset.id);
+    asset_ground_m_.push_back(asset.ground_elevation_m);
+    index->emplace(asset.id, static_cast<std::uint32_t>(a));  // first wins
+
+    AssetStencil s;
+    s.enu = proj.to_enu(asset.location);
+    s.station = mapper.nearest_station(s.enu);
+    s.station_distance_m = geo::distance(s.enu, cm.stations[s.station].position);
+    s.decay = std::exp(-s.station_distance_m / inundation_.decay_length_m);
+    s.nearest_node = cm.mesh.nearest_node(s.enu);
+    if (const auto bary = cm.mesh.locate(s.enu)) {
+      s.inside_mesh = true;
+      s.element = bary->element;
+      s.stencil_nodes = cm.mesh.element(bary->element).nodes;
+      s.stencil_weights = bary->weights;
+    }
+    stencils_.push_back(s);
+  }
+  asset_index_ = std::move(index);
+}
+
+void MeshBindings::accumulate_envelope(const storm::StormTrack& track,
+                                       const geo::EnuProjection& proj,
+                                       mesh::NodeField& envelope) const {
+  envelope.assign(cm_.mesh.node_count(), 0.0);
+  const std::size_t active_count = active_nodes_.size();
+  // Per-realization constants, folded exactly as the reference solver
+  // writes them: (exponent - 1.0) feeds pow unchanged, and rho*g is the
+  // same product the inverse-barometer term divides by.
+  const double exponent_m1 = surge_.wind_setup_exponent - 1.0;
+  const double rho_g = kWaterDensity * kGravity;
+
+  for (double t = track.start_time(); t <= track.end_time();
+       t += surge_.dt_s) {
+    const storm::StormState state = track.state_at(t, proj);
+    const geo::Vec2 center = proj.to_enu(state.center);
+    if (geo::distance(center, mesh_center_) > mesh_radius_) continue;
+
+    const storm::StormStepKernel kernel(surge_.wind_options, state.vortex,
+                                        center, state.translation_ms);
+    const double ambient_pa = state.vortex.ambient_pressure_pa;
+    for (std::size_t k = 0; k < active_count; ++k) {
+      const storm::WindSample w = kernel.sample(active_positions_[k]);
+      const double u_on =
+          std::max(0.0, w.velocity_ms.dot(active_onshore_[k]));
+      const double eta_wind = surge_.wind_setup_scale_m * u_on *
+                              std::pow(w.speed_ms, exponent_m1) /
+                              active_gdepth_[k];
+      const double eta_pressure =
+          std::max(0.0, ambient_pa - w.pressure_pa) / rho_g;
+      const double eta_wave = surge_.wave_setup_per_ms * u_on;
+      const double wse = eta_wind + eta_pressure + eta_wave;
+      double& env = envelope[active_nodes_[k]];
+      env = std::max(env, wse);
+    }
+  }
+}
+
+void MeshBindings::impacts_into(const std::vector<double>& shoreline_wse,
+                                std::vector<AssetImpact>& out) const {
+  if (shoreline_wse.size() != cm_.stations.size()) {
+    throw std::invalid_argument("MeshBindings: WSE/station size mismatch");
+  }
+  out.clear();
+  out.reserve(asset_ids_.size());
+  for (std::size_t a = 0; a < asset_ids_.size(); ++a) {
+    const AssetStencil& s = stencils_[a];
+    AssetImpact impact;
+    impact.asset_id = asset_ids_[a];
+    impact.shoreline_station = s.station;
+    impact.shoreline_wse_m = shoreline_wse[s.station];
+    impact.water_level_m = impact.shoreline_wse_m * s.decay;
+    impact.inundation_depth_m =
+        std::max(0.0, impact.water_level_m - asset_ground_m_[a]);
+    impact.failed = impact.inundation_depth_m > inundation_.failure_threshold_m;
+    out.push_back(std::move(impact));
+  }
+}
+
+double MeshBindings::interpolate_at(const mesh::NodeField& field,
+                                    std::size_t asset) const {
+  if (field.size() != cm_.mesh.node_count()) {
+    throw std::invalid_argument("MeshBindings::interpolate_at: size mismatch");
+  }
+  const AssetStencil& s = stencils_.at(asset);
+  if (s.inside_mesh) {
+    double v = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      v += s.stencil_weights[i] * field[s.stencil_nodes[i]];
+    }
+    return v;
+  }
+  return field[s.nearest_node];
+}
+
+void MeshBindings::digest_into(util::Digest& d) const {
+  d.str("ct-mesh-bindings");
+  d.f64(mesh_center_.x).f64(mesh_center_.y).f64(mesh_radius_);
+  d.u64(plan_.band_nodes.size())
+      .u64(plan_.extend_targets.size())
+      .i64(plan_.passes);
+  d.u64(active_nodes_.size());
+  for (std::size_t k = 0; k < active_nodes_.size(); ++k) {
+    d.u64(active_nodes_[k])
+        .f64(active_positions_[k].x)
+        .f64(active_positions_[k].y)
+        .f64(active_onshore_[k].x)
+        .f64(active_onshore_[k].y)
+        .f64(active_gdepth_[k]);
+  }
+  d.u64(stencils_.size());
+  for (const AssetStencil& s : stencils_) {
+    d.u64(s.station)
+        .f64(s.station_distance_m)
+        .f64(s.decay)
+        .u64(s.nearest_node)
+        .boolean(s.inside_mesh);
+    for (int i = 0; i < 3; ++i) {
+      d.u64(s.stencil_nodes[i]).f64(s.stencil_weights[i]);
+    }
+  }
+}
+
+}  // namespace ct::surge

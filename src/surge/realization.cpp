@@ -10,25 +10,43 @@
 
 namespace ct::surge {
 
-bool HurricaneRealization::asset_failed(const std::string& id) const {
-  for (const AssetImpact& impact : impacts) {
-    if (impact.asset_id == id) return impact.failed;
+const AssetImpact* HurricaneRealization::find_impact(
+    const std::string& id) const {
+  if (asset_index) {
+    const auto it = asset_index->find(id);
+    if (it != asset_index->end()) {
+      const std::size_t pos = it->second;
+      // Verify before trusting: user code may hold a filtered/reordered
+      // impacts vector next to the engine's index. Fall through to the
+      // scan on any mismatch.
+      if (pos < impacts.size() && impacts[pos].asset_id == id) {
+        return &impacts[pos];
+      }
+    } else {
+      // The index covers every engine asset, but only trust a miss when
+      // the impacts list still matches the engine's asset count.
+      if (impacts.size() == asset_index->size()) return nullptr;
+    }
   }
-  return false;
+  for (const AssetImpact& impact : impacts) {
+    if (impact.asset_id == id) return &impact;
+  }
+  return nullptr;
+}
+
+bool HurricaneRealization::asset_failed(const std::string& id) const {
+  const AssetImpact* impact = find_impact(id);
+  return impact != nullptr && impact->failed;
 }
 
 double HurricaneRealization::asset_depth(const std::string& id) const {
-  for (const AssetImpact& impact : impacts) {
-    if (impact.asset_id == id) return impact.inundation_depth_m;
-  }
-  return 0.0;
+  const AssetImpact* impact = find_impact(id);
+  return impact != nullptr ? impact->inundation_depth_m : 0.0;
 }
 
 bool HurricaneRealization::asset_wind_failed(const std::string& id) const {
-  for (const AssetImpact& impact : impacts) {
-    if (impact.asset_id == id) return impact.wind_failed;
-  }
-  return false;
+  const AssetImpact* impact = find_impact(id);
+  return impact != nullptr && impact->wind_failed;
 }
 
 std::size_t HurricaneRealization::wind_damage_count() const {
@@ -54,7 +72,9 @@ RealizationEngine::RealizationEngine(
       config_(config),
       cm_(mesh::build_coastal_mesh(require_terrain(terrain_), config_.mesh)),
       generator_(config_.ensemble), solver_(config_.surge),
-      mapper_(cm_, terrain_->projection(), config_.inundation) {
+      mapper_(cm_, terrain_->projection(), config_.inundation),
+      bindings_(cm_, terrain_->projection(), config_.surge, mapper_, assets_,
+                config_.smoothing_band_m, config_.smoothing_passes) {
   if (config_.harbor.enabled) {
     sheltered_ = sheltered_stations(cm_, *terrain_, config_.harbor);
     harbor_sources_ = harbor_source_map(cm_, sheltered_);
@@ -68,10 +88,88 @@ RealizationEngine::RealizationEngine(
   CT_LOG(kInfo, "surge") << "coastal mesh: " << cm_.mesh.node_count()
                          << " nodes, " << cm_.mesh.element_count()
                          << " elements, " << cm_.stations.size()
-                         << " shoreline stations";
+                         << " shoreline stations, "
+                         << bindings_.active_nodes().size()
+                         << " active surge nodes";
+}
+
+void RealizationEngine::apply_wind_fragility(const storm::StormTrack& track,
+                                             std::uint64_t index,
+                                             HurricaneRealization& out) const {
+  const geo::EnuProjection& proj = terrain_->projection();
+  const storm::HollandWindField wind_field(config_.surge.wind_options);
+  util::Rng rng =
+      util::Rng(config_.base_seed, "wind-damage").child("realization", index);
+  for (std::size_t a = 0; a < assets_.size(); ++a) {
+    AssetImpact& impact = out.impacts[a];
+    impact.peak_wind_ms =
+        peak_wind_at(track, proj, proj.to_enu(assets_[a].location),
+                     wind_field, config_.fragility.scan_dt_s);
+    const FragilityCurve* curve = nullptr;
+    switch (assets_[a].exposure_class) {
+      case ExposureClass::kFacility: break;  // wind-hardened building
+      case ExposureClass::kPowerPlant:
+        curve = &config_.fragility.power_plant;
+        break;
+      case ExposureClass::kSubstation:
+        curve = &config_.fragility.substation;
+        break;
+    }
+    if (curve != nullptr) {
+      impact.wind_failed =
+          rng.bernoulli(damage_probability(*curve, impact.peak_wind_ms));
+    }
+  }
 }
 
 HurricaneRealization RealizationEngine::run(std::uint64_t index) const {
+  // One scratch per worker thread: TaskPool workers, run_batch_parallel
+  // threads, and the caller's own thread each reuse their own buffers.
+  thread_local RealizationScratch scratch;
+  return run(index, scratch);
+}
+
+HurricaneRealization RealizationEngine::run(std::uint64_t index,
+                                            RealizationScratch& scratch) const {
+  const storm::StormTrack track =
+      generator_.generate(config_.base_seed, index);
+  const geo::EnuProjection& proj = terrain_->projection();
+
+  bindings_.accumulate_envelope(track, proj, scratch.envelope);
+  mesh::shoreline_average_and_extend(cm_, bindings_.shoreline_plan(),
+                                     scratch.envelope, scratch.field_scratch);
+  mesh::shoreline_values(cm_, scratch.envelope, scratch.shore_wse);
+  alongshore_average(scratch.shore_wse, sheltered_, config_.alongshore_window,
+                     scratch.station_snapshot);
+  if (config_.sea_level_offset_m != 0.0) {
+    for (double& wse : scratch.shore_wse) wse += config_.sea_level_offset_m;
+  }
+  if (config_.harbor.enabled) {
+    apply_harbor_transfer(scratch.shore_wse, sheltered_, harbor_sources_,
+                          config_.harbor.amplification,
+                          scratch.station_snapshot);
+  }
+
+  HurricaneRealization out;
+  out.index = index;
+  bindings_.impacts_into(scratch.shore_wse, out.impacts);
+  out.asset_index = bindings_.asset_index();
+  out.peak_wind_ms = track.peak_surface_wind_ms();
+
+  // Optional wind-fragility stage (extension; see fragility.h).
+  if (config_.fragility.enabled) {
+    apply_wind_fragility(track, index, out);
+  }
+  out.max_shoreline_wse_m =
+      scratch.shore_wse.empty()
+          ? 0.0
+          : *std::max_element(scratch.shore_wse.begin(),
+                              scratch.shore_wse.end());
+  return out;
+}
+
+HurricaneRealization RealizationEngine::run_reference(
+    std::uint64_t index) const {
   const storm::StormTrack track =
       generator_.generate(config_.base_seed, index);
   const geo::EnuProjection& proj = terrain_->projection();
@@ -92,33 +190,11 @@ HurricaneRealization RealizationEngine::run(std::uint64_t index) const {
   HurricaneRealization out;
   out.index = index;
   out.impacts = mapper_.impacts(assets_, shore_wse);
+  out.asset_index = bindings_.asset_index();
   out.peak_wind_ms = track.peak_surface_wind_ms();
 
-  // Optional wind-fragility stage (extension; see fragility.h).
   if (config_.fragility.enabled) {
-    const storm::HollandWindField wind_field(config_.surge.wind_options);
-    util::Rng rng =
-        util::Rng(config_.base_seed, "wind-damage").child("realization", index);
-    for (std::size_t a = 0; a < assets_.size(); ++a) {
-      AssetImpact& impact = out.impacts[a];
-      impact.peak_wind_ms =
-          peak_wind_at(track, proj, proj.to_enu(assets_[a].location),
-                       wind_field, config_.fragility.scan_dt_s);
-      const FragilityCurve* curve = nullptr;
-      switch (assets_[a].exposure_class) {
-        case ExposureClass::kFacility: break;  // wind-hardened building
-        case ExposureClass::kPowerPlant:
-          curve = &config_.fragility.power_plant;
-          break;
-        case ExposureClass::kSubstation:
-          curve = &config_.fragility.substation;
-          break;
-      }
-      if (curve != nullptr) {
-        impact.wind_failed =
-            rng.bernoulli(damage_probability(*curve, impact.peak_wind_ms));
-      }
-    }
+    apply_wind_fragility(track, index, out);
   }
   out.max_shoreline_wse_m =
       shore_wse.empty() ? 0.0
@@ -145,10 +221,11 @@ std::vector<HurricaneRealization> RealizationEngine::run_batch_parallel(
   std::vector<HurricaneRealization> out(count);
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
+    RealizationScratch scratch;
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
-      out[i] = run(static_cast<std::uint64_t>(i));
+      out[i] = run(static_cast<std::uint64_t>(i), scratch);
     }
   };
   std::vector<std::thread> pool;

@@ -3,12 +3,16 @@
 // solver over the coastal mesh, applies the shoreline averaging/extension
 // post-processing, and records per-asset peak inundation. 1000 realizations
 // form the natural-disaster input to the compound-threat framework.
+//
+// Two execution paths produce bit-identical results (tests/fastpath_test):
+//  - run(): the hot path over the MeshBindings precompute — per-step storm
+//    kernel, active-node envelope, in-place smoothing, reusable scratch.
+//  - run_reference(): the original allocating pipeline, kept as the oracle.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mesh/coastal_builder.h"
@@ -17,6 +21,7 @@
 #include "surge/fragility.h"
 #include "surge/harbor.h"
 #include "surge/inundation.h"
+#include "surge/mesh_bindings.h"
 #include "surge/surge_model.h"
 #include "terrain/terrain.h"
 
@@ -54,9 +59,13 @@ struct HurricaneRealization {
   double peak_wind_ms = 0.0;
   /// Maximum smoothed shoreline WSE anywhere on the island (m).
   double max_shoreline_wse_m = 0.0;
+  /// Shared id -> impacts-position map attached by the engine; lookups
+  /// fall back to a linear scan when absent (e.g. cache-deserialized or
+  /// hand-built realizations).
+  std::shared_ptr<const AssetIndex> asset_index;
 
-  /// True if the asset with this id failed by FLOODING (the paper's failure
-  /// mode; O(n) lookup — the analysis core builds its own index).
+  /// True if the asset with this id failed by FLOODING (the paper's
+  /// failure mode). O(1) via asset_index when attached, O(n) otherwise.
   bool asset_failed(const std::string& id) const;
   /// Inundation depth for this asset id (0 when absent).
   double asset_depth(const std::string& id) const;
@@ -65,19 +74,45 @@ struct HurricaneRealization {
   bool asset_wind_failed(const std::string& id) const;
   /// Count of wind-damaged assets in this realization.
   std::size_t wind_damage_count() const;
+
+ private:
+  /// Impact for `id`, or nullptr when absent.
+  const AssetImpact* find_impact(const std::string& id) const;
 };
 
-/// Deterministic Monte-Carlo engine. Construct once (builds the mesh), then
-/// run realizations on demand. Thread-compatible: `run` is const and uses
-/// no mutable state, so realizations may be computed concurrently.
+/// Per-worker reusable buffers for the realization hot path. One instance
+/// per thread (run() keeps a thread_local one); after the first realization
+/// the steady state allocates nothing but the output impact strings.
+struct RealizationScratch {
+  mesh::NodeField envelope;
+  mesh::NodeField field_scratch;
+  std::vector<double> shore_wse;
+  std::vector<double> station_snapshot;
+};
+
+/// Deterministic Monte-Carlo engine. Construct once (builds the mesh and
+/// the MeshBindings precompute), then run realizations on demand.
+/// Thread-compatible: `run` is const and all shared state is read-only, so
+/// realizations may be computed concurrently.
 class RealizationEngine {
  public:
   RealizationEngine(std::shared_ptr<const terrain::Terrain> terrain,
                     std::vector<ExposedAsset> assets,
                     RealizationConfig config = {});
 
-  /// Runs realization `index` (deterministic in (config.base_seed, index)).
+  /// Runs realization `index` (deterministic in (config.base_seed, index))
+  /// on the hot path, reusing a thread-local scratch. Bit-identical to
+  /// run_reference.
   HurricaneRealization run(std::uint64_t index) const;
+
+  /// Hot path with caller-owned scratch (for callers managing worker
+  /// lifetimes themselves).
+  HurricaneRealization run(std::uint64_t index,
+                           RealizationScratch& scratch) const;
+
+  /// The original allocating pipeline, kept as the equivalence oracle and
+  /// for apples-to-apples benchmarking.
+  HurricaneRealization run_reference(std::uint64_t index) const;
 
   /// Runs realizations [0, count) serially.
   std::vector<HurricaneRealization> run_batch(std::size_t count) const;
@@ -94,8 +129,15 @@ class RealizationEngine {
   const terrain::Terrain& terrain() const noexcept { return *terrain_; }
   /// Shelter classification of shoreline stations (harbor treatment).
   const std::vector<bool>& sheltered() const noexcept { return sheltered_; }
+  /// The per-(terrain, mesh config) precompute shared by all realizations.
+  const MeshBindings& bindings() const noexcept { return bindings_; }
 
  private:
+  /// Wind-fragility stage shared by both paths (track-scan + sampling).
+  void apply_wind_fragility(const storm::StormTrack& track,
+                            std::uint64_t index,
+                            HurricaneRealization& out) const;
+
   std::shared_ptr<const terrain::Terrain> terrain_;
   std::vector<ExposedAsset> assets_;
   RealizationConfig config_;
@@ -103,6 +145,7 @@ class RealizationEngine {
   storm::TrackGenerator generator_;
   SurgeSolver solver_;
   InundationMapper mapper_;
+  MeshBindings bindings_;
   std::vector<bool> sheltered_;
   std::vector<std::size_t> harbor_sources_;
 };

@@ -5,11 +5,6 @@
 
 namespace ct::surge {
 
-namespace {
-constexpr double kGravity = 9.81;        // m/s^2
-constexpr double kWaterDensity = 1025.0; // kg/m^3 (sea water)
-}  // namespace
-
 mesh::NodeField SurgeSolver::instantaneous(const mesh::CoastalMesh& cm,
                                            const storm::StormState& state,
                                            const geo::EnuProjection& proj) const {

@@ -18,6 +18,12 @@
 
 namespace ct::surge {
 
+/// Physical constants of the surge decomposition. In the header so the
+/// precomputed hot path (surge/mesh_bindings.h) folds exactly the same
+/// values the reference solver uses — a prerequisite for bit-identity.
+inline constexpr double kGravity = 9.81;        // m/s^2
+inline constexpr double kWaterDensity = 1025.0; // kg/m^3 (sea water)
+
 /// Tunable physics constants. Defaults are calibrated (see
 /// tests/surge/calibration_test.cpp) so that a direct CAT-2 landfall
 /// produces 1.5-3 m of surge on the facing shore, consistent with Hawaii

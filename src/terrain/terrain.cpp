@@ -6,6 +6,32 @@
 
 namespace ct::terrain {
 
+void digest_terrain(const Terrain& terrain, util::Digest& d) {
+  d.str("ct-terrain");
+  d.str(terrain.name());
+  const geo::GeoPoint ref = terrain.projection().reference();
+  d.f64(ref.lat_deg).f64(ref.lon_deg);
+
+  const geo::Polygon& coast = terrain.coastline();
+  const std::vector<geo::Vec2>& verts = coast.vertices();
+  d.u64(verts.size());
+  for (const geo::Vec2 v : verts) d.f64(v.x).f64(v.y);
+
+  // Elevation probes: centroid plus, per coastline vertex, samples on the
+  // vertex, pulled inland toward the centroid, and pushed offshore away
+  // from it. Captures plain slope, shelf, and ridge placement without
+  // assuming anything about the Terrain implementation.
+  const geo::Vec2 c = coast.centroid();
+  d.f64(terrain.elevation(c));
+  for (const geo::Vec2 v : verts) {
+    const geo::Vec2 inland = c + (v - c) * 0.5;
+    const geo::Vec2 offshore = c + (v - c) * 1.25;
+    d.f64(terrain.elevation(v))
+        .f64(terrain.elevation(inland))
+        .f64(terrain.elevation(offshore));
+  }
+}
+
 SyntheticIslandTerrain::SyntheticIslandTerrain(IslandParams params)
     : params_(std::move(params)), proj_(params_.projection_reference) {
   if (params_.coastline.size() < 3) {

@@ -13,6 +13,7 @@
 #include "geo/geopoint.h"
 #include "geo/polygon.h"
 #include "geo/vec2.h"
+#include "util/digest.h"
 
 namespace ct::terrain {
 
@@ -43,6 +44,14 @@ class Terrain {
     return elevation(projection().to_enu(p));
   }
 };
+
+/// Folds a terrain fingerprint into `d`: name, projection reference,
+/// coastline vertices, and elevation probes at and around the coastline.
+/// Two terrains that agree on all of these produce the same coastal mesh
+/// and surge inputs for practical purposes; the fingerprint is mixed into
+/// the engine-batch cache key so realizations computed on one terrain are
+/// never served from a cache written under another.
+void digest_terrain(const Terrain& terrain, util::Digest& d);
 
 /// A mountain ridge modeled as a Gaussian profile around a line segment:
 /// height * exp(-(distance to segment)^2 / (2 sigma^2)).

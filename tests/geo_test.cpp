@@ -291,5 +291,27 @@ TEST(GridIndex, EmptyAndDegenerate) {
   EXPECT_THROW(GridIndex({{0, 0}}, 0.0), std::invalid_argument);
 }
 
+TEST(GridIndex, WithinOutParamMatchesAllocatingForm) {
+  util::Rng rng(23, "within-out");
+  std::vector<Vec2> points(400);
+  for (Vec2& p : points) {
+    p = {rng.uniform(-5000.0, 5000.0), rng.uniform(-5000.0, 5000.0)};
+  }
+  const GridIndex index(points, 750.0);
+
+  std::vector<std::size_t> reused{999, 999, 999};  // must be cleared per call
+  for (int q = 0; q < 25; ++q) {
+    const Vec2 query{rng.uniform(-6000.0, 6000.0),
+                     rng.uniform(-6000.0, 6000.0)};
+    const double radius = rng.uniform(0.0, 2500.0);
+    const std::vector<std::size_t> allocated = index.within(query, radius);
+    index.within(query, radius, reused);
+    EXPECT_EQ(reused, allocated);
+  }
+
+  index.within({0.0, 0.0}, -1.0, reused);
+  EXPECT_TRUE(reused.empty());
+}
+
 }  // namespace
 }  // namespace ct::geo

@@ -263,5 +263,74 @@ TEST(Field, Validation) {
   EXPECT_DOUBLE_EQ(field_max({3.0, 1.0, 2.0}), 3.0);
 }
 
+// --------------------------------------------------- hot-path kernels
+
+TEST_F(CoastalMeshTest, SmoothPassKernelBitEqualToPredicateForm) {
+  util::Rng rng(7, "smooth-kernel");
+  NodeField field(cm_->mesh.node_count());
+  for (double& v : field) v = rng.uniform(-1.0, 3.0);
+
+  const double band = 2000.0;
+  const auto near_shore = [&](NodeId n) {
+    return std::abs(cm_->offset_of_node[n]) <= band;
+  };
+  std::vector<NodeId> affected;
+  for (NodeId n = 0; n < cm_->mesh.node_count(); ++n) {
+    if (near_shore(n)) affected.push_back(n);
+  }
+
+  const NodeField legacy = smooth_pass(cm_->mesh, field, near_shore);
+  NodeField kernel;
+  smooth_pass(cm_->mesh, field, kernel, affected);
+  ASSERT_EQ(kernel.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(kernel[i], legacy[i]) << "node " << i;
+  }
+
+  EXPECT_THROW(smooth_pass(cm_->mesh, field, field, affected),
+               std::invalid_argument);
+}
+
+TEST_F(CoastalMeshTest, ShorelinePlanInPlaceBitEqualToAllocatingForm) {
+  util::Rng rng(11, "plan");
+  NodeField field(cm_->mesh.node_count());
+  for (double& v : field) v = rng.uniform(0.0, 2.5);
+
+  for (const int passes : {0, 1, 3}) {
+    const NodeField expected =
+        shoreline_average_and_extend(*cm_, field, 2000.0, passes);
+    const ShorelinePlan plan = make_shoreline_plan(*cm_, 2000.0, passes);
+    EXPECT_EQ(plan.passes, passes);
+    NodeField in_place = field;
+    NodeField scratch;
+    shoreline_average_and_extend(*cm_, plan, in_place, scratch);
+    ASSERT_EQ(in_place.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(in_place[i], expected[i]) << "passes " << passes
+                                          << " node " << i;
+    }
+  }
+  EXPECT_THROW(make_shoreline_plan(*cm_, 1000.0, -1), std::invalid_argument);
+}
+
+TEST(TriMesh, CsrRowsAreConsistentWithElements) {
+  const TriMesh mesh = square_mesh();
+  // Every element must appear in the incidence row of each of its nodes.
+  for (ElementId e = 0; e < mesh.element_count(); ++e) {
+    for (const NodeId n : mesh.element(e).nodes) {
+      const auto row = mesh.node_elements(n);
+      EXPECT_NE(std::find(row.begin(), row.end(), e), row.end());
+    }
+  }
+  // Diagonal nodes 0 and 2 touch both elements; 1 and 3 touch one.
+  EXPECT_EQ(mesh.node_elements(0).size(), 2u);
+  EXPECT_EQ(mesh.node_elements(1).size(), 1u);
+  EXPECT_EQ(mesh.node_elements(2).size(), 2u);
+  EXPECT_EQ(mesh.node_elements(3).size(), 1u);
+  EXPECT_EQ(mesh.node_elements(0)[0], 0u);
+  EXPECT_THROW(mesh.node_elements(99), std::out_of_range);
+  EXPECT_THROW(mesh.neighbors(99), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace ct::mesh

@@ -1,6 +1,7 @@
 // Tests for the storm substrate: Saffir-Simpson scale, Holland vortex,
 // tracks, and the CAT-2 ensemble generator.
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -280,6 +281,55 @@ TEST(Generator, FixSpacingMatchesConfig) {
   const StormTrack t = gen.generate(5, 3);
   ASSERT_GE(t.points().size(), 3u);
   EXPECT_NEAR(t.points()[1].time_s - t.points()[0].time_s, 1800.0, 1e-9);
+}
+
+TEST(StormStepKernel, BitEqualToHollandWindFieldSample) {
+  const auto bits = [](double v) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+
+  std::vector<VortexParams> params_set;
+  params_set.push_back({});  // defaults
+  params_set.push_back({95500.0, 101200.0, 28000.0, 1.9, 13.5});
+  params_set.push_back({99900.0, 99800.0, 55000.0, 1.05, 35.0});  // dp < 0
+  params_set.push_back({97000.0, 101000.0, 0.5, 1.3, 21.0});      // tiny rmax
+
+  WindFieldOptions opts;
+  opts.inflow_angle_deg = 23.0;
+  opts.translation_fraction = 0.6;
+  const HollandWindField field(opts);
+
+  for (const VortexParams& params : params_set) {
+    const geo::Vec2 center{12000.0, -34000.0};
+    const geo::Vec2 translation{4.0, 6.5};
+    const StormStepKernel kernel(opts, params, center, translation);
+    EXPECT_EQ(bits(kernel.vmax_ms()),
+              bits(holland_gradient_wind(params, params.rmax_m)));
+
+    for (double dx = -150000.0; dx <= 150000.0; dx += 12500.0) {
+      for (double dy = -120000.0; dy <= 120000.0; dy += 17500.0) {
+        const geo::Vec2 point = center + geo::Vec2{dx, dy};
+        const WindSample a = field.sample(params, center, translation, point);
+        const WindSample b = kernel.sample(point);
+        EXPECT_EQ(bits(a.velocity_ms.x), bits(b.velocity_ms.x))
+            << dx << "," << dy;
+        EXPECT_EQ(bits(a.velocity_ms.y), bits(b.velocity_ms.y))
+            << dx << "," << dy;
+        EXPECT_EQ(bits(a.speed_ms), bits(b.speed_ms)) << dx << "," << dy;
+        EXPECT_EQ(bits(a.pressure_pa), bits(b.pressure_pa)) << dx << "," << dy;
+      }
+    }
+
+    // Calm eye center (r <= 1 branch).
+    const WindSample eye_legacy =
+        field.sample(params, center, translation, center);
+    const WindSample eye_kernel = kernel.sample(center);
+    EXPECT_EQ(bits(eye_legacy.pressure_pa), bits(eye_kernel.pressure_pa));
+    EXPECT_EQ(eye_kernel.speed_ms, 0.0);
+    EXPECT_EQ(eye_kernel.velocity_ms, geo::Vec2{});
+  }
 }
 
 }  // namespace

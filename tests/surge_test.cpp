@@ -321,5 +321,52 @@ TEST(RealizationEngine, BatchIndicesAreStable) {
   }
 }
 
+TEST_F(SurgeFixture, IndexedHarborSourceMapMatchesReferenceScan) {
+  const std::size_t n = cm_->stations.size();
+  ASSERT_GT(n, 4u);
+
+  std::vector<std::vector<bool>> masks;
+  masks.push_back(sheltered_stations(*cm_, *terrain_, HarborConfig{}));
+  masks.emplace_back(n, false);  // nothing sheltered
+  masks.emplace_back(n, true);   // everything sheltered
+  {
+    std::vector<bool> alternating(n, false);
+    for (std::size_t i = 0; i < n; i += 2) alternating[i] = true;
+    masks.push_back(std::move(alternating));
+  }
+  {
+    std::vector<bool> one_exposed(n, true);
+    one_exposed[n / 2] = false;
+    masks.push_back(std::move(one_exposed));
+  }
+
+  for (std::size_t m = 0; m < masks.size(); ++m) {
+    EXPECT_EQ(harbor_source_map(*cm_, masks[m]),
+              harbor_source_map_reference(*cm_, masks[m]))
+        << "mask " << m;
+  }
+}
+
+TEST(Harbor, ScratchOverloadsBitIdentical) {
+  const std::vector<bool> sheltered{false, true, false, false, true, false};
+  const std::vector<std::size_t> sources{0, 2, 2, 3, 5, 5};
+  const std::vector<double> base{1.0, 0.25, 2.0, 1.5, 0.125, 3.0};
+
+  std::vector<double> a = base;
+  std::vector<double> b = base;
+  std::vector<double> snapshot{-1.0};  // stale content must not leak
+  alongshore_average(a, sheltered, 2);
+  alongshore_average(b, sheltered, 2, snapshot);
+  EXPECT_EQ(a, b);
+
+  alongshore_average(a, sheltered, 0, snapshot);  // window 0: no-op
+  EXPECT_EQ(a, b);
+
+  std::vector<double> c = a;
+  apply_harbor_transfer(a, sheltered, sources, 1.08);
+  apply_harbor_transfer(c, sheltered, sources, 1.08, snapshot);
+  EXPECT_EQ(a, c);
+}
+
 }  // namespace
 }  // namespace ct::surge
