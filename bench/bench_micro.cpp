@@ -302,6 +302,37 @@ bench::RuntimeBenchRecord micro_runtime_record() {
     return true;
   };
 
+  // Healthy-path cost of the fault-isolation machinery: the identical
+  // sweep through the guarded entry points with the fault profile off.
+  // Must stay within noise of the plain pooled sweep (~2%).
+  runtime::EnsembleOptions guarded_options = runner_options(jobs, false);
+  guarded_options.fault_spec = "none";
+  runtime::EnsembleRunner guarded(guarded_options);
+  const runtime::EnsembleRunner::BatchFn healthy_batch = [&]() {
+    return runtime::BatchView{&rels, nullptr, rels.size()};
+  };
+  const auto [guarded_results, guarded_s] = timed([&](const auto& config) {
+    return pipeline.analyze_lazy(config, scenario, healthy_batch, guarded,
+                                 digest);
+  });
+
+  // Degraded path: quarantine-and-retry under an injected fault profile,
+  // generation included (that is where the faults fire).
+  runtime::EnsembleOptions fault_options = runner_options(jobs, false);
+  fault_options.fault_spec = "throw:every=17";
+  fault_options.max_retries = 1;
+  runtime::EnsembleRunner faulty(fault_options);
+  const auto fault_start = std::chrono::steady_clock::now();
+  const runtime::GeneratedBatch degraded = faulty.generate_guarded(engine(), n);
+  std::vector<core::ScenarioResult> fault_results;
+  for (const auto& config : configs) {
+    fault_results.push_back(pipeline.analyze_lazy(
+        config, scenario, [&]() { return degraded.view(); }, faulty, digest));
+  }
+  const double fault_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - fault_start)
+                             .count();
+
   bench::RuntimeBenchRecord record;
   record.name = "bench_micro";
   record.realizations = n;
@@ -309,9 +340,17 @@ bench::RuntimeBenchRecord micro_runtime_record() {
   record.serial_s = serial_s;
   record.parallel_s = parallel_s;
   record.warm_s = warm_s;
-  record.identical = identical(parallel_results) && identical(warm_results);
+  record.identical = identical(parallel_results) && identical(warm_results) &&
+                     identical(guarded_results);
   record.cache_lookups = stats.lookups - cold_stats.lookups;
   record.cache_hits = stats.hits - cold_stats.hits;
+  record.guarded_s = guarded_s;
+  record.fault_s = fault_s;
+  record.fault_quarantined = degraded.ledger.failures.size();
+  record.fault_retries = degraded.ledger.retries;
+  for (const core::ScenarioResult& r : fault_results) {
+    record.fault_retries += r.retries;
+  }
   return record;
 }
 
@@ -433,6 +472,13 @@ int main(int argc, char** argv) {
             << util::format_fixed(record.warm_s, 3) << " s, "
             << (record.identical ? "bit-identical" : "NOT IDENTICAL")
             << "; recorded in BENCH_runtime.json\n";
+  std::cout << "fault isolation: guarded healthy path "
+            << util::format_fixed(record.guarded_s, 2) << " s ("
+            << util::format_fixed(record.guarded_overhead() * 100.0, 1)
+            << "% vs plain pool), fault path "
+            << util::format_fixed(record.fault_s, 2) << " s with "
+            << record.fault_quarantined << " quarantined / "
+            << record.fault_retries << " retries\n";
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -45,7 +45,15 @@ std::string record_json(const RuntimeBenchRecord& r) {
       << ", \"identical\": " << (r.identical ? "true" : "false")
       << ", \"cache_lookups\": " << r.cache_lookups
       << ", \"cache_hits\": " << r.cache_hits
-      << ", \"warm_hit_rate\": " << r.warm_hit_rate() << '}';
+      << ", \"warm_hit_rate\": " << r.warm_hit_rate();
+  if (r.guarded_s > 0.0) {
+    out << std::setprecision(4) << ", \"guarded_s\": " << r.guarded_s
+        << ", \"guarded_overhead\": " << r.guarded_overhead()
+        << ", \"fault_s\": " << r.fault_s
+        << ", \"fault_quarantined\": " << r.fault_quarantined
+        << ", \"fault_retries\": " << r.fault_retries;
+  }
+  out << '}';
   return out.str();
 }
 

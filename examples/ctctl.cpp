@@ -20,7 +20,18 @@
 //                                          ~/.cache/ct, so a repeated
 //                                          analyze of the same inputs is
 //                                          served from cache)
+//     --max-retries <n>                    re-runs of a failed realization
+//                                          (same seed) before it is
+//                                          quarantined (default 2)
+//     --best-effort                        degraded runs (quarantined
+//                                          realizations) report partial
+//                                          results and exit 0 (default)
+//     --strict                             degraded runs exit 3 after
+//                                          printing the failure summary
 //   ctctl downtime [same options]          restoration costs in hours
+//
+// Exit codes: 0 success (incl. best-effort degraded), 1 runtime error,
+// 2 usage, 3 degraded under --strict, 4 no realization completed.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -51,7 +62,9 @@ int usage() {
 }
 
 /// Flags that take no value.
-bool is_boolean_flag(const std::string& name) { return name == "no-cache"; }
+bool is_boolean_flag(const std::string& name) {
+  return name == "no-cache" || name == "strict" || name == "best-effort";
+}
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
@@ -83,12 +96,14 @@ scada::ScadaTopology load_topology(
   if (it == flags.end()) return scada::oahu_topology();
   std::ifstream in(it->second);
   if (!in) throw std::runtime_error("cannot open " + it->second);
-  return scada::load_topology_csv(in);
+  return scada::load_topology_csv(in, it->second);
 }
 
 struct AnalyzeSetup {
   core::CaseStudyRunner runner;
   std::vector<scada::Configuration> configs;
+  /// --strict: degraded runs exit 3 instead of reporting partial results.
+  bool strict = false;
 };
 
 AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
@@ -112,6 +127,13 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
     options.runtime.cache = false;
     options.runtime.disk_cache = false;
   }
+  if (const auto it = flags.find("max-retries"); it != flags.end()) {
+    options.runtime.max_retries = static_cast<unsigned>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+  }
+  if (flags.count("strict") != 0 && flags.count("best-effort") != 0) {
+    throw std::runtime_error("--strict and --best-effort are exclusive");
+  }
   scada::ScadaTopology topology = load_topology(flags);
 
   const auto pick = [&](const char* flag, const char* fallback) {
@@ -129,7 +151,8 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
 
   return {core::CaseStudyRunner(std::move(topology),
                                 terrain::make_oahu_terrain(), options),
-          scada::paper_configurations(primary, backup, dc)};
+          scada::paper_configurations(primary, backup, dc),
+          flags.count("strict") != 0};
 }
 
 int cmd_topology(int argc, char** argv) {
@@ -152,7 +175,7 @@ int cmd_topology(int argc, char** argv) {
       std::cerr << "cannot open " << path << "\n";
       return 1;
     }
-    const scada::ScadaTopology topo = scada::load_topology_csv(in);
+    const scada::ScadaTopology topo = scada::load_topology_csv(in, path);
     std::cout << path << ": " << topo.size() << " assets (";
     std::cout << topo.of_type(scada::AssetType::kControlCenter).size()
               << " control centers, "
@@ -191,19 +214,54 @@ void print_cache_stats(core::CaseStudyRunner& runner) {
     std::cout << ", " << stats.corrupt_discarded
               << " corrupt record(s) discarded";
   }
+  if (stats.write_failures > 0) {
+    std::cout << ", " << stats.write_failures
+              << " disk write failure(s) (memory-only fallback)";
+  }
   std::cout << "\n";
+}
+
+/// Prints the quarantine summary of a degraded sweep (unique failures: the
+/// same realization quarantines once per (config, scenario) evaluation)
+/// and returns the process exit code under the setup's strictness.
+int finish_analysis(const AnalyzeSetup& setup,
+                    const std::vector<core::ScenarioResult>& all_results) {
+  bool degraded = false;
+  std::uint64_t retries = 0;
+  for (const core::ScenarioResult& r : all_results) {
+    degraded = degraded || r.degraded();
+    retries += r.retries;
+  }
+  if (degraded) {
+    std::cout << "=== degraded run: quarantined realizations ===\n";
+    core::failure_summary_table(all_results).render(std::cout);
+    std::cout << "(" << retries << " retry attempt(s) spent; partial "
+              << "distributions above cover completed realizations only)\n\n";
+  }
+  const int code = core::analysis_exit_code(all_results, setup.strict);
+  if (code == 3) {
+    std::cerr << "ctctl: degraded run under --strict (exit 3)\n";
+  } else if (code == 4) {
+    std::cerr << "ctctl: no realization completed (exit 4)\n";
+  }
+  return code;
 }
 
 int cmd_analyze(int argc, char** argv) {
   AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
+  std::vector<core::ScenarioResult> all_results;
   for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
+    std::vector<core::ScenarioResult> results =
+        setup.runner.run_configs(setup.configs, scenario);
     std::cout << "=== " << threat::scenario_name(scenario) << " ===\n";
-    core::profile_table(setup.runner.run_configs(setup.configs, scenario))
-        .render(std::cout);
+    core::profile_table(results).render(std::cout);
     std::cout << "\n";
+    for (core::ScenarioResult& r : results) {
+      all_results.push_back(std::move(r));
+    }
   }
   print_cache_stats(setup.runner);
-  return 0;
+  return finish_analysis(setup, all_results);
 }
 
 int cmd_downtime(int argc, char** argv) {
@@ -226,7 +284,16 @@ int cmd_downtime(int argc, char** argv) {
     table.render(std::cout);
     std::cout << "\n";
   }
-  return 0;
+  // Restoration consumes the raw batch, so quarantine accounting lives in
+  // the generation ledger rather than per-scenario results; surface it
+  // through the same summary/exit-code path as analyze.
+  core::ScenarioResult generation;
+  generation.config_name = "(generation)";
+  generation.failures = setup.runner.generation_failures().failures;
+  generation.retries = setup.runner.generation_failures().retries;
+  generation.attempted = setup.runner.options().realizations;
+  generation.completed = generation.attempted - generation.failures.size();
+  return finish_analysis(setup, {generation});
 }
 
 }  // namespace

@@ -13,12 +13,20 @@ CaseStudyRunner::CaseStudyRunner(scada::ScadaTopology topology,
               options_.realization),
       pipeline_(options_.attacker), runtime_(options_.runtime) {}
 
-const std::vector<surge::HurricaneRealization>& CaseStudyRunner::realizations() {
+const runtime::GeneratedBatch& CaseStudyRunner::generated() {
   if (!cached_) {
-    cache_ = runtime_.generate(engine_, options_.realizations);
+    batch_ = runtime_.generate_guarded(engine_, options_.realizations);
     cached_ = true;
   }
-  return cache_;
+  return batch_;
+}
+
+const std::vector<surge::HurricaneRealization>& CaseStudyRunner::realizations() {
+  return generated().realizations;
+}
+
+const runtime::FailureLedger& CaseStudyRunner::generation_failures() {
+  return batch_.ledger;
 }
 
 const std::string& CaseStudyRunner::batch_digest() {
@@ -33,13 +41,11 @@ ScenarioResult CaseStudyRunner::run(const scada::Configuration& config,
                                     threat::ThreatScenario scenario) {
   // Lazy: a result-cache hit (same topology, configuration, scenario,
   // ensemble, attacker — possibly from a previous process via the disk
-  // layer) never generates the realization batch at all.
+  // layer) never generates the realization batch at all. On a miss the
+  // guarded batch's quarantine ledger flows into the ScenarioResult.
   return pipeline_.analyze_lazy(
-      config, scenario,
-      [this]() -> const std::vector<surge::HurricaneRealization>& {
-        return realizations();
-      },
-      runtime_, batch_digest());
+      config, scenario, [this]() { return generated().view(); }, runtime_,
+      batch_digest());
 }
 
 std::vector<ScenarioResult> CaseStudyRunner::run_configs(

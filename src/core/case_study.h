@@ -36,8 +36,14 @@ class CaseStudyRunner {
                   std::shared_ptr<const terrain::Terrain> terrain,
                   CaseStudyOptions options = {});
 
-  /// The cached realization batch (computed on first use).
+  /// The cached realization batch (computed on first use). Contains the
+  /// SURVIVORS when generation quarantined realizations — see
+  /// generation_failures() for the ledger.
   const std::vector<surge::HurricaneRealization>& realizations();
+
+  /// Quarantine ledger of the generation stage (empty until the batch has
+  /// been generated, and on every clean run).
+  const runtime::FailureLedger& generation_failures();
 
   /// Analyzes one configuration under one scenario.
   ScenarioResult run(const scada::Configuration& config,
@@ -64,7 +70,11 @@ class CaseStudyRunner {
  private:
   /// Content address of the (engine, realization count) ensemble; computed
   /// once, lets warm runs hit the result cache without regenerating.
+  /// Safe even under quarantine: a degraded run is never stored, so the
+  /// full-ensemble address can only ever resolve to full-ensemble results.
   const std::string& batch_digest();
+  /// The guarded batch (generated on first use).
+  const runtime::GeneratedBatch& generated();
 
   scada::ScadaTopology topology_;
   CaseStudyOptions options_;
@@ -72,7 +82,7 @@ class CaseStudyRunner {
   AnalysisPipeline pipeline_;
   runtime::EnsembleRunner runtime_;
   std::string batch_digest_;
-  std::vector<surge::HurricaneRealization> cache_;
+  runtime::GeneratedBatch batch_;
   bool cached_ = false;
 };
 

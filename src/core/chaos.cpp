@@ -179,10 +179,28 @@ ChaosReport ChaosRunner::sweep_impl(const scada::Configuration& config,
     }
   };
 
+  // Per-plan containment: one throwing plan (a DES bug, an injected fault)
+  // must cost that plan, not the sweep. No retries — the DES is a pure
+  // function of the plan, so a second attempt cannot heal anything.
   if (pool != nullptr) {
-    pool->parallel_for_each(plans, 1, run_plan);
+    const runtime::IsolatedRunResult isolated = pool->for_each_isolated(
+        plans, 1,
+        [&](std::size_t p, unsigned /*attempt*/,
+            const runtime::CancellationToken& /*token*/) { run_plan(p); });
+    for (const runtime::TaskFailure& f : isolated.failures) {
+      report.plan_failures.push_back(runtime::make_failure_record(
+          f, static_cast<std::uint64_t>(f.index), options_.base_seed));
+    }
   } else {
-    for (std::size_t p = 0; p < plans; ++p) run_plan(p);
+    for (std::size_t p = 0; p < plans; ++p) {
+      try {
+        run_plan(p);
+      } catch (...) {
+        runtime::TaskFailure f{p, 1, std::current_exception()};
+        report.plan_failures.push_back(runtime::make_failure_record(
+            f, static_cast<std::uint64_t>(p), options_.base_seed));
+      }
+    }
   }
 
   for (PlanResult& slot : per_plan) {

@@ -77,8 +77,14 @@ struct ChaosReport {
   /// sweeps assert this is non-zero: the machinery actually exercised).
   int total_rejoins = 0;
   std::vector<ChaosFinding> findings;
+  /// Plans whose DES run THREW (as opposed to misclassifying): each is
+  /// contained as one failed plan — the other plans still sweep — and
+  /// recorded here (realization = plan index, seed = options.base_seed).
+  std::vector<runtime::FailureRecord> plan_failures;
 
-  bool ok() const noexcept { return findings.empty(); }
+  bool ok() const noexcept {
+    return findings.empty() && plan_failures.empty();
+  }
 };
 
 class ChaosRunner {

@@ -1,11 +1,13 @@
 #include "core/pipeline.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/evaluator.h"
 #include "util/csv.h"
@@ -34,7 +36,42 @@ bool parse_double(std::string_view s, double& out) {
   return end == copy.c_str() + copy.size();
 }
 
+/// EnsembleReport -> ScenarioResult (histogram + quarantine accounting).
+ScenarioResult result_from_report(const scada::Configuration& config,
+                                  threat::ThreatScenario scenario,
+                                  runtime::EnsembleReport report) {
+  ScenarioResult result;
+  result.config_name = config.name;
+  result.scenario = scenario;
+  for (std::size_t i = 0; i < report.counts.counts.size(); ++i) {
+    result.outcomes.add(static_cast<threat::OperationalState>(i),
+                        static_cast<std::size_t>(report.counts.counts[i]));
+  }
+  result.from_cache = report.counts.from_cache;
+  result.failures = std::move(report.failures);
+  result.retries = report.retries;
+  result.attempted = report.attempted;
+  result.completed = report.completed;
+  return result;
+}
+
 }  // namespace
+
+util::Interval ScenarioResult::mass_bound(threat::OperationalState s,
+                                          double confidence) const noexcept {
+  // Rebuild the runtime report so both layers share ONE bound formula. A
+  // result that never went through the guarded path (serial analyze) has
+  // attempted == 0; treat it as a clean full run.
+  runtime::EnsembleReport report;
+  for (std::size_t i = 0; i < report.counts.counts.size(); ++i) {
+    report.counts.counts[i] = static_cast<std::uint64_t>(
+        outcomes.count(static_cast<threat::OperationalState>(i)));
+  }
+  report.counts.total = outcomes.total();
+  report.attempted = attempted == 0 ? outcomes.total() : attempted;
+  report.completed = attempted == 0 ? outcomes.total() : completed;
+  return report.mass_bound(static_cast<std::size_t>(s), confidence);
+}
 
 void OutcomeDistribution::add(threat::OperationalState s) noexcept {
   ++counts_[static_cast<std::size_t>(s)];
@@ -112,28 +149,34 @@ ScenarioResult AnalysisPipeline::analyze_lazy(
     const runtime::EnsembleRunner::RealizationsFn& realizations,
     runtime::EnsembleRunner& runtime,
     std::string_view realization_set_digest) const {
-  ScenarioResult result;
-  result.config_name = config.name;
-  result.scenario = scenario;
+  // A caller-materialized set has no generation ledger: every realization
+  // in it already exists, so attempted == size and the batch is clean.
+  return analyze_lazy(
+      config, scenario,
+      [&realizations]() {
+        const std::vector<surge::HurricaneRealization>& r = realizations();
+        return runtime::BatchView{&r, nullptr, r.size()};
+      },
+      runtime, realization_set_digest);
+}
 
+ScenarioResult AnalysisPipeline::analyze_lazy(
+    const scada::Configuration& config, threat::ThreatScenario scenario,
+    const runtime::EnsembleRunner::BatchFn& batch,
+    runtime::EnsembleRunner& runtime,
+    std::string_view realization_set_digest) const {
   const std::string key =
       realization_set_digest.empty()
           ? std::string()  // unidentified set: skip the cache, stay correct
           : runtime::EnsembleRunner::job_key(config, scenario, attacker_tag(),
                                              realization_set_digest);
-  const runtime::EnsembleCounts counts = runtime.count_outcomes(
-      realizations,
+  runtime::EnsembleReport report = runtime.count_outcomes_guarded(
+      batch,
       [&](const surge::HurricaneRealization& r) {
         return static_cast<int>(outcome_for(config, scenario, r));
       },
       key);
-
-  for (std::size_t i = 0; i < counts.counts.size(); ++i) {
-    result.outcomes.add(static_cast<threat::OperationalState>(i),
-                        static_cast<std::size_t>(counts.counts[i]));
-  }
-  result.from_cache = counts.from_cache;
-  return result;
+  return result_from_report(config, scenario, std::move(report));
 }
 
 ScenarioResult AnalysisPipeline::analyze(
@@ -173,14 +216,15 @@ std::vector<ScenarioResult> AnalysisPipeline::analyze_all(
 
 ScenarioResult AnalysisPipeline::analyze_csv(
     const scada::Configuration& config, threat::ThreatScenario scenario,
-    std::istream& in) const {
-  const LoadedRealizations loaded = load_realizations_csv(in);
+    std::istream& in, std::string_view source_name) const {
+  const LoadedRealizations loaded = load_realizations_csv(in, source_name);
   ScenarioResult result = analyze(config, scenario, loaded.realizations);
   result.skipped_realizations = loaded.skipped_rows;
   return result;
 }
 
-LoadedRealizations load_realizations_csv(std::istream& in) {
+LoadedRealizations load_realizations_csv(std::istream& in,
+                                         std::string_view source_name) {
   LoadedRealizations out;
   std::string line;
   std::size_t line_no = 0;
@@ -212,10 +256,22 @@ LoadedRealizations load_realizations_csv(std::istream& in) {
     if (why.empty() && !parse_double(fields[3], r.max_shoreline_wse_m)) {
       why = "bad max_wse_m '" + fields[3] + "'";
     }
+    // A NaN/Inf that slips in here would survive every downstream guard
+    // (the engine validates only what IT computes), so the boundary where
+    // the value enters the process is where it must be rejected.
+    if (why.empty() && !std::isfinite(r.peak_wind_ms)) {
+      why = "non-finite peak_wind_ms '" + fields[2] + "'";
+    }
+    if (why.empty() && !std::isfinite(r.max_shoreline_wse_m)) {
+      why = "non-finite max_wse_m '" + fields[3] + "'";
+    }
     if (!why.empty()) {
       ++out.skipped_rows;
-      CT_LOG(kWarn, "pipeline") << "skipping malformed realization row "
-                                << line_no << ": " << why;
+      out.errors.emplace_back(util::ErrorCode::kParse, "realizations-csv",
+                              std::string(source_name) + ":" +
+                                  std::to_string(line_no) + ": " + why);
+      CT_LOG(kWarn, "pipeline") << "skipping malformed realization row: "
+                                << out.errors.back().message();
       continue;
     }
     for (const std::string& asset : util::split(fields[1], ';')) {

@@ -44,6 +44,7 @@ class OutcomeDistribution {
 struct ScenarioResult {
   std::string config_name;
   threat::ThreatScenario scenario{};
+  /// PARTIAL distribution when degraded(): only completed realizations.
   OutcomeDistribution outcomes;
   /// Realization rows that were malformed and skipped (only non-zero when
   /// the realizations came from an external CSV; see analyze_csv).
@@ -51,6 +52,23 @@ struct ScenarioResult {
   /// True when the outcomes were served by the runtime's result cache
   /// instead of being recomputed (runner-routed analyze paths only).
   bool from_cache = false;
+
+  // Fault-isolation accounting (runner-routed analyze paths; serial
+  // analyze() is batch-fatal and always reports a clean run).
+  /// Quarantined realizations, ascending by realization index.
+  std::vector<runtime::FailureRecord> failures;
+  /// Extra attempts spent on retries (healed and exhausted).
+  std::uint64_t retries = 0;
+  /// Realizations requested / completed (equal on a clean run).
+  std::size_t attempted = 0;
+  std::size_t completed = 0;
+
+  bool degraded() const noexcept { return !failures.empty(); }
+  /// Conservative bounds on the true probability of state `s` had every
+  /// quarantined realization completed (Clopper-Pearson widened by the
+  /// quarantined mass; see EnsembleReport::mass_bound).
+  util::Interval mass_bound(threat::OperationalState s,
+                            double confidence = 0.95) const noexcept;
 };
 
 /// Realizations parsed from a CSV stream, plus the malformed rows that
@@ -58,6 +76,9 @@ struct ScenarioResult {
 struct LoadedRealizations {
   std::vector<surge::HurricaneRealization> realizations;
   std::size_t skipped_rows = 0;
+  /// One typed record per skipped row: code kParse, message carrying
+  /// "<source>:<line>: <why>" so the operator can fix the exact row.
+  std::vector<util::Error> errors;
 };
 
 /// Parses the realization interchange CSV
@@ -66,9 +87,11 @@ struct LoadedRealizations {
 ///   17,sub-honolulu;cc-waiau,43.1,1.82
 ///
 /// (`flooded_assets` is ';'-separated, possibly empty). A malformed row —
-/// wrong field count, unparsable number — is skipped, counted, and logged
-/// as a warning; the rest of the sweep proceeds.
-LoadedRealizations load_realizations_csv(std::istream& in);
+/// wrong field count, unparsable or non-finite number — is skipped,
+/// counted, recorded as a ct::Error (with `source_name` and the 1-based
+/// line number), and logged as a warning; the rest of the sweep proceeds.
+LoadedRealizations load_realizations_csv(
+    std::istream& in, std::string_view source_name = "realizations.csv");
 
 /// Writes the same interchange format (round-trips through
 /// load_realizations_csv for the fields the analysis consumes).
@@ -120,12 +143,24 @@ class AnalysisPipeline {
       runtime::EnsembleRunner& runtime,
       std::string_view realization_set_digest) const;
 
+  /// Guarded lazy variant: the batch producer (typically wrapping
+  /// EnsembleRunner::generate_guarded) reports generation failures via its
+  /// ledger, which merge with counting failures into the result's
+  /// quarantine accounting.
+  ScenarioResult analyze_lazy(
+      const scada::Configuration& config, threat::ThreatScenario scenario,
+      const runtime::EnsembleRunner::BatchFn& batch,
+      runtime::EnsembleRunner& runtime,
+      std::string_view realization_set_digest) const;
+
   /// Like analyze(), but over realizations streamed from the interchange
   /// CSV. Malformed rows degrade gracefully: they are skipped and surfaced
   /// in ScenarioResult::skipped_realizations rather than aborting the run.
+  /// `source_name` labels the stream in per-row error records.
   ScenarioResult analyze_csv(const scada::Configuration& config,
-                             threat::ThreatScenario scenario,
-                             std::istream& in) const;
+                             threat::ThreatScenario scenario, std::istream& in,
+                             std::string_view source_name =
+                                 "realizations.csv") const;
 
   /// Convenience: all configurations x one scenario.
   std::vector<ScenarioResult> analyze_all(

@@ -237,4 +237,35 @@ void write_profiles_json(std::ostream& out, std::string_view figure_id,
   out << '\n';
 }
 
+util::TextTable failure_summary_table(
+    const std::vector<ScenarioResult>& results) {
+  util::TextTable table;
+  table.set_columns(
+      {"config", "realization", "seed", "attempts", "code", "origin",
+       "message"},
+      {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+       util::Align::kRight, util::Align::kLeft, util::Align::kLeft,
+       util::Align::kLeft});
+  for (const ScenarioResult& r : results) {
+    for (const runtime::FailureRecord& f : r.failures) {
+      table.add_row({r.config_name, std::to_string(f.realization),
+                     std::to_string(f.seed), std::to_string(f.attempts),
+                     std::string(util::error_code_name(f.code)), f.origin,
+                     f.message});
+    }
+  }
+  return table;
+}
+
+int analysis_exit_code(const std::vector<ScenarioResult>& results,
+                       bool strict) noexcept {
+  bool degraded = false;
+  for (const ScenarioResult& r : results) {
+    if (r.attempted > 0 && r.completed == 0) return 4;  // nothing survived
+    degraded = degraded || r.degraded();
+  }
+  if (degraded && strict) return 3;
+  return 0;
+}
+
 }  // namespace ct::core

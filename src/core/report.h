@@ -53,4 +53,21 @@ void write_profiles_json(std::ostream& out, std::string_view figure_id,
                          const std::vector<ScenarioResult>& results,
                          bool pretty = false);
 
+/// Renders the quarantine ledger of degraded results: one row per failed
+/// realization (config, realization index, seed, attempts, error code,
+/// origin, message). Zero rows when every result completed cleanly.
+util::TextTable failure_summary_table(
+    const std::vector<ScenarioResult>& results);
+
+/// Exit-code policy of analysis commands (ctctl and any script driving
+/// it):
+///   0 — success (every result clean; best-effort runs with quarantined
+///       realizations but usable partial data also return 0);
+///   3 — degraded under --strict: at least one realization quarantined;
+///   4 — no data: realizations were attempted but NONE completed, so even
+///       best-effort has nothing to report.
+/// (1 is runtime error, 2 is usage — assigned by the CLI itself.)
+int analysis_exit_code(const std::vector<ScenarioResult>& results,
+                       bool strict) noexcept;
+
 }  // namespace ct::core

@@ -1,6 +1,9 @@
 #include "runtime/ensemble_runner.h"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
+#include <utility>
 
 #include "terrain/terrain.h"
 #include "util/digest.h"
@@ -9,13 +12,62 @@ namespace ct::runtime {
 
 namespace {
 
-ResultStoreOptions store_options(const EnsembleOptions& o) {
+ResultStoreOptions store_options(const EnsembleOptions& o,
+                                 const RuntimeFaultProfile& fault) {
   ResultStoreOptions s;
   s.memory_entries = o.memory_entries;
   s.disk = o.cache && o.disk_cache;
   s.disk_dir = o.cache_dir;
+  s.inject_write_failure = fault.cache_write_failure;
   return s;
 }
+
+RuntimeFaultProfile resolve_fault(const std::string& spec) {
+  return spec.empty() ? RuntimeFaultProfile::from_env()
+                      : RuntimeFaultProfile::parse(spec);
+}
+
+/// Cooperative stall for the delay rule: sleeps in small slices so the
+/// watchdog deadline is honored mid-stall, exactly like a long kernel
+/// polling between work units.
+void cooperative_delay(std::chrono::milliseconds total,
+                       const CancellationToken& token) {
+  using namespace std::chrono;
+  const steady_clock::time_point until = steady_clock::now() + total;
+  while (steady_clock::now() < until) {
+    token.poll("fault-delay");
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  token.poll("fault-delay");
+}
+
+}  // namespace
+
+FailureRecord make_failure_record(const TaskFailure& failure,
+                                  std::uint64_t fallback_realization,
+                                  std::uint64_t fallback_seed) {
+  FailureRecord record;
+  record.realization = fallback_realization;
+  record.seed = fallback_seed;
+  record.attempts = failure.attempts;
+  record.code = util::classify_exception(failure.error);
+  record.message = util::describe_exception(failure.error);
+  try {
+    if (failure.error) std::rethrow_exception(failure.error);
+  } catch (const util::Error& e) {
+    record.origin = e.origin();
+    record.message = e.message();
+    if (e.has_provenance()) {
+      record.realization = e.realization();
+      record.seed = e.seed();
+    }
+  } catch (...) {
+    // Foreign exception: keep the normalized what() and fallbacks.
+  }
+  return record;
+}
+
+namespace {
 
 void digest_impact(util::Digest& d, const surge::AssetImpact& impact) {
   d.str(impact.asset_id)
@@ -108,9 +160,25 @@ void digest_realization_config(util::Digest& d,
 }  // namespace
 
 EnsembleRunner::EnsembleRunner(EnsembleOptions options)
-    : options_(options), pool_(options.jobs),
-      store_(store_options(options_)) {
+    : options_(std::move(options)), fault_(resolve_fault(options_.fault_spec)),
+      pool_(options_.jobs), store_(store_options(options_, fault_)) {
   if (options_.chunk == 0) options_.chunk = 1;
+}
+
+util::Interval EnsembleReport::mass_bound(std::size_t bucket,
+                                          double confidence) const noexcept {
+  if (attempted == 0 || bucket >= counts.counts.size()) return {0.0, 1.0};
+  const std::uint64_t k = counts.counts[bucket];
+  // Exact CI for the bucket probability among the COMPLETED samples...
+  const util::Interval cp =
+      util::clopper_pearson_interval(static_cast<std::size_t>(k), completed,
+                                     confidence);
+  // ...then account for the quarantined mass: at one extreme none of the
+  // quarantined realizations belong to this bucket, at the other all do.
+  const double n = static_cast<double>(attempted);
+  const double m = static_cast<double>(completed);
+  const double q = static_cast<double>(attempted - completed);
+  return {std::max(0.0, cp.lo * m / n), std::min(1.0, (cp.hi * m + q) / n)};
 }
 
 EnsembleCounts EnsembleRunner::count_outcomes(const RealizationsFn& realizations,
@@ -192,6 +260,144 @@ std::vector<surge::HurricaneRealization> EnsembleRunner::generate(
                               }
                             });
   return out;
+}
+
+GeneratedBatch EnsembleRunner::generate_guarded(
+    const surge::RealizationEngine& engine, std::size_t count) {
+  GeneratedBatch batch;
+  batch.attempted = count;
+  const std::uint64_t seed = engine.config().base_seed;
+
+  // Same chunking as generate(): one realization is the expensive unit.
+  const std::size_t chunk = std::max<std::size_t>(1, options_.chunk / 8);
+  TaskOptions task_options;
+  task_options.timeout = options_.task_timeout;
+  task_options.max_retries = options_.max_retries;
+
+  std::vector<surge::HurricaneRealization> slots(count);
+  IsolatedRunResult run = pool_.for_each_isolated(
+      count, chunk,
+      [&](std::size_t i, unsigned attempt, const CancellationToken& token) {
+        const auto index = static_cast<std::uint64_t>(i);
+        if (fault_.throw_rule.fires(index, attempt)) {
+          throw util::Error(util::ErrorCode::kFaultInjected, "fault-injection",
+                            "injected realization failure", index, seed);
+        }
+        if (fault_.delay_rule.fires(index, attempt)) {
+          cooperative_delay(fault_.delay, token);
+        }
+        surge::HurricaneRealization r = engine.run(index);
+        if (fault_.nan_rule.fires(index, attempt)) {
+          // Poison the surge output, then run the SAME guard production
+          // data passes through — the injection proves the guard trips.
+          r.max_shoreline_wse_m = std::numeric_limits<double>::quiet_NaN();
+          surge::validate_realization(r, seed);
+        }
+        token.poll("ensemble-generate");
+        slots[i] = std::move(r);
+      },
+      task_options);
+
+  batch.ledger.retries = run.retries;
+  std::vector<bool> quarantined(count, false);
+  batch.ledger.failures.reserve(run.failures.size());
+  for (const TaskFailure& f : run.failures) {
+    quarantined[f.index] = true;
+    batch.ledger.failures.push_back(
+        make_failure_record(f, static_cast<std::uint64_t>(f.index), seed));
+  }
+  batch.realizations.reserve(count - run.failures.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!quarantined[i]) batch.realizations.push_back(std::move(slots[i]));
+  }
+  return batch;
+}
+
+EnsembleReport EnsembleRunner::count_outcomes_guarded(
+    const std::vector<surge::HurricaneRealization>& realizations,
+    const OutcomeFn& outcome, const std::string& key) {
+  return count_outcomes_guarded(
+      [&realizations]() {
+        return BatchView{&realizations, nullptr, realizations.size()};
+      },
+      outcome, key);
+}
+
+EnsembleReport EnsembleRunner::count_outcomes_guarded(
+    const BatchFn& batch_fn, const OutcomeFn& outcome,
+    const std::string& key) {
+  const bool use_cache = options_.cache && !key.empty();
+  if (use_cache) {
+    if (const auto cached = store_.lookup(key)) {
+      EnsembleReport hit;
+      hit.counts.counts = cached->counts;
+      hit.counts.total = cached->total;
+      hit.counts.from_cache = true;
+      // Only fully clean runs are ever stored, so a hit means every
+      // realization completed.
+      hit.attempted = hit.completed = cached->total;
+      return hit;
+    }
+  }
+  const BatchView view = batch_fn();
+  return count_guarded_fresh(*view.realizations,
+                             view.ledger ? *view.ledger : FailureLedger{},
+                             view.attempted, outcome,
+                             use_cache ? key : std::string());
+}
+
+EnsembleReport EnsembleRunner::count_guarded_fresh(
+    const std::vector<surge::HurricaneRealization>& realizations,
+    FailureLedger generation, std::size_t attempted, const OutcomeFn& outcome,
+    const std::string& key) {
+  // Per-index bucket slots instead of map_reduce partials: a throwing
+  // classifier must quarantine ONE slot, and the serial ascending fold
+  // below keeps the histogram bit-identical at any jobs value.
+  std::vector<std::int8_t> buckets(realizations.size(), 0);
+  TaskOptions task_options;
+  task_options.timeout = options_.task_timeout;
+  task_options.max_retries = options_.max_retries;
+  IsolatedRunResult run = pool_.for_each_isolated(
+      realizations.size(), options_.chunk,
+      [&](std::size_t i, unsigned /*attempt*/, const CancellationToken& token) {
+        token.poll("ensemble-count");
+        buckets[i] = static_cast<std::int8_t>(outcome(realizations[i]));
+      },
+      task_options);
+
+  EnsembleReport report;
+  report.attempted = attempted;
+  report.retries = generation.retries + run.retries;
+  report.failures = std::move(generation.failures);
+
+  std::vector<bool> failed(realizations.size(), false);
+  for (const TaskFailure& f : run.failures) {
+    failed[f.index] = true;
+    report.failures.push_back(
+        make_failure_record(f, realizations[f.index].index, 0));
+  }
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const FailureRecord& a, const FailureRecord& b) {
+              return a.realization < b.realization;
+            });
+
+  for (std::size_t i = 0; i < realizations.size(); ++i) {
+    if (failed[i]) continue;
+    ++report.counts.counts[static_cast<std::size_t>(buckets[i]) &
+                           (report.counts.counts.size() - 1)];
+    ++report.counts.total;
+  }
+  report.completed = report.attempted - report.failures.size();
+
+  // Cache only a fully clean run: a stored record asserts "this key's full
+  // distribution", and a partial one would poison every warm rerun.
+  if (!key.empty() && report.failures.empty()) {
+    CachedCounts record;
+    record.counts = report.counts.counts;
+    record.total = report.counts.total;
+    store_.store(key, record);
+  }
+  return report;
 }
 
 std::string EnsembleRunner::job_key(const scada::Configuration& config,

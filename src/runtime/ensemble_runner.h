@@ -19,19 +19,31 @@
 // realizations, but not the analysis pipeline); core passes the per-
 // realization outcome as a callable. This keeps the dependency graph
 // acyclic while letting every core module share one pool and one cache.
+// Fault isolation (PR 6): the *_guarded entry points run each realization
+// inside TaskPool::for_each_isolated — a failing realization is retried
+// deterministically with the SAME seed (realization i is a pure function of
+// (base_seed, i), so a retry either heals a transient fault or reproduces a
+// deterministic one), then quarantined into a FailureRecord. The surviving
+// samples still produce the partial distribution, bit-identical at any
+// --jobs value, and EnsembleReport bounds how much probability mass the
+// quarantined samples could move (Clopper-Pearson).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "runtime/fault_profile.h"
 #include "runtime/result_store.h"
 #include "runtime/task_pool.h"
 #include "scada/configuration.h"
 #include "surge/realization.h"
 #include "threat/scenario.h"
+#include "util/error.h"
+#include "util/stats.h"
 
 namespace ct::runtime {
 
@@ -46,6 +58,14 @@ struct EnsembleOptions {
   bool disk_cache = false;
   std::string cache_dir;
   std::size_t memory_entries = 4096;
+  /// Retries of a failed realization (same seed) before quarantine.
+  unsigned max_retries = 2;
+  /// Cooperative per-attempt watchdog deadline; 0 = no watchdog.
+  std::chrono::milliseconds task_timeout{0};
+  /// Fault-injection spec: "" defers to the CT_FAULT environment variable,
+  /// "none" is explicitly off (ignores the environment), anything else is
+  /// parsed by RuntimeFaultProfile::parse.
+  std::string fault_spec;
 };
 
 /// An outcome histogram as the runtime sees it (core converts to its
@@ -54,6 +74,77 @@ struct EnsembleCounts {
   std::array<std::uint64_t, 4> counts{};
   std::uint64_t total = 0;
   bool from_cache = false;
+};
+
+/// One quarantined realization: everything needed to aggregate, report,
+/// and deterministically replay the failure.
+struct FailureRecord {
+  std::uint64_t realization = 0;  ///< Monte-Carlo index (replay handle)
+  std::uint64_t seed = 0;         ///< ensemble base seed (0 when unknown)
+  unsigned attempts = 0;          ///< attempts consumed (1 + retries)
+  util::ErrorCode code = util::ErrorCode::kUnknown;
+  std::string origin;             ///< failing component ("surge", ...)
+  std::string message;            ///< last attempt's what()
+};
+
+/// TaskFailure -> FailureRecord, preferring the exception's own provenance
+/// (a ct::Error knows its realization and seed) over the fallbacks.
+FailureRecord make_failure_record(const TaskFailure& failure,
+                                  std::uint64_t fallback_realization,
+                                  std::uint64_t fallback_seed);
+
+/// Failure accounting threaded between the generation and counting stages.
+struct FailureLedger {
+  std::vector<FailureRecord> failures;  ///< sorted by realization index
+  std::uint64_t retries = 0;            ///< extra attempts (healed + exhausted)
+};
+
+struct BatchView;
+
+/// Output of generate_guarded: the surviving realizations (ascending index
+/// order, quarantined slots removed) plus the failure ledger.
+struct GeneratedBatch {
+  std::vector<surge::HurricaneRealization> realizations;
+  FailureLedger ledger;
+  std::size_t attempted = 0;
+  bool complete() const noexcept { return ledger.failures.empty(); }
+  BatchView view() const noexcept;
+};
+
+/// Non-owning view of a realization batch handed to guarded counting; the
+/// storage must outlive the count_outcomes_guarded call (it always does:
+/// the producer — a GeneratedBatch member or a caller-owned vector — lives
+/// across the call).
+struct BatchView {
+  const std::vector<surge::HurricaneRealization>* realizations = nullptr;
+  const FailureLedger* ledger = nullptr;  ///< null = clean generation
+  std::size_t attempted = 0;
+};
+
+inline BatchView GeneratedBatch::view() const noexcept {
+  return BatchView{&realizations, &ledger, attempted};
+}
+
+/// Outcome of a guarded analysis: the partial histogram over surviving
+/// realizations plus the quarantine ledger and enough accounting to bound
+/// what the quarantined mass could have changed.
+struct EnsembleReport {
+  EnsembleCounts counts;                ///< partial distribution (survivors)
+  std::vector<FailureRecord> failures;  ///< generation + counting, by index
+  std::uint64_t retries = 0;
+  std::size_t attempted = 0;  ///< realizations the caller asked for
+  std::size_t completed = 0;  ///< attempted - failures.size()
+
+  std::size_t quarantined() const noexcept { return failures.size(); }
+  bool degraded() const noexcept { return !failures.empty(); }
+
+  /// Conservative bounds on the TRUE probability of outcome `bucket` had
+  /// every quarantined realization completed: a Clopper-Pearson interval
+  /// on (count, completed) widened by the quarantined mass — the
+  /// quarantined samples might all have landed in this bucket (upper) or
+  /// none of them (lower). Exact-method coverage >= `confidence`.
+  util::Interval mass_bound(std::size_t bucket,
+                            double confidence = 0.95) const noexcept;
 };
 
 class EnsembleRunner {
@@ -65,6 +156,9 @@ class EnsembleRunner {
   /// Lazily materializes a realization set (only called on a cache miss).
   using RealizationsFn =
       std::function<const std::vector<surge::HurricaneRealization>&()>;
+  /// Lazily materializes a guarded batch view (survivors + failure
+  /// ledger); only called on a cache miss.
+  using BatchFn = std::function<BatchView()>;
 
   /// Counts outcomes over `realizations`, parallel + cached. `key` is the
   /// content address from job_key(); pass "" to bypass the cache (the
@@ -80,9 +174,42 @@ class EnsembleRunner {
                                 const std::string& key);
 
   /// Runs realizations [0, count) across the pool; bit-identical to the
-  /// engine's serial run_batch at any jobs value.
+  /// engine's serial run_batch at any jobs value. Batch-fatal: the first
+  /// realization failure aborts the whole call (use generate_guarded for
+  /// quarantine semantics).
   std::vector<surge::HurricaneRealization> generate(
       const surge::RealizationEngine& engine, std::size_t count);
+
+  // --- fault-isolated entry points ----------------------------------------
+
+  /// Fault-isolated generation: each realization runs under per-task
+  /// exception capture with the options' watchdog/retry policy, the active
+  /// fault profile injected around the engine call. Survivors come back in
+  /// ascending index order, so with an empty ledger the batch is
+  /// bit-identical to generate().
+  GeneratedBatch generate_guarded(const surge::RealizationEngine& engine,
+                                  std::size_t count);
+
+  /// Guarded counting over an already-materialized realization set. Each
+  /// outcome evaluation is isolated (a throwing classifier quarantines one
+  /// sample, not the sweep); the fold over per-index buckets runs in
+  /// ascending index order, bit-identical at any jobs value. Results are
+  /// cached under `key` ONLY when nothing failed — a partial distribution
+  /// must never masquerade as the full one on the next warm run.
+  EnsembleReport count_outcomes_guarded(
+      const std::vector<surge::HurricaneRealization>& realizations,
+      const OutcomeFn& outcome, const std::string& key);
+
+  /// Lazy guarded variant: a cache hit never materializes the batch; a
+  /// miss materializes it (typically via generate_guarded) and merges its
+  /// ledger into the report.
+  EnsembleReport count_outcomes_guarded(const BatchFn& batch_fn,
+                                        const OutcomeFn& outcome,
+                                        const std::string& key);
+
+  /// The active fault-injection profile (empty unless CT_FAULT or
+  /// options.fault_spec configured one).
+  const RuntimeFaultProfile& fault_profile() const noexcept { return fault_; }
 
   // --- content addressing -------------------------------------------------
 
@@ -118,8 +245,15 @@ class EnsembleRunner {
   EnsembleCounts count_fresh(
       const std::vector<surge::HurricaneRealization>& realizations,
       const OutcomeFn& outcome, const std::string& key);
+  /// Guarded recount over survivors; merges `generation` accounting into
+  /// the report and stores under `key` only on a fully clean run.
+  EnsembleReport count_guarded_fresh(
+      const std::vector<surge::HurricaneRealization>& realizations,
+      FailureLedger generation, std::size_t attempted,
+      const OutcomeFn& outcome, const std::string& key);
 
   EnsembleOptions options_;
+  RuntimeFaultProfile fault_;  // must init before store_ (cache-write rule)
   TaskPool pool_;
   ResultStore store_;
 };

@@ -1,0 +1,99 @@
+#include "runtime/fault_profile.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ct::runtime {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw util::Error(util::ErrorCode::kParse, "fault-profile",
+                    "bad CT_FAULT spec '" + std::string(spec) + "': " + why);
+}
+
+std::uint64_t parse_u64_or_die(std::string_view spec, std::string_view value) {
+  const std::string_view trimmed = util::trim(value);
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), out);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size() ||
+      trimmed.empty()) {
+    bad_spec(spec, "cannot parse number '" + std::string(value) + "'");
+  }
+  return out;
+}
+
+/// Parses "every=N[,offset=K][,attempts=A][,ms=M]" into `rule` (and the
+/// profile-wide delay when `ms` appears).
+void parse_keys(std::string_view spec, std::string_view keys, FaultRule& rule,
+                RuntimeFaultProfile& profile) {
+  for (const std::string& pair : util::split(keys, ',')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      bad_spec(spec, "expected key=value, got '" + pair + "'");
+    }
+    const std::string_view key = util::trim(std::string_view(pair).substr(0, eq));
+    const std::string_view value = std::string_view(pair).substr(eq + 1);
+    if (key == "every") {
+      rule.every = parse_u64_or_die(spec, value);
+      if (rule.every == 0) bad_spec(spec, "every=0 never fires");
+    } else if (key == "offset") {
+      rule.offset = parse_u64_or_die(spec, value);
+    } else if (key == "attempts") {
+      rule.attempts = static_cast<unsigned>(parse_u64_or_die(spec, value));
+      if (rule.attempts == 0) bad_spec(spec, "attempts=0 never fires");
+    } else if (key == "ms") {
+      profile.delay =
+          std::chrono::milliseconds(parse_u64_or_die(spec, value));
+    } else {
+      bad_spec(spec, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!rule.enabled()) bad_spec(spec, "directive needs every=N");
+}
+
+}  // namespace
+
+RuntimeFaultProfile RuntimeFaultProfile::parse(std::string_view spec) {
+  RuntimeFaultProfile profile;
+  const std::string_view trimmed = util::trim(spec);
+  if (trimmed.empty() || trimmed == "none" || trimmed == "off") {
+    return profile;
+  }
+  for (const std::string& directive : util::split(trimmed, ';')) {
+    const std::string_view d = util::trim(directive);
+    if (d.empty()) continue;
+    if (d == "cache-write") {
+      profile.cache_write_failure = true;
+      continue;
+    }
+    const auto colon = d.find(':');
+    if (colon == std::string_view::npos) {
+      bad_spec(spec, "unknown directive '" + std::string(d) + "'");
+    }
+    const std::string_view kind = util::trim(d.substr(0, colon));
+    const std::string_view keys = d.substr(colon + 1);
+    if (kind == "throw") {
+      parse_keys(spec, keys, profile.throw_rule, profile);
+    } else if (kind == "nan") {
+      parse_keys(spec, keys, profile.nan_rule, profile);
+    } else if (kind == "delay") {
+      parse_keys(spec, keys, profile.delay_rule, profile);
+    } else {
+      bad_spec(spec, "unknown directive '" + std::string(kind) + "'");
+    }
+  }
+  return profile;
+}
+
+RuntimeFaultProfile RuntimeFaultProfile::from_env() {
+  const char* env = std::getenv("CT_FAULT");
+  if (env == nullptr || *env == '\0') return {};
+  return parse(env);
+}
+
+}  // namespace ct::runtime

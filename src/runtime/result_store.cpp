@@ -62,6 +62,7 @@ ResultStore::ResultStore(ResultStoreOptions options)
         disk_dir_.clear();
       }
     }
+    disk_enabled_.store(!disk_dir_.empty(), std::memory_order_release);
   }
 }
 
@@ -81,7 +82,7 @@ std::optional<CachedCounts> ResultStore::lookup(const std::string& key) {
       return it->second->value;
     }
   }
-  if (disk_dir_.empty() || !key_is_safe(key)) return std::nullopt;
+  if (!disk_active() || !key_is_safe(key)) return std::nullopt;
   const std::optional<CachedCounts> from_disk = read_disk(key);
   if (!from_disk) return std::nullopt;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -96,7 +97,29 @@ void ResultStore::store(const std::string& key, const CachedCounts& value) {
     std::lock_guard<std::mutex> lock(mutex_);
     touch_locked(key, value);
   }
-  if (!disk_dir_.empty() && key_is_safe(key)) write_disk(key, value);
+  if (!disk_active() || !key_is_safe(key)) return;
+  if (write_disk(key, value)) {
+    consecutive_write_failures_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  // Soft failure: the memory layer already holds the value, so this run
+  // loses nothing — only future processes lose the warm start.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.write_failures;
+  }
+  const unsigned in_a_row =
+      consecutive_write_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  CT_LOG(kWarn, "runtime") << "result cache: disk write failed for " << key
+                           << " (" << in_a_row << " consecutive); "
+                           << "continuing memory-only for this entry";
+  if (in_a_row >= kMaxConsecutiveWriteFailures && disk_active()) {
+    disk_enabled_.store(false, std::memory_order_release);
+    CT_LOG(kWarn, "runtime")
+        << "result cache: " << kMaxConsecutiveWriteFailures
+        << " consecutive disk write failures; disk layer disabled "
+        << "(memory-only from here on)";
+  }
 }
 
 void ResultStore::touch_locked(const std::string& key,
@@ -142,12 +165,13 @@ std::optional<CachedCounts> ResultStore::read_disk(const std::string& key) {
   return v;
 }
 
-void ResultStore::write_disk(const std::string& key,
+bool ResultStore::write_disk(const std::string& key,
                              const CachedCounts& value) {
+  if (options_.inject_write_failure) return false;  // simulated ENOSPC
   std::error_code ec;
   const fs::path path = record_path(key);
   fs::create_directories(path.parent_path(), ec);
-  if (ec) return;
+  if (ec) return false;
 
   std::ostringstream record;
   record << "ctresult " << kFormatVersion << " " << key << "\n";
@@ -160,16 +184,20 @@ void ResultStore::write_disk(const std::string& key,
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return;
+    if (!out) return false;
     out << record.str();
     if (!out.flush()) {
       out.close();
       fs::remove(tmp, ec);
-      return;
+      return false;
     }
   }
   fs::rename(tmp, path, ec);
-  if (ec) fs::remove(tmp, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 ResultStore::Stats ResultStore::stats() const {

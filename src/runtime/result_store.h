@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -45,6 +46,10 @@ struct ResultStoreOptions {
   bool disk = false;
   /// Disk directory; empty picks CT_CACHE_DIR, else ~/.cache/ct.
   std::string disk_dir;
+  /// Fault injection (RuntimeFaultProfile `cache-write`): every disk write
+  /// fails as if the filesystem did (ENOSPC-style), exercising the
+  /// soft-failure fallback path without needing a full device.
+  bool inject_write_failure = false;
 };
 
 class ResultStore {
@@ -57,15 +62,23 @@ class ResultStore {
 
   /// Memory first, then disk (a disk hit is promoted into memory).
   std::optional<CachedCounts> lookup(const std::string& key);
-  /// Inserts/refreshes both layers (disk write failures are silent: the
-  /// cache is an accelerator, never a correctness dependency).
+  /// Inserts/refreshes both layers. A disk write failure (ENOSPC, read-only
+  /// mount, permission flip, injected fault) is a SOFT failure: it is
+  /// counted in stats and logged, the memory layer keeps the value, and
+  /// after kMaxConsecutiveWriteFailures in a row the disk layer turns
+  /// itself off for the rest of the process — the cache is an accelerator,
+  /// never a correctness dependency.
   void store(const std::string& key, const CachedCounts& value);
+
+  /// Disk writes failing in a row before the layer self-disables.
+  static constexpr unsigned kMaxConsecutiveWriteFailures = 3;
 
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;         ///< memory + disk
     std::uint64_t disk_hits = 0;
     std::uint64_t corrupt_discarded = 0;
+    std::uint64_t write_failures = 0;  ///< soft disk-write failures
     double hit_rate() const noexcept {
       return lookups == 0 ? 0.0
                           : static_cast<double>(hits) /
@@ -77,6 +90,11 @@ class ResultStore {
   const ResultStoreOptions& options() const noexcept { return options_; }
   /// Resolved disk directory ("" when the disk layer is off).
   const std::string& disk_dir() const noexcept { return disk_dir_; }
+  /// True while the disk layer is still writing (false when configured off
+  /// or self-disabled after repeated write failures).
+  bool disk_active() const noexcept {
+    return disk_enabled_.load(std::memory_order_acquire);
+  }
 
   /// CT_CACHE_DIR, else $XDG_CACHE_HOME/ct, else $HOME/.cache/ct, else "".
   static std::string default_cache_dir();
@@ -84,11 +102,15 @@ class ResultStore {
  private:
   std::string record_path(const std::string& key) const;
   std::optional<CachedCounts> read_disk(const std::string& key);
-  void write_disk(const std::string& key, const CachedCounts& value);
+  /// Returns false on any write failure (directory, open, flush, rename,
+  /// or injected); never throws.
+  bool write_disk(const std::string& key, const CachedCounts& value);
   void touch_locked(const std::string& key, const CachedCounts& value);
 
   ResultStoreOptions options_;
   std::string disk_dir_;
+  std::atomic<bool> disk_enabled_{false};
+  std::atomic<unsigned> consecutive_write_failures_{0};
 
   mutable std::mutex mutex_;
   // LRU: list front = most recent; map points into the list.

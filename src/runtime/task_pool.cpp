@@ -1,6 +1,9 @@
 #include "runtime/task_pool.h"
 
 #include <algorithm>
+#include <iterator>
+
+#include "util/error.h"
 
 namespace ct::runtime {
 
@@ -8,6 +11,29 @@ namespace {
 /// Sentinel "self" for threads without an own deque (submitters): steal only.
 constexpr std::size_t kNoOwnDeque = static_cast<std::size_t>(-1);
 }  // namespace
+
+CancellationToken::CancellationToken(std::chrono::milliseconds timeout) {
+  if (timeout.count() > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() + timeout;
+  }
+}
+
+bool CancellationToken::cancelled() const noexcept {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CancellationToken::poll(std::string_view origin) const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    throw util::Error(util::ErrorCode::kCancelled, origin,
+                      "cancellation requested");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    throw util::Error(util::ErrorCode::kTimeout, origin,
+                      "cooperative watchdog deadline expired");
+  }
+}
 
 TaskPool::TaskPool(unsigned threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -134,6 +160,53 @@ void TaskPool::parallel_for_each(std::size_t n, std::size_t chunk,
   parallel_for_ranges(n, chunk, [&fn](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
+}
+
+IsolatedRunResult TaskPool::for_each_isolated(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, unsigned, const CancellationToken&)>&
+        fn,
+    const TaskOptions& options) {
+  IsolatedRunResult result;
+  std::mutex ledger_mutex;  // guards result between concurrent chunks
+
+  parallel_for_ranges(n, chunk, [&](std::size_t begin, std::size_t end) {
+    // Chunk-local ledger: one lock per chunk, not per failure.
+    std::vector<TaskFailure> failures;
+    std::uint64_t retries = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (unsigned attempt = 1;; ++attempt) {
+        // Fresh token per attempt: the watchdog deadline restarts, so a
+        // retry is judged on its own time budget.
+        const CancellationToken token(options.timeout);
+        try {
+          fn(i, attempt, token);
+          retries += attempt - 1;
+          break;
+        } catch (...) {
+          if (attempt <= options.max_retries) continue;
+          failures.push_back(TaskFailure{i, attempt, std::current_exception()});
+          retries += attempt - 1;
+          break;
+        }
+      }
+    }
+    if (!failures.empty() || retries != 0) {
+      std::lock_guard<std::mutex> lock(ledger_mutex);
+      result.retries += retries;
+      result.failures.insert(result.failures.end(),
+                             std::make_move_iterator(failures.begin()),
+                             std::make_move_iterator(failures.end()));
+    }
+  });
+
+  // Chunks complete in scheduling order; normalize so the ledger is a pure
+  // function of fn's behavior, not of the thread count.
+  std::sort(result.failures.begin(), result.failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return result;
 }
 
 }  // namespace ct::runtime

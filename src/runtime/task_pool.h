@@ -15,16 +15,78 @@
 // serial path is not an approximation, it is literally the same code.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace ct::runtime {
+
+/// Cooperative cancellation + deadline handle handed to isolated tasks.
+/// The watchdog is the deadline itself: there is no killer thread — a long
+/// kernel polls `cancelled()` (or `poll()`, which throws a typed
+/// ct::Error) and unwinds itself, so a wedged realization is contained
+/// without ever interrupting a thread mid-kernel.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// Token whose cancelled() flips true once `timeout` elapses (measured
+  /// from construction). timeout <= 0 means no deadline.
+  explicit CancellationToken(std::chrono::milliseconds timeout);
+
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+  /// True once cancel was requested OR the deadline passed.
+  bool cancelled() const noexcept;
+  bool has_deadline() const noexcept { return has_deadline_; }
+
+  /// Throws ct::Error{kTimeout} (deadline) or ct::Error{kCancelled}
+  /// (explicit request) when cancelled; otherwise returns. Long kernels
+  /// call this between work units.
+  void poll(std::string_view origin) const;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Knobs of an isolated batch (TaskPool::for_each_isolated).
+struct TaskOptions {
+  /// Cooperative per-attempt deadline; 0 = no watchdog.
+  std::chrono::milliseconds timeout{0};
+  /// Re-runs of a failed index before it is given up on (the caller — the
+  /// EnsembleRunner — turns the final failure into a quarantine record).
+  unsigned max_retries = 0;
+};
+
+/// One index that exhausted its attempts.
+struct TaskFailure {
+  std::size_t index = 0;
+  unsigned attempts = 0;  ///< attempts consumed (1 + retries)
+  std::exception_ptr error;  ///< the LAST attempt's exception
+};
+
+/// Outcome of for_each_isolated: the failure ledger plus retry accounting.
+struct IsolatedRunResult {
+  /// Failed indices, sorted ascending — deterministic at any thread count
+  /// when fn's behavior is a pure function of (index, attempt).
+  std::vector<TaskFailure> failures;
+  /// Extra attempts spent across all indices (both healed and exhausted).
+  std::uint64_t retries = 0;
+};
 
 class TaskPool {
  public:
@@ -54,6 +116,19 @@ class TaskPool {
   /// Element-wise convenience: fn(i) for every i in [0, n).
   void parallel_for_each(std::size_t n, std::size_t chunk,
                          const std::function<void(std::size_t)>& fn);
+
+  /// Fault-isolated element-wise run: fn(i, attempt, token) for every i in
+  /// [0, n), with per-INDEX exception capture instead of the batch-fatal
+  /// rethrow of parallel_for_each. A throwing index is re-attempted up to
+  /// options.max_retries times (fresh token, deadline restarted; `attempt`
+  /// counts from 1), then recorded in the result ledger; every other index
+  /// still runs. The token's deadline (options.timeout) is the cooperative
+  /// watchdog — fn must poll it for a hung attempt to be contained.
+  IsolatedRunResult for_each_isolated(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, unsigned,
+                               const CancellationToken&)>& fn,
+      const TaskOptions& options = {});
 
   /// Maps fixed chunks of [0, n) to partial results, then reduces them in
   /// ascending chunk order on the calling thread — the reduction order (and

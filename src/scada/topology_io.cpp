@@ -1,30 +1,41 @@
 #include "scada/topology_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
 #include "util/csv.h"
+#include "util/error.h"
 #include "util/strings.h"
 
 namespace ct::scada {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("topology CSV line " + std::to_string(line) + ": " +
-                           what);
+/// Every malformed row becomes a ct::Error carrying the source name and
+/// 1-based line number, so "topology.csv:17: latitude out of range" is
+/// greppable straight from a failure summary.
+[[noreturn]] void fail(std::string_view source, std::size_t line,
+                       const std::string& what) {
+  throw ct::Error(util::ErrorCode::kParse, "topology-csv",
+                  std::string(source) + ":" + std::to_string(line) + ": " +
+                      what);
 }
 
-double parse_double(std::string_view field, std::size_t line,
-                    const char* what) {
+double parse_double(std::string_view field, std::string_view source,
+                    std::size_t line, const char* what) {
   const std::string_view trimmed = util::trim(field);
   double value = 0.0;
   const auto [ptr, ec] = std::from_chars(
       trimmed.data(), trimmed.data() + trimmed.size(), value);
   if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
-    fail(line, std::string("cannot parse ") + what + ": '" +
-                   std::string(field) + "'");
+    fail(source, line, std::string("cannot parse ") + what + ": '" +
+                           std::string(field) + "'");
+  }
+  if (!std::isfinite(value)) {
+    fail(source, line,
+         std::string("non-finite ") + what + ": '" + std::string(field) + "'");
   }
   return value;
 }
@@ -60,21 +71,23 @@ void save_topology_csv(std::ostream& out, const ScadaTopology& topology) {
   }
 }
 
-ScadaTopology load_topology_csv(std::istream& in) {
+ScadaTopology load_topology_csv(std::istream& in,
+                                std::string_view source_name) {
   ScadaTopology topology;
   std::string line;
   std::size_t line_number = 0;
 
   // Header.
   if (!std::getline(in, line)) {
-    throw std::runtime_error("topology CSV: empty input");
+    throw ct::Error(util::ErrorCode::kParse, "topology-csv",
+                    std::string(source_name) + ": empty input");
   }
   ++line_number;
   const auto header = util::parse_csv_line(util::trim(line));
   const std::vector<std::string> expected = {"id",  "name", "type",
                                              "lat", "lon",  "elevation_m"};
   if (header != expected) {
-    fail(line_number,
+    fail(source_name, line_number,
          "expected header 'id,name,type,lat,lon,elevation_m', got '" +
              std::string(util::trim(line)) + "'");
   }
@@ -86,32 +99,38 @@ ScadaTopology load_topology_csv(std::istream& in) {
     try {
       fields = util::parse_csv_line(line);
     } catch (const std::invalid_argument& e) {
-      fail(line_number, e.what());
+      fail(source_name, line_number, e.what());
     }
     if (fields.size() != 6) {
-      fail(line_number, "expected 6 fields, got " +
-                            std::to_string(fields.size()));
+      fail(source_name, line_number,
+           "expected 6 fields, got " + std::to_string(fields.size()));
     }
     Asset asset;
     asset.id = std::string(util::trim(fields[0]));
     asset.name = std::string(util::trim(fields[1]));
+    if (asset.id.empty()) fail(source_name, line_number, "empty asset id");
     const auto type = parse_asset_type(fields[2]);
-    if (!type) fail(line_number, "unknown asset type: '" + fields[2] + "'");
+    if (!type) {
+      fail(source_name, line_number,
+           "unknown asset type: '" + fields[2] + "'");
+    }
     asset.type = *type;
-    asset.location.lat_deg = parse_double(fields[3], line_number, "lat");
-    asset.location.lon_deg = parse_double(fields[4], line_number, "lon");
+    asset.location.lat_deg =
+        parse_double(fields[3], source_name, line_number, "lat");
+    asset.location.lon_deg =
+        parse_double(fields[4], source_name, line_number, "lon");
     asset.ground_elevation_m =
-        parse_double(fields[5], line_number, "elevation_m");
+        parse_double(fields[5], source_name, line_number, "elevation_m");
     if (asset.location.lat_deg < -90.0 || asset.location.lat_deg > 90.0) {
-      fail(line_number, "latitude out of range");
+      fail(source_name, line_number, "latitude out of range");
     }
     if (asset.location.lon_deg < -180.0 || asset.location.lon_deg > 180.0) {
-      fail(line_number, "longitude out of range");
+      fail(source_name, line_number, "longitude out of range");
     }
     try {
       topology.add(std::move(asset));
     } catch (const std::invalid_argument& e) {
-      fail(line_number, e.what());
+      fail(source_name, line_number, e.what());
     }
   }
   return topology;

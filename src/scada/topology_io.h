@@ -22,9 +22,12 @@ std::optional<AssetType> parse_asset_type(std::string_view name) noexcept;
 void save_topology_csv(std::ostream& out, const ScadaTopology& topology);
 
 /// Reads a topology from CSV. The header row is required and validated.
-/// Throws std::runtime_error with a line number on malformed input
-/// (wrong column count, unknown type, unparsable number, duplicate id,
-/// out-of-range coordinates).
-ScadaTopology load_topology_csv(std::istream& in);
+/// Throws ct::Error{kParse, "topology-csv"} whose message carries
+/// `source_name` and the 1-based line number on malformed input (wrong
+/// column count, unknown/empty id or type, unparsable or non-finite
+/// number, duplicate id, out-of-range coordinates). Error derives from
+/// std::runtime_error, so existing catch sites keep working.
+ScadaTopology load_topology_csv(std::istream& in,
+                                std::string_view source_name = "topology.csv");
 
 }  // namespace ct::scada

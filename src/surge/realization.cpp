@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
+#include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -63,7 +65,48 @@ const terrain::Terrain& require_terrain(
   if (!terrain) throw std::invalid_argument("RealizationEngine: null terrain");
   return *terrain;
 }
+
+/// Maximum of `values` with a fused finiteness check. A plain max_element
+/// can silently SKIP a NaN (NaN comparisons are false both ways), so the
+/// guard must ride the same scan. Bit-identical to max_element on finite
+/// data. Returns 0 for an empty vector.
+double guarded_max(const std::vector<double>& values, std::uint64_t index,
+                   std::uint64_t base_seed) {
+  double max = 0.0;
+  bool first = true;
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      throw util::Error(util::ErrorCode::kNumeric, "surge",
+                        "non-finite shoreline WSE", index, base_seed);
+    }
+    if (first || v > max) {
+      max = v;
+      first = false;
+    }
+  }
+  return max;
+}
 }  // namespace
+
+void validate_realization(const HurricaneRealization& realization,
+                          std::uint64_t base_seed) {
+  const auto fail = [&](const char* what) {
+    throw util::Error(util::ErrorCode::kNumeric, "surge", what,
+                      realization.index, base_seed);
+  };
+  if (!std::isfinite(realization.peak_wind_ms)) {
+    fail("non-finite peak surface wind");
+  }
+  if (!std::isfinite(realization.max_shoreline_wse_m)) {
+    fail("non-finite max shoreline WSE");
+  }
+  for (const AssetImpact& impact : realization.impacts) {
+    if (!std::isfinite(impact.inundation_depth_m) ||
+        !std::isfinite(impact.peak_wind_ms)) {
+      fail("non-finite asset impact");
+    }
+  }
+}
 
 RealizationEngine::RealizationEngine(
     std::shared_ptr<const terrain::Terrain> terrain,
@@ -161,10 +204,8 @@ HurricaneRealization RealizationEngine::run(std::uint64_t index,
     apply_wind_fragility(track, index, out);
   }
   out.max_shoreline_wse_m =
-      scratch.shore_wse.empty()
-          ? 0.0
-          : *std::max_element(scratch.shore_wse.begin(),
-                              scratch.shore_wse.end());
+      guarded_max(scratch.shore_wse, index, config_.base_seed);
+  validate_realization(out, config_.base_seed);
   return out;
 }
 
@@ -196,9 +237,8 @@ HurricaneRealization RealizationEngine::run_reference(
   if (config_.fragility.enabled) {
     apply_wind_fragility(track, index, out);
   }
-  out.max_shoreline_wse_m =
-      shore_wse.empty() ? 0.0
-                        : *std::max_element(shore_wse.begin(), shore_wse.end());
+  out.max_shoreline_wse_m = guarded_max(shore_wse, index, config_.base_seed);
+  validate_realization(out, config_.base_seed);
   return out;
 }
 

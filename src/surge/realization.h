@@ -90,6 +90,16 @@ struct RealizationScratch {
   std::vector<double> station_snapshot;
 };
 
+/// Validates a realization's numeric outputs: throws ct::Error{kNumeric}
+/// (with realization/seed provenance) when the peak wind, shoreline WSE,
+/// or any asset depth is NaN/Inf. The engine calls this on both execution
+/// paths so a numerically exploded realization fails ITSELF — a typed,
+/// quarantinable error — instead of leaking poisoned values into the
+/// outcome distribution. The ensemble runtime also re-validates after
+/// fault injection (RuntimeFaultProfile nan rule).
+void validate_realization(const HurricaneRealization& realization,
+                          std::uint64_t base_seed);
+
 /// Deterministic Monte-Carlo engine. Construct once (builds the mesh and
 /// the MeshBindings precompute), then run realizations on demand.
 /// Thread-compatible: `run` is const and all shared state is read-only, so

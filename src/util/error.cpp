@@ -1,0 +1,83 @@
+#include "util/error.h"
+
+namespace ct::util {
+
+namespace {
+
+std::string format_what(ErrorCode code, std::string_view origin,
+                        std::string_view message, bool has_provenance,
+                        std::uint64_t realization, std::uint64_t seed) {
+  std::string out;
+  out.reserve(origin.size() + message.size() + 48);
+  out += '[';
+  out += error_code_name(code);
+  out += "] ";
+  out += origin;
+  out += ": ";
+  out += message;
+  if (has_provenance) {
+    out += " (realization ";
+    out += std::to_string(realization);
+    out += ", seed ";
+    out += std::to_string(seed);
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kInvalidInput: return "invalid-input";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kNumeric: return "numeric";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCacheIo: return "cache-io";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorCode code, std::string_view origin, std::string_view message)
+    : std::runtime_error(
+          format_what(code, origin, message, false, 0, 0)),
+      code_(code), origin_(origin), message_(message) {}
+
+Error::Error(ErrorCode code, std::string_view origin, std::string_view message,
+             std::uint64_t realization, std::uint64_t seed)
+    : std::runtime_error(
+          format_what(code, origin, message, true, realization, seed)),
+      code_(code), origin_(origin), message_(message), has_provenance_(true),
+      realization_(realization), seed_(seed) {}
+
+ErrorCode classify_exception(const std::exception_ptr& error) noexcept {
+  if (!error) return ErrorCode::kUnknown;
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return e.code();
+  } catch (...) {
+    return ErrorCode::kUnknown;
+  }
+}
+
+std::string describe_exception(const std::exception_ptr& error) noexcept {
+  if (!error) return "<no exception>";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    try {
+      return e.what();
+    } catch (...) {
+      return "<unprintable exception>";
+    }
+  } catch (...) {
+    return "<non-standard exception>";
+  }
+}
+
+}  // namespace ct::util

@@ -1,0 +1,81 @@
+// Structured error taxonomy for runtime boundaries. Instead of ad-hoc
+// `throw std::runtime_error(...)`, fault-isolated layers throw ct::Error:
+// a typed code (so failure summaries can aggregate), an origin component,
+// and — for per-realization failures — (realization index, seed)
+// provenance, so every quarantined Monte-Carlo sample can be replayed
+// deterministically from its record.
+//
+// Error derives from std::runtime_error on purpose: every existing
+// `catch (const std::exception&)` / `catch (const std::runtime_error&)`
+// boundary keeps working, and what() carries the fully formatted message.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ct::util {
+
+/// Failure categories the runtime distinguishes. Aggregation (failure
+/// summaries, CI fault matrices) groups by this code, so add a new value
+/// rather than overloading an existing one when semantics differ.
+enum class ErrorCode {
+  kUnknown = 0,     ///< foreign exception normalized at an isolation boundary
+  kInvalidInput,    ///< caller-supplied argument/config out of contract
+  kParse,           ///< malformed external input (CSV row, fault spec, ...)
+  kNumeric,         ///< NaN/Inf escaped a kernel (surge stepping, smoothing)
+  kTimeout,         ///< cooperative watchdog deadline expired
+  kCancelled,       ///< cancellation requested by the batch owner
+  kIo,              ///< file/stream I/O failure outside the cache
+  kCacheIo,         ///< result-cache disk layer failure (always soft)
+  kFaultInjected,   ///< CT_FAULT / RuntimeFaultProfile injected failure
+};
+
+/// Stable lower-case name ("numeric", "timeout", ...) for summaries.
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Structured runtime error: code + origin component + optional
+/// (realization, seed) provenance.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, std::string_view origin, std::string_view message);
+  /// Per-realization failure: `realization` is the Monte-Carlo index,
+  /// `seed` the ensemble base seed — together they replay the sample.
+  Error(ErrorCode code, std::string_view origin, std::string_view message,
+        std::uint64_t realization, std::uint64_t seed);
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& origin() const noexcept { return origin_; }
+  /// The raw message without the "[code] origin:" prefix what() carries.
+  const std::string& message() const noexcept { return message_; }
+
+  bool has_provenance() const noexcept { return has_provenance_; }
+  std::uint64_t realization() const noexcept { return realization_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  ErrorCode code_;
+  std::string origin_;
+  std::string message_;
+  bool has_provenance_ = false;
+  std::uint64_t realization_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+/// Maps any in-flight exception to its taxonomy code: a ct::Error keeps its
+/// own code, everything else normalizes to kUnknown. Never throws.
+ErrorCode classify_exception(const std::exception_ptr& error) noexcept;
+
+/// what() of any exception_ptr ("<non-standard exception>" for foreign
+/// types). Never throws.
+std::string describe_exception(const std::exception_ptr& error) noexcept;
+
+}  // namespace ct::util
+
+namespace ct {
+/// The taxonomy is used across layers; `ct::Error` is the canonical name.
+using Error = util::Error;
+using ErrorCode = util::ErrorCode;
+}  // namespace ct

@@ -51,6 +51,15 @@ Interval wilson_interval(std::size_t successes, std::size_t n,
 /// Normal-approximation CI for a mean from running stats.
 Interval mean_interval(const RunningStats& stats, double z = 1.96) noexcept;
 
+/// Exact (Clopper-Pearson) two-sided binomial CI for `successes` out of
+/// `n` at `confidence` (default 95%). Inverts the regularized incomplete
+/// beta function by bisection; conservative by construction — coverage is
+/// AT LEAST `confidence` for every true p, which is the guarantee the
+/// quarantine mass bounds need (a Wilson interval can undercover at the
+/// extreme p values the paper's outcomes actually produce).
+Interval clopper_pearson_interval(std::size_t successes, std::size_t n,
+                                  double confidence = 0.95) noexcept;
+
 /// Fixed-width histogram over [lo, hi); samples outside the range are
 /// counted in saturated edge bins so nothing is silently dropped.
 class Histogram {

@@ -9,18 +9,24 @@
 // suite at 1 and 8).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/case_study.h"
 #include "core/pipeline.h"
+#include "core/report.h"
 #include "runtime/ensemble_runner.h"
 #include "scada/oahu.h"
 #include "surge/realization.h"
 #include "terrain/oahu.h"
 #include "threat/scenario.h"
+#include "util/error.h"
+#include "util/stats.h"
 
 namespace ct {
 namespace {
@@ -260,6 +266,321 @@ TEST(EnsembleCaseStudyTest, RunnerFacadeDeterministicAndCached) {
     EXPECT_TRUE(again.from_cache);
     expect_same(want[0], again, "cached rerun");
   }
+}
+
+// --- fault isolation (PR 6) -------------------------------------------------
+
+/// Options for the guarded paths: fault_spec "none" (not "") so a CT_FAULT
+/// set by a CI fault-matrix job cannot leak into clean-path expectations.
+runtime::EnsembleOptions guarded_options(unsigned jobs, const char* spec,
+                                         unsigned retries) {
+  runtime::EnsembleOptions options = make_options(jobs);
+  options.fault_spec = spec;
+  options.max_retries = retries;
+  return options;
+}
+
+int simple_outcome(const surge::HurricaneRealization& r) {
+  return r.impacts.empty() ? 0 : (r.impacts.size() > 2 ? 2 : 1);
+}
+
+TEST(EnsembleGuardedTest, CleanGuardedRunMatchesUnguarded) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  runtime::EnsembleRunner runner(guarded_options(4, "none", 2));
+  const auto reference = runner.generate(engine, kRealizations);
+  const runtime::GeneratedBatch batch =
+      runner.generate_guarded(engine, kRealizations);
+  EXPECT_TRUE(batch.complete());
+  EXPECT_EQ(batch.attempted, kRealizations);
+  ASSERT_EQ(batch.realizations.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(batch.realizations[i].index, reference[i].index);
+    EXPECT_EQ(batch.realizations[i].max_shoreline_wse_m,
+              reference[i].max_shoreline_wse_m);
+  }
+
+  const runtime::EnsembleCounts plain =
+      runner.count_outcomes(reference, simple_outcome, "");
+  const runtime::EnsembleReport guarded =
+      runner.count_outcomes_guarded(batch.realizations, simple_outcome, "");
+  EXPECT_FALSE(guarded.degraded());
+  EXPECT_EQ(guarded.attempted, guarded.completed);
+  EXPECT_EQ(guarded.counts.counts, plain.counts);
+  EXPECT_EQ(guarded.counts.total, plain.total);
+}
+
+/// The acceptance gate of the quarantine machinery: the ledger AND the
+/// partial distribution must be bit-identical at any --jobs value.
+TEST(EnsembleGuardedTest, QuarantineDeterministicAcrossJobs) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  constexpr const char* kSpec = "throw:every=7";  // fires on every attempt
+
+  runtime::EnsembleRunner serial(guarded_options(1, kSpec, 1));
+  const runtime::GeneratedBatch reference =
+      serial.generate_guarded(engine, kRealizations);
+  const runtime::EnsembleReport reference_report =
+      serial.count_outcomes_guarded(reference.realizations, simple_outcome,
+                                    "");
+
+  // Indices 0, 7, 14, 21, 28, 35 quarantine after 1 + 1 attempts.
+  ASSERT_EQ(reference.ledger.failures.size(), 6u);
+  EXPECT_EQ(reference.ledger.retries, 6u);
+  for (std::size_t i = 0; i < reference.ledger.failures.size(); ++i) {
+    const runtime::FailureRecord& f = reference.ledger.failures[i];
+    EXPECT_EQ(f.realization, i * 7);
+    EXPECT_EQ(f.seed, kSeeds[0]);
+    EXPECT_EQ(f.attempts, 2u);
+    EXPECT_EQ(f.code, util::ErrorCode::kFaultInjected);
+  }
+  EXPECT_EQ(reference.realizations.size(), kRealizations - 6);
+
+  for (const unsigned jobs : job_counts()) {
+    runtime::EnsembleRunner parallel(guarded_options(jobs, kSpec, 1));
+    const runtime::GeneratedBatch batch =
+        parallel.generate_guarded(engine, kRealizations);
+    ASSERT_EQ(batch.realizations.size(), reference.realizations.size())
+        << "jobs " << jobs;
+    for (std::size_t i = 0; i < reference.realizations.size(); ++i) {
+      EXPECT_EQ(batch.realizations[i].index, reference.realizations[i].index);
+      EXPECT_EQ(batch.realizations[i].max_shoreline_wse_m,
+                reference.realizations[i].max_shoreline_wse_m);
+    }
+    ASSERT_EQ(batch.ledger.failures.size(), reference.ledger.failures.size());
+    for (std::size_t i = 0; i < reference.ledger.failures.size(); ++i) {
+      EXPECT_EQ(batch.ledger.failures[i].realization,
+                reference.ledger.failures[i].realization);
+      EXPECT_EQ(batch.ledger.failures[i].attempts,
+                reference.ledger.failures[i].attempts);
+    }
+    const runtime::EnsembleReport report = parallel.count_outcomes_guarded(
+        batch.realizations, simple_outcome, "");
+    EXPECT_EQ(report.counts.counts, reference_report.counts.counts)
+        << "jobs " << jobs;
+    EXPECT_EQ(report.counts.total, reference_report.counts.total);
+  }
+}
+
+TEST(EnsembleGuardedTest, RetryHealsFirstAttemptFault) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  runtime::EnsembleRunner clean(guarded_options(4, "none", 0));
+  const auto reference = clean.generate(engine, kRealizations);
+
+  // The rule fires only on attempt 1: one retry (same seed) heals every
+  // injected failure, so the batch is complete AND bit-identical.
+  runtime::EnsembleRunner runner(guarded_options(4, "throw:every=5,attempts=1", 2));
+  const runtime::GeneratedBatch batch =
+      runner.generate_guarded(engine, kRealizations);
+  EXPECT_TRUE(batch.complete());
+  EXPECT_EQ(batch.ledger.retries, 8u);  // indices 0, 5, ..., 35 healed
+  ASSERT_EQ(batch.realizations.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(batch.realizations[i].index, reference[i].index);
+    EXPECT_EQ(batch.realizations[i].peak_wind_ms, reference[i].peak_wind_ms);
+    EXPECT_EQ(batch.realizations[i].max_shoreline_wse_m,
+              reference[i].max_shoreline_wse_m);
+  }
+}
+
+TEST(EnsembleGuardedTest, NanGuardTripsAsTypedNumericFailure) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  runtime::EnsembleRunner runner(guarded_options(2, "nan:every=9", 0));
+  const runtime::GeneratedBatch batch =
+      runner.generate_guarded(engine, kRealizations);
+  // Indices 0, 9, 18, 27, 36: the planted NaN must fail the realization
+  // (typed, with provenance), never poison the distribution.
+  ASSERT_EQ(batch.ledger.failures.size(), 5u);
+  for (const runtime::FailureRecord& f : batch.ledger.failures) {
+    EXPECT_EQ(f.code, util::ErrorCode::kNumeric);
+    EXPECT_EQ(f.origin, "surge");
+    EXPECT_EQ(f.seed, kSeeds[0]);
+  }
+  for (const surge::HurricaneRealization& r : batch.realizations) {
+    EXPECT_TRUE(std::isfinite(r.max_shoreline_wse_m));
+  }
+}
+
+TEST(EnsembleGuardedTest, WatchdogTimesOutDelayedRealizations) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  runtime::EnsembleOptions options =
+      guarded_options(2, "delay:every=10,ms=500", 0);
+  options.task_timeout = std::chrono::milliseconds(40);
+  runtime::EnsembleRunner runner(options);
+  const runtime::GeneratedBatch batch = runner.generate_guarded(engine, 20);
+  // Indices 0 and 10 stall past the deadline; the cooperative delay polls
+  // the token, so each attempt unwinds as a typed timeout.
+  ASSERT_EQ(batch.ledger.failures.size(), 2u);
+  EXPECT_EQ(batch.ledger.failures[0].realization, 0u);
+  EXPECT_EQ(batch.ledger.failures[1].realization, 10u);
+  for (const runtime::FailureRecord& f : batch.ledger.failures) {
+    EXPECT_EQ(f.code, util::ErrorCode::kTimeout);
+  }
+  EXPECT_EQ(batch.realizations.size(), 18u);
+}
+
+TEST(EnsembleGuardedTest, PartialResultIsNeverCached) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+  const std::string key = "fe12fe12fe12fe12fe12fe12fe12fe12";
+
+  runtime::EnsembleOptions degraded_options =
+      guarded_options(2, "throw:every=7", 0);
+  degraded_options.cache = true;
+  runtime::EnsembleRunner degraded(degraded_options);
+  const runtime::GeneratedBatch batch =
+      degraded.generate_guarded(engine, kRealizations);
+  // The batch view carries the quarantine ledger; counting over it keeps
+  // the generation failures in the report.
+  const runtime::EnsembleRunner::BatchFn batch_fn = [&]() {
+    return batch.view();
+  };
+  const runtime::EnsembleReport first =
+      degraded.count_outcomes_guarded(batch_fn, simple_outcome, key);
+  EXPECT_TRUE(first.degraded());
+  EXPECT_FALSE(first.counts.from_cache);
+  // A degraded result must NOT have been stored under the full-ensemble
+  // key: the rerun recomputes instead of serving the partial histogram.
+  const runtime::EnsembleReport second =
+      degraded.count_outcomes_guarded(batch_fn, simple_outcome, key);
+  EXPECT_FALSE(second.counts.from_cache);
+
+  // A clean runner stores under the same key and the hit is complete.
+  runtime::EnsembleOptions clean_options = guarded_options(2, "none", 0);
+  clean_options.cache = true;
+  runtime::EnsembleRunner clean(clean_options);
+  const auto rels = clean.generate(engine, kRealizations);
+  const runtime::EnsembleReport cold =
+      clean.count_outcomes_guarded(rels, simple_outcome, key);
+  EXPECT_FALSE(cold.counts.from_cache);
+  const runtime::EnsembleReport warm =
+      clean.count_outcomes_guarded(rels, simple_outcome, key);
+  EXPECT_TRUE(warm.counts.from_cache);
+  EXPECT_EQ(warm.attempted, warm.completed);
+  EXPECT_EQ(warm.counts.counts, cold.counts.counts);
+}
+
+TEST(EnsembleGuardedTest, MassBoundBracketsTrueProbability) {
+  const surge::RealizationEngine engine = make_engine(kSeeds[0]);
+
+  // Ground truth: the clean full ensemble.
+  runtime::EnsembleRunner clean(guarded_options(2, "none", 0));
+  const auto full = clean.generate(engine, kRealizations);
+  const runtime::EnsembleReport truth =
+      clean.count_outcomes_guarded(full, simple_outcome, "");
+
+  runtime::EnsembleRunner degraded(guarded_options(2, "throw:every=7", 0));
+  const runtime::GeneratedBatch batch =
+      degraded.generate_guarded(engine, kRealizations);
+  const runtime::EnsembleReport partial = degraded.count_outcomes_guarded(
+      [&]() { return batch.view(); }, simple_outcome, "");
+  ASSERT_TRUE(partial.degraded());
+  EXPECT_EQ(partial.attempted, kRealizations);
+  EXPECT_EQ(partial.completed, kRealizations - 6);
+
+  for (std::size_t bucket = 0; bucket < 4; ++bucket) {
+    const util::Interval bound = partial.mass_bound(bucket);
+    EXPECT_GE(bound.lo, 0.0);
+    EXPECT_LE(bound.hi, 1.0);
+    EXPECT_LE(bound.lo, bound.hi);
+    const double true_p =
+        static_cast<double>(truth.counts.counts[bucket]) /
+        static_cast<double>(truth.counts.total);
+    EXPECT_TRUE(bound.contains(true_p))
+        << "bucket " << bucket << ": true " << true_p << " not in ["
+        << bound.lo << ", " << bound.hi << "]";
+  }
+
+  // A clean report's bound still contains its own point estimate.
+  for (std::size_t bucket = 0; bucket < 4; ++bucket) {
+    const util::Interval bound = truth.mass_bound(bucket);
+    const double p = static_cast<double>(truth.counts.counts[bucket]) /
+                     static_cast<double>(truth.counts.total);
+    EXPECT_TRUE(bound.contains(p)) << "bucket " << bucket;
+  }
+}
+
+/// End to end through the CaseStudyRunner facade: a fault profile degrades
+/// the run gracefully — partial distribution, quarantine accounting — and
+/// stays bit-identical across jobs values.
+TEST(EnsembleGuardedTest, CaseStudyDegradesGracefully) {
+  const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  const auto scenario = threat::ThreatScenario::kHurricaneIntrusion;
+
+  const auto run = [&](unsigned jobs) {
+    core::CaseStudyOptions options;
+    options.realizations = 26;
+    options.runtime = guarded_options(jobs, "throw:every=13", 1);
+    core::CaseStudyRunner runner = core::make_oahu_case_study(options);
+    return runner.run(configs[0], scenario);
+  };
+
+  const core::ScenarioResult serial = run(1);
+  EXPECT_TRUE(serial.degraded());
+  EXPECT_EQ(serial.attempted, 26u);
+  EXPECT_EQ(serial.completed, 24u);
+  ASSERT_EQ(serial.failures.size(), 2u);  // indices 0 and 13
+  EXPECT_EQ(serial.failures[0].realization, 0u);
+  EXPECT_EQ(serial.failures[1].realization, 13u);
+  EXPECT_EQ(serial.outcomes.total(), 24u);
+  const util::Interval bound =
+      serial.mass_bound(threat::OperationalState::kRed);
+  EXPECT_LE(bound.lo, bound.hi);
+
+  for (const unsigned jobs : job_counts()) {
+    const core::ScenarioResult parallel = run(jobs);
+    expect_same(serial, parallel, "degraded jobs " + std::to_string(jobs));
+    ASSERT_EQ(parallel.failures.size(), serial.failures.size());
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+      EXPECT_EQ(parallel.failures[i].realization,
+                serial.failures[i].realization);
+    }
+  }
+}
+
+// --- exit-code policy and failure summary -----------------------------------
+
+core::ScenarioResult make_result(std::size_t attempted, std::size_t completed) {
+  core::ScenarioResult r;
+  r.config_name = "cfg";
+  r.attempted = attempted;
+  r.completed = completed;
+  for (std::size_t i = completed; i < attempted; ++i) {
+    runtime::FailureRecord f;
+    f.realization = i;
+    f.seed = 42;
+    f.attempts = 3;
+    f.code = util::ErrorCode::kFaultInjected;
+    f.origin = "fault-injection";
+    f.message = "injected";
+    r.failures.push_back(std::move(f));
+  }
+  return r;
+}
+
+TEST(ExitCodePolicyTest, CleanDegradedAndEmptyRuns) {
+  const std::vector<core::ScenarioResult> clean = {make_result(10, 10)};
+  EXPECT_EQ(core::analysis_exit_code(clean, /*strict=*/false), 0);
+  EXPECT_EQ(core::analysis_exit_code(clean, /*strict=*/true), 0);
+
+  const std::vector<core::ScenarioResult> degraded = {make_result(10, 10),
+                                                      make_result(10, 8)};
+  EXPECT_EQ(core::analysis_exit_code(degraded, /*strict=*/false), 0);
+  EXPECT_EQ(core::analysis_exit_code(degraded, /*strict=*/true), 3);
+
+  // Nothing completed: even best-effort has no data — exit 4 wins.
+  const std::vector<core::ScenarioResult> empty = {make_result(10, 0)};
+  EXPECT_EQ(core::analysis_exit_code(empty, /*strict=*/false), 4);
+  EXPECT_EQ(core::analysis_exit_code(empty, /*strict=*/true), 4);
+}
+
+TEST(ExitCodePolicyTest, FailureSummaryHasOneRowPerQuarantine) {
+  const std::vector<core::ScenarioResult> results = {make_result(10, 10),
+                                                     make_result(10, 7)};
+  const util::TextTable table = core::failure_summary_table(results);
+  EXPECT_EQ(table.row_count(), 3u);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("fault-injected"), std::string::npos);
+  EXPECT_NE(rendered.find("injected"), std::string::npos);
 }
 
 }  // namespace

@@ -1,12 +1,17 @@
-// Tests for topology CSV interchange and the ASCII region map.
+// Tests for topology CSV interchange, the realization-CSV loader's
+// malformed-row hardening, and the ASCII region map.
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/map.h"
+#include "core/pipeline.h"
 #include "scada/oahu.h"
 #include "scada/topology_io.h"
 #include "terrain/oahu.h"
+#include "util/error.h"
 
 namespace ct::scada {
 namespace {
@@ -75,7 +80,7 @@ TEST(TopologyIo, ErrorsCarryLineNumbers) {
   expect_error("", "empty input");
   expect_error("id,nope\n", "expected header");
   expect_error("id,name,type,lat,lon,elevation_m\na,b,substation,21.3\n",
-               "line 2");
+               "topology.csv:2:");
   expect_error(
       "id,name,type,lat,lon,elevation_m\na,b,widget,21.3,-157.8,1\n",
       "unknown asset type");
@@ -92,11 +97,120 @@ TEST(TopologyIo, ErrorsCarryLineNumbers) {
       "duplicate");
 }
 
+TEST(TopologyIo, MalformedRowsThrowTypedParseErrors) {
+  std::istringstream in(
+      "id,name,type,lat,lon,elevation_m\n"
+      "ok,Fine,substation,21.3,-157.8,5\n"
+      "bad,Broken,substation,21.3,-157.8\n");
+  try {
+    load_topology_csv(in, "grid-export.csv");
+    FAIL() << "expected a parse failure";
+  } catch (const ct::Error& e) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kParse);
+    EXPECT_EQ(e.origin(), "topology-csv");
+    // The message pins the SOURCE and the 1-based line: the operator can
+    // jump straight to the offending row of their export.
+    EXPECT_NE(e.message().find("grid-export.csv:3:"), std::string::npos)
+        << e.message();
+  }
+}
+
+TEST(TopologyIo, NonFiniteNumbersAreRejected) {
+  for (const char* value : {"nan", "inf", "-inf", "NAN", "Infinity"}) {
+    std::istringstream in(std::string("id,name,type,lat,lon,elevation_m\n") +
+                          "a,b,substation,21.3,-157.8," + value + "\n");
+    EXPECT_THROW(load_topology_csv(in), ct::Error) << value;
+  }
+}
+
+/// Fuzz-ish hardening sweep: every mangled body row must produce a typed
+/// parse error with a line number — never a crash, never a silent accept.
+TEST(TopologyIo, MangledRowsNeverCrash) {
+  const char* header = "id,name,type,lat,lon,elevation_m\n";
+  const std::vector<std::string> rows = {
+      "\"unterminated,quote,substation,21.3,-157.8,1",
+      "a,b,substation,21.3,-157.8,1,extra,extra,extra",
+      ",,,,,",
+      " , empty id ,substation,21.3,-157.8,1",
+      "a,b,substation,1e999,-157.8,1",
+      "a,b,substation,21.3,-157.8,0x1f",
+      "a,b,\x01\x02\x03,21.3,-157.8,1",
+      "a,b,substation,21.3e,-157.8,1",
+      "a,b,substation,--21.3,-157.8,1",
+      std::string(4096, 'x'),
+      "a,b,substation,21.3,-157.8,9" + std::string(400, '9'),
+  };
+  for (const std::string& row : rows) {
+    std::istringstream in(header + row + "\n");
+    try {
+      load_topology_csv(in, "fuzz.csv");
+      FAIL() << "expected rejection of: " << row.substr(0, 60);
+    } catch (const ct::Error& e) {
+      EXPECT_EQ(e.code(), util::ErrorCode::kParse) << row.substr(0, 60);
+      EXPECT_NE(e.message().find("fuzz.csv:2:"), std::string::npos)
+          << e.message();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ct::scada
 
 namespace ct::core {
 namespace {
+
+TEST(RealizationCsv, MalformedRowsAreCountedTypedAndSkipped) {
+  std::istringstream in(
+      "realization,flooded_assets,peak_wind_ms,max_wse_m\n"
+      "0,,42.0,1.1\n"
+      "1,a;b,not-a-number,1.2\n"   // bad wind
+      "2,a,43.0\n"                 // short row
+      "3,a,44.0,nan\n"             // non-finite WSE
+      "4,,45.0,1.4\n");
+  const LoadedRealizations loaded =
+      load_realizations_csv(in, "ensemble.csv");
+  // The good rows (0 and 4) survive; each bad row is one typed record.
+  ASSERT_EQ(loaded.realizations.size(), 2u);
+  EXPECT_EQ(loaded.realizations[0].index, 0u);
+  EXPECT_EQ(loaded.realizations[1].index, 4u);
+  EXPECT_EQ(loaded.skipped_rows, 3u);
+  ASSERT_EQ(loaded.errors.size(), 3u);
+  for (const util::Error& e : loaded.errors) {
+    EXPECT_EQ(e.code(), util::ErrorCode::kParse);
+    EXPECT_EQ(e.origin(), "realizations-csv");
+  }
+  // Line numbers are 1-based over the raw stream (header is line 1).
+  EXPECT_NE(loaded.errors[0].message().find("ensemble.csv:3:"),
+            std::string::npos)
+      << loaded.errors[0].message();
+  EXPECT_NE(loaded.errors[1].message().find("ensemble.csv:4:"),
+            std::string::npos);
+  EXPECT_NE(loaded.errors[2].message().find("ensemble.csv:5:"),
+            std::string::npos);
+}
+
+TEST(RealizationCsv, FuzzedRowsNeverAbortTheLoad) {
+  const std::vector<std::string> rows = {
+      "x,,42.0,1.1",
+      "5,\"unterminated,42.0,1.1",
+      "6,,1e999,1.1",
+      "7,,42.0,inf",
+      "8,,42.0,-inf",
+      ",,,",
+      "9,,42.0,1.1,surplus",
+      std::string(2048, ','),
+  };
+  std::string csv = "realization,flooded_assets,peak_wind_ms,max_wse_m\n";
+  for (const std::string& row : rows) csv += row + "\n";
+  csv += "10,a;b;c,41.0,0.9\n";
+  std::istringstream in(csv);
+  const LoadedRealizations loaded = load_realizations_csv(in, "fuzz.csv");
+  ASSERT_EQ(loaded.realizations.size(), 1u);
+  EXPECT_EQ(loaded.realizations[0].index, 10u);
+  EXPECT_EQ(loaded.realizations[0].impacts.size(), 3u);
+  EXPECT_EQ(loaded.skipped_rows, rows.size());
+  EXPECT_EQ(loaded.errors.size(), rows.size());
+}
 
 TEST(RegionMap, RendersTerrainAndAssets) {
   const auto terrain = terrain::make_oahu_terrain();

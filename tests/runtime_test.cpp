@@ -5,17 +5,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "runtime/fault_profile.h"
 #include "runtime/result_store.h"
 #include "runtime/task_pool.h"
 #include "util/digest.h"
+#include "util/error.h"
 
 namespace ct {
 namespace {
@@ -114,6 +118,183 @@ TEST(TaskPoolTest, SubmissionBeyondDequeCapacityCompletes) {
   std::atomic<std::size_t> count{0};
   pool.parallel_for_each(n, 1, [&](std::size_t) { count++; });
   EXPECT_EQ(count.load(), n);
+}
+
+// --- CancellationToken ------------------------------------------------------
+
+TEST(CancellationTokenTest, ExplicitCancelThrowsTypedError) {
+  runtime::CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_NO_THROW(token.poll("test"));
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.poll("test");
+    FAIL() << "poll must throw after cancel";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+    EXPECT_EQ(e.origin(), "test");
+  }
+}
+
+TEST(CancellationTokenTest, DeadlineExpiryThrowsTimeout) {
+  const runtime::CancellationToken token(std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.poll("kernel");
+    FAIL() << "poll must throw past the deadline";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(CancellationTokenTest, ZeroTimeoutMeansNoDeadline) {
+  const runtime::CancellationToken token(std::chrono::milliseconds(0));
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+}
+
+// --- for_each_isolated ------------------------------------------------------
+
+TEST(IsolatedRunTest, FailuresAreContainedAndSortedAtAnyJobs) {
+  for (const unsigned jobs : {1u, 4u, 8u}) {
+    runtime::TaskPool pool(jobs);
+    constexpr std::size_t kN = 200;
+    std::vector<std::atomic<int>> runs(kN);
+    const auto result = pool.for_each_isolated(
+        kN, 7,
+        [&](std::size_t i, unsigned, const runtime::CancellationToken&) {
+          runs[i]++;
+          if (i % 31 == 0) {
+            throw Error(ErrorCode::kNumeric, "test", "deterministic boom");
+          }
+        });
+    // Indices 0, 31, 62, ... fail; everything else ran exactly once.
+    std::vector<std::size_t> expected_failures;
+    for (std::size_t i = 0; i < kN; i += 31) expected_failures.push_back(i);
+    ASSERT_EQ(result.failures.size(), expected_failures.size())
+        << "jobs " << jobs;
+    for (std::size_t f = 0; f < result.failures.size(); ++f) {
+      EXPECT_EQ(result.failures[f].index, expected_failures[f]);
+      EXPECT_EQ(result.failures[f].attempts, 1u);  // max_retries = 0
+      EXPECT_EQ(util::classify_exception(result.failures[f].error),
+                ErrorCode::kNumeric);
+    }
+    // max_retries = 0: every index — failing or not — ran exactly once.
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(IsolatedRunTest, RetryHealsTransientFailure) {
+  runtime::TaskPool pool(4);
+  constexpr std::size_t kN = 100;
+  runtime::TaskOptions options;
+  options.max_retries = 2;
+  std::atomic<int> first_attempts{0};
+  const auto result = pool.for_each_isolated(
+      kN, 5,
+      [&](std::size_t i, unsigned attempt,
+          const runtime::CancellationToken&) {
+        if (i % 10 == 3 && attempt == 1) {
+          first_attempts++;
+          throw std::runtime_error("transient");
+        }
+      },
+      options);
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(first_attempts.load(), 10);  // indices 3, 13, ..., 93
+  EXPECT_EQ(result.retries, 10u);        // one healing retry each
+}
+
+TEST(IsolatedRunTest, ExhaustedRetriesRecordAttemptCount) {
+  runtime::TaskPool pool(2);
+  runtime::TaskOptions options;
+  options.max_retries = 3;
+  const auto result = pool.for_each_isolated(
+      10, 2,
+      [&](std::size_t i, unsigned, const runtime::CancellationToken&) {
+        if (i == 4) throw std::runtime_error("permanent");
+      },
+      options);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 4u);
+  EXPECT_EQ(result.failures[0].attempts, 4u);  // 1 + 3 retries
+  EXPECT_EQ(result.retries, 3u);
+}
+
+TEST(IsolatedRunTest, WatchdogContainsHungTask) {
+  runtime::TaskPool pool(2);
+  runtime::TaskOptions options;
+  options.timeout = std::chrono::milliseconds(20);
+  std::atomic<int> completed{0};
+  const auto result = pool.for_each_isolated(
+      8, 1,
+      [&](std::size_t i, unsigned, const runtime::CancellationToken& token) {
+        if (i == 5) {
+          // A cooperative "hung" kernel: loops until the watchdog fires.
+          for (;;) {
+            token.poll("hung-kernel");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        completed++;
+      },
+      options);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 5u);
+  EXPECT_EQ(util::classify_exception(result.failures[0].error),
+            ErrorCode::kTimeout);
+  EXPECT_EQ(completed.load(), 7);  // every other index still ran
+}
+
+// --- RuntimeFaultProfile ----------------------------------------------------
+
+TEST(FaultProfileTest, ParsesDirectives) {
+  const auto p = runtime::RuntimeFaultProfile::parse(
+      "throw:every=20;nan:every=25,offset=3;delay:every=10,ms=50;cache-write");
+  EXPECT_TRUE(p.any());
+  EXPECT_EQ(p.throw_rule.every, 20u);
+  EXPECT_EQ(p.nan_rule.every, 25u);
+  EXPECT_EQ(p.nan_rule.offset, 3u);
+  EXPECT_EQ(p.delay_rule.every, 10u);
+  EXPECT_EQ(p.delay.count(), 50);
+  EXPECT_TRUE(p.cache_write_failure);
+}
+
+TEST(FaultProfileTest, EmptyAndNoneAreOff) {
+  EXPECT_FALSE(runtime::RuntimeFaultProfile::parse("").any());
+  EXPECT_FALSE(runtime::RuntimeFaultProfile::parse("none").any());
+  EXPECT_FALSE(runtime::RuntimeFaultProfile::parse("off").any());
+}
+
+TEST(FaultProfileTest, MalformedSpecIsLoud) {
+  for (const char* bad : {"explode:every=3", "throw", "throw:every=0",
+                          "throw:every=x", "throw:bogus=1"}) {
+    try {
+      runtime::RuntimeFaultProfile::parse(bad);
+      FAIL() << "expected parse failure for: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << bad;
+    }
+  }
+}
+
+TEST(FaultProfileTest, RuleFiringIsPureFunctionOfIndexAndAttempt) {
+  runtime::FaultRule rule;
+  rule.every = 5;
+  rule.offset = 2;
+  rule.attempts = 1;
+  EXPECT_TRUE(rule.fires(2, 1));
+  EXPECT_TRUE(rule.fires(7, 1));
+  EXPECT_FALSE(rule.fires(3, 1));   // wrong residue
+  EXPECT_FALSE(rule.fires(2, 2));   // retry heals: attempt 2 passes
+  runtime::FaultRule off;
+  EXPECT_FALSE(off.fires(0, 1));
 }
 
 // --- Digest -----------------------------------------------------------------
@@ -346,6 +527,42 @@ TEST_F(DiskStoreTest, HostileKeysNeverTouchDisk) {
           << "unexpected on-disk record name: " << name;
     }
   }
+}
+
+TEST_F(DiskStoreTest, InjectedWriteFailureIsSoftAndCounted) {
+  options_.inject_write_failure = true;
+  runtime::ResultStore store(options_);
+  EXPECT_TRUE(store.disk_active());
+  store.store(test_key(), sample_counts());
+  // The write failed softly: memory still serves the result, the failure
+  // is counted, and nothing landed on disk.
+  EXPECT_TRUE(store.lookup(test_key()).has_value());
+  EXPECT_EQ(store.stats().write_failures, 1u);
+  EXPECT_TRUE(record_path().empty());
+
+  runtime::ResultStoreOptions clean = options_;
+  clean.inject_write_failure = false;
+  runtime::ResultStore reader(clean);
+  EXPECT_FALSE(reader.lookup(test_key()).has_value());
+}
+
+TEST_F(DiskStoreTest, RepeatedWriteFailuresDisableDiskLayer) {
+  options_.inject_write_failure = true;
+  runtime::ResultStore store(options_);
+  for (char k = 'a';
+       k < 'a' + static_cast<char>(
+                     runtime::ResultStore::kMaxConsecutiveWriteFailures);
+       ++k) {
+    EXPECT_TRUE(store.disk_active());
+    store.store(test_key(k), sample_counts());
+  }
+  // After the threshold the disk layer self-disables: further stores are
+  // memory-only and the failure counter stops climbing.
+  EXPECT_FALSE(store.disk_active());
+  store.store(test_key('z'), sample_counts());
+  EXPECT_EQ(store.stats().write_failures,
+            runtime::ResultStore::kMaxConsecutiveWriteFailures);
+  EXPECT_TRUE(store.lookup(test_key('z')).has_value());
 }
 
 TEST(ResultStoreDirTest, UnusableDiskDirDegradesToMemory) {

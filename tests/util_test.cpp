@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -259,6 +261,55 @@ TEST(WilsonInterval, EmptySample) {
   const Interval iv = wilson_interval(0, 0);
   EXPECT_EQ(iv.lo, 0.0);
   EXPECT_EQ(iv.hi, 1.0);
+}
+
+TEST(ClopperPearson, EndpointsAreExact) {
+  // k = 0: lower bound is exactly 0; the exact upper bound is
+  // 1 - (alpha/2)^(1/n).
+  const Interval zero = clopper_pearson_interval(0, 10);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_NEAR(zero.hi, 1.0 - std::pow(0.025, 1.0 / 10.0), 1e-6);
+  // k = n mirrors it: upper bound exactly 1.
+  const Interval full = clopper_pearson_interval(10, 10);
+  EXPECT_EQ(full.hi, 1.0);
+  EXPECT_NEAR(full.lo, std::pow(0.025, 1.0 / 10.0), 1e-6);
+}
+
+TEST(ClopperPearson, ContainsPointEstimateAndUnitBounded) {
+  const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+      {1, 7}, {30, 100}, {95, 1000}, {999, 1000}};
+  for (const auto& [k, n] : cases) {
+    const Interval iv = clopper_pearson_interval(k, n);
+    const double p_hat = static_cast<double>(k) / static_cast<double>(n);
+    EXPECT_TRUE(iv.contains(p_hat)) << k << "/" << n;
+    EXPECT_GE(iv.lo, 0.0);
+    EXPECT_LE(iv.hi, 1.0);
+    EXPECT_LT(iv.lo, iv.hi);
+  }
+}
+
+TEST(ClopperPearson, CoversAtLeastAsMuchAsWilson) {
+  // The exact interval is conservative: it should (weakly) contain the
+  // Wilson score interval away from the endpoints.
+  const Interval exact = clopper_pearson_interval(30, 100);
+  const Interval wilson = wilson_interval(30, 100);
+  EXPECT_LE(exact.lo, wilson.lo + 1e-9);
+  EXPECT_GE(exact.hi, wilson.hi - 1e-9);
+}
+
+TEST(ClopperPearson, WidthShrinksWithSamples) {
+  const Interval small = clopper_pearson_interval(10, 100);
+  const Interval large = clopper_pearson_interval(1000, 10000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(ClopperPearson, DegenerateInputs) {
+  const Interval empty = clopper_pearson_interval(0, 0);
+  EXPECT_EQ(empty.lo, 0.0);
+  EXPECT_EQ(empty.hi, 1.0);
+  // successes > n clamps rather than misbehaving.
+  const Interval clamped = clopper_pearson_interval(20, 10);
+  EXPECT_EQ(clamped.hi, 1.0);
 }
 
 TEST(MeanInterval, CoversTrueMeanUsually) {
