@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -351,6 +352,58 @@ bench::RuntimeBenchRecord micro_runtime_record() {
   for (const core::ScenarioResult& r : fault_results) {
     record.fault_retries += r.retries;
   }
+
+  // Checkpointed runtime (PR 7): the fused run_resumable sweep — the whole
+  // (5 configs x 1 scenario) matrix as one multi-series pass, generation
+  // included, exactly what `ctctl analyze --checkpoint-dir` runs — with
+  // checkpointing off (baseline) and journal-on at three intervals.
+  runtime::SweepSpec sweep;
+  sweep.digest = "bench-micro-checkpoint";
+  sweep.count = n;
+  for (const auto& config : configs) sweep.series.push_back(config.name);
+  const auto sweep_outcome = [&](std::size_t series,
+                                 const surge::HurricaneRealization& r) {
+    return static_cast<int>(
+        pipeline.outcome_for(configs[series], scenario, r));
+  };
+  namespace fs = std::filesystem;
+  const std::string ckpt_dir =
+      (fs::temp_directory_path() / "ct-bench-micro-ckpt").string();
+  // Best-of-3 per variant: the sweeps are sub-second, so a single sample
+  // is scheduler noise of the same order as the fsync cost being measured.
+  const auto timed_sweep = [&](const runtime::CheckpointOptions& ckpt) {
+    std::uint64_t writes = 0;
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      if (!ckpt.dir.empty()) fs::remove_all(ckpt.dir);
+      runtime::EnsembleOptions options = runner_options(jobs, false);
+      options.fault_spec = "none";
+      runtime::EnsembleRunner sweeper(options);
+      const auto start = std::chrono::steady_clock::now();
+      const runtime::ResumableReport report =
+          sweeper.run_resumable(engine(), sweep, sweep_outcome, ckpt);
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      writes = report.checkpoints;
+      best = rep == 0 ? seconds : std::min(best, seconds);
+    }
+    return std::pair(writes, best);
+  };
+  record.resumable_s = timed_sweep(runtime::CheckpointOptions{}).second;
+  const auto at_interval = [&](std::size_t interval) {
+    runtime::CheckpointOptions ckpt;
+    ckpt.dir = ckpt_dir;
+    ckpt.interval = interval;
+    ckpt.crash_spec = "none";
+    return timed_sweep(ckpt);
+  };
+  record.checkpoint32_s = at_interval(32).second;
+  const auto [default_writes, default_s] = at_interval(128);
+  record.checkpoint_s = default_s;
+  record.checkpoint_writes = default_writes;
+  record.checkpoint512_s = at_interval(512).second;
+  fs::remove_all(ckpt_dir);
   return record;
 }
 
@@ -479,6 +532,14 @@ int main(int argc, char** argv) {
             << util::format_fixed(record.fault_s, 2) << " s with "
             << record.fault_quarantined << " quarantined / "
             << record.fault_retries << " retries\n";
+  std::cout << "checkpointing: off "
+            << util::format_fixed(record.resumable_s, 2) << " s, interval 32 "
+            << util::format_fixed(record.checkpoint32_s, 2)
+            << " s, interval 128 " << util::format_fixed(record.checkpoint_s, 2)
+            << " s (" << util::format_fixed(record.checkpoint_overhead() * 100.0, 1)
+            << "%, " << record.checkpoint_writes
+            << " durable writes), interval 512 "
+            << util::format_fixed(record.checkpoint512_s, 2) << " s\n";
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -53,6 +53,14 @@ std::string record_json(const RuntimeBenchRecord& r) {
         << ", \"fault_quarantined\": " << r.fault_quarantined
         << ", \"fault_retries\": " << r.fault_retries;
   }
+  if (r.resumable_s > 0.0) {
+    out << std::setprecision(4) << ", \"resumable_s\": " << r.resumable_s
+        << ", \"checkpoint32_s\": " << r.checkpoint32_s
+        << ", \"checkpoint_s\": " << r.checkpoint_s
+        << ", \"checkpoint512_s\": " << r.checkpoint512_s
+        << ", \"checkpoint_overhead\": " << r.checkpoint_overhead()
+        << ", \"checkpoint_writes\": " << r.checkpoint_writes;
+  }
   out << '}';
   return out.str();
 }

@@ -56,6 +56,16 @@ struct RuntimeBenchRecord {
   std::size_t fault_quarantined = 0;  ///< realizations quarantined
   std::uint64_t fault_retries = 0;    ///< retry attempts spent
 
+  // Checkpointed runtime (PR 7): the same fused sweep through
+  // run_resumable with checkpointing off (baseline) and with the journal
+  // on at three intervals; overhead is fsync-bound, so it shrinks as the
+  // interval grows.
+  double resumable_s = 0.0;      ///< run_resumable, checkpointing off
+  double checkpoint32_s = 0.0;   ///< journal on, --checkpoint-interval 32
+  double checkpoint_s = 0.0;     ///< journal on, default interval (128)
+  double checkpoint512_s = 0.0;  ///< journal on, --checkpoint-interval 512
+  std::uint64_t checkpoint_writes = 0;  ///< durable writes, default interval
+
   double speedup() const noexcept {
     return parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
   }
@@ -70,6 +80,13 @@ struct RuntimeBenchRecord {
   double guarded_overhead() const noexcept {
     return parallel_s > 0.0 && guarded_s > 0.0
                ? guarded_s / parallel_s - 1.0
+               : 0.0;
+  }
+  /// Durability cost at the default checkpoint interval relative to the
+  /// same sweep with checkpointing off (acceptance bound: <= 3%).
+  double checkpoint_overhead() const noexcept {
+    return resumable_s > 0.0 && checkpoint_s > 0.0
+               ? checkpoint_s / resumable_s - 1.0
                : 0.0;
   }
 };

@@ -28,10 +28,29 @@
 //                                          results and exit 0 (default)
 //     --strict                             degraded runs exit 3 after
 //                                          printing the failure summary
+//     --checkpoint-dir <dir>               journal completed work under
+//                                          <dir> so a killed or interrupted
+//                                          analyze can continue instead of
+//                                          restarting (see --resume)
+//     --checkpoint-interval <n>            realizations per checkpoint
+//                                          record (default 128): the most
+//                                          work a crash can lose
+//     --resume                             continue from the checkpoint
+//                                          state under --checkpoint-dir;
+//                                          stale state (different inputs)
+//                                          or corruption falls back to a
+//                                          cold start, loudly
 //   ctctl downtime [same options]          restoration costs in hours
 //
+// With --checkpoint-dir, SIGINT/SIGTERM interrupt the sweep at the next
+// checkpoint boundary after a final flush and exit 5 ("interrupted,
+// resumable"); rerun with --resume to continue from the saved state.
+//
 // Exit codes: 0 success (incl. best-effort degraded), 1 runtime error,
-// 2 usage, 3 degraded under --strict, 4 no realization completed.
+// 2 usage, 3 degraded under --strict, 4 no realization completed,
+// 5 interrupted but resumable.
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -63,7 +82,24 @@ int usage() {
 
 /// Flags that take no value.
 bool is_boolean_flag(const std::string& name) {
-  return name == "no-cache" || name == "strict" || name == "best-effort";
+  return name == "no-cache" || name == "strict" || name == "best-effort" ||
+         name == "resume";
+}
+
+/// Cooperative-interrupt plumbing: the signal handler only flips the
+/// token's atomic flag (async-signal-safe); the sweep polls it at
+/// checkpoint boundaries, flushes, and unwinds normally.
+runtime::CancellationToken g_interrupt;
+std::atomic<int> g_interrupt_signal{0};
+
+extern "C" void handle_interrupt_signal(int sig) {
+  g_interrupt_signal.store(sig, std::memory_order_relaxed);
+  g_interrupt.request_cancel();
+}
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, handle_interrupt_signal);
+  std::signal(SIGTERM, handle_interrupt_signal);
 }
 
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
@@ -104,6 +140,8 @@ struct AnalyzeSetup {
   std::vector<scada::Configuration> configs;
   /// --strict: degraded runs exit 3 instead of reporting partial results.
   bool strict = false;
+  /// --checkpoint-dir / --checkpoint-interval / --resume.
+  runtime::CheckpointOptions ckpt;
 };
 
 AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
@@ -134,6 +172,20 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
   if (flags.count("strict") != 0 && flags.count("best-effort") != 0) {
     throw std::runtime_error("--strict and --best-effort are exclusive");
   }
+  runtime::CheckpointOptions ckpt;
+  if (const auto it = flags.find("checkpoint-dir"); it != flags.end()) {
+    ckpt.dir = it->second;
+  }
+  if (const auto it = flags.find("checkpoint-interval"); it != flags.end()) {
+    ckpt.interval = std::strtoul(it->second.c_str(), nullptr, 10);
+    if (ckpt.interval == 0) {
+      throw std::runtime_error("--checkpoint-interval must be >= 1");
+    }
+  }
+  ckpt.resume = flags.count("resume") != 0;
+  if (ckpt.resume && ckpt.dir.empty()) {
+    throw std::runtime_error("--resume requires --checkpoint-dir");
+  }
   scada::ScadaTopology topology = load_topology(flags);
 
   const auto pick = [&](const char* flag, const char* fallback) {
@@ -152,7 +204,7 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
   return {core::CaseStudyRunner(std::move(topology),
                                 terrain::make_oahu_terrain(), options),
           scada::paper_configurations(primary, backup, dc),
-          flags.count("strict") != 0};
+          flags.count("strict") != 0, std::move(ckpt)};
 }
 
 int cmd_topology(int argc, char** argv) {
@@ -249,11 +301,35 @@ int finish_analysis(const AnalyzeSetup& setup,
 
 int cmd_analyze(int argc, char** argv) {
   AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
+  install_interrupt_handlers();
+
+  // One fused (scenarios x configs) sweep: every realization is generated
+  // once and classified into each uncached cell, with completed slices
+  // journaled under --checkpoint-dir (when given) so an interrupted or
+  // killed run continues with --resume instead of restarting.
+  const auto all = threat::all_scenarios();
+  const std::vector<threat::ThreatScenario> scenarios(all.begin(), all.end());
+  const core::ResumableAnalysis analysis = setup.runner.run_all_resumable(
+      setup.configs, scenarios, setup.ckpt, &g_interrupt);
+
+  if (!setup.ckpt.dir.empty()) {
+    std::cout << "checkpoint: " << runtime::resume_status_name(
+                     analysis.resume.status)
+              << ", restored " << analysis.restored << " and computed "
+              << analysis.executed << " realization(s), "
+              << analysis.checkpoints << " checkpoint write(s)\n\n";
+  }
+
   std::vector<core::ScenarioResult> all_results;
-  for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
-    std::vector<core::ScenarioResult> results =
-        setup.runner.run_configs(setup.configs, scenario);
-    std::cout << "=== " << threat::scenario_name(scenario) << " ===\n";
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    // run_all_resumable returns row-major cells: configs within scenario.
+    const auto begin = analysis.results.begin() +
+                       static_cast<std::ptrdiff_t>(s * setup.configs.size());
+    std::vector<core::ScenarioResult> results(
+        begin, begin + static_cast<std::ptrdiff_t>(setup.configs.size()));
+    std::cout << "=== " << threat::scenario_name(scenarios[s]) << " ===";
+    if (analysis.interrupted) std::cout << " (partial)";
+    std::cout << "\n";
     core::profile_table(results).render(std::cout);
     std::cout << "\n";
     for (core::ScenarioResult& r : results) {
@@ -261,6 +337,24 @@ int cmd_analyze(int argc, char** argv) {
     }
   }
   print_cache_stats(setup.runner);
+
+  if (analysis.interrupted) {
+    const int sig = g_interrupt_signal.load(std::memory_order_relaxed);
+    std::cerr << "ctctl: interrupted"
+              << (sig == SIGTERM ? " (SIGTERM)"
+                                 : sig == SIGINT ? " (SIGINT)" : "")
+              << " after " << analysis.executed << " realization(s); ";
+    if (!setup.ckpt.dir.empty()) {
+      std::cerr << "progress saved under " << setup.ckpt.dir
+                << " — rerun with --resume to continue";
+    } else {
+      std::cerr << "no --checkpoint-dir, so progress was NOT saved";
+    }
+    std::cerr << " (exit 5)\n";
+    // Still surface any quarantine ledger before exiting.
+    finish_analysis(setup, all_results);
+    return core::sweep_exit_code(analysis, setup.strict);
+  }
   return finish_analysis(setup, all_results);
 }
 

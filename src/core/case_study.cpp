@@ -59,6 +59,22 @@ std::vector<ScenarioResult> CaseStudyRunner::run_configs(
   return out;
 }
 
+ResumableAnalysis CaseStudyRunner::run_all_resumable(
+    const std::vector<scada::Configuration>& configs,
+    const std::vector<threat::ThreatScenario>& scenarios,
+    const runtime::CheckpointOptions& ckpt,
+    runtime::CancellationToken* interrupt) {
+  std::vector<SweepCell> cells;
+  cells.reserve(configs.size() * scenarios.size());
+  for (const threat::ThreatScenario scenario : scenarios) {
+    for (const scada::Configuration& config : configs) {
+      cells.push_back(SweepCell{&config, scenario});
+    }
+  }
+  return pipeline_.analyze_resumable(cells, engine_, options_.realizations,
+                                     runtime_, ckpt, interrupt);
+}
+
 double CaseStudyRunner::asset_flood_probability(std::string_view asset_id) {
   const auto& batch = realizations();
   if (batch.empty()) return 0.0;

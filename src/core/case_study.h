@@ -54,6 +54,19 @@ class CaseStudyRunner {
       const std::vector<scada::Configuration>& configs,
       threat::ThreatScenario scenario);
 
+  /// Crash-consistent (configurations x scenarios) sweep matrix: every
+  /// realization is generated once and classified into every live cell,
+  /// with completed slices journaled under `ckpt` so a killed or
+  /// interrupted run resumes from where it stopped (bit-identical to an
+  /// uninterrupted run). Results come back in row-major order (config
+  /// varies fastest within a scenario). See AnalysisPipeline::
+  /// analyze_resumable and runtime/checkpoint.h.
+  ResumableAnalysis run_all_resumable(
+      const std::vector<scada::Configuration>& configs,
+      const std::vector<threat::ThreatScenario>& scenarios,
+      const runtime::CheckpointOptions& ckpt,
+      runtime::CancellationToken* interrupt = nullptr);
+
   /// Empirical probability that the asset flooded across realizations.
   double asset_flood_probability(std::string_view asset_id);
 

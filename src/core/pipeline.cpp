@@ -11,6 +11,7 @@
 
 #include "core/evaluator.h"
 #include "util/csv.h"
+#include "util/digest.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -194,6 +195,90 @@ ScenarioResult AnalysisPipeline::analyze(
         return realizations;
       },
       runtime, digest);
+}
+
+ResumableAnalysis AnalysisPipeline::analyze_resumable(
+    const std::vector<SweepCell>& cells,
+    const surge::RealizationEngine& engine, std::size_t count,
+    runtime::EnsembleRunner& runtime, const runtime::CheckpointOptions& ckpt,
+    runtime::CancellationToken* interrupt) const {
+  ResumableAnalysis out;
+  out.results.resize(cells.size());
+
+  // Pass 1 — cache: a cell whose full distribution is already stored needs
+  // no realizations at all. Only the remaining LIVE cells join the sweep.
+  const std::string batch_digest =
+      runtime::EnsembleRunner::digest_engine_batch(engine, count);
+  const bool use_cache = runtime.options().cache;
+  std::vector<std::size_t> live;      // cell index per live series
+  std::vector<std::string> live_keys; // job key per live series
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    const std::string key = runtime::EnsembleRunner::job_key(
+        *cell.config, cell.scenario, attacker_tag(), batch_digest);
+    if (use_cache) {
+      if (const auto cached = runtime.store().lookup(key)) {
+        runtime::EnsembleReport hit;
+        hit.counts.counts = cached->counts;
+        hit.counts.total = cached->total;
+        hit.counts.from_cache = true;
+        hit.attempted = hit.completed =
+            static_cast<std::size_t>(cached->total);
+        out.results[i] =
+            result_from_report(*cell.config, cell.scenario, std::move(hit));
+        ++out.cached_cells;
+        continue;
+      }
+    }
+    live.push_back(i);
+    live_keys.push_back(key);
+  }
+  if (live.empty()) return out;
+
+  // Pass 2 — one fused sweep over the live cells. The journal is keyed by
+  // the engine-batch digest AND the live-series keys, so a checkpoint
+  // taken under different knobs, a different attacker, or a different
+  // set of outstanding cells can never resume.
+  runtime::SweepSpec spec;
+  {
+    util::Digest d;
+    d.str("ct-sweep").str(batch_digest).str(attacker_tag());
+    spec.digest = d.hex();
+  }
+  spec.count = count;
+  spec.series = live_keys;
+
+  runtime::ResumableReport report = runtime.run_resumable(
+      engine, spec,
+      [&](std::size_t series, const surge::HurricaneRealization& r) {
+        const SweepCell& cell = cells[live[series]];
+        return static_cast<int>(outcome_for(*cell.config, cell.scenario, r));
+      },
+      ckpt, interrupt);
+
+  out.resume = report.resume;
+  out.interrupted = report.interrupted;
+  out.restored = report.restored;
+  out.executed = report.executed;
+  out.checkpoints = report.checkpoints;
+
+  for (std::size_t s = 0; s < live.size(); ++s) {
+    const SweepCell& cell = cells[live[s]];
+    // Cache only a COMPLETE clean distribution: a stored record asserts
+    // "this key's full result" (same contract as the guarded paths), so
+    // interrupted or degraded series stay out.
+    if (use_cache && !report.interrupted &&
+        report.series[s].failures.empty() &&
+        report.series[s].attempted == count) {
+      runtime::CachedCounts record;
+      record.counts = report.series[s].counts.counts;
+      record.total = report.series[s].counts.total;
+      runtime.store().store(live_keys[s], record);
+    }
+    out.results[live[s]] = result_from_report(*cell.config, cell.scenario,
+                                              std::move(report.series[s]));
+  }
+  return out;
 }
 
 std::vector<ScenarioResult> AnalysisPipeline::analyze_all(

@@ -99,6 +99,28 @@ void write_realizations_csv(
     std::ostream& out,
     const std::vector<surge::HurricaneRealization>& realizations);
 
+/// One cell of a resumable sweep matrix: a (configuration, scenario)
+/// pair analyzed over the same realization ensemble. The configuration is
+/// borrowed; it must outlive the analyze_resumable call.
+struct SweepCell {
+  const scada::Configuration* config = nullptr;
+  threat::ThreatScenario scenario{};
+};
+
+/// Output of analyze_resumable: per-cell results plus how the checkpoint
+/// layer behaved.
+struct ResumableAnalysis {
+  std::vector<ScenarioResult> results;  ///< one per cell, in cell order
+  runtime::ResumeInfo resume;
+  bool interrupted = false;     ///< cancelled mid-sweep; progress saved
+  std::uint64_t restored = 0;   ///< realization indices replayed from disk
+  std::uint64_t executed = 0;   ///< realization indices computed this run
+  std::uint64_t checkpoints = 0;  ///< durable checkpoint writes this run
+  std::size_t cached_cells = 0;   ///< cells served whole from the cache
+
+  bool complete() const noexcept { return !interrupted; }
+};
+
 /// Which attacker model drives the cyberattack stage.
 enum class AttackerModel {
   kGreedy,      ///< The paper's 3-rule worst-case algorithm (default).
@@ -161,6 +183,24 @@ class AnalysisPipeline {
                              threat::ThreatScenario scenario, std::istream& in,
                              std::string_view source_name =
                                  "realizations.csv") const;
+
+  /// Crash-consistent sweep matrix: analyzes every (configuration,
+  /// scenario) cell over realizations [0, count) from `engine`, generating
+  /// each realization ONCE and classifying it into every live cell (a
+  /// cell already in the result cache is served from it and never touches
+  /// the sweep). With ckpt.resume, prior journal/snapshot state is
+  /// validated and replayed so only missing realizations run; the merged
+  /// results are bit-identical at any --jobs value to an uninterrupted
+  /// run. `interrupt` stops the sweep at the next checkpoint boundary
+  /// after a final flush (SIGINT/SIGTERM path): the returned analysis then
+  /// has interrupted=true and partial distributions, and the on-disk state
+  /// feeds the next --resume. See runtime/checkpoint.h for the journal.
+  ResumableAnalysis analyze_resumable(
+      const std::vector<SweepCell>& cells,
+      const surge::RealizationEngine& engine, std::size_t count,
+      runtime::EnsembleRunner& runtime,
+      const runtime::CheckpointOptions& ckpt,
+      runtime::CancellationToken* interrupt = nullptr) const;
 
   /// Convenience: all configurations x one scenario.
   std::vector<ScenarioResult> analyze_all(

@@ -268,4 +268,9 @@ int analysis_exit_code(const std::vector<ScenarioResult>& results,
   return 0;
 }
 
+int sweep_exit_code(const ResumableAnalysis& analysis, bool strict) noexcept {
+  if (analysis.interrupted) return 5;
+  return analysis_exit_code(analysis.results, strict);
+}
+
 }  // namespace ct::core

@@ -65,9 +65,17 @@ util::TextTable failure_summary_table(
 ///       realizations but usable partial data also return 0);
 ///   3 — degraded under --strict: at least one realization quarantined;
 ///   4 — no data: realizations were attempted but NONE completed, so even
-///       best-effort has nothing to report.
+///       best-effort has nothing to report;
+///   5 — interrupted but resumable: the sweep was cancelled (SIGINT/
+///       SIGTERM) after a final checkpoint flush; rerun with --resume to
+///       continue from the saved state.
 /// (1 is runtime error, 2 is usage — assigned by the CLI itself.)
 int analysis_exit_code(const std::vector<ScenarioResult>& results,
                        bool strict) noexcept;
+
+/// Exit code of a checkpointed sweep: 5 when it was interrupted (the
+/// partial results are NOT scored against strict/no-data policy — the
+/// sweep is simply unfinished), otherwise analysis_exit_code.
+int sweep_exit_code(const ResumableAnalysis& analysis, bool strict) noexcept;
 
 }  // namespace ct::core

@@ -1,0 +1,207 @@
+// Crash-consistent checkpoint/resume for ensemble sweeps.
+//
+// A sweep (realizations [0, count) × K outcome series) is made preemption-
+// safe by two files under the checkpoint directory, both keyed by the
+// sweep's content digest (the PR-4 engine-batch digest + the series keys),
+// so a checkpoint taken under different knobs can never be resumed:
+//
+//  * `<digest>.jrnl` — an append-only, record-framed journal. Every
+//    checkpoint interval the sweep appends one checksummed record holding
+//    a completed index range, the per-series outcome-count deltas for that
+//    range, and the PR-6 failure/quarantine records that fell inside it;
+//    the record is fsync'd before the sweep moves on.
+//  * `<digest>.snap` — a periodic atomic snapshot compacting the journal
+//    (full merged state: completed ranges, per-series counts, the whole
+//    failure ledger). Published tmp-write → fsync file → rename → fsync
+//    directory, then the journal is reset with a bumped epoch; a journal
+//    whose epoch predates the snapshot is a strict subset of it and is
+//    ignored on replay.
+//
+// Crash model and the atomicity argument (DESIGN.md §12): the process may
+// die at ANY instant (`_exit`, OOM kill, power loss). Because records are
+// appended sequentially and checksummed, a crash can only ever produce a
+// TORN TAIL — a final record prefix — which replay silently drops (that
+// range is simply recomputed). Any OTHER anomaly (a bad record with a
+// valid record after it, a checksum/sequence mismatch, an overlapping
+// range) cannot be produced by a crash, only by corruption or tampering,
+// and is reported as a typed kCheckpointCorrupt event followed by a cold
+// start — a checkpoint is an accelerator, never a correctness dependency.
+//
+// Replayed state is merged IN ASCENDING RANGE ORDER and all folds are
+// integer count sums, so a resumed sweep is bit-identical at any --jobs
+// value to an uninterrupted one.
+//
+// Deterministic process-death injection: every durable write (journal
+// record, snapshot publish, journal reset) is a numbered crash SITE; the
+// CT_CRASH profile (see fault_profile.h) kills the process before / mid-
+// write (torn) / after a chosen site, which is how the self-exec crash
+// harness proves every instant is recoverable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/fault_profile.h"
+#include "util/error.h"
+
+namespace ct::runtime {
+
+/// One quarantined realization: everything needed to aggregate, report,
+/// deterministically replay — and, via the journal, survive a process
+/// death (a resumed sweep must not re-count a quarantined index).
+struct FailureRecord {
+  std::uint64_t realization = 0;  ///< Monte-Carlo index (replay handle)
+  std::uint64_t seed = 0;         ///< ensemble base seed (0 when unknown)
+  unsigned attempts = 0;          ///< attempts consumed (1 + retries)
+  util::ErrorCode code = util::ErrorCode::kUnknown;
+  std::string origin;             ///< failing component ("surge", ...)
+  std::string message;            ///< last attempt's what()
+};
+
+/// Failure accounting threaded between the generation and counting stages.
+struct FailureLedger {
+  std::vector<FailureRecord> failures;  ///< sorted by realization index
+  std::uint64_t retries = 0;            ///< extra attempts (healed + exhausted)
+};
+
+/// Knobs of the checkpoint layer. An empty `dir` disables checkpointing
+/// entirely (the sweep still runs, nothing durable is written).
+struct CheckpointOptions {
+  std::string dir;
+  /// Realizations per journal record (the at-most-this-much-work-is-lost
+  /// bound); slice boundaries are derived from the MISSING set, so a
+  /// resumed run may legally use a different interval.
+  std::size_t interval = 128;
+  /// Journal records between snapshot compactions (bounds replay length).
+  std::size_t snapshot_every = 16;
+  /// Attempt to resume from existing checkpoint state.
+  bool resume = false;
+  /// Crash-injection spec: "" defers to the CT_CRASH environment variable,
+  /// "none" is explicitly off, anything else is CrashProfile::parse'd.
+  std::string crash_spec;
+};
+
+/// Identity of a resumable sweep: the content digest binding the journal
+/// to its inputs, the realization count, and one key per outcome series
+/// (a single-distribution sweep has exactly one).
+struct SweepSpec {
+  std::string digest;
+  std::size_t count = 0;
+  std::vector<std::string> series;
+};
+
+/// Outcome histogram of one series (green/orange/red/gray).
+using SeriesCounts = std::array<std::uint64_t, 4>;
+
+/// Merged sweep state: what a checkpoint persists and a resume restores.
+struct SweepProgress {
+  /// Completed [begin, end) index ranges — disjoint, ascending, coalesced.
+  /// Quarantined indices count as completed (attempted, outcome recorded
+  /// in `failures`), so a resume never re-runs them.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> done;
+  std::vector<SeriesCounts> series;
+  std::vector<FailureRecord> failures;  ///< ascending by realization index
+  std::uint64_t retries = 0;
+
+  /// Total indices covered by `done`.
+  std::uint64_t completed() const noexcept;
+  /// Merges [begin, end); false (state unchanged) on overlap with `done`
+  /// — a crash cannot produce overlap, so the caller treats it as
+  /// corruption.
+  bool merge_range(std::uint64_t begin, std::uint64_t end);
+  /// The complement of `done` within [0, count): the indices a resumed
+  /// sweep still needs to schedule, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> missing(
+      std::uint64_t count) const;
+};
+
+/// How a resume attempt went.
+enum class ResumeStatus {
+  kColdStart,  ///< nothing usable on disk (or resume not requested)
+  kResumed,    ///< snapshot/journal validated and replayed
+  kStale,      ///< digest/count/series mismatch — different knobs; cold start
+  kCorrupt,    ///< interior corruption (typed kCheckpointCorrupt); cold start
+};
+
+/// Stable name ("cold-start", "resumed", ...) for logs and reports.
+std::string_view resume_status_name(ResumeStatus status) noexcept;
+
+struct ResumeInfo {
+  ResumeStatus status = ResumeStatus::kColdStart;
+  std::string detail;       ///< operator-facing reason (logged)
+  std::uint64_t restored = 0;  ///< indices restored from the checkpoint
+  bool torn_tail_dropped = false;  ///< a torn final record was discarded
+};
+
+/// The durable side of a resumable sweep. NOT thread-safe: all journal
+/// calls happen on the sweep's calling thread, in slice order (which is
+/// also what makes the crash-site counter deterministic).
+class SweepJournal {
+ public:
+  /// On-disk format version; bump on any layout or checksum change.
+  static constexpr int kFormatVersion = 1;
+
+  SweepJournal(CheckpointOptions options, SweepSpec spec);
+  ~SweepJournal();
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Validates and replays snapshot + journal into `progress` (which must
+  /// arrive empty). Never throws: staleness and corruption are reported in
+  /// the ResumeInfo (and logged as structured events) and leave `progress`
+  /// empty for a cold start.
+  ResumeInfo load(SweepProgress& progress);
+
+  /// Opens the journal for appending. `cold` discards any previous state
+  /// and publishes a fresh header; after a successful load(), pass the
+  /// replayed progress and cold=false to append after the existing
+  /// records. Returns false when the directory/file cannot be prepared
+  /// (checkpointing is then off for this run — soft, like the cache).
+  bool begin(const SweepProgress& progress, bool cold);
+
+  /// Appends one completed-slice record (the DELTA for [begin, end)) and
+  /// fsyncs it; every `snapshot_every` records compacts `full` (the merged
+  /// state INCLUDING this delta) into an atomic snapshot and resets the
+  /// journal. Soft-fails like begin().
+  bool append(std::uint64_t begin, std::uint64_t end,
+              const std::vector<SeriesCounts>& delta,
+              const std::vector<FailureRecord>& slice_failures,
+              std::uint64_t retries_delta, const SweepProgress& full);
+
+  /// Sweep fully completed: removes both files (the result now lives in
+  /// the result cache / the caller's output, not the checkpoint).
+  void finish();
+
+  /// Closes the journal fd without removing files (interrupted sweep: the
+  /// state stays on disk for the next --resume). Called by the destructor.
+  void close();
+
+  std::string journal_path() const;
+  std::string snapshot_path() const;
+
+  /// Durable writes performed by THIS run (journal records + snapshots +
+  /// journal resets) — the denominator of checkpoint-overhead accounting.
+  std::uint64_t writes() const noexcept { return writes_; }
+
+ private:
+  bool publish_snapshot(const SweepProgress& full);
+  /// Rewrites the journal to just a header at `epoch_` (atomic publish),
+  /// then reopens it for appending.
+  bool reset_journal();
+  std::string header_text() const;
+  std::string header_checksum() const;
+
+  CheckpointOptions options_;
+  SweepSpec spec_;
+  CrashProfile crash_;
+  int fd_ = -1;             ///< journal fd (O_APPEND) while open
+  std::uint64_t epoch_ = 0; ///< snapshot epoch the journal is relative to
+  std::uint64_t next_seq_ = 1;  ///< sequence number of the next record
+  std::uint64_t records_since_snapshot_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace ct::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -396,6 +397,159 @@ EnsembleReport EnsembleRunner::count_guarded_fresh(
     record.counts = report.counts.counts;
     record.total = report.counts.total;
     store_.store(key, record);
+  }
+  return report;
+}
+
+ResumableReport EnsembleRunner::run_resumable(
+    const surge::RealizationEngine& engine, const SweepSpec& spec,
+    const MultiOutcomeFn& outcome, const CheckpointOptions& ckpt,
+    CancellationToken* interrupt) {
+  ResumableReport report;
+  const std::size_t nseries = spec.series.size();
+  report.series.assign(nseries, EnsembleReport{});
+  if (nseries == 0) return report;
+
+  SweepProgress progress;
+  progress.series.assign(nseries, SeriesCounts{});
+
+  // The journal is optional and soft: an empty dir means a plain sweep,
+  // and any durable-write failure downgrades to one mid-flight.
+  std::optional<SweepJournal> journal;
+  bool journal_on = false;
+  if (!ckpt.dir.empty()) {
+    journal.emplace(ckpt, spec);
+    if (ckpt.resume) report.resume = journal->load(progress);
+    const bool cold = report.resume.status != ResumeStatus::kResumed;
+    journal_on = journal->begin(progress, cold);
+  }
+  report.restored = progress.completed();
+
+  const std::uint64_t seed = engine.config().base_seed;
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ckpt.interval));
+  // Same chunking as generate_guarded: one realization is the expensive
+  // unit (storm + surge solve).
+  const std::size_t chunk = std::max<std::size_t>(1, options_.chunk / 8);
+  TaskOptions task_options;
+  task_options.timeout = options_.task_timeout;
+  task_options.max_retries = options_.max_retries;
+
+  // Walk the MISSING set in ascending slices of `interval` realizations.
+  // Each slice is generated + classified in parallel, folded in ascending
+  // index order (bit-identity at any --jobs), then journaled as one
+  // record. Interruption is honored at slice boundaries only: the previous
+  // slice's record is already fsync'd, so there is nothing left to flush.
+  for (const auto& [gap_begin, gap_end] : progress.missing(spec.count)) {
+    for (std::uint64_t b = gap_begin; b < gap_end && !report.interrupted;
+         b += interval) {
+      if (interrupt != nullptr && interrupt->cancelled()) {
+        report.interrupted = true;
+        break;
+      }
+      const std::uint64_t e = std::min<std::uint64_t>(b + interval, gap_end);
+      const std::size_t n = static_cast<std::size_t>(e - b);
+
+      std::vector<std::int8_t> buckets(n * nseries, 0);
+      IsolatedRunResult run = pool_.for_each_isolated(
+          n, chunk,
+          [&](std::size_t k, unsigned attempt,
+              const CancellationToken& token) {
+            const std::uint64_t index = b + k;
+            // Identical injection surface to generate_guarded: the
+            // resumable path must quarantine the SAME indices CT_FAULT
+            // quarantines in a plain guarded run.
+            if (fault_.throw_rule.fires(index, attempt)) {
+              throw util::Error(util::ErrorCode::kFaultInjected,
+                                "fault-injection",
+                                "injected realization failure", index, seed);
+            }
+            if (fault_.delay_rule.fires(index, attempt)) {
+              cooperative_delay(fault_.delay, token);
+            }
+            surge::HurricaneRealization r = engine.run(index);
+            if (fault_.nan_rule.fires(index, attempt)) {
+              r.max_shoreline_wse_m =
+                  std::numeric_limits<double>::quiet_NaN();
+              surge::validate_realization(r, seed);
+            }
+            token.poll("ensemble-resumable");
+            // One generation, K classifications: a quarantined index is
+            // quarantined in every series.
+            for (std::size_t s = 0; s < nseries; ++s) {
+              buckets[k * nseries + s] =
+                  static_cast<std::int8_t>(outcome(s, r));
+            }
+          },
+          task_options);
+
+      std::vector<bool> failed(n, false);
+      std::vector<FailureRecord> slice_failures;
+      slice_failures.reserve(run.failures.size());
+      for (const TaskFailure& f : run.failures) {
+        failed[f.index] = true;
+        slice_failures.push_back(make_failure_record(
+            f, b + static_cast<std::uint64_t>(f.index), seed));
+      }
+      std::sort(slice_failures.begin(), slice_failures.end(),
+                [](const FailureRecord& x, const FailureRecord& y) {
+                  return x.realization < y.realization;
+                });
+
+      std::vector<SeriesCounts> delta(nseries, SeriesCounts{});
+      for (std::size_t k = 0; k < n; ++k) {
+        if (failed[k]) continue;
+        for (std::size_t s = 0; s < nseries; ++s) {
+          ++delta[s][static_cast<std::size_t>(buckets[k * nseries + s]) &
+                     (delta[s].size() - 1)];
+        }
+      }
+
+      progress.merge_range(b, e);
+      for (std::size_t s = 0; s < nseries; ++s) {
+        for (std::size_t c = 0; c < delta[s].size(); ++c) {
+          progress.series[s][c] += delta[s][c];
+        }
+      }
+      progress.failures.insert(progress.failures.end(),
+                               slice_failures.begin(), slice_failures.end());
+      progress.retries += run.retries;
+      report.executed += n;
+
+      if (journal_on) {
+        journal_on = journal->append(b, e, delta, slice_failures,
+                                     run.retries, progress);
+      }
+    }
+    if (report.interrupted) break;
+  }
+
+  if (journal) {
+    if (!report.interrupted && journal_on) {
+      journal->finish();
+    } else {
+      // Leave the files for the next --resume.
+      journal->close();
+    }
+    report.checkpoints = journal->writes();
+  }
+
+  // Restored failures live inside `done` ranges, which interleave with the
+  // gaps this run filled — re-sort so every series ledger is ascending.
+  std::sort(progress.failures.begin(), progress.failures.end(),
+            [](const FailureRecord& x, const FailureRecord& y) {
+              return x.realization < y.realization;
+            });
+  const std::uint64_t attempted = progress.completed();
+  for (std::size_t s = 0; s < nseries; ++s) {
+    EnsembleReport& r = report.series[s];
+    r.counts.counts = progress.series[s];
+    r.counts.total = 0;
+    for (const std::uint64_t c : progress.series[s]) r.counts.total += c;
+    r.failures = progress.failures;
+    r.retries = progress.retries;
+    r.attempted = static_cast<std::size_t>(attempted);
+    r.completed = static_cast<std::size_t>(attempted) - progress.failures.size();
   }
   return report;
 }

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/checkpoint.h"
 #include "runtime/fault_profile.h"
 #include "runtime/result_store.h"
 #include "runtime/task_pool.h"
@@ -76,28 +77,14 @@ struct EnsembleCounts {
   bool from_cache = false;
 };
 
-/// One quarantined realization: everything needed to aggregate, report,
-/// and deterministically replay the failure.
-struct FailureRecord {
-  std::uint64_t realization = 0;  ///< Monte-Carlo index (replay handle)
-  std::uint64_t seed = 0;         ///< ensemble base seed (0 when unknown)
-  unsigned attempts = 0;          ///< attempts consumed (1 + retries)
-  util::ErrorCode code = util::ErrorCode::kUnknown;
-  std::string origin;             ///< failing component ("surge", ...)
-  std::string message;            ///< last attempt's what()
-};
+// FailureRecord / FailureLedger live in runtime/checkpoint.h (the journal
+// persists them), re-exported here for every existing consumer.
 
 /// TaskFailure -> FailureRecord, preferring the exception's own provenance
 /// (a ct::Error knows its realization and seed) over the fallbacks.
 FailureRecord make_failure_record(const TaskFailure& failure,
                                   std::uint64_t fallback_realization,
                                   std::uint64_t fallback_seed);
-
-/// Failure accounting threaded between the generation and counting stages.
-struct FailureLedger {
-  std::vector<FailureRecord> failures;  ///< sorted by realization index
-  std::uint64_t retries = 0;            ///< extra attempts (healed + exhausted)
-};
 
 struct BatchView;
 
@@ -147,12 +134,32 @@ struct EnsembleReport {
                             double confidence = 0.95) const noexcept;
 };
 
+/// Output of run_resumable: one EnsembleReport per sweep series, plus how
+/// the checkpoint layer behaved.
+struct ResumableReport {
+  std::vector<EnsembleReport> series;  ///< one per SweepSpec::series entry
+  ResumeInfo resume;                   ///< how the prior state was used
+  bool interrupted = false;   ///< cancelled before completion; state saved
+  std::uint64_t restored = 0;  ///< indices restored from the checkpoint
+  std::uint64_t executed = 0;  ///< indices actually computed by THIS run
+  std::uint64_t checkpoints = 0;  ///< durable writes performed by this run
+
+  bool complete() const noexcept { return !interrupted; }
+};
+
 class EnsembleRunner {
  public:
   explicit EnsembleRunner(EnsembleOptions options = {});
 
   /// Classifies one realization into an outcome bucket [0, 4).
   using OutcomeFn = std::function<int(const surge::HurricaneRealization&)>;
+  /// Classifies one realization into a bucket [0, 4) PER SERIES: called
+  /// once per (series, realization) pair; `series` indexes
+  /// SweepSpec::series. run_resumable generates each realization exactly
+  /// once and classifies it into every series — this is what lets a
+  /// (configurations x scenarios) sweep matrix share one ensemble pass.
+  using MultiOutcomeFn =
+      std::function<int(std::size_t series, const surge::HurricaneRealization&)>;
   /// Lazily materializes a realization set (only called on a cache miss).
   using RealizationsFn =
       std::function<const std::vector<surge::HurricaneRealization>&()>;
@@ -206,6 +213,24 @@ class EnsembleRunner {
   EnsembleReport count_outcomes_guarded(const BatchFn& batch_fn,
                                         const OutcomeFn& outcome,
                                         const std::string& key);
+
+  /// Crash-consistent sweep: generates realizations [0, spec.count) in
+  /// slices of ckpt.interval, classifies each survivor into every series
+  /// via `outcome`, and journals every completed slice (see checkpoint.h).
+  /// With ckpt.resume set, prior journal/snapshot state is validated and
+  /// replayed first and only the MISSING indices run; the merged result is
+  /// bit-identical at any --jobs value to an uninterrupted run. Fault
+  /// semantics match the guarded entry points (same CT_FAULT injection,
+  /// same retry-then-quarantine policy; a quarantined index is quarantined
+  /// in ALL series). `interrupt` (optional) stops the sweep at the next
+  /// slice boundary after a final checkpoint flush — the SIGINT/SIGTERM
+  /// path; the report then has interrupted=true and partial counts. An
+  /// empty ckpt.dir degrades to a plain non-durable sweep.
+  ResumableReport run_resumable(const surge::RealizationEngine& engine,
+                                const SweepSpec& spec,
+                                const MultiOutcomeFn& outcome,
+                                const CheckpointOptions& ckpt,
+                                CancellationToken* interrupt = nullptr);
 
   /// The active fault-injection profile (empty unless CT_FAULT or
   /// options.fault_spec configured one).

@@ -96,4 +96,56 @@ RuntimeFaultProfile RuntimeFaultProfile::from_env() {
   return parse(env);
 }
 
+CrashProfile CrashProfile::parse(std::string_view spec) {
+  CrashProfile profile;
+  const std::string_view trimmed = util::trim(spec);
+  if (trimmed.empty() || trimmed == "none" || trimmed == "off") {
+    return profile;
+  }
+  const auto colon = trimmed.find(':');
+  if (colon == std::string_view::npos) {
+    throw util::Error(util::ErrorCode::kParse, "crash-profile",
+                      "bad CT_CRASH spec '" + std::string(spec) +
+                          "': expected kind:at=N");
+  }
+  const std::string_view kind = util::trim(trimmed.substr(0, colon));
+  if (kind == "before") {
+    profile.point = CrashPoint::kBeforeWrite;
+  } else if (kind == "torn") {
+    profile.point = CrashPoint::kTornWrite;
+  } else if (kind == "after") {
+    profile.point = CrashPoint::kAfterWrite;
+  } else {
+    throw util::Error(util::ErrorCode::kParse, "crash-profile",
+                      "bad CT_CRASH spec '" + std::string(spec) +
+                          "': unknown kind '" + std::string(kind) + "'");
+  }
+  const std::string_view keys = trimmed.substr(colon + 1);
+  for (const std::string& pair : util::split(keys, ',')) {
+    const auto eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string::npos
+            ? util::trim(pair)
+            : util::trim(std::string_view(pair).substr(0, eq));
+    if (key != "at" || eq == std::string::npos) {
+      throw util::Error(util::ErrorCode::kParse, "crash-profile",
+                        "bad CT_CRASH spec '" + std::string(spec) +
+                            "': expected at=N, got '" + pair + "'");
+    }
+    profile.at = parse_u64_or_die(spec, std::string_view(pair).substr(eq + 1));
+  }
+  if (profile.at == 0) {
+    throw util::Error(util::ErrorCode::kParse, "crash-profile",
+                      "bad CT_CRASH spec '" + std::string(spec) +
+                          "': at=0 never fires (sites count from 1)");
+  }
+  return profile;
+}
+
+CrashProfile CrashProfile::from_env() {
+  const char* env = std::getenv("CT_CRASH");
+  if (env == nullptr || *env == '\0') return {};
+  return parse(env);
+}
+
 }  // namespace ct::runtime

@@ -70,4 +70,58 @@ struct RuntimeFaultProfile {
   static RuntimeFaultProfile from_env();
 };
 
+// --- process-death injection (CT_CRASH) ------------------------------------
+//
+// The mirror of CT_FAULT one level up: instead of failing a task, the
+// PROCESS dies (`_exit`, no unwinding, no flushing — exactly what a
+// preempted VM or OOM kill does) at a deterministic crash point inside the
+// checkpoint writer. Spec grammar (CT_CRASH environment variable, or
+// CheckpointOptions::crash_spec):
+//
+//   kind:at=N
+//   kind := before | torn | after
+//
+//   before:at=3   die at the 3rd checkpoint site, before any byte is written
+//   torn:at=3     die mid-write: a prefix of the record reaches the disk
+//                 (the torn-tail case replay must silently drop)
+//   after:at=3    die after the full write/fsync (and, for snapshots, after
+//                 the rename + directory fsync) completed
+//
+// The site counter increments once per checkpoint flush in execution
+// order, which is deterministic (flushes happen on the sweep thread in
+// ascending slice order), so a given spec kills the process at exactly one
+// reproducible instant at any --jobs value.
+
+/// Where inside a checkpoint flush the process dies.
+enum class CrashPoint {
+  kNone = 0,
+  kBeforeWrite,   ///< before any byte of the record/snapshot is written
+  kTornWrite,     ///< after a PREFIX of the record hit the disk
+  kAfterWrite,    ///< after write + fsync (+ rename + dir fsync) completed
+};
+
+/// Parsed CT_CRASH profile. Default-constructed = never crashes.
+struct CrashProfile {
+  CrashPoint point = CrashPoint::kNone;
+  std::uint64_t at = 0;  ///< 1-based site counter value the crash fires on
+
+  /// Exit code of an injected crash; distinct from every real exit code so
+  /// the harness can tell "died as scheduled" from "died of a bug".
+  static constexpr int kExitCode = 86;
+
+  bool enabled() const noexcept {
+    return point != CrashPoint::kNone && at != 0;
+  }
+  bool fires(CrashPoint site_point, std::uint64_t site) const noexcept {
+    return enabled() && site_point == point && site == at;
+  }
+
+  /// Parses a spec; "" and "none"/"off" yield an empty profile. Throws
+  /// ct::Error{kParse} on a malformed directive.
+  static CrashProfile parse(std::string_view spec);
+
+  /// Profile from the CT_CRASH environment variable (empty when unset).
+  static CrashProfile from_env();
+};
+
 }  // namespace ct::runtime

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/digest.h"
+#include "util/fsio.h"
 #include "util/log.h"
 
 namespace ct::runtime {
@@ -63,6 +64,32 @@ ResultStore::ResultStore(ResultStoreOptions options)
       }
     }
     disk_enabled_.store(!disk_dir_.empty(), std::memory_order_release);
+    if (!disk_dir_.empty()) gc_leftover_tmp_files();
+  }
+}
+
+void ResultStore::gc_leftover_tmp_files() {
+  // A crash between tmp-write and rename leaves a half-written "*.tmp" in
+  // a fan-out directory. It never renamed, so it is garbage by
+  // construction: readers already ignore it (only ".ctr" paths are ever
+  // opened); collect it here so crashes cannot accumulate dead files.
+  std::error_code ec;
+  std::size_t removed = 0;
+  for (fs::directory_iterator dir(disk_dir_, ec);
+       !ec && dir != fs::directory_iterator(); dir.increment(ec)) {
+    if (!dir->is_directory(ec)) continue;
+    for (fs::directory_iterator entry(dir->path(), ec);
+         !ec && entry != fs::directory_iterator(); entry.increment(ec)) {
+      if (entry->path().extension() == ".tmp") {
+        std::error_code remove_ec;
+        if (fs::remove(entry->path(), remove_ec)) ++removed;
+      }
+    }
+  }
+  if (removed > 0) {
+    CT_LOG(kInfo, "runtime")
+        << "result cache: collected " << removed
+        << " half-written tmp file(s) left by a crashed process";
   }
 }
 
@@ -180,7 +207,11 @@ bool ResultStore::write_disk(const std::string& key,
          << record_checksum(key, value) << "\n";
 
   // Write-then-rename so a concurrent reader sees either the old record or
-  // the complete new one (and a crash mid-write leaves only a .tmp).
+  // the complete new one (and a crash mid-write leaves only a .tmp). The
+  // file is fsync'd before the rename and the directory after it: without
+  // the second fsync the rename itself can be lost on power failure,
+  // resurrecting a deleted-or-absent path (the durability hole the crash
+  // harness exercises).
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -192,12 +223,16 @@ bool ResultStore::write_disk(const std::string& key,
       return false;
     }
   }
+  if (!util::fsync_file(tmp.string())) {
+    fs::remove(tmp, ec);
+    return false;
+  }
   fs::rename(tmp, path, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
   }
-  return true;
+  return util::fsync_parent_dir(path.string());
 }
 
 ResultStore::Stats ResultStore::stats() const {

@@ -106,6 +106,9 @@ class ResultStore {
   /// or injected); never throws.
   bool write_disk(const std::string& key, const CachedCounts& value);
   void touch_locked(const std::string& key, const CachedCounts& value);
+  /// Removes half-written "*.tmp" files a crashed process left behind in
+  /// the fan-out directories (they never renamed, so they are garbage).
+  void gc_leftover_tmp_files();
 
   ResultStoreOptions options_;
   std::string disk_dir_;

@@ -38,6 +38,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kCacheIo: return "cache-io";
     case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kCheckpointCorrupt: return "checkpoint-corrupt";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class ErrorCode {
   kIo,              ///< file/stream I/O failure outside the cache
   kCacheIo,         ///< result-cache disk layer failure (always soft)
   kFaultInjected,   ///< CT_FAULT / RuntimeFaultProfile injected failure
+  kCheckpointCorrupt,  ///< sweep checkpoint/journal interior corruption
 };
 
 /// Stable lower-case name ("numeric", "timeout", ...) for summaries.

@@ -1,6 +1,8 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -42,7 +44,27 @@ bool iequals(std::string_view a, std::string_view b) noexcept {
   return true;
 }
 
+/// Pinned at first use, not static-init time, so the origin is stable no
+/// matter which translation unit logs first.
+std::chrono::steady_clock::time_point process_origin() noexcept {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
 }  // namespace
+
+double log_uptime_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_origin())
+      .count();
+}
+
+std::string format_log_timestamp(double uptime_seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "+%.3fs", uptime_seconds);
+  return buf;
+}
 
 LogLevel parse_log_level(std::string_view name) noexcept {
   if (iequals(name, "trace")) return LogLevel::kTrace;
@@ -70,9 +92,10 @@ bool log_enabled(LogLevel level) noexcept {
 void log_line(LogLevel level, std::string_view component,
               std::string_view message) {
   if (!log_enabled(level)) return;
+  const std::string stamp = format_log_timestamp(log_uptime_seconds());
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
-            << '\n';
+  std::cerr << '[' << level_name(level) << "] " << stamp << ' ' << component
+            << ": " << message << '\n';
 }
 
 }  // namespace ct::util

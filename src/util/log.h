@@ -1,6 +1,12 @@
 // Leveled logging. Quiet by default (warnings and errors only) so benches
 // and tests stay readable; verbosity is raised via set_level or the
 // CT_LOG_LEVEL environment variable (trace|debug|info|warn|error|off).
+//
+// Every line carries a monotonic timestamp (seconds since process start,
+// steady clock, so it never jumps with wall-clock adjustments): durable-
+// state events — checkpoint writes, journal replays, corruption discards —
+// log structured `event=... key=value` lines, and the timestamps let a
+// resumed run's provenance be reconstructed from the log alone.
 #pragma once
 
 #include <sstream>
@@ -21,9 +27,18 @@ LogLevel log_level() noexcept;
 /// True if `level` messages would currently be emitted.
 bool log_enabled(LogLevel level) noexcept;
 
-/// Emits one formatted line to stderr: "[LEVEL] component: message".
+/// Emits one formatted line to stderr:
+/// "[LEVEL] +<seconds>s component: message".
 void log_line(LogLevel level, std::string_view component,
               std::string_view message);
+
+/// Monotonic seconds since process start (steady clock; first call pins
+/// the origin). This is the timestamp log_line prefixes every line with.
+double log_uptime_seconds() noexcept;
+
+/// Formats the "+<seconds>s" stamp log_line uses (3 decimal places), so
+/// tests and external tools can parse provenance lines byte-exactly.
+std::string format_log_timestamp(double uptime_seconds);
 
 /// Stream-style log statement that only formats when enabled:
 ///   CT_LOG(kInfo, "surge") << "node " << id << " wse=" << wse;

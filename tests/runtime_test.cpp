@@ -483,6 +483,28 @@ TEST_F(DiskStoreTest, TamperedVersionInvalidatesRecord) {
   EXPECT_EQ(store.stats().corrupt_discarded, 1u);
 }
 
+TEST_F(DiskStoreTest, HalfWrittenTmpIsIgnoredAndCollectedOnOpen) {
+  {
+    runtime::ResultStore writer(options_);
+    writer.store(test_key(), sample_counts());
+  }
+  const fs::path record = record_path();
+  ASSERT_FALSE(record.empty());
+  // A crash between tmp-write and rename leaves a ".tmp" sibling that
+  // never became a record. It must never serve a lookup, and the next
+  // open garbage-collects it.
+  const fs::path tmp = record.string() + ".tmp";
+  std::ofstream(tmp, std::ios::binary) << "ctresult 1 half-writ";
+  ASSERT_TRUE(fs::exists(tmp));
+
+  runtime::ResultStore store(options_);
+  EXPECT_FALSE(fs::exists(tmp)) << "leftover tmp survived open";
+  const auto hit = store.lookup(test_key());
+  ASSERT_TRUE(hit.has_value());  // the published record is untouched
+  EXPECT_EQ(*hit, sample_counts());
+  EXPECT_EQ(store.stats().corrupt_discarded, 0u);
+}
+
 TEST_F(DiskStoreTest, RecordUnderWrongKeyIsMiss) {
   {
     runtime::ResultStore writer(options_);

@@ -1,6 +1,8 @@
 // Unit tests for the util substrate: RNG, statistics, CSV/JSON writers,
 // string helpers, tables, logging.
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -9,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
+#include "util/fsio.h"
 #include "util/json_writer.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -501,6 +504,51 @@ TEST(Log, LevelGating) {
   EXPECT_TRUE(log_enabled(LogLevel::kError));
   EXPECT_FALSE(log_enabled(LogLevel::kOff));
   set_log_level(before);
+}
+
+TEST(Log, MonotonicTimestampFormatIsByteStable) {
+  // Checkpoint provenance lines are parsed back from logs; the stamp
+  // format is a contract (3 decimal places, leading '+', trailing 's').
+  EXPECT_EQ(format_log_timestamp(0.0), "+0.000s");
+  EXPECT_EQ(format_log_timestamp(12.3456), "+12.346s");
+  EXPECT_EQ(format_log_timestamp(3600.25), "+3600.250s");
+  const double a = log_uptime_seconds();
+  const double b = log_uptime_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);  // steady clock: never goes backwards
+}
+
+// ---------------------------------------------------------------- fsio
+
+TEST(Fsio, AtomicWriteFilePublishesAllOrNothing) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "ct_fsio_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "record.txt").string();
+
+  ASSERT_TRUE(atomic_write_file(path, "first\n"));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // published, not half-written
+  std::stringstream got;
+  got << std::ifstream(path).rdbuf();
+  EXPECT_EQ(got.str(), "first\n");
+
+  // Overwrite is atomic too: the reader sees old-or-new, never a mix.
+  ASSERT_TRUE(atomic_write_file(path, "second, longer contents\n"));
+  got.str("");
+  got << std::ifstream(path).rdbuf();
+  EXPECT_EQ(got.str(), "second, longer contents\n");
+
+  // A missing parent directory fails soft (no throw) and leaves no tmp.
+  const std::string orphan = (dir / "no-such-dir" / "x").string();
+  EXPECT_FALSE(atomic_write_file(orphan, "data"));
+  EXPECT_FALSE(fs::exists(orphan + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(Fsio, FsyncHelpersTolerateMissingPaths) {
+  EXPECT_FALSE(fsync_file("/no/such/file/anywhere"));
+  EXPECT_FALSE(fsync_parent_dir("/no/such/dir/anywhere/x"));
 }
 
 // ---------------------------------------------------------------- strings
