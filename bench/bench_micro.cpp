@@ -22,6 +22,7 @@
 #include "runtime/ensemble_runner.h"
 #include "runtime/task_pool.h"
 #include "scada/oahu.h"
+#include "service/protocol.h"
 #include "storm/generator.h"
 #include "storm/holland.h"
 #include "surge/realization.h"
@@ -248,6 +249,30 @@ void BM_EnsembleCount(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnsembleCount)->Arg(1)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+/// Serving-mode framing overhead: encode + checksum + decode one
+/// request-sized and one response-sized frame (a few-KiB analysis report).
+/// Bounds what `ctctl --connect` pays over a local run besides the socket.
+void BM_WireFrameRoundTrip(benchmark::State& state) {
+  service::Request request;
+  request.kind = service::RequestKind::kAnalyze;
+  request.topology_csv = std::string(static_cast<std::size_t>(state.range(0)),
+                                     'x');
+  std::uint32_t id = 1;
+  for (auto _ : state) {
+    const std::string bytes = service::encode_frame(
+        service::FrameType::kRequest, id++, service::encode_request(request));
+    service::FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    service::Frame frame;
+    decoder.next(frame);
+    benchmark::DoNotOptimize(service::decode_request(frame.payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WireFrameRoundTrip)->Arg(0)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
 
 /// Times one small end-to-end sweep (all five paper configurations, one
 /// compound scenario) serial vs pooled vs cache-warm and merges the record

@@ -1,100 +1,135 @@
 // ctctl — command-line front end to the compound-threat framework. The
 // adoption path for practitioners: export the built-in Oahu topology,
 // edit the CSV (or export one from a GIS), and analyze custom sitings
-// without writing C++.
+// without writing C++ — locally, or against a running ctserved instance
+// (--connect), whose answers are byte-identical to local execution.
 //
-//   ctctl topology export <file.csv>       write the built-in Oahu topology
-//   ctctl topology validate <file.csv>     parse + summarize a topology CSV
-//   ctctl map [realization]                ASCII region map (optionally with
-//                                          one realization's floods)
-//   ctctl analyze [options]                operational profiles, 4 scenarios
-//     --topology <file.csv>                default: built-in Oahu
-//     --primary/--backup/--dc <asset id>   default: honolulu/waiau/drfortress
-//     --realizations <n>                   default: 1000
-//     --slr <meters>                       sea-level-rise offset
-//     --jobs <n>                           worker threads (0 = all cores,
-//                                          1 = serial; default 0)
-//     --no-cache                           recompute everything: disable the
-//                                          result cache (default: on-disk
-//                                          cache under CT_CACHE_DIR or
-//                                          ~/.cache/ct, so a repeated
-//                                          analyze of the same inputs is
-//                                          served from cache)
-//     --max-retries <n>                    re-runs of a failed realization
-//                                          (same seed) before it is
-//                                          quarantined (default 2)
-//     --best-effort                        degraded runs (quarantined
-//                                          realizations) report partial
-//                                          results and exit 0 (default)
-//     --strict                             degraded runs exit 3 after
-//                                          printing the failure summary
-//     --checkpoint-dir <dir>               journal completed work under
-//                                          <dir> so a killed or interrupted
-//                                          analyze can continue instead of
-//                                          restarting (see --resume)
-//     --checkpoint-interval <n>            realizations per checkpoint
-//                                          record (default 128): the most
-//                                          work a crash can lose
-//     --resume                             continue from the checkpoint
-//                                          state under --checkpoint-dir;
-//                                          stale state (different inputs)
-//                                          or corruption falls back to a
-//                                          cold start, loudly
-//   ctctl downtime [same options]          restoration costs in hours
-//
-// With --checkpoint-dir, SIGINT/SIGTERM interrupt the sweep at the next
-// checkpoint boundary after a final flush and exit 5 ("interrupted,
-// resumable"); rerun with --resume to continue from the saved state.
+// Subcommands and flags are listed by `ctctl` with no arguments (see
+// usage() below). Analysis commands (analyze, downtime, siting) share one
+// body: flags build a service::Request, which either executes in-process
+// or ships to a server; both paths render through service::execute_request
+// so the report bytes cannot diverge.
 //
 // Exit codes: 0 success (incl. best-effort degraded), 1 runtime error,
 // 2 usage, 3 degraded under --strict, 4 no realization completed,
-// 5 interrupted but resumable.
+// 5 interrupted but resumable (or remote deadline exceeded), 6 server
+// overloaded or shutting down (retry later).
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/case_study.h"
 #include "core/map.h"
-#include "core/report.h"
-#include "core/restoration.h"
 #include "scada/oahu.h"
 #include "scada/topology_io.h"
+#include "service/client.h"
+#include "service/exec.h"
 #include "terrain/oahu.h"
-#include "threat/scenario.h"
 #include "util/strings.h"
-#include "util/table.h"
 
 using namespace ct;
 
 namespace {
 
+/// A command-line mistake: reported with the usage text, exit 2 (distinct
+/// from runtime failures, which exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
-  std::cerr << "usage: ctctl <topology export|topology validate|map|analyze|"
-               "downtime> [options]\n(see the header of examples/ctctl.cpp "
-               "for details)\n";
+  std::cerr <<
+      "usage: ctctl <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  topology export <file.csv>    write the built-in Oahu topology\n"
+      "  topology validate <file.csv>  parse + summarize a topology CSV\n"
+      "  map [realization]             ASCII region map (optionally with one\n"
+      "                                realization's floods)\n"
+      "  analyze [options]             operational profiles, 4 scenarios\n"
+      "  downtime [options]            restoration costs in hours\n"
+      "  siting [options]              backup-site ranking per scenario\n"
+      "  stats --connect <addr>        server/runtime counters\n"
+      "\n"
+      "analysis options (analyze, downtime, siting):\n"
+      "  --topology <file.csv>      topology to analyze (default: built-in\n"
+      "                             Oahu)\n"
+      "  --primary <asset id>       primary control center (default:\n"
+      "                             honolulu_cc)\n"
+      "  --backup <asset id>        backup control center (default: waiau_cc;\n"
+      "                             analyze/downtime only)\n"
+      "  --dc <asset id>            data center (default: drfortress_dc;\n"
+      "                             analyze/downtime only)\n"
+      "  --realizations <n>         hurricane realizations (default: 1000)\n"
+      "  --slr <meters>             sea-level-rise offset\n"
+      "  --jobs <n>                 worker threads (0 = all cores, 1 =\n"
+      "                             serial; default 0; local only)\n"
+      "  --no-cache                 recompute everything: disable the result\n"
+      "                             cache (default: on-disk cache under\n"
+      "                             CT_CACHE_DIR or ~/.cache/ct)\n"
+      "  --max-retries <n>          re-runs of a failed realization (same\n"
+      "                             seed) before it is quarantined\n"
+      "                             (default 2)\n"
+      "  --best-effort              degraded runs (quarantined realizations)\n"
+      "                             report partial results and exit 0\n"
+      "                             (default)\n"
+      "  --strict                   degraded runs exit 3 after printing the\n"
+      "                             failure summary\n"
+      "  --connect <addr>           run on a ctserved instance instead of\n"
+      "                             in-process; <addr> is unix:<path> or\n"
+      "                             [tcp:]<host>:<port>\n"
+      "  --deadline-ms <n>          give up after n milliseconds (remote:\n"
+      "                             enforced server-side at sweep slice\n"
+      "                             boundaries)\n"
+      "\n"
+      "checkpoint options (analyze, local only):\n"
+      "  --checkpoint-dir <dir>     journal completed work under <dir> so a\n"
+      "                             killed or interrupted analyze can\n"
+      "                             continue instead of restarting\n"
+      "  --checkpoint-interval <n>  realizations per checkpoint record\n"
+      "                             (default 128): the most work a crash can\n"
+      "                             lose\n"
+      "  --resume                   continue from the checkpoint state under\n"
+      "                             --checkpoint-dir; stale or corrupt state\n"
+      "                             falls back to a cold start, loudly\n"
+      "\n"
+      "stats options:\n"
+      "  --connect <addr>           required: the server to query\n"
+      "  --json                     machine-readable output\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime error, 2 usage, 3 degraded under\n"
+      "--strict, 4 no realization completed, 5 interrupted/deadline (rerun\n"
+      "with --resume where applicable), 6 server overloaded or draining\n";
   return 2;
 }
 
 /// Flags that take no value.
 bool is_boolean_flag(const std::string& name) {
   return name == "no-cache" || name == "strict" || name == "best-effort" ||
-         name == "resume";
+         name == "resume" || name == "json";
 }
 
 /// Cooperative-interrupt plumbing: the signal handler only flips the
 /// token's atomic flag (async-signal-safe); the sweep polls it at
-/// checkpoint boundaries, flushes, and unwinds normally.
-runtime::CancellationToken g_interrupt;
+/// checkpoint boundaries, flushes, and unwinds normally. The pointer is
+/// retargeted (before handlers are installed) at a deadline-bearing token
+/// when --deadline-ms is given.
+runtime::CancellationToken g_default_interrupt;
+runtime::CancellationToken* g_interrupt = &g_default_interrupt;
 std::atomic<int> g_interrupt_signal{0};
 
 extern "C" void handle_interrupt_signal(int sig) {
   g_interrupt_signal.store(sig, std::memory_order_relaxed);
-  g_interrupt.request_cancel();
+  g_interrupt->request_cancel();
 }
 
 void install_interrupt_handlers() {
@@ -102,15 +137,50 @@ void install_interrupt_handlers() {
   std::signal(SIGTERM, handle_interrupt_signal);
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+// Per-subcommand flag vocabularies. An unknown flag is a hard usage error
+// with a "did you mean" hint — silently ignoring a typo like `--job 8`
+// means answering a non-default question with default parameters, the
+// worst failure mode an analysis tool can have.
+const std::vector<std::string> kAnalysisFlags = {
+    "topology",    "primary",     "backup",      "dc",
+    "realizations", "slr",        "jobs",        "no-cache",
+    "max-retries", "best-effort", "strict",      "connect",
+    "deadline-ms"};
+
+std::vector<std::string> flags_for(const std::string& command) {
+  if (command == "analyze") {
+    std::vector<std::string> flags = kAnalysisFlags;
+    flags.insert(flags.end(),
+                 {"checkpoint-dir", "checkpoint-interval", "resume"});
+    return flags;
+  }
+  if (command == "downtime") return kAnalysisFlags;
+  if (command == "siting") {
+    std::vector<std::string> flags;
+    for (const std::string& f : kAnalysisFlags) {
+      if (f != "backup" && f != "dc") flags.push_back(f);
+    }
+    return flags;
+  }
+  if (command == "stats") return {"connect", "json"};
+  return {};
+}
+
+std::map<std::string, std::string> parse_flags(
+    int argc, char** argv, int first, const std::vector<std::string>& allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (!util::starts_with(key, "--")) {
-      throw std::runtime_error("expected --flag, got: " + key);
+      throw UsageError("expected --flag, got: " + key);
     }
     const std::string name = key.substr(2);
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      std::string message = "unknown flag " + key + " for this command";
+      const std::string hint = util::closest_match(name, allowed);
+      if (!hint.empty()) message += " (did you mean --" + hint + "?)";
+      throw UsageError(message);
+    }
     if (is_boolean_flag(name)) {
       flags[name] = "1";
       continue;
@@ -119,59 +189,62 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
       // A trailing flag with no value used to be dropped silently — the
       // worst possible failure mode for an analysis tool (you get a
       // default-parameter answer to a non-default question).
-      throw std::runtime_error("flag " + key + " expects a value");
+      throw UsageError("flag " + key + " expects a value");
     }
     flags[name] = argv[++i];
   }
   return flags;
 }
 
-scada::ScadaTopology load_topology(
-    const std::map<std::string, std::string>& flags) {
-  const auto it = flags.find("topology");
-  if (it == flags.end()) return scada::oahu_topology();
-  std::ifstream in(it->second);
-  if (!in) throw std::runtime_error("cannot open " + it->second);
-  return scada::load_topology_csv(in, it->second);
-}
-
-struct AnalyzeSetup {
-  core::CaseStudyRunner runner;
-  std::vector<scada::Configuration> configs;
-  /// --strict: degraded runs exit 3 instead of reporting partial results.
-  bool strict = false;
-  /// --checkpoint-dir / --checkpoint-interval / --resume.
-  runtime::CheckpointOptions ckpt;
-};
-
-AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
-  core::CaseStudyOptions options;
-  options.realizations = 1000;
+/// Builds the wire request a flag set describes (shared by the local and
+/// --connect paths, so a flag can never mean two different things).
+service::Request build_request(service::RequestKind kind,
+                               const std::map<std::string, std::string>& flags) {
+  service::Request request;
+  request.kind = kind;
   if (const auto it = flags.find("realizations"); it != flags.end()) {
-    options.realizations = std::strtoul(it->second.c_str(), nullptr, 10);
+    request.realizations = std::strtoul(it->second.c_str(), nullptr, 10);
   }
   if (const auto it = flags.find("slr"); it != flags.end()) {
-    options.realization.sea_level_offset_m =
-        std::strtod(it->second.c_str(), nullptr);
-  }
-  // Runtime: parallel by default, with the cross-process disk cache so a
-  // repeated analyze of identical inputs skips the whole sweep.
-  options.runtime.disk_cache = true;
-  if (const auto it = flags.find("jobs"); it != flags.end()) {
-    options.runtime.jobs = static_cast<unsigned>(
-        std::strtoul(it->second.c_str(), nullptr, 10));
-  }
-  if (flags.count("no-cache") != 0) {
-    options.runtime.cache = false;
-    options.runtime.disk_cache = false;
+    request.sea_level_offset_m = std::strtod(it->second.c_str(), nullptr);
   }
   if (const auto it = flags.find("max-retries"); it != flags.end()) {
-    options.runtime.max_retries = static_cast<unsigned>(
+    request.max_retries = static_cast<std::uint32_t>(
         std::strtoul(it->second.c_str(), nullptr, 10));
   }
-  if (flags.count("strict") != 0 && flags.count("best-effort") != 0) {
-    throw std::runtime_error("--strict and --best-effort are exclusive");
+  if (const auto it = flags.find("deadline-ms"); it != flags.end()) {
+    request.deadline_ms = static_cast<std::uint32_t>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
   }
+  request.no_cache = flags.count("no-cache") != 0;
+  if (flags.count("strict") != 0 && flags.count("best-effort") != 0) {
+    throw UsageError("--strict and --best-effort are exclusive");
+  }
+  request.strict = flags.count("strict") != 0;
+  request.json = flags.count("json") != 0;
+  if (const auto it = flags.find("primary"); it != flags.end()) {
+    request.primary = it->second;
+  }
+  if (const auto it = flags.find("backup"); it != flags.end()) {
+    request.backup = it->second;
+  }
+  if (const auto it = flags.find("dc"); it != flags.end()) {
+    request.dc = it->second;
+  }
+  if (const auto it = flags.find("topology"); it != flags.end()) {
+    // The file is client-local; the CSV travels by value either way so the
+    // local and remote paths parse identical bytes.
+    std::ifstream in(it->second);
+    if (!in) throw std::runtime_error("cannot open " + it->second);
+    std::ostringstream content;
+    content << in.rdbuf();
+    request.topology_csv = content.str();
+  }
+  return request;
+}
+
+runtime::CheckpointOptions build_checkpoint(
+    const std::map<std::string, std::string>& flags) {
   runtime::CheckpointOptions ckpt;
   if (const auto it = flags.find("checkpoint-dir"); it != flags.end()) {
     ckpt.dir = it->second;
@@ -179,32 +252,140 @@ AnalyzeSetup make_setup(const std::map<std::string, std::string>& flags) {
   if (const auto it = flags.find("checkpoint-interval"); it != flags.end()) {
     ckpt.interval = std::strtoul(it->second.c_str(), nullptr, 10);
     if (ckpt.interval == 0) {
-      throw std::runtime_error("--checkpoint-interval must be >= 1");
+      throw UsageError("--checkpoint-interval must be >= 1");
     }
   }
   ckpt.resume = flags.count("resume") != 0;
   if (ckpt.resume && ckpt.dir.empty()) {
-    throw std::runtime_error("--resume requires --checkpoint-dir");
+    throw UsageError("--resume requires --checkpoint-dir");
   }
-  scada::ScadaTopology topology = load_topology(flags);
+  return ckpt;
+}
 
-  const auto pick = [&](const char* flag, const char* fallback) {
-    const auto it = flags.find(flag);
-    const std::string id = it != flags.end() ? it->second : fallback;
-    if (!topology.contains(id)) {
-      throw std::runtime_error(std::string("no asset with id '") + id +
-                               "' in the topology");
+/// Exit-code-driven stderr notes shared by the local and remote paths
+/// (the report itself is already on stdout).
+void explain_exit_code(int code) {
+  if (code == 3) {
+    std::cerr << "ctctl: degraded run under --strict (exit 3)\n";
+  } else if (code == 4) {
+    std::cerr << "ctctl: no realization completed (exit 4)\n";
+  }
+}
+
+int run_local(service::RequestKind kind,
+              const std::map<std::string, std::string>& flags) {
+  const service::Request request = build_request(kind, flags);
+  runtime::CheckpointOptions ckpt = build_checkpoint(flags);
+  core::CaseStudyOptions defaults;
+  // Parallel by default, with the cross-process disk cache so a repeated
+  // run of identical inputs skips the whole sweep.
+  defaults.runtime.disk_cache = true;
+  if (const auto it = flags.find("jobs"); it != flags.end()) {
+    defaults.runtime.jobs = static_cast<unsigned>(
+        std::strtoul(it->second.c_str(), nullptr, 10));
+  }
+  std::optional<runtime::CancellationToken> deadline_token;
+  if (request.deadline_ms != 0) {
+    deadline_token.emplace(std::chrono::milliseconds(request.deadline_ms));
+    g_interrupt = &*deadline_token;
+  }
+  install_interrupt_handlers();
+
+  const std::unique_ptr<core::CaseStudyRunner> runner =
+      service::make_case_study(request, defaults, nullptr);
+  const service::ExecOutcome outcome =
+      service::execute_request(request, *runner, ckpt, g_interrupt);
+
+  std::cout << outcome.output;
+  if (kind == service::RequestKind::kAnalyze) {
+    std::cerr << outcome.cache_line << "\n";
+  }
+
+  if (outcome.interrupted) {
+    const int sig = g_interrupt_signal.load(std::memory_order_relaxed);
+    std::cerr << "ctctl: interrupted"
+              << (sig == SIGTERM ? " (SIGTERM)"
+                                 : sig == SIGINT ? " (SIGINT)" : "")
+              << "; ";
+    if (!ckpt.dir.empty()) {
+      std::cerr << "progress saved under " << ckpt.dir
+                << " — rerun with --resume to continue";
+    } else {
+      std::cerr << "no --checkpoint-dir, so progress was NOT saved";
     }
-    return id;
-  };
-  const std::string primary = pick("primary", scada::oahu_ids::kHonoluluCc);
-  const std::string backup = pick("backup", scada::oahu_ids::kWaiauCc);
-  const std::string dc = pick("dc", scada::oahu_ids::kDrFortress);
+    std::cerr << " (exit 5)\n";
+    return outcome.exit_code;
+  }
+  explain_exit_code(outcome.exit_code);
+  return outcome.exit_code;
+}
 
-  return {core::CaseStudyRunner(std::move(topology),
-                                terrain::make_oahu_terrain(), options),
-          scada::paper_configurations(primary, backup, dc),
-          flags.count("strict") != 0, std::move(ckpt)};
+int run_remote(service::RequestKind kind,
+               const std::map<std::string, std::string>& flags,
+               const std::string& address) {
+  // Server-side execution knobs cannot be set per-request: the pool and
+  // the checkpoint journal belong to the server (results are
+  // jobs-independent by the determinism contract, so --jobs could only
+  // ever be a no-op anyway).
+  for (const char* local_only :
+       {"jobs", "checkpoint-dir", "checkpoint-interval", "resume"}) {
+    if (flags.count(local_only) != 0) {
+      throw UsageError(std::string("--") + local_only +
+                       " is local-only and cannot be combined with --connect");
+    }
+  }
+  const service::Request request = build_request(kind, flags);
+  service::Client client(address);
+  client.connect();
+  const service::CallResult result = client.call(request);
+  if (result.ok) {
+    std::cout << result.response.output;
+    // Diagnostics stay on stderr so stdout remains byte-identical to a
+    // local run (the CI smoke greps this line for the cache-warm check).
+    if (result.response.all_from_cache) {
+      std::cerr << "ctctl: served entirely from the server's result cache\n";
+    }
+    explain_exit_code(result.response.exit_code);
+    return result.response.exit_code;
+  }
+  std::cerr << "ctctl: server error ("
+            << service::status_name(result.error.status)
+            << "): " << result.error.message << "\n";
+  switch (result.error.status) {
+    case service::Status::kOverloaded:
+      std::cerr << "ctctl: queue depth " << result.error.queue_depth
+                << ", retry after " << result.error.retry_after_ms
+                << " ms (exit 6)\n";
+      return 6;
+    case service::Status::kShuttingDown:
+      return 6;
+    case service::Status::kDeadlineExceeded:
+      return 5;
+    case service::Status::kMalformedRequest:
+    case service::Status::kUnsupportedVersion:
+    case service::Status::kExecutionFailed:
+      break;
+  }
+  return 1;
+}
+
+int cmd_analysis(const std::string& command, service::RequestKind kind,
+                 int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2, flags_for(command));
+  if (const auto it = flags.find("connect"); it != flags.end()) {
+    return run_remote(kind, flags, it->second);
+  }
+  return run_local(kind, flags);
+}
+
+int cmd_stats(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2, flags_for("stats"));
+  const auto it = flags.find("connect");
+  if (it == flags.end()) {
+    throw UsageError("stats requires --connect <addr> (the counters live on "
+                     "the server)");
+  }
+  return run_remote(service::RequestKind::kStats, flags, it->second);
 }
 
 int cmd_topology(int argc, char** argv) {
@@ -257,139 +438,6 @@ int cmd_map(int argc, char** argv) {
   return 0;
 }
 
-void print_cache_stats(core::CaseStudyRunner& runner) {
-  const auto stats = runner.runtime().cache_stats();
-  std::cout << "result cache: " << stats.hits << "/" << stats.lookups
-            << " hits (" << util::format_fixed(stats.hit_rate() * 100.0, 1)
-            << "%), " << stats.disk_hits << " from disk";
-  if (stats.corrupt_discarded > 0) {
-    std::cout << ", " << stats.corrupt_discarded
-              << " corrupt record(s) discarded";
-  }
-  if (stats.write_failures > 0) {
-    std::cout << ", " << stats.write_failures
-              << " disk write failure(s) (memory-only fallback)";
-  }
-  std::cout << "\n";
-}
-
-/// Prints the quarantine summary of a degraded sweep (unique failures: the
-/// same realization quarantines once per (config, scenario) evaluation)
-/// and returns the process exit code under the setup's strictness.
-int finish_analysis(const AnalyzeSetup& setup,
-                    const std::vector<core::ScenarioResult>& all_results) {
-  bool degraded = false;
-  std::uint64_t retries = 0;
-  for (const core::ScenarioResult& r : all_results) {
-    degraded = degraded || r.degraded();
-    retries += r.retries;
-  }
-  if (degraded) {
-    std::cout << "=== degraded run: quarantined realizations ===\n";
-    core::failure_summary_table(all_results).render(std::cout);
-    std::cout << "(" << retries << " retry attempt(s) spent; partial "
-              << "distributions above cover completed realizations only)\n\n";
-  }
-  const int code = core::analysis_exit_code(all_results, setup.strict);
-  if (code == 3) {
-    std::cerr << "ctctl: degraded run under --strict (exit 3)\n";
-  } else if (code == 4) {
-    std::cerr << "ctctl: no realization completed (exit 4)\n";
-  }
-  return code;
-}
-
-int cmd_analyze(int argc, char** argv) {
-  AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
-  install_interrupt_handlers();
-
-  // One fused (scenarios x configs) sweep: every realization is generated
-  // once and classified into each uncached cell, with completed slices
-  // journaled under --checkpoint-dir (when given) so an interrupted or
-  // killed run continues with --resume instead of restarting.
-  const auto all = threat::all_scenarios();
-  const std::vector<threat::ThreatScenario> scenarios(all.begin(), all.end());
-  const core::ResumableAnalysis analysis = setup.runner.run_all_resumable(
-      setup.configs, scenarios, setup.ckpt, &g_interrupt);
-
-  if (!setup.ckpt.dir.empty()) {
-    std::cout << "checkpoint: " << runtime::resume_status_name(
-                     analysis.resume.status)
-              << ", restored " << analysis.restored << " and computed "
-              << analysis.executed << " realization(s), "
-              << analysis.checkpoints << " checkpoint write(s)\n\n";
-  }
-
-  std::vector<core::ScenarioResult> all_results;
-  for (std::size_t s = 0; s < scenarios.size(); ++s) {
-    // run_all_resumable returns row-major cells: configs within scenario.
-    const auto begin = analysis.results.begin() +
-                       static_cast<std::ptrdiff_t>(s * setup.configs.size());
-    std::vector<core::ScenarioResult> results(
-        begin, begin + static_cast<std::ptrdiff_t>(setup.configs.size()));
-    std::cout << "=== " << threat::scenario_name(scenarios[s]) << " ===";
-    if (analysis.interrupted) std::cout << " (partial)";
-    std::cout << "\n";
-    core::profile_table(results).render(std::cout);
-    std::cout << "\n";
-    for (core::ScenarioResult& r : results) {
-      all_results.push_back(std::move(r));
-    }
-  }
-  print_cache_stats(setup.runner);
-
-  if (analysis.interrupted) {
-    const int sig = g_interrupt_signal.load(std::memory_order_relaxed);
-    std::cerr << "ctctl: interrupted"
-              << (sig == SIGTERM ? " (SIGTERM)"
-                                 : sig == SIGINT ? " (SIGINT)" : "")
-              << " after " << analysis.executed << " realization(s); ";
-    if (!setup.ckpt.dir.empty()) {
-      std::cerr << "progress saved under " << setup.ckpt.dir
-                << " — rerun with --resume to continue";
-    } else {
-      std::cerr << "no --checkpoint-dir, so progress was NOT saved";
-    }
-    std::cerr << " (exit 5)\n";
-    // Still surface any quarantine ledger before exiting.
-    finish_analysis(setup, all_results);
-    return core::sweep_exit_code(analysis, setup.strict);
-  }
-  return finish_analysis(setup, all_results);
-}
-
-int cmd_downtime(int argc, char** argv) {
-  AnalyzeSetup setup = make_setup(parse_flags(argc, argv, 2));
-  const core::RestorationModel model;
-  for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
-    util::TextTable table;
-    table.set_columns({"config", "E[downtime] h", "E[incorrect] h"},
-                      {util::Align::kLeft, util::Align::kRight,
-                       util::Align::kRight});
-    for (const auto& config : setup.configs) {
-      const core::RestorationResult r = core::analyze_restoration(
-          config, scenario, setup.runner.realizations(), model,
-          setup.runner.runtime(), 0);
-      table.add_row({config.name,
-                     util::format_fixed(r.expected_downtime_hours, 2),
-                     util::format_fixed(r.expected_incorrect_hours, 2)});
-    }
-    std::cout << "=== " << threat::scenario_name(scenario) << " ===\n";
-    table.render(std::cout);
-    std::cout << "\n";
-  }
-  // Restoration consumes the raw batch, so quarantine accounting lives in
-  // the generation ledger rather than per-scenario results; surface it
-  // through the same summary/exit-code path as analyze.
-  core::ScenarioResult generation;
-  generation.config_name = "(generation)";
-  generation.failures = setup.runner.generation_failures().failures;
-  generation.retries = setup.runner.generation_failures().retries;
-  generation.attempted = setup.runner.options().realizations;
-  generation.completed = generation.attempted - generation.failures.size();
-  return finish_analysis(setup, {generation});
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,8 +446,20 @@ int main(int argc, char** argv) {
   try {
     if (command == "topology") return cmd_topology(argc, argv);
     if (command == "map") return cmd_map(argc, argv);
-    if (command == "analyze") return cmd_analyze(argc, argv);
-    if (command == "downtime") return cmd_downtime(argc, argv);
+    if (command == "analyze") {
+      return cmd_analysis(command, service::RequestKind::kAnalyze, argc, argv);
+    }
+    if (command == "downtime") {
+      return cmd_analysis(command, service::RequestKind::kDowntime, argc, argv);
+    }
+    if (command == "siting") {
+      return cmd_analysis(command, service::RequestKind::kSiting, argc, argv);
+    }
+    if (command == "stats") return cmd_stats(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "ctctl: " << e.what() << "\n";
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "ctctl: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Serving-mode smoke: boots ctserved on a Unix socket, runs the same
+# analysis remotely (twice) and locally, and holds the protocol's three
+# user-visible contracts:
+#
+#   1. `ctctl --connect` stdout is byte-identical to local execution;
+#   2. the second identical request is answered entirely from the shared
+#      result cache (the whole point of serving mode);
+#   3. SIGTERM drains gracefully (exit 0 after finishing admitted work).
+#
+# Usage: scripts/service_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build=${1:-build}
+ctctl="$build/examples/ctctl"
+ctserved="$build/examples/ctserved"
+work=$(mktemp -d /tmp/ct_service_smoke.XXXXXX)
+sock="$work/ct.sock"
+server_pid=
+
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Separate cache roots: the local reference run must not be able to warm
+# the server (or vice versa), or the cache-warm assertion proves nothing.
+mkdir -p "$work/server-cache" "$work/local-cache"
+
+CT_CACHE_DIR="$work/server-cache" "$ctserved" --listen "unix:$sock" \
+    > "$work/server.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "FAIL: ctserved died on startup"; cat "$work/server.log"; exit 1; }
+  sleep 0.1
+done
+[[ -S "$sock" ]] || { echo "FAIL: socket never appeared"; exit 1; }
+
+run_flags=(--realizations 200)
+
+echo "== remote analyze (cold)"
+"$ctctl" analyze --connect "unix:$sock" "${run_flags[@]}" \
+    > "$work/remote-cold.txt" 2> "$work/remote-cold.err"
+if grep -q "served entirely" "$work/remote-cold.err"; then
+  echo "FAIL: cold request claimed to be cache-served"; exit 1
+fi
+
+echo "== remote analyze (must be cache-warm)"
+"$ctctl" analyze --connect "unix:$sock" "${run_flags[@]}" \
+    > "$work/remote-warm.txt" 2> "$work/remote-warm.err"
+grep -q "served entirely from the server's result cache" \
+    "$work/remote-warm.err" \
+    || { echo "FAIL: second identical request was not cache-warm"; exit 1; }
+
+echo "== local reference run"
+CT_CACHE_DIR="$work/local-cache" "$ctctl" analyze "${run_flags[@]}" \
+    > "$work/local.txt" 2>/dev/null
+
+echo "== byte-identity: remote(cold) vs local"
+diff -u "$work/local.txt" "$work/remote-cold.txt"
+echo "== byte-identity: remote(warm) vs local"
+diff -u "$work/local.txt" "$work/remote-warm.txt"
+
+echo "== downtime report over the same socket"
+"$ctctl" downtime --connect "unix:$sock" "${run_flags[@]}" \
+    > "$work/remote-downtime.txt" 2>/dev/null
+CT_CACHE_DIR="$work/local-cache" "$ctctl" downtime "${run_flags[@]}" \
+    > "$work/local-downtime.txt" 2>/dev/null
+diff -u "$work/local-downtime.txt" "$work/remote-downtime.txt"
+
+echo "== server counters"
+"$ctctl" stats --connect "unix:$sock" | tee "$work/stats.txt"
+grep -Eq "completed[| ]+\|? *3" "$work/stats.txt" \
+    || { echo "FAIL: expected 3 completed requests in stats"; exit 1; }
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=
+[[ "$rc" -eq 0 ]] || { echo "FAIL: drain exited $rc"; cat "$work/server.log"; exit 1; }
+grep -q "stopped" "$work/server.log" \
+    || { echo "FAIL: no clean-shutdown marker in server log"; exit 1; }
+
+echo "service smoke OK"

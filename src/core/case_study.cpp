@@ -7,15 +7,22 @@ namespace ct::core {
 
 CaseStudyRunner::CaseStudyRunner(scada::ScadaTopology topology,
                                  std::shared_ptr<const terrain::Terrain> terrain,
-                                 CaseStudyOptions options)
+                                 CaseStudyOptions options,
+                                 runtime::EnsembleRunner* shared_runtime)
     : topology_(std::move(topology)), options_(options),
       engine_(std::move(terrain), topology_.exposed_assets(),
               options_.realization),
-      pipeline_(options_.attacker), runtime_(options_.runtime) {}
+      pipeline_(options_.attacker),
+      owned_runtime_(shared_runtime == nullptr
+                         ? std::make_unique<runtime::EnsembleRunner>(
+                               options_.runtime)
+                         : nullptr),
+      runtime_(shared_runtime == nullptr ? owned_runtime_.get()
+                                         : shared_runtime) {}
 
 const runtime::GeneratedBatch& CaseStudyRunner::generated() {
   if (!cached_) {
-    batch_ = runtime_.generate_guarded(engine_, options_.realizations);
+    batch_ = runtime_->generate_guarded(engine_, options_.realizations);
     cached_ = true;
   }
   return batch_;
@@ -44,7 +51,7 @@ ScenarioResult CaseStudyRunner::run(const scada::Configuration& config,
   // layer) never generates the realization batch at all. On a miss the
   // guarded batch's quarantine ledger flows into the ScenarioResult.
   return pipeline_.analyze_lazy(
-      config, scenario, [this]() { return generated().view(); }, runtime_,
+      config, scenario, [this]() { return generated().view(); }, *runtime_,
       batch_digest());
 }
 
@@ -72,7 +79,7 @@ ResumableAnalysis CaseStudyRunner::run_all_resumable(
     }
   }
   return pipeline_.analyze_resumable(cells, engine_, options_.realizations,
-                                     runtime_, ckpt, interrupt);
+                                     *runtime_, ckpt, interrupt);
 }
 
 double CaseStudyRunner::asset_flood_probability(std::string_view asset_id) {

@@ -32,9 +32,18 @@ struct CaseStudyOptions {
 
 class CaseStudyRunner {
  public:
+  /// With `shared_runtime == nullptr` (every pre-service caller) the
+  /// runner owns a private EnsembleRunner built from options.runtime.
+  /// A non-null `shared_runtime` is BORROWED: several case studies — the
+  /// ct_service request sessions — then multiplex onto one work-stealing
+  /// pool and one content-addressed result cache, which is what keeps the
+  /// cache warm across requests. The borrowed runner must outlive this
+  /// object, and options.runtime is ignored in that mode (execution knobs
+  /// belong to the runner's owner).
   CaseStudyRunner(scada::ScadaTopology topology,
                   std::shared_ptr<const terrain::Terrain> terrain,
-                  CaseStudyOptions options = {});
+                  CaseStudyOptions options = {},
+                  runtime::EnsembleRunner* shared_runtime = nullptr);
 
   /// The cached realization batch (computed on first use). Contains the
   /// SURVIVORS when generation quarantined realizations — see
@@ -78,7 +87,10 @@ class CaseStudyRunner {
   const CaseStudyOptions& options() const noexcept { return options_; }
   /// The shared execution runtime (pool + result cache) every analysis of
   /// this case study routes through.
-  runtime::EnsembleRunner& runtime() noexcept { return runtime_; }
+  runtime::EnsembleRunner& runtime() noexcept { return *runtime_; }
+  /// True when the runtime is borrowed from an external owner (service
+  /// mode) rather than owned by this runner.
+  bool shares_runtime() const noexcept { return owned_runtime_ == nullptr; }
 
  private:
   /// Content address of the (engine, realization count) ensemble; computed
@@ -93,7 +105,9 @@ class CaseStudyRunner {
   CaseStudyOptions options_;
   surge::RealizationEngine engine_;
   AnalysisPipeline pipeline_;
-  runtime::EnsembleRunner runtime_;
+  /// Null when borrowing; runtime_ then points at the external runner.
+  std::unique_ptr<runtime::EnsembleRunner> owned_runtime_;
+  runtime::EnsembleRunner* runtime_;
   std::string batch_digest_;
   runtime::GeneratedBatch batch_;
   bool cached_ = false;

@@ -40,6 +40,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,6 +68,17 @@ struct FailureLedger {
   std::uint64_t retries = 0;            ///< extra attempts (healed + exhausted)
 };
 
+/// Progress of a sweep as observed at a slice boundary; handed to
+/// CheckpointOptions::on_progress so a caller (the ct_service streaming
+/// path, a progress bar) can follow a long sweep without touching its
+/// determinism — observation only, the sweep never reads anything back.
+struct SweepProgressEvent {
+  std::uint64_t done = 0;         ///< indices completed so far (incl. restored)
+  std::uint64_t total = 0;        ///< indices the sweep was asked for
+  std::uint64_t quarantined = 0;  ///< failures recorded so far
+  std::uint64_t retries = 0;      ///< retry attempts spent so far
+};
+
 /// Knobs of the checkpoint layer. An empty `dir` disables checkpointing
 /// entirely (the sweep still runs, nothing durable is written).
 struct CheckpointOptions {
@@ -82,6 +94,11 @@ struct CheckpointOptions {
   /// Crash-injection spec: "" defers to the CT_CRASH environment variable,
   /// "none" is explicitly off, anything else is CrashProfile::parse'd.
   std::string crash_spec;
+  /// Optional observer called after every completed slice (durable or
+  /// not: it fires with an empty `dir` too, where the sweep still walks
+  /// `interval`-sized slices). Runs on the sweep thread between slices —
+  /// keep it cheap, and never let it throw.
+  std::function<void(const SweepProgressEvent&)> on_progress;
 };
 
 /// Identity of a resumable sweep: the content digest binding the journal

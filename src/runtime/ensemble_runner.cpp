@@ -520,6 +520,15 @@ ResumableReport EnsembleRunner::run_resumable(
         journal_on = journal->append(b, e, delta, slice_failures,
                                      run.retries, progress);
       }
+
+      if (ckpt.on_progress) {
+        SweepProgressEvent event;
+        event.done = progress.completed();
+        event.total = spec.count;
+        event.quarantined = progress.failures.size();
+        event.retries = progress.retries;
+        ckpt.on_progress(event);
+      }
     }
     if (report.interrupted) break;
   }

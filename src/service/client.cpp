@@ -1,0 +1,183 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/server.h"  // parse_address
+
+namespace ct::service {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw Error(ErrorCode::kIo, "client",
+              what + ": " + std::strerror(errno));
+}
+
+int dial_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw Error(ErrorCode::kInvalidInput, "client",
+                "unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) io_fail("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    io_fail("connect(" + path + ")");
+  }
+  return fd;
+}
+
+int dial_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &result);
+  if (rc != 0) {
+    throw Error(ErrorCode::kIo, "client",
+                "cannot resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    errno = saved_errno;
+    io_fail("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& address, std::string client_name)
+    : address_(address), client_name_(std::move(client_name)) {
+  parse_address(address_);  // fail fast on garbage
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect() {
+  const Address addr = parse_address(address_);
+  fd_ = addr.is_unix ? dial_unix(addr.path) : dial_tcp(addr.host, addr.port);
+
+  Hello hello;
+  hello.client_name = client_name_;
+  send_bytes(encode_frame(FrameType::kHello, 0, encode_hello(hello)));
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    const ErrorInfo info = decode_error(frame.payload);
+    close();
+    throw Error(ErrorCode::kProtocol, "client",
+                "handshake refused (" + std::string(status_name(info.status)) +
+                    "): " + info.message);
+  }
+  if (frame.type != FrameType::kWelcome) {
+    close();
+    throw Error(ErrorCode::kProtocol, "client",
+                "expected kWelcome, got a different frame");
+  }
+  welcome_ = decode_welcome(frame.payload);
+}
+
+CallResult Client::call(
+    const Request& request,
+    const std::function<void(const StreamChunk&)>& on_chunk) {
+  if (fd_ < 0) {
+    throw Error(ErrorCode::kIo, "client", "not connected");
+  }
+  const std::uint32_t id = next_request_id_++;
+  send_bytes(encode_frame(FrameType::kRequest, id, encode_request(request)));
+  for (;;) {
+    const Frame frame = read_frame();
+    if (frame.request_id != id) continue;  // stale frame from a prior call
+    switch (frame.type) {
+      case FrameType::kStreamChunk: {
+        const StreamChunk chunk = decode_chunk(frame.payload);
+        if (on_chunk) on_chunk(chunk);
+        break;
+      }
+      case FrameType::kResponse: {
+        CallResult out;
+        out.ok = true;
+        out.response = decode_response(frame.payload);
+        return out;
+      }
+      case FrameType::kError: {
+        CallResult out;
+        out.ok = false;
+        out.error = decode_error(frame.payload);
+        return out;
+      }
+      default:
+        throw Error(ErrorCode::kProtocol, "client",
+                    "unexpected frame type in response stream");
+    }
+  }
+}
+
+Frame Client::read_frame() {
+  Frame frame;
+  char buffer[64 * 1024];
+  while (!decoder_.next(frame)) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      throw Error(ErrorCode::kIo, "client",
+                  "connection closed by server mid-conversation");
+    }
+    decoder_.feed(buffer, static_cast<std::size_t>(n));
+  }
+  return frame;
+}
+
+void Client::send_bytes(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      io_fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace ct::service

@@ -1,0 +1,71 @@
+// Blocking ct_service client: dials a server (TCP loopback or Unix-domain
+// socket), performs the version handshake, and runs requests one at a
+// time, surfacing kStreamChunk progress frames through a callback as the
+// server's sweep crosses slice boundaries.
+//
+// Used by `ctctl --connect <addr>` (whose stdout must be byte-identical
+// to local execution — the server guarantees that by construction, see
+// exec.h) and by anything else that wants analysis-as-a-service without
+// linking the whole pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace ct::service {
+
+/// Outcome of one call: exactly one of `response` (ok == true) or
+/// `error` (ok == false) is meaningful.
+struct CallResult {
+  bool ok = false;
+  Response response;
+  ErrorInfo error;
+};
+
+class Client {
+ public:
+  /// `address` is "unix:<path>", a bare path containing '/', or
+  /// "[tcp:]<host>:<port>". The constructor only parses; connect() dials.
+  explicit Client(const std::string& address,
+                  std::string client_name = "ctctl");
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Dials and handshakes. Throws ct::Error{kIo} when the server is
+  /// unreachable and ct::Error{kProtocol} when the handshake is refused
+  /// or the stream is malformed.
+  void connect();
+
+  /// Sends one request and blocks until its final kResponse or kError
+  /// frame, invoking `on_chunk` for every kStreamChunk in between.
+  /// Requests are serialized per client (the protocol allows pipelining;
+  /// this client does not use it). Throws ct::Error{kIo/kProtocol} when
+  /// the connection itself fails mid-call.
+  CallResult call(const Request& request,
+                  const std::function<void(const StreamChunk&)>& on_chunk = {});
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  /// The server's handshake answer (valid after connect()).
+  const Welcome& welcome() const noexcept { return welcome_; }
+
+  void close();
+
+ private:
+  /// Blocks until the next complete frame arrives.
+  Frame read_frame();
+  void send_bytes(const std::string& bytes);
+
+  std::string address_;
+  std::string client_name_;
+  int fd_ = -1;
+  std::uint32_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+  Welcome welcome_;
+};
+
+}  // namespace ct::service

@@ -39,6 +39,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kCacheIo: return "cache-io";
     case ErrorCode::kFaultInjected: return "fault-injected";
     case ErrorCode::kCheckpointCorrupt: return "checkpoint-corrupt";
+    case ErrorCode::kProtocol: return "protocol";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class ErrorCode {
   kCacheIo,         ///< result-cache disk layer failure (always soft)
   kFaultInjected,   ///< CT_FAULT / RuntimeFaultProfile injected failure
   kCheckpointCorrupt,  ///< sweep checkpoint/journal interior corruption
+  kProtocol,        ///< malformed/unsupported ct_service wire frame
 };
 
 /// Stable lower-case name ("numeric", "timeout", ...) for summaries.

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace ct::util {
@@ -35,6 +36,17 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  // Unsigned widths besides std::uint64_t used to be ambiguous (equally
+  // good conversions to int64/uint64), forcing hand-casts at every call
+  // site. The constrained template gives every other unsigned integral —
+  // unsigned, std::size_t, whatever the ABI maps them to — an exact match
+  // that widens losslessly to the uint64_t overload.
+  template <typename U,
+            typename = std::enable_if_t<std::is_unsigned_v<U> &&
+                                        !std::is_same_v<U, bool>>>
+  JsonWriter& value(U v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
   JsonWriter& value(bool v);
   JsonWriter& null();
 

@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 
@@ -54,6 +55,39 @@ std::string join(const std::vector<std::string>& items, std::string_view sep) {
     first = false;
   }
   return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Two-row dynamic program; strings here are flag names, so quadratic
+  // time over a handful of characters is fine.
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<std::size_t> prev(a.size() + 1);
+  std::vector<std::size_t> cur(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t subst = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates,
+                          std::size_t max_distance) {
+  std::string best;
+  std::size_t best_distance = max_distance + 1;
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 std::string format_fixed(double v, int decimals) {

@@ -24,6 +24,16 @@ std::string to_lower(std::string_view s);
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// Levenshtein edit distance (unit-cost insert/delete/substitute).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` by edit_distance, provided it is within
+/// `max_distance` edits (ties broken by candidate order). Returns "" when
+/// nothing qualifies — the "did you mean --jobs?" helper for flag typos.
+std::string closest_match(std::string_view name,
+                          const std::vector<std::string>& candidates,
+                          std::size_t max_distance = 2);
+
 /// Formats a double with fixed decimals (e.g. percentages in reports).
 std::string format_fixed(double v, int decimals);
 

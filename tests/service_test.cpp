@@ -1,0 +1,771 @@
+// ct_service tests: wire-protocol round-trips and malformed-frame
+// handling (every corruption must surface as ct::Error{kProtocol}, never
+// UB — run under ASan/UBSan in CI), plus loopback server tests covering
+// the serving-mode contracts: byte-identity with local execution (cold,
+// cache-warm, and under fault-injection quarantine), bounded-queue load
+// shedding, per-request deadlines, client-death reclamation, and
+// concurrent sessions (exercised under TSan in CI).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/exec.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/rng.h"
+
+namespace ct::service {
+namespace {
+
+// ---------------------------------------------------------------- payloads
+
+TEST(Protocol, HelloRoundTrip) {
+  Hello in;
+  in.client_name = "testctl";
+  in.min_version = 1;
+  in.max_version = 3;
+  EXPECT_EQ(decode_hello(encode_hello(in)), in);
+}
+
+TEST(Protocol, WelcomeRoundTrip) {
+  Welcome in;
+  in.version = kProtocolVersion;
+  in.server_name = "unit";
+  EXPECT_EQ(decode_welcome(encode_welcome(in)), in);
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request in;
+  in.kind = RequestKind::kAnalyze;
+  in.realizations = 123456789;
+  in.sea_level_offset_m = 0.75;
+  in.max_retries = 5;
+  in.deadline_ms = 60000;
+  in.no_cache = true;
+  in.strict = true;
+  in.json = false;
+  in.primary = "honolulu_cc";
+  in.backup = "kahe_cc";
+  in.dc = "drfortress_dc";
+  in.topology_csv = "id,name\n# not a real csv, just bytes\n";
+  EXPECT_EQ(decode_request(encode_request(in)), in);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response in;
+  in.exit_code = 3;
+  in.degraded = true;
+  in.all_from_cache = true;
+  in.attempted = 20000;
+  in.completed = 19990;
+  in.quarantined = 10;
+  in.retries = 17;
+  in.output = std::string("=== Hurricane ===\n") + std::string(4096, 'x');
+  EXPECT_EQ(decode_response(encode_response(in)), in);
+}
+
+TEST(Protocol, ChunkAndErrorRoundTrip) {
+  StreamChunk chunk;
+  chunk.done = 128;
+  chunk.total = 1000;
+  chunk.quarantined = 2;
+  chunk.retries = 3;
+  EXPECT_EQ(decode_chunk(encode_chunk(chunk)), chunk);
+
+  ErrorInfo error;
+  error.status = Status::kOverloaded;
+  error.message = "admission queue full";
+  error.queue_depth = 8;
+  error.retry_after_ms = 250;
+  EXPECT_EQ(decode_error(encode_error(error)), error);
+}
+
+TEST(Protocol, DecodersRejectTruncationAndTrailingBytes) {
+  const std::string good = encode_request(Request{});
+  // Truncation at every prefix length must throw, never read past the end.
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_THROW(decode_request(good.substr(0, n)), Error) << "prefix " << n;
+  }
+  EXPECT_THROW(decode_request(good + "x"), Error);
+  try {
+    decode_request(good.substr(0, 4));
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(Protocol, DecodersRejectSemanticGarbage) {
+  // Unknown request kind.
+  std::string bad_kind = encode_request(Request{});
+  bad_kind[0] = '\x7f';
+  EXPECT_THROW(decode_request(bad_kind), Error);
+
+  // NaN sea-level offset (would poison every downstream digest).
+  Request nan_request;
+  std::string encoded = encode_request(nan_request);
+  // kind(1) + realizations(8), then the f64 — plant an all-ones pattern.
+  for (std::size_t i = 9; i < 17; ++i) encoded[i] = '\xff';
+  EXPECT_THROW(decode_request(encoded), Error);
+
+  // Empty hello version range.
+  Hello hello;
+  hello.min_version = 3;
+  hello.max_version = 1;
+  EXPECT_THROW(decode_hello(encode_hello(hello)), Error);
+
+  // Boolean encoded as 2.
+  std::string bad_bool = encode_request(Request{});
+  bad_bool[25] = '\x02';  // no_cache field
+  EXPECT_THROW(decode_request(bad_bool), Error);
+
+  // Unknown error status.
+  std::string bad_status = encode_error(ErrorInfo{});
+  bad_status[0] = '\x63';
+  EXPECT_THROW(decode_error(bad_status), Error);
+}
+
+// ---------------------------------------------------------------- frames
+
+TEST(Frames, RoundTripThroughDecoder) {
+  const std::string payload = encode_request(Request{});
+  const std::string bytes =
+      encode_frame(FrameType::kRequest, 42, payload);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frames, ReassemblesByteAtATime) {
+  const std::string bytes = encode_frame(
+      FrameType::kResponse, 7, encode_response(Response{}));
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed(bytes.data() + i, 1);
+    EXPECT_FALSE(decoder.next(frame)) << "complete after byte " << i;
+  }
+  decoder.feed(bytes.data() + bytes.size() - 1, 1);
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.type, FrameType::kResponse);
+}
+
+TEST(Frames, DrainsSeveralFramesFromOneFeed) {
+  std::string stream;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    stream += encode_frame(FrameType::kStreamChunk, id,
+                           encode_chunk(StreamChunk{id, 100, 0, 0}));
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  Frame frame;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(decoder.next(frame));
+    EXPECT_EQ(frame.request_id, id);
+  }
+  EXPECT_FALSE(decoder.next(frame));
+}
+
+void expect_protocol_error(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  Frame frame;
+  try {
+    while (decoder.next(frame)) {
+    }
+    FAIL() << "malformed frame decoded without error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(Frames, DetectsEveryHeaderCorruption) {
+  const std::string good =
+      encode_frame(FrameType::kRequest, 9, encode_request(Request{}));
+  {
+    std::string bad = good;
+    bad[0] = 'X';  // magic
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[4] = '\x02';  // unsupported version
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[5] = '\x00';  // frame type below range
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[6] = '\x01';  // nonzero flags
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[13] ^= '\x40';  // request id flip -> header digest mismatch
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[24] ^= '\x01';  // header digest itself
+    expect_protocol_error(bad);
+  }
+  {
+    std::string bad = good;
+    bad[kHeaderSize] ^= '\x01';  // first payload byte -> payload checksum
+    expect_protocol_error(bad);
+  }
+}
+
+TEST(Frames, CorruptLengthCannotCommitToBogusRead) {
+  // A flipped payload_size fails the HEADER digest before the decoder
+  // ever waits for (or reads) payload bytes — a corrupt length must not
+  // make the decoder buffer gigabytes or read out of bounds.
+  std::string bad =
+      encode_frame(FrameType::kRequest, 1, encode_request(Request{}));
+  bad[10] = '\x7f';  // payload_size third byte: now ~8 MiB
+  expect_protocol_error(bad);
+}
+
+TEST(Frames, OversizePayloadBoundRejected) {
+  EXPECT_THROW(encode_frame(FrameType::kResponse, 1,
+                            std::string(kMaxPayload + 1, 'a')),
+               Error);
+}
+
+TEST(Frames, FuzzedFramesNeverCrash) {
+  // 1k seeded-random corruptions of valid frames plus raw random byte
+  // blobs: every outcome must be "decoded", "need more bytes", or a typed
+  // kProtocol error. Anything else (crash, sanitizer report) fails CI.
+  util::Rng rng(20260808);
+  const std::string seed_frame =
+      encode_frame(FrameType::kRequest, 77, encode_request(Request{}));
+  std::size_t decoded = 0;
+  std::size_t rejected = 0;
+  for (int round = 0; round < 1000; ++round) {
+    std::string bytes;
+    if (round % 2 == 0) {
+      bytes = seed_frame;
+      const std::size_t flips = 1 + rng.next_u64() % 8;
+      for (std::size_t f = 0; f < flips; ++f) {
+        bytes[rng.next_u64() % bytes.size()] ^=
+            static_cast<char>(1 + rng.next_u64() % 255);
+      }
+    } else {
+      bytes.resize(rng.next_u64() % 256);
+      for (char& c : bytes) c = static_cast<char>(rng.next_u64());
+    }
+    FrameDecoder decoder;
+    Frame frame;
+    try {
+      decoder.feed(bytes.data(), bytes.size());
+      while (decoder.next(frame)) {
+        // A surviving frame must still decode or reject as a typed error.
+        try {
+          if (frame.type == FrameType::kRequest) decode_request(frame.payload);
+        } catch (const Error&) {
+        }
+        ++decoded;
+      }
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kProtocol);
+      ++rejected;
+    }
+  }
+  // The flip corpus must actually exercise the reject path.
+  EXPECT_GT(rejected, 400u);
+  (void)decoded;
+}
+
+// ---------------------------------------------------------------- address
+
+TEST(Address, ParsesUnixAndTcpSpecs) {
+  Address a = parse_address("unix:/tmp/ct.sock");
+  EXPECT_TRUE(a.is_unix);
+  EXPECT_EQ(a.path, "/tmp/ct.sock");
+
+  a = parse_address("/var/run/ct.sock");  // bare path
+  EXPECT_TRUE(a.is_unix);
+
+  a = parse_address("tcp:127.0.0.1:7733");
+  EXPECT_FALSE(a.is_unix);
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 7733);
+
+  a = parse_address("localhost:80");
+  EXPECT_EQ(a.host, "localhost");
+  EXPECT_EQ(a.port, 80);
+
+  EXPECT_THROW(parse_address("unix:"), Error);
+  EXPECT_THROW(parse_address("nonsense"), Error);
+  EXPECT_THROW(parse_address("host:99999"), Error);
+  EXPECT_THROW(parse_address("host:notaport"), Error);
+}
+
+// ---------------------------------------------------------------- server
+
+/// Unique short unix-socket path (sockaddr_un caps at ~107 chars, so no
+/// deep temp dirs).
+std::string test_socket_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/ct_svc_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+ServerOptions loopback_options(const std::string& socket_path) {
+  ServerOptions options;
+  options.unix_path = socket_path;
+  // Hermetic: memory cache only, small ensembles, two workers.
+  options.defaults.runtime.disk_cache = false;
+  options.defaults.runtime.jobs = 2;
+  options.defaults.runtime.fault_spec = "none";
+  return options;
+}
+
+Request analyze_request(std::uint64_t realizations) {
+  Request request;
+  request.kind = RequestKind::kAnalyze;
+  request.realizations = realizations;
+  return request;
+}
+
+/// Local reference execution through the same defaults the server uses.
+ExecOutcome run_locally(const Request& request, const ServerOptions& options) {
+  const auto runner = make_case_study(request, options.defaults, nullptr);
+  return execute_request(request, *runner);
+}
+
+TEST(Server, HandshakeAndPing) {
+  const std::string path = test_socket_path("ping");
+  Server server(loopback_options(path));
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  EXPECT_EQ(client.welcome().version, kProtocolVersion);
+  EXPECT_EQ(client.welcome().server_name, "ctserved");
+  const CallResult result = client.call(Request{});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.response.exit_code, 0);
+  EXPECT_TRUE(result.response.output.empty());
+  server.stop();
+}
+
+TEST(Server, AnalyzeMatchesLocalColdWarmAndCacheFlag) {
+  const std::string path = test_socket_path("ident");
+  const ServerOptions options = loopback_options(path);
+  Server server(options);
+  server.start();
+  const Request request = analyze_request(48);
+  const ExecOutcome local = run_locally(request, options);
+
+  Client client(path, "unit");
+  client.connect();
+  const CallResult cold = client.call(request);
+  ASSERT_TRUE(cold.ok);
+  // The serving contract: remote output is byte-identical to local.
+  EXPECT_EQ(cold.response.output, local.output);
+  EXPECT_EQ(cold.response.exit_code, local.exit_code);
+  EXPECT_FALSE(cold.response.all_from_cache);
+
+  const CallResult warm = client.call(request);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.response.output, local.output);
+  // Second identical request is served whole from the shared cache.
+  EXPECT_TRUE(warm.response.all_from_cache);
+  server.stop();
+}
+
+TEST(Server, QuarantineRunsMatchLocalUnderFaultInjection) {
+  const std::string path = test_socket_path("fault");
+  ServerOptions options = loopback_options(path);
+  // Deterministic quarantine: every 7th realization fails all attempts.
+  options.defaults.runtime.fault_spec = "throw:every=7";
+  Server server(options);
+  server.start();
+  Request request = analyze_request(40);
+  const ExecOutcome local = run_locally(request, options);
+  ASSERT_TRUE(local.degraded);
+
+  Client client(path, "unit");
+  client.connect();
+  const CallResult remote = client.call(request);
+  ASSERT_TRUE(remote.ok);
+  EXPECT_EQ(remote.response.output, local.output);
+  EXPECT_TRUE(remote.response.degraded);
+  EXPECT_EQ(remote.response.quarantined, local.quarantined);
+  EXPECT_EQ(remote.response.retries, local.retries);
+
+  // Strict policy changes the exit code, not the report bytes.
+  request.strict = true;
+  const ExecOutcome strict_local = run_locally(request, options);
+  const CallResult strict_remote = client.call(request);
+  ASSERT_TRUE(strict_remote.ok);
+  EXPECT_EQ(strict_remote.response.exit_code, strict_local.exit_code);
+  EXPECT_EQ(strict_remote.response.exit_code, 3);
+  EXPECT_EQ(strict_remote.response.output, strict_local.output);
+  server.stop();
+}
+
+TEST(Server, StreamsProgressChunksAtSliceBoundaries) {
+  const std::string path = test_socket_path("stream");
+  ServerOptions options = loopback_options(path);
+  options.stream_interval = 8;
+  Server server(options);
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  std::vector<StreamChunk> chunks;
+  const CallResult result = client.call(
+      analyze_request(32),
+      [&chunks](const StreamChunk& chunk) { chunks.push_back(chunk); });
+  ASSERT_TRUE(result.ok);
+  ASSERT_GE(chunks.size(), 2u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].done, chunks[i - 1].done);  // monotone progress
+  }
+  EXPECT_EQ(chunks.back().done, chunks.back().total);
+  server.stop();
+}
+
+TEST(Server, BoundedQueueShedsLoadWithOverloaded) {
+  const std::string path = test_socket_path("overload");
+  ServerOptions options = loopback_options(path);
+  options.queue_capacity = 1;
+  // Every realization stalls, so jobs occupy the executor long enough for
+  // the burst below to pile up deterministically.
+  options.defaults.runtime.fault_spec = "delay:every=1,ms=40";
+  options.defaults.runtime.jobs = 1;
+  Server server(options);
+  server.start();
+
+  constexpr int kBurst = 4;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(path, "burst-" + std::to_string(i));
+      client.connect();
+      // Distinct no_cache per thread would change session keys; identical
+      // requests keep this about admission, not execution.
+      const CallResult result = client.call(analyze_request(24));
+      if (result.ok) {
+        ++ok;
+      } else {
+        ASSERT_EQ(result.error.status, Status::kOverloaded);
+        // The shed answer carries the admission state for backoff.
+        EXPECT_LE(result.error.queue_depth, 1u);
+        EXPECT_GT(result.error.retry_after_ms, 0u);
+        ++overloaded;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // 1 in flight + 1 queued; the rest of the burst must be shed, and the
+  // admitted ones must still be answered.
+  EXPECT_GE(overloaded.load(), 1);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_EQ(ok.load() + overloaded.load(), kBurst);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(overloaded.load()));
+  EXPECT_EQ(stats.queue_depth, 0u);
+  server.stop();
+}
+
+TEST(Server, DeadlineExceededMidSweep) {
+  const std::string path = test_socket_path("deadline");
+  ServerOptions options = loopback_options(path);
+  options.stream_interval = 4;  // poll the token at fine granularity
+  options.defaults.runtime.fault_spec = "delay:every=1,ms=25";
+  options.defaults.runtime.jobs = 1;
+  Server server(options);
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  Request request = analyze_request(200);
+  request.deadline_ms = 120;
+  const CallResult result = client.call(request);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.status, Status::kDeadlineExceeded);
+  // The server must stay fully serviceable afterwards.
+  const CallResult ping = client.call(Request{});
+  EXPECT_TRUE(ping.ok);
+  server.stop();
+}
+
+TEST(Server, MalformedRequestAnsweredWithTypedError) {
+  const std::string path = test_socket_path("badreq");
+  Server server(loopback_options(path));
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  Request request = analyze_request(16);
+  request.primary = "atlantis_cc";  // no such asset
+  const CallResult result = client.call(request);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error.status, Status::kMalformedRequest);
+  EXPECT_NE(result.error.message.find("atlantis_cc"), std::string::npos);
+  // The connection survives a rejected request.
+  const CallResult ping = client.call(Request{});
+  EXPECT_TRUE(ping.ok);
+  server.stop();
+}
+
+TEST(Server, StatsRequestReportsCounters) {
+  const std::string path = test_socket_path("stats");
+  Server server(loopback_options(path));
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  ASSERT_TRUE(client.call(analyze_request(16)).ok);
+
+  Request stats_request;
+  stats_request.kind = RequestKind::kStats;
+  const CallResult text = client.call(stats_request);
+  ASSERT_TRUE(text.ok);
+  EXPECT_NE(text.response.output.find("completed"), std::string::npos);
+
+  stats_request.json = true;
+  const CallResult json = client.call(stats_request);
+  ASSERT_TRUE(json.ok);
+  EXPECT_EQ(json.response.output.front(), '{');
+  EXPECT_NE(json.response.output.find("\"cache\""), std::string::npos);
+  server.stop();
+}
+
+/// Dials the socket, handshakes, sends one analyze request, and returns
+/// the raw fd WITHOUT reading the answer — a client about to die
+/// mid-stream.
+int send_and_abandon(const std::string& path, const Request& request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const std::string hello =
+      encode_frame(FrameType::kHello, 0, encode_hello(Hello{}));
+  EXPECT_EQ(::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(hello.size()));
+  // Wait for the kWelcome frame so the request is definitely admitted
+  // after the handshake.
+  FrameDecoder decoder;
+  Frame frame;
+  char buffer[4096];
+  while (!decoder.next(frame)) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(frame.type, FrameType::kWelcome);
+  const std::string bytes =
+      encode_frame(FrameType::kRequest, 1, encode_request(request));
+  EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  return fd;
+}
+
+TEST(Server, DeadClientReclaimedWithoutLeakingQueueSlot) {
+  const std::string path = test_socket_path("reclaim");
+  ServerOptions options = loopback_options(path);
+  options.queue_capacity = 1;
+  options.stream_interval = 4;
+  options.defaults.runtime.fault_spec = "delay:every=1,ms=25";
+  options.defaults.runtime.jobs = 1;
+  Server server(options);
+  server.start();
+
+  // Kill the client the moment its (slow) request is in flight. The
+  // server must cancel the sweep at the next slice boundary and free the
+  // session without a response ever being sent.
+  const int fd = send_and_abandon(path, analyze_request(400));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::close(fd);
+
+  // A well-behaved client must get served promptly afterwards — if the
+  // dead client leaked its queue slot (capacity 1), this would shed or
+  // hang rather than complete.
+  Client client(path, "survivor");
+  client.connect();
+  const CallResult result = client.call(analyze_request(12));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.response.exit_code, 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GE(stats.abandoned + stats.completed, 2u);
+  server.stop();
+}
+
+TEST(Server, ConcurrentSessionsSeeIdenticalBytes) {
+  const std::string path = test_socket_path("concurrent");
+  const ServerOptions options = loopback_options(path);
+  Server server(options);
+  server.start();
+  const Request request = analyze_request(32);
+  const ExecOutcome local = run_locally(request, options);
+
+  constexpr int kSessions = 4;
+  std::vector<std::string> outputs(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(path, "session-" + std::to_string(i));
+      client.connect();
+      for (int round = 0; round < 2; ++round) {
+        const CallResult result = client.call(request);
+        ASSERT_TRUE(result.ok);
+        outputs[i] = result.response.output;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(outputs[i], local.output) << "session " << i;
+  }
+  server.stop();
+}
+
+TEST(Server, GarbageBytesAnsweredWithErrorAndDropped) {
+  const std::string path = test_socket_path("garbage");
+  Server server(loopback_options(path));
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  // A whole header's worth of non-protocol bytes: the decoder validates
+  // nothing until kHeaderSize bytes arrive, so the garbage must cover it.
+  const std::string garbage =
+      "GET /analyze HTTP/1.1\r\nHost: ct.example.test\r\n\r\n";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(garbage.size()));
+  // The server answers with a typed error frame, then closes.
+  FrameDecoder decoder;
+  Frame frame;
+  char buffer[4096];
+  bool got_error = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    if (decoder.next(frame)) {
+      EXPECT_EQ(frame.type, FrameType::kError);
+      EXPECT_EQ(decode_error(frame.payload).status,
+                Status::kMalformedRequest);
+      got_error = true;
+    }
+  }
+  EXPECT_TRUE(got_error);
+  ::close(fd);
+
+  // Wait for the session teardown to land in the counters.
+  for (int i = 0; i < 100; ++i) {
+    if (server.stats().protocol_errors > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(Server, VersionMismatchRefusedCleanly) {
+  const std::string path = test_socket_path("version");
+  Server server(loopback_options(path));
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  Hello hello;
+  hello.min_version = 9;
+  hello.max_version = 9;
+  const std::string bytes =
+      encode_frame(FrameType::kHello, 0, encode_hello(hello));
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  FrameDecoder decoder;
+  Frame frame;
+  char buffer[4096];
+  bool refused = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    if (decoder.next(frame)) {
+      ASSERT_EQ(frame.type, FrameType::kError);
+      EXPECT_EQ(decode_error(frame.payload).status,
+                Status::kUnsupportedVersion);
+      refused = true;
+    }
+  }
+  EXPECT_TRUE(refused);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Server, DrainRefusesNewWorkAfterStop) {
+  const std::string path = test_socket_path("drain");
+  Server server(loopback_options(path));
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+  ASSERT_TRUE(client.call(analyze_request(12)).ok);
+  server.stop();
+  // The socket is gone after a drain; a fresh dial must fail loudly.
+  Client late(path, "late");
+  EXPECT_THROW(late.connect(), Error);
+}
+
+// The progress hook exec/server streaming is built on: fires with an
+// empty checkpoint dir, monotone, and ends at done == total.
+TEST(Checkpoint, OnProgressFiresWithoutJournalDir) {
+  const Request request = analyze_request(32);
+  core::CaseStudyOptions defaults;
+  defaults.runtime.disk_cache = false;
+  defaults.runtime.jobs = 2;
+  defaults.runtime.fault_spec = "none";
+  const auto runner = make_case_study(request, defaults, nullptr);
+  runtime::CheckpointOptions ckpt;
+  ckpt.interval = 8;
+  std::vector<runtime::SweepProgressEvent> events;
+  ckpt.on_progress = [&events](const runtime::SweepProgressEvent& event) {
+    events.push_back(event);
+  };
+  const ExecOutcome outcome = execute_request(request, *runner, ckpt);
+  EXPECT_EQ(outcome.exit_code, 0);
+  ASSERT_GE(events.size(), 2u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].done, events[i - 1].done);
+  }
+  EXPECT_EQ(events.back().done, events.back().total);
+}
+
+}  // namespace
+}  // namespace ct::service

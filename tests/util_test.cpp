@@ -1,6 +1,7 @@
 // Unit tests for the util substrate: RNG, statistics, CSV/JSON writers,
 // string helpers, tables, logging.
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -459,6 +460,44 @@ TEST(Json, EscapesStrings) {
   EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST(Json, EscapesEveryControlCharacter) {
+  // Locks the escaping contract: every byte below 0x20 either gets its
+  // named short escape or a \u00xx sequence — raw control bytes in the
+  // output would make the JSON unparseable.
+  const std::set<char> named = {'\b', '\f', '\n', '\r', '\t'};
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = json_escape(in);
+    ASSERT_GE(out.size(), 2u) << "control byte " << c << " not escaped";
+    EXPECT_EQ(out[0], '\\') << "control byte " << c;
+    if (named.count(static_cast<char>(c)) == 0) {
+      char expected[8];
+      std::snprintf(expected, sizeof expected, "\\u%04x", c);
+      EXPECT_EQ(out, expected);
+    }
+  }
+}
+
+TEST(Json, LoneUtf8ContinuationBytePassesThroughRaw) {
+  // The writer does not validate UTF-8: bytes >= 0x20 — including a lone
+  // continuation byte like 0x80 — pass through unmodified, leaving
+  // encoding policy to the producer of the string.
+  EXPECT_EQ(json_escape(std::string_view("\x80", 1)), std::string("\x80", 1));
+  EXPECT_EQ(json_escape(std::string_view("a\xbfz", 3)),
+            std::string("a\xbfz", 3));
+}
+
+TEST(Json, UnsignedOverloadsWidenLosslessly) {
+  std::ostringstream out;
+  JsonWriter j(out);
+  j.begin_object();
+  j.kv("u", 7u);
+  j.kv("size", static_cast<std::size_t>(1) << 40);
+  j.kv("u16", static_cast<std::uint16_t>(65535));
+  j.end_object();
+  EXPECT_EQ(out.str(), R"({"u":7,"size":1099511627776,"u16":65535})");
+}
+
 TEST(Json, NonFiniteBecomesNull) {
   std::ostringstream out;
   JsonWriter j(out);
@@ -580,6 +619,28 @@ TEST(Strings, ToLowerJoinFormat) {
   EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(format_percent(0.905), "90.5%");
   EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Strings, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("jobs", "jobs"), 0u);
+  EXPECT_EQ(edit_distance("job", "jobs"), 1u);      // insertion
+  EXPECT_EQ(edit_distance("jobs", "jbs"), 1u);      // deletion
+  EXPECT_EQ(edit_distance("jobs", "jabs"), 1u);     // substitution
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+}
+
+TEST(Strings, ClosestMatchSuggestsNearbyFlag) {
+  const std::vector<std::string> flags = {"jobs", "no-cache", "strict",
+                                          "max-retries"};
+  EXPECT_EQ(closest_match("job", flags), "jobs");
+  EXPECT_EQ(closest_match("no-cahce", flags), "no-cache");
+  EXPECT_EQ(closest_match("stric", flags), "strict");
+  // Nothing plausible within the distance budget: no suggestion, which
+  // is better than a misleading one.
+  EXPECT_EQ(closest_match("verbose", flags), "");
+  EXPECT_EQ(closest_match("jobs", {}), "");
 }
 
 // ---------------------------------------------------------------- table
