@@ -2,10 +2,17 @@
 // classifier, with per-configuration event/message costs. This is the
 // evidence that the paper's state classification rules follow from
 // protocol behaviour rather than being assumed.
+//
+// Since the DES hot-path overhaul, every run in the corpus also executes
+// on the verbatim reference engine (sim/reference_des.cpp): the table
+// reports both engines' ms/run, the identity column asserts every outcome
+// is field-identical, and the totals are merged into BENCH_des.json as
+// the "bench_des" record.
 #include <chrono>
 #include <iostream>
 
 #include "core/evaluator.h"
+#include "figure_bench.h"
 #include "scada/configuration.h"
 #include "sim/scada_des.h"
 #include "threat/attacker.h"
@@ -31,12 +38,19 @@ int main() {
 
   util::TextTable table;
   table.set_columns({"config", "runs", "agreements", "events/run",
-                     "messages/run", "ms/run"},
+                     "messages/run", "ms/run", "ref ms/run", "identical"},
                     {util::Align::kLeft, util::Align::kRight,
+                     util::Align::kRight, util::Align::kRight,
                      util::Align::kRight, util::Align::kRight,
                      util::Align::kRight, util::Align::kRight});
 
+  bench::DesBenchRecord record;
+  record.name = "bench_des";
+  record.identical = true;
+  bool all_agree = true;
+
   const threat::GreedyWorstCaseAttacker attacker;
+  sim::DesArena arena;
   for (const auto& config :
        scada::paper_configurations("primary", "backup", "dc")) {
     const sim::ScadaDes des(config, options);
@@ -45,7 +59,9 @@ int main() {
     std::size_t agreements = 0;
     std::uint64_t events = 0;
     std::uint64_t messages = 0;
-    const auto start = std::chrono::steady_clock::now();
+    bool identical = true;
+    double fast_ms = 0.0;
+    double reference_ms = 0.0;
     for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
       threat::SystemState base;
       base.intrusions.assign(n, 0);
@@ -57,7 +73,18 @@ int main() {
       for (const threat::ThreatScenario scenario : threat::all_scenarios()) {
         const threat::SystemState attacked =
             attacker.attack(config, base, threat::capability_for(scenario));
-        const sim::DesOutcome outcome = des.run(attacked);
+        const auto fast_start = std::chrono::steady_clock::now();
+        const sim::DesOutcome outcome = des.run(attacked, arena);
+        fast_ms += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - fast_start)
+                       .count();
+        const auto ref_start = std::chrono::steady_clock::now();
+        const sim::DesOutcome reference = des.run_reference(attacked);
+        reference_ms += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - ref_start)
+                            .count();
+        identical = identical && sim::des_outcomes_identical(outcome,
+                                                             reference);
         ++runs;
         events += outcome.events;
         messages += outcome.messages;
@@ -66,18 +93,31 @@ int main() {
         }
       }
     }
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    record.runs += runs;
+    record.events += events;
+    record.fast_s += fast_ms / 1000.0;
+    record.reference_s += reference_ms / 1000.0;
+    record.identical = record.identical && identical;
+    all_agree = all_agree && agreements == runs;
     table.add_row({config.name, std::to_string(runs),
                    std::to_string(agreements),
                    std::to_string(events / runs),
                    std::to_string(messages / runs),
-                   util::format_fixed(elapsed_ms / static_cast<double>(runs),
-                                      1)});
+                   util::format_fixed(fast_ms / static_cast<double>(runs), 1),
+                   util::format_fixed(
+                       reference_ms / static_cast<double>(runs), 1),
+                   identical ? "yes" : "NO"});
   }
   table.render(std::cout);
-  std::cout << "\nexpected: agreements == runs for every configuration.\n";
-  return 0;
+  bench::write_des_bench_record(record);
+  std::cout << "\nexpected: agreements == runs for every configuration.\n"
+            << "corpus: " << record.runs << " runs, pooled "
+            << util::format_fixed(record.fast_s, 2) << " s ("
+            << util::format_fixed(record.fast_events_per_s() / 1e6, 2)
+            << " M ev/s), reference "
+            << util::format_fixed(record.reference_s, 2) << " s ("
+            << util::format_fixed(record.speedup(), 2) << "x), "
+            << (record.identical ? "bit-identical" : "NOT IDENTICAL")
+            << "; recorded in BENCH_des.json\n";
+  return record.identical && all_agree ? 0 : 1;
 }

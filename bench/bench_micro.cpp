@@ -10,11 +10,15 @@
 // into BENCH_runtime.json (same record format as the figure benches).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <vector>
 
+#include "core/chaos.h"
 #include "core/evaluator.h"
 #include "core/pipeline.h"
 #include "figure_bench.h"
@@ -23,12 +27,14 @@
 #include "runtime/task_pool.h"
 #include "scada/oahu.h"
 #include "service/protocol.h"
+#include "sim/scada_des.h"
 #include "storm/generator.h"
 #include "storm/holland.h"
 #include "surge/realization.h"
 #include "surge/surge_model.h"
 #include "terrain/oahu.h"
 #include "threat/attacker.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace ct;
@@ -273,6 +279,217 @@ void BM_WireFrameRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireFrameRoundTrip)->Arg(0)->Arg(4096)->Arg(65536)
     ->Unit(benchmark::kMicrosecond);
+
+// --- DES engine -------------------------------------------------------------
+
+/// The busiest protocol configuration (three interleaved BFT sites), so
+/// the event loop and message pool dominate the measurement.
+const scada::Configuration& des_config() {
+  static const auto configs = scada::paper_configurations(
+      scada::oahu_ids::kHonoluluCc, scada::oahu_ids::kWaiauCc,
+      scada::oahu_ids::kDrFortress);
+  for (const auto& config : configs) {
+    if (config.name == "6+6+6") return config;
+  }
+  return configs.back();
+}
+
+/// Worst-case compound threat (one intrusion + one isolation, no flood):
+/// exercises compromise, site isolation, view changes, and recovery.
+threat::SystemState des_attacked_state(const scada::Configuration& config) {
+  threat::SystemState base;
+  base.site_status.assign(config.sites.size(), threat::SiteStatus::kUp);
+  base.intrusions.assign(config.sites.size(), 0);
+  return threat::GreedyWorstCaseAttacker{}.attack(config, base, {1, 1});
+}
+
+/// Full ScadaDes runs on the pooled engine, one arena across iterations —
+/// the steady-state (allocation-free) event loop. items/s == events/s.
+void BM_DesEventLoop(benchmark::State& state) {
+  const sim::ScadaDes des(des_config(), core::chaos_des_options());
+  const threat::SystemState attacked = des_attacked_state(des.config());
+  sim::DesArena arena;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const sim::DesOutcome outcome = des.run(attacked, arena);
+    events += outcome.events;
+    benchmark::DoNotOptimize(outcome.observed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_DesEventLoop)->Unit(benchmark::kMillisecond);
+
+/// The same runs through the verbatim pre-overhaul engine
+/// (sim/reference_des.cpp) — the denominator of the >=3x speedup gate.
+void BM_DesEventLoopReference(benchmark::State& state) {
+  const sim::ScadaDes des(des_config(), core::chaos_des_options());
+  const threat::SystemState attacked = des_attacked_state(des.config());
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const sim::DesOutcome outcome = des.run_reference(attacked);
+    events += outcome.events;
+    benchmark::DoNotOptimize(outcome.observed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_DesEventLoopReference)->Unit(benchmark::kMillisecond);
+
+/// One f=1 BFT group driven request -> proposal -> quorum -> execute, a
+/// round per iteration: isolates the indexed vote/checkpoint bookkeeping
+/// from the rest of the simulation.
+void BM_BftQuorumRound(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Network net(sim, {4, 1});
+  sim::BftOptions options;
+  options.f = 1;
+  options.k = 0;
+  const std::vector<sim::NodeAddr> group = sim::interleaved_group({0}, {4});
+  std::vector<std::unique_ptr<sim::BftReplica>> replicas;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    replicas.push_back(std::make_unique<sim::BftReplica>(
+        sim, net, group[i], group, static_cast<int>(i), options, true));
+  }
+  for (auto& replica : replicas) replica->start();
+  const sim::NodeAddr client{1, 0};
+  net.register_handler(client, [](const sim::Message&) {});
+  sim::Message request;
+  request.type = sim::Message::Type::kRequest;
+  request.sender = client;
+  for (auto _ : state) {
+    ++request.request_id;
+    for (const sim::NodeAddr member : group) net.send(client, member, request);
+    sim.run_until(sim.now() + 1.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BftQuorumRound)->Unit(benchmark::kMicrosecond);
+
+/// A small but real chaos sweep (seeded benign plans, shrink machinery
+/// armed) through the thread-local arena path in core/chaos.cpp.
+void BM_ChaosSweep(benchmark::State& state) {
+  core::ChaosOptions options;
+  options.plans = 2;
+  options.scenarios = {threat::ThreatScenario::kHurricaneIntrusion};
+  const core::ChaosRunner runner(options);
+  const scada::Configuration& config = des_config();
+  for (auto _ : state) {
+    const core::ChaosReport report = runner.sweep(config);
+    benchmark::DoNotOptimize(report.runs);
+  }
+}
+BENCHMARK(BM_ChaosSweep)->Unit(benchmark::kMillisecond);
+
+/// Times the pooled DES engine against the reference over the same run
+/// corpus (plain runs + a chaos-style fault-plan sweep), checking every
+/// outcome with des_outcomes_identical. Merged into BENCH_des.json.
+bench::DesBenchRecord micro_des_record() {
+  const scada::Configuration& config = des_config();
+  const sim::DesOptions options = core::chaos_des_options();
+  const sim::ScadaDes des(config, options);
+  const threat::SystemState attacked = des_attacked_state(config);
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds = [](auto start, auto end) {
+    return std::chrono::duration<double>(end - start).count();
+  };
+
+  constexpr std::size_t kRuns = 10;
+  std::vector<sim::DesOutcome> reference;
+  reference.reserve(kRuns);
+  const auto ref_start = now();
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    reference.push_back(des.run_reference(attacked));
+  }
+  const auto ref_end = now();
+
+  sim::DesArena arena;
+  bool identical = true;
+  std::uint64_t events = 0;
+  const auto fast_start = now();
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const sim::DesOutcome fast = des.run(attacked, arena);
+    events += fast.events;
+    identical = identical && sim::des_outcomes_identical(fast, reference[i]);
+  }
+  const auto fast_end = now();
+
+  // Quorum round: same microcosm as BM_BftQuorumRound, timed directly.
+  double quorum_round_ms = 0.0;
+  {
+    sim::Simulator qsim;
+    sim::Network qnet(qsim, {4, 1});
+    sim::BftOptions bft;
+    bft.f = 1;
+    bft.k = 0;
+    const std::vector<sim::NodeAddr> group = sim::interleaved_group({0}, {4});
+    std::vector<std::unique_ptr<sim::BftReplica>> replicas;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      replicas.push_back(std::make_unique<sim::BftReplica>(
+          qsim, qnet, group[i], group, static_cast<int>(i), bft, true));
+    }
+    for (auto& replica : replicas) replica->start();
+    const sim::NodeAddr client{1, 0};
+    qnet.register_handler(client, [](const sim::Message&) {});
+    sim::Message request;
+    request.type = sim::Message::Type::kRequest;
+    request.sender = client;
+    constexpr std::size_t kRounds = 2000;
+    const auto q_start = now();
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      ++request.request_id;
+      for (const sim::NodeAddr member : group) {
+        qnet.send(client, member, request);
+      }
+      qsim.run_until(qsim.now() + 1.0);
+    }
+    quorum_round_ms = seconds(q_start, now()) * 1000.0 /
+                      static_cast<double>(kRounds);
+  }
+
+  // Chaos-corpus sweep: the exact plans ChaosRunner would generate
+  // (child RNG per plan index), through both engines.
+  std::vector<int> nodes_per_site;
+  for (const auto& site : config.sites) nodes_per_site.push_back(site.replicas);
+  sim::BenignPlanShape shape;
+  shape.window_to_s = std::max(shape.window_from_s + 1.0,
+                               options.horizon_s - options.settle_window_s -
+                                   60.0);
+  constexpr std::size_t kPlans = 6;
+  const util::Rng base_rng(1, "chaos");
+  std::vector<sim::FaultPlan> plans;
+  plans.reserve(kPlans);
+  for (std::size_t p = 0; p < kPlans; ++p) {
+    util::Rng plan_rng = base_rng.child("plan", p);
+    plans.push_back(sim::random_benign_plan(shape, nodes_per_site, plan_rng));
+  }
+  std::vector<sim::DesOutcome> sweep_reference;
+  sweep_reference.reserve(kPlans);
+  const auto sweep_ref_start = now();
+  for (const sim::FaultPlan& plan : plans) {
+    sweep_reference.push_back(des.run_reference(attacked, plan));
+  }
+  const auto sweep_ref_end = now();
+  const auto sweep_fast_start = now();
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    const sim::DesOutcome fast = des.run(attacked, plans[p], arena);
+    identical = identical &&
+                sim::des_outcomes_identical(fast, sweep_reference[p]);
+  }
+  const auto sweep_fast_end = now();
+
+  bench::DesBenchRecord record;
+  record.name = "bench_micro";
+  record.runs = kRuns;
+  record.events = events;
+  record.reference_s = seconds(ref_start, ref_end);
+  record.fast_s = seconds(fast_start, fast_end);
+  record.quorum_round_ms = quorum_round_ms;
+  record.sweep_reference_s = seconds(sweep_ref_start, sweep_ref_end);
+  record.sweep_fast_s = seconds(sweep_fast_start, sweep_fast_end);
+  record.sweep_runs = kPlans;
+  record.identical = identical;
+  return record;
+}
 
 /// Times one small end-to-end sweep (all five paper configurations, one
 /// compound scenario) serial vs pooled vs cache-warm and merges the record
@@ -540,6 +757,25 @@ int main(int argc, char** argv) {
             << (surge_record.identical ? "bit-identical" : "NOT IDENTICAL")
             << "; recorded in BENCH_surge.json\n";
 
+  const bench::DesBenchRecord des_record = micro_des_record();
+  bench::write_des_bench_record(des_record);
+  std::cout << "DES engine (" << des_record.runs << " runs, "
+            << des_record.events << " events): reference "
+            << util::format_fixed(des_record.reference_s, 2) << " s ("
+            << util::format_fixed(des_record.reference_events_per_s() / 1e6, 2)
+            << " M ev/s), pooled "
+            << util::format_fixed(des_record.fast_s, 2) << " s ("
+            << util::format_fixed(des_record.fast_events_per_s() / 1e6, 2)
+            << " M ev/s, " << util::format_fixed(des_record.speedup(), 2)
+            << "x), quorum round "
+            << util::format_fixed(des_record.quorum_round_ms * 1000.0, 1)
+            << " us, plan sweep " << des_record.sweep_runs << " plans "
+            << util::format_fixed(des_record.sweep_reference_s, 2) << " -> "
+            << util::format_fixed(des_record.sweep_fast_s, 2) << " s ("
+            << util::format_fixed(des_record.sweep_speedup(), 2) << "x), "
+            << (des_record.identical ? "bit-identical" : "NOT IDENTICAL")
+            << "; recorded in BENCH_des.json\n";
+
   const bench::RuntimeBenchRecord record = micro_runtime_record();
   bench::write_runtime_bench_record(record);
   std::cout << "ensemble sweep (" << record.realizations << " realizations): "
@@ -570,5 +806,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return record.identical && surge_record.identical ? 0 : 1;
+  return record.identical && surge_record.identical && des_record.identical
+             ? 0
+             : 1;
 }

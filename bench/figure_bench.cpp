@@ -81,6 +81,27 @@ std::string record_json(const SurgeBenchRecord& r) {
   return out.str();
 }
 
+std::string record_json(const DesBenchRecord& r) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out << '"' << r.name << "\": {"
+      << "\"runs\": " << r.runs
+      << ", \"events\": " << r.events << std::setprecision(4)
+      << ", \"reference_s\": " << r.reference_s
+      << ", \"fast_s\": " << r.fast_s << std::setprecision(0)
+      << ", \"reference_events_per_s\": " << r.reference_events_per_s()
+      << ", \"fast_events_per_s\": " << r.fast_events_per_s()
+      << std::setprecision(3) << ", \"speedup\": " << r.speedup()
+      << std::setprecision(4)
+      << ", \"quorum_round_ms\": " << r.quorum_round_ms
+      << ", \"sweep_reference_s\": " << r.sweep_reference_s
+      << ", \"sweep_fast_s\": " << r.sweep_fast_s << std::setprecision(3)
+      << ", \"sweep_speedup\": " << r.sweep_speedup()
+      << ", \"sweep_runs\": " << r.sweep_runs
+      << ", \"identical\": " << (r.identical ? "true" : "false") << '}';
+  return out.str();
+}
+
 // The bench files are JSON objects with one record per line so every bench
 // binary can update its own row with a line-level merge — no JSON parser
 // needed, and `jq` still reads the whole file.
@@ -125,6 +146,11 @@ void write_runtime_bench_record(const RuntimeBenchRecord& record,
 
 void write_surge_bench_record(const SurgeBenchRecord& record,
                               const std::string& path) {
+  merge_record_line(path, record.name, record_json(record));
+}
+
+void write_des_bench_record(const DesBenchRecord& record,
+                            const std::string& path) {
   merge_record_line(path, record.name, record_json(record));
 }
 

@@ -121,6 +121,47 @@ struct SurgeBenchRecord {
 void write_surge_bench_record(const SurgeBenchRecord& record,
                               const std::string& path = "BENCH_surge.json");
 
+/// DES engine throughput: the pooled hot path (slab events, message
+/// freelist, indexed quorum state) vs the verbatim reference engine in
+/// sim/reference_des.cpp, over the same run corpus. Recorded by
+/// bench_micro ("bench_micro": event loop + quorum round + chaos-style
+/// sweep) and bench_des ("bench_des": the A4 flood-mask corpus).
+struct DesBenchRecord {
+  std::string name;                ///< record key
+  std::uint64_t runs = 0;          ///< simulated runs timed per engine
+  std::uint64_t events = 0;        ///< events processed per engine pass
+  double reference_s = 0.0;        ///< run corpus wall time, reference
+  double fast_s = 0.0;             ///< run corpus wall time, pooled engine
+  double quorum_round_ms = 0.0;    ///< BFT request->quorum->execute round
+  double sweep_reference_s = 0.0;  ///< fault-plan sweep, reference engine
+  double sweep_fast_s = 0.0;       ///< fault-plan sweep, pooled + arena
+  std::uint64_t sweep_runs = 0;
+  bool identical = false;          ///< every outcome field-identical
+
+  double reference_events_per_s() const noexcept {
+    return reference_s > 0.0 ? static_cast<double>(events) / reference_s : 0.0;
+  }
+  double fast_events_per_s() const noexcept {
+    return fast_s > 0.0 ? static_cast<double>(events) / fast_s : 0.0;
+  }
+  /// Events/sec ratio, pooled over reference (acceptance bound: >= 3x).
+  double speedup() const noexcept {
+    return reference_events_per_s() > 0.0 && fast_events_per_s() > 0.0
+               ? fast_events_per_s() / reference_events_per_s()
+               : 0.0;
+  }
+  double sweep_speedup() const noexcept {
+    return sweep_fast_s > 0.0 && sweep_reference_s > 0.0
+               ? sweep_reference_s / sweep_fast_s
+               : 0.0;
+  }
+};
+
+/// Same line-merge format, separate BENCH_des.json file tracking the DES
+/// engine's throughput trajectory.
+void write_des_bench_record(const DesBenchRecord& record,
+                            const std::string& path = "BENCH_des.json");
+
 /// Runs the figure bench: returns 0 when the parallel outcome
 /// distributions are bit-identical to the serial ones (fidelity to the
 /// paper is still reported, not asserted — EXPERIMENTS.md records the

@@ -41,6 +41,15 @@ threat::SystemState clean_attacked_state(const scada::Configuration& config,
       config, base, threat::capability_for(scenario));
 }
 
+/// Per-worker simulator/network arena: a sweep runs hundreds of plans
+/// back-to-back, and reusing the engine's slabs and pools across them is
+/// where the warmup cost amortizes. thread_local because plans run on the
+/// ensemble pool's workers; each run still starts from reset() state.
+sim::DesArena& plan_arena() {
+  thread_local sim::DesArena arena;
+  return arena;
+}
+
 }  // namespace
 
 bool ChaosRunner::fails(const scada::Configuration& config,
@@ -48,7 +57,7 @@ bool ChaosRunner::fails(const scada::Configuration& config,
                         threat::OperationalState expected,
                         const sim::FaultPlan& plan) const {
   const sim::ScadaDes des(config, options_.des);
-  const sim::DesOutcome outcome = des.run(attacked, plan);
+  const sim::DesOutcome outcome = des.run(attacked, plan, plan_arena());
   return outcome.observed != expected || !outcome.invariant_violations.empty();
 }
 
@@ -150,7 +159,7 @@ ChaosReport ChaosRunner::sweep_impl(const scada::Configuration& config,
       const threat::SystemState attacked =
           clean_attacked_state(config, scenario);
       const threat::OperationalState expected = evaluate(config, attacked);
-      const sim::DesOutcome outcome = des.run(attacked, plan);
+      const sim::DesOutcome outcome = des.run(attacked, plan, plan_arena());
       ++slot.runs;
       slot.drops += outcome.drops.total();
       slot.duplicates += outcome.duplicates;
@@ -269,7 +278,7 @@ ChaosFinding ChaosRunner::compromise_probe(
   plan.events.push_back(decoy);
 
   const sim::ScadaDes des(config, options_.des);
-  const sim::DesOutcome outcome = des.run(clean, plan);
+  const sim::DesOutcome outcome = des.run(clean, plan, plan_arena());
 
   ChaosFinding finding;
   finding.config_name = config.name;

@@ -42,6 +42,7 @@
 #include "runtime/ensemble_runner.h"
 #include "service/exec.h"
 #include "service/protocol.h"
+#include "sim/scada_des.h"
 
 namespace ct::service {
 
@@ -97,6 +98,7 @@ struct ServerStats {
   std::uint64_t quarantined = 0;        ///< summed over completed requests
   std::uint64_t chunks_streamed = 0;
   runtime::ResultStore::Stats cache;    ///< shared runtime's result cache
+  sim::DesCounters des;                 ///< process-wide DES throughput
 };
 
 class Server {

@@ -18,6 +18,24 @@ BftReplica::BftReplica(Simulator& sim, Network& net, NodeAddr self,
       !(group_[static_cast<std::size_t>(index_)] == self_)) {
     throw std::invalid_argument("BftReplica: index does not match group slot");
   }
+  if (group_.size() > 64) {
+    // Voter sets are 64-bit masks; the paper's largest group is 18.
+    throw std::invalid_argument("BftReplica: group larger than 64 members");
+  }
+  int max_site = 0;
+  int max_node = 0;
+  for (const NodeAddr m : group_) {
+    max_site = std::max(max_site, m.site);
+    max_node = std::max(max_node, m.node);
+  }
+  lut_stride_ = static_cast<std::size_t>(max_node) + 1;
+  member_lut_.assign((static_cast<std::size_t>(max_site) + 1) * lut_stride_,
+                     -1);
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    member_lut_[static_cast<std::size_t>(group_[i].site) * lut_stride_ +
+                static_cast<std::size_t>(group_[i].node)] =
+        static_cast<std::int8_t>(i);
+  }
   stable_digest_ = state_digest({});
   // Catch-up installs need f+1 matching peers: at most f can lie, so any
   // f+1 matching certificate has a correct voucher.
@@ -54,10 +72,7 @@ bool BftReplica::is_leader() const {
 }
 
 void BftReplica::broadcast_to_group(const Message& msg) {
-  for (const NodeAddr member : group_) {
-    if (member == self_) continue;
-    net_.send(self_, member, msg);
-  }
+  net_.send_group(self_, group_, msg);
 }
 
 void BftReplica::begin_recovery() {
@@ -71,13 +86,17 @@ void BftReplica::begin_recovery() {
   // attacker's foothold for the whole analysis window; what proactive
   // recovery buys in that model is the "k" slot in n = 3f + 2k + 1
   // (tolerating a recovering replica's absence), per Sousa et al. [23].
-  sim_.trace(to_string(self_) + " proactive recovery begins");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " proactive recovery begins");
+  }
 }
 
 void BftReplica::end_recovery() {
   recovering_ = false;
   last_progress_ = sim_.now();
-  sim_.trace(to_string(self_) + " proactive recovery ends");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " proactive recovery ends");
+  }
   begin_catchup("proactive recovery");
 }
 
@@ -92,8 +111,10 @@ void BftReplica::begin_catchup(const char* reason) {
   passive_ = false;
   catching_up_ = true;
   last_progress_ = sim_.now();
-  sim_.trace(to_string(self_) + " catch-up transfer begins (" +
-             std::string(reason) + ")");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " catch-up transfer begins (" +
+               std::string(reason) + ")");
+  }
   transfer_->begin();
 }
 
@@ -102,7 +123,9 @@ void BftReplica::install_state(const StateTransferClient::Result& result) {
     if (executed_.contains(id)) continue;
     // The transferred tail carries no client address; the client has long
     // since collected its reply quorum from the peers that executed live.
+    note_executed_id(id);
     executed_[id] = NodeAddr{};
+    advance_executed_prefix(id);
     pending_.erase(id);
     accept_votes_.erase(id);
   }
@@ -116,17 +139,21 @@ void BftReplica::install_state(const StateTransferClient::Result& result) {
   }
   catching_up_ = false;
   last_progress_ = sim_.now();
-  sim_.trace(to_string(self_) + " installed state (count " +
-             std::to_string(result.count) + ", " +
-             std::to_string(result.rounds) + " round(s))");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " installed state (count " +
+               std::to_string(result.count) + ", " +
+               std::to_string(result.rounds) + " round(s))");
+  }
   if (is_leader()) propose_pending();
 }
 
 void BftReplica::catchup_failed(int rounds) {
   catching_up_ = false;
   passive_ = true;
-  sim_.trace(to_string(self_) + " catch-up failed after " +
-             std::to_string(rounds) + " rounds; degrading to passive");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " catch-up failed after " +
+               std::to_string(rounds) + " rounds; degrading to passive");
+  }
 }
 
 RejoinStats BftReplica::rejoin_stats() const {
@@ -152,7 +179,9 @@ void BftReplica::on_message(const Message& msg) {
       active_ = true;
       activation_pending_ = false;
       last_progress_ = sim_.now();
-      sim_.trace(to_string(self_) + " cold BFT group activated");
+      if (sim_.tracing()) {
+        sim_.trace(to_string(self_) + " cold BFT group activated");
+      }
       // A freshly activated group member syncs before serving. With every
       // member equally cold the transfer converges on the trivial (empty)
       // certificate; a staggered activation picks up real state.
@@ -204,8 +233,7 @@ void BftReplica::on_state_request(const Message& msg) {
 }
 
 void BftReplica::on_request(const Message& msg) {
-  const auto executed = executed_.find(msg.request_id);
-  if (executed != executed_.end()) {
+  if (executed_contains(msg.request_id)) {
     // Retransmission after execution: reply directly.
     Message reply;
     reply.type = Message::Type::kReply;
@@ -223,17 +251,46 @@ std::vector<std::int64_t> BftReplica::executed_ids() const {
   ids.reserve(executed_.size());
   for (const auto& [id, client] : executed_) {
     (void)client;
-    ids.push_back(id);  // std::map iteration is already sorted
+    ids.push_back(id);  // FlatMap iteration is already sorted
   }
   return ids;
+}
+
+void BftReplica::advance_executed_prefix(std::int64_t id) {
+  if (id != executed_prefix_ + 1) return;
+  auto it = executed_.find(id);
+  while (it != executed_.end() && it->first == executed_prefix_ + 1) {
+    ++executed_prefix_;
+    ++it;
+  }
+}
+
+void BftReplica::note_executed_id(std::int64_t id) {
+  if (executed_.empty() || std::prev(executed_.end())->first < id) {
+    digest_chain_ = state_digest_extend(digest_chain_, id);
+  } else {
+    digest_dirty_ = true;
+  }
+}
+
+std::int64_t BftReplica::current_digest() {
+  if (digest_dirty_) {
+    std::uint64_t h = kStateDigestSeed;
+    for (const auto& [id, client] : executed_) {
+      (void)client;
+      h = state_digest_extend(h, id);
+    }
+    digest_chain_ = h;
+    digest_dirty_ = false;
+  }
+  return state_digest_fold(digest_chain_);
 }
 
 void BftReplica::maybe_broadcast_checkpoint() {
   if (++executions_since_checkpoint_ < options_.checkpoint_interval) return;
   executions_since_checkpoint_ = 0;
-  const std::vector<std::int64_t> ids = executed_ids();
-  const auto count = static_cast<std::int64_t>(ids.size());
-  const std::int64_t digest = state_digest(ids);
+  const auto count = static_cast<std::int64_t>(executed_.size());
+  const std::int64_t digest = current_digest();
   if (monitor_ != nullptr) {
     monitor_->on_checkpoint(self_, group_id_, count, digest);
   }
@@ -246,13 +303,7 @@ void BftReplica::maybe_broadcast_checkpoint() {
 }
 
 void BftReplica::on_checkpoint_vote(const Message& msg) {
-  int voter_index = -1;
-  for (std::size_t i = 0; i < group_.size(); ++i) {
-    if (group_[i] == msg.sender) {
-      voter_index = static_cast<int>(i);
-      break;
-    }
-  }
+  const int voter_index = member_index(msg.sender);
   if (voter_index < 0) return;  // not a group member
   tally_checkpoint_vote(voter_index, msg.seq, msg.value);
 }
@@ -260,17 +311,19 @@ void BftReplica::on_checkpoint_vote(const Message& msg) {
 void BftReplica::tally_checkpoint_vote(int voter_index, std::int64_t count,
                                        std::int64_t digest) {
   if (count <= stable_count_) return;  // already superseded
-  auto& votes = checkpoint_votes_[{count, digest}];
+  VoteMask& votes = checkpoint_votes_[{count, digest}];
   votes.insert(voter_index);
   // f+1 matching votes cannot all come from faulty replicas, so the
   // certificate is vouched for by at least one correct execution history.
-  if (static_cast<int>(votes.size()) < options_.f + 1) return;
+  if (votes.count() < options_.f + 1) return;
   stable_count_ = count;
   stable_digest_ = digest;
   ++checkpoints_formed_;
   gc_below_stable();
-  sim_.trace(to_string(self_) + " stable checkpoint at count " +
-             std::to_string(count));
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " stable checkpoint at count " +
+               std::to_string(count));
+  }
 }
 
 void BftReplica::gc_below_stable() {
@@ -278,14 +331,27 @@ void BftReplica::gc_below_stable() {
   // covering them is stable: a re-proposal of a reclaimed id simply
   // re-votes (execution stays idempotent), so dropping the dedup sets is
   // safe and keeps per-request state bounded by the checkpoint interval.
-  std::erase_if(checkpoint_votes_, [this](const auto& entry) {
+  checkpoint_votes_.erase_if([this](const auto& entry) {
     return entry.first.first <= stable_count_;
   });
-  for (const auto& [id, client] : executed_) {
-    (void)client;
-    voted_.erase(id);
-    announced_view_.erase(id);
-  }
+  // executed_ and the dedup structures are all sorted by request id, so
+  // the old per-id erase loop collapses into monotone-cursor sweeps.
+  auto voted_cursor = executed_.begin();
+  voted_.erase_if([&](const std::int64_t id) {
+    while (voted_cursor != executed_.end() && voted_cursor->first < id) {
+      ++voted_cursor;
+    }
+    return voted_cursor != executed_.end() && voted_cursor->first == id;
+  });
+  auto announced_cursor = executed_.begin();
+  announced_view_.erase_if([&](const auto& entry) {
+    while (announced_cursor != executed_.end() &&
+           announced_cursor->first < entry.first) {
+      ++announced_cursor;
+    }
+    return announced_cursor != executed_.end() &&
+           announced_cursor->first == entry.first;
+  });
 }
 
 void BftReplica::propose_pending() {
@@ -347,19 +413,12 @@ void BftReplica::on_proposal(const Message& msg) {
 }
 
 void BftReplica::on_accept(const Message& msg) {
-  if (executed_.contains(msg.request_id)) return;
-  const NodeAddr voter = msg.sender;
-  int voter_index = -1;
-  for (std::size_t i = 0; i < group_.size(); ++i) {
-    if (group_[i] == voter) {
-      voter_index = static_cast<int>(i);
-      break;
-    }
-  }
+  if (executed_contains(msg.request_id)) return;
+  const int voter_index = member_index(msg.sender);
   if (voter_index < 0) return;  // not a group member
-  auto& votes = accept_votes_[msg.request_id];
+  VoteMask& votes = accept_votes_[msg.request_id];
   votes.insert(voter_index);
-  if (static_cast<int>(votes.size()) >= quorum_) {
+  if (votes.count() >= quorum_) {
     execute(msg.request_id, msg.view, msg.seq);
   }
 }
@@ -374,7 +433,9 @@ void BftReplica::execute(std::int64_t request_id, std::int64_t view,
     have_client = true;
     pending_.erase(pending);
   }
+  note_executed_id(request_id);
   executed_[request_id] = client;
+  advance_executed_prefix(request_id);
   accept_votes_.erase(request_id);
   last_progress_ = sim_.now();
   if (monitor_ != nullptr && !compromised_) {
@@ -392,22 +453,16 @@ void BftReplica::execute(std::int64_t request_id, std::int64_t view,
 
 void BftReplica::on_view_change(const Message& msg) {
   if (msg.view <= view_) return;
-  auto& votes = view_votes_[msg.view];
-  int voter_index = -1;
-  for (std::size_t i = 0; i < group_.size(); ++i) {
-    if (group_[i] == msg.sender) {
-      voter_index = static_cast<int>(i);
-      break;
-    }
-  }
+  const int voter_index = member_index(msg.sender);
   if (voter_index < 0) return;
+  VoteMask& votes = view_votes_[msg.view];
   votes.insert(voter_index);
   // Join a higher view once f+1 members vouch for it (they cannot all be
   // faulty), without waiting for our own timeout.
-  if (static_cast<int>(votes.size()) >= options_.f + 1) {
+  if (votes.count() >= options_.f + 1) {
     view_ = msg.view;
     last_progress_ = sim_.now();
-    view_votes_.erase(view_votes_.begin(), view_votes_.upper_bound(view_));
+    view_votes_.erase_upto(view_);
     proposed_this_view_.clear();
     if (is_leader()) propose_pending();
   }
@@ -420,7 +475,10 @@ void BftReplica::watchdog_loop() {
     ++view_;
     last_progress_ = sim_.now();
     proposed_this_view_.clear();
-    sim_.trace(to_string(self_) + " view change to " + std::to_string(view_));
+    if (sim_.tracing()) {
+      sim_.trace(to_string(self_) + " view change to " +
+                 std::to_string(view_));
+    }
     Message vc;
     vc.type = Message::Type::kViewChange;
     vc.view = view_;

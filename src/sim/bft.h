@@ -7,12 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "sim/flat.h"
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -94,6 +93,17 @@ class BftReplica {
   RejoinStats rejoin_stats() const;
 
  private:
+  /// Group index of `a`, or -1 when `a` is not a member. Dense (site,
+  /// node) table built at construction — every vote tally hits this, so
+  /// it must not be the linear group scan it replaces.
+  int member_index(NodeAddr a) const noexcept {
+    const auto key = static_cast<std::size_t>(a.site) * lut_stride_ +
+                     static_cast<std::size_t>(a.node);
+    return a.site >= 0 && a.node >= 0 && key < member_lut_.size()
+               ? member_lut_[key]
+               : -1;
+  }
+
   void on_message(const Message& msg);
   void on_request(const Message& msg);
   void on_proposal(const Message& msg);
@@ -108,6 +118,12 @@ class BftReplica {
   void execute(std::int64_t request_id, std::int64_t view, std::int64_t seq);
   /// Current executed set as a sorted id list (checkpoint/transfer input).
   std::vector<std::int64_t> executed_ids() const;
+  /// Records `id` entering executed_ in the running digest chain (or marks
+  /// the chain dirty when the insert is out of order).
+  void note_executed_id(std::int64_t id);
+  /// Digest of the current executed set; serves the cached chain unless an
+  /// out-of-order insert invalidated it.
+  std::int64_t current_digest();
   void maybe_broadcast_checkpoint();
   void tally_checkpoint_vote(int voter_index, std::int64_t count,
                              std::int64_t digest);
@@ -122,6 +138,8 @@ class BftReplica {
   Network& net_;
   NodeAddr self_;
   std::vector<NodeAddr> group_;
+  std::vector<std::int8_t> member_lut_;  // (site, node) -> group index
+  std::size_t lut_stride_ = 0;
   int index_;
   BftOptions options_;
   int quorum_;
@@ -139,31 +157,52 @@ class BftReplica {
   std::int64_t next_seq_ = 0;
   double last_progress_ = 0.0;
 
+  // Per-request bookkeeping lives in flat sorted vectors with fixed-width
+  // voter bitmasks (group size <= 64, enforced at construction): GC below
+  // the stable checkpoint keeps these a handful of entries, and the flat
+  // layout removes the per-node heap traffic the std::map/std::set
+  // originals paid on every vote.
   /// request id -> client address (pending, not yet executed).
-  std::map<std::int64_t, NodeAddr> pending_;
+  FlatMap<std::int64_t, NodeAddr> pending_;
   /// request id -> distinct accept voters.
-  std::map<std::int64_t, std::set<int>> accept_votes_;
+  FlatMap<std::int64_t, VoteMask> accept_votes_;
   /// proposals this replica has already voted for (request ids).
-  std::set<std::int64_t> voted_;
+  FlatSet<std::int64_t> voted_;
   /// requests this leader already proposed in the current view (cleared on
   /// view change) — prevents re-proposal storms.
-  std::set<std::int64_t> proposed_this_view_;
+  FlatSet<std::int64_t> proposed_this_view_;
   /// highest view in which this replica re-announced its vote per request
   /// — bounds vote re-broadcasts to one per (request, view).
-  std::map<std::int64_t, std::int64_t> announced_view_;
+  FlatMap<std::int64_t, std::int64_t> announced_view_;
   /// executed request ids -> client address (for late replies).
-  std::map<std::int64_t, NodeAddr> executed_;
+  FlatMap<std::int64_t, NodeAddr> executed_;
+  /// Every id in [1, executed_prefix_] is executed. Client ids are handed
+  /// out sequentially from 1 and quorums complete roughly in order, so the
+  /// prefix covers almost the whole executed set — the O(1) reject for the
+  /// ~n-1 late accepts that trail every execution. Ids above the prefix
+  /// fall back to the binary search.
+  std::int64_t executed_prefix_ = 0;
+  bool executed_contains(std::int64_t id) const {
+    return id <= executed_prefix_ || executed_.contains(id);
+  }
+  /// Advances the prefix after `id` was inserted into executed_.
+  void advance_executed_prefix(std::int64_t id);
   /// view -> distinct view-change voters (for catching up).
-  std::map<std::int64_t, std::set<int>> view_votes_;
+  FlatMap<std::int64_t, VoteMask> view_votes_;
 
   /// Latest stable checkpoint certificate (f+1 matching votes).
   std::int64_t stable_count_ = 0;
   std::int64_t stable_digest_ = 0;
+  /// Running FNV chain over executed_ in sorted order. Executions land in
+  /// ascending id order almost always, so the per-checkpoint digest is an
+  /// O(1) fold of this chain; an out-of-order insert (catch-up install,
+  /// straggler commit) marks it dirty and the next use rehashes once.
+  std::uint64_t digest_chain_ = kStateDigestSeed;
+  bool digest_dirty_ = false;
   int executions_since_checkpoint_ = 0;
   int checkpoints_formed_ = 0;
   /// (count, digest) -> distinct checkpoint voters.
-  std::map<std::pair<std::int64_t, std::int64_t>, std::set<int>>
-      checkpoint_votes_;
+  FlatMap<std::pair<std::int64_t, std::int64_t>, VoteMask> checkpoint_votes_;
   /// Drives rejoin catch-up after recovery / restart / cold activation.
   std::unique_ptr<StateTransferClient> transfer_;
 };

@@ -368,12 +368,16 @@ void FaultInjector::arm() {
         const NodeAddr node = e.node;
         sim_.schedule_at(e.at, [this, node] {
           net_.set_node_crashed(node, true);
-          sim_.trace(to_string(node) + " CRASHED (fault plan)");
+          if (sim_.tracing()) {
+            sim_.trace(to_string(node) + " CRASHED (fault plan)");
+          }
         });
         if (e.duration > 0.0) {
           sim_.schedule_at(e.at + e.duration, [this, node] {
             net_.set_node_crashed(node, false);
-            sim_.trace(to_string(node) + " restarted (fault plan)");
+            if (sim_.tracing()) {
+              sim_.trace(to_string(node) + " restarted (fault plan)");
+            }
             if (hooks_.restart) hooks_.restart(node);
           });
         }
@@ -384,14 +388,18 @@ void FaultInjector::arm() {
         const int b = e.site_b;
         sim_.schedule_at(e.at, [this, a, b] {
           net_.set_link_down(a, b, true);
-          sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
-                     " DOWN (fault plan)");
+          if (sim_.tracing()) {
+            sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
+                       " DOWN (fault plan)");
+          }
         });
         if (e.duration > 0.0) {
           sim_.schedule_at(e.at + e.duration, [this, a, b] {
             net_.set_link_down(a, b, false);
-            sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
-                       " restored (fault plan)");
+            if (sim_.tracing()) {
+              sim_.trace("link " + std::to_string(a) + "-" +
+                         std::to_string(b) + " restored (fault plan)");
+            }
           });
         }
         break;
@@ -403,11 +411,15 @@ void FaultInjector::arm() {
         sim_.schedule_at(e.at, [this, site, duration = e.duration] {
           const bool was_down = net_.site_down(site);
           net_.set_site_down(site, true);
-          sim_.trace("site " + std::to_string(site) + " FLAPPED down");
+          if (sim_.tracing()) {
+            sim_.trace("site " + std::to_string(site) + " FLAPPED down");
+          }
           if (duration > 0.0) {
             sim_.schedule_in(duration, [this, site, was_down] {
               net_.set_site_down(site, was_down);
-              sim_.trace("site " + std::to_string(site) + " flap over");
+              if (sim_.tracing()) {
+                sim_.trace("site " + std::to_string(site) + " flap over");
+              }
               // Every node of a bounced site restarts (unless the site was
               // already flooded and the flap changed nothing).
               if (!was_down && hooks_.restart) {
@@ -426,8 +438,10 @@ void FaultInjector::arm() {
         const double factor = e.factor;
         sim_.schedule_at(e.at, [this, node, factor] {
           hooks_.set_timeout_scale(node, factor);
-          sim_.trace(to_string(node) + " timeout skew x" +
-                     std::to_string(factor));
+          if (sim_.tracing()) {
+            sim_.trace(to_string(node) + " timeout skew x" +
+                       std::to_string(factor));
+          }
         });
         if (e.duration > 0.0) {
           sim_.schedule_at(e.at + e.duration, [this, node] {
@@ -441,7 +455,9 @@ void FaultInjector::arm() {
         const NodeAddr node = e.node;
         sim_.schedule_at(e.at, [this, node] {
           hooks_.compromise(node);
-          sim_.trace(to_string(node) + " COMPROMISED (fault plan)");
+          if (sim_.tracing()) {
+            sim_.trace(to_string(node) + " COMPROMISED (fault plan)");
+          }
         });
         break;
       }

@@ -1,0 +1,175 @@
+// Flat sorted containers for the DES protocol hot paths. The replication
+// stacks track per-request and per-view bookkeeping in collections that
+// stay tiny (tens of entries, bounded by the checkpoint interval) but are
+// touched on every message; std::map/std::set pay a heap allocation and a
+// pointer chase per node for that. FlatMap/FlatSet keep the same sorted
+// iteration order and uniqueness semantics in one contiguous vector, and
+// VoteMask replaces std::set<int> voter sets with a fixed-width bitmask
+// (replica groups are capped at 64 members).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ct::sim {
+
+/// Sorted-vector map: the subset of std::map the simulator uses, with
+/// identical (ascending) iteration order. Keys must be < comparable.
+template <class Key, class Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() noexcept { return v_.begin(); }
+  iterator end() noexcept { return v_.end(); }
+  const_iterator begin() const noexcept { return v_.begin(); }
+  const_iterator end() const noexcept { return v_.end(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  bool empty() const noexcept { return v_.empty(); }
+  void clear() noexcept { v_.clear(); }
+
+  iterator find(const Key& key) {
+    const iterator it = lower_bound(key);
+    return it != v_.end() && !(key < it->first) ? it : v_.end();
+  }
+  const_iterator find(const Key& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != v_.end() && !(key < it->first) ? it : v_.end();
+  }
+  bool contains(const Key& key) const { return find(key) != v_.end(); }
+
+  Value& operator[](const Key& key) {
+    const iterator it = lower_bound(key);
+    if (it != v_.end() && !(key < it->first)) return it->second;
+    return v_.insert(it, {key, Value{}})->second;
+  }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    const iterator it = lower_bound(key);
+    if (it != v_.end() && !(key < it->first)) return {it, false};
+    return {v_.insert(it, {key, Value{std::forward<Args>(args)...}}), true};
+  }
+
+  std::size_t erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return v_.erase(it); }
+
+  /// Removes every entry with key <= `key` (the std::map
+  /// `erase(begin(), upper_bound(key))` idiom).
+  void erase_upto(const Key& key) {
+    v_.erase(v_.begin(),
+             std::upper_bound(v_.begin(), v_.end(), key,
+                              [](const Key& k, const value_type& e) {
+                                return k < e.first;
+                              }));
+  }
+
+  template <class Pred>
+  void erase_if(Pred pred) {
+    v_.erase(std::remove_if(v_.begin(), v_.end(), pred), v_.end());
+  }
+
+ private:
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(v_.begin(), v_.end(), key,
+                            [](const value_type& e, const Key& k) {
+                              return e.first < k;
+                            });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(v_.begin(), v_.end(), key,
+                            [](const value_type& e, const Key& k) {
+                              return e.first < k;
+                            });
+  }
+
+  std::vector<value_type> v_;
+};
+
+/// Sorted-vector set with std::set's ascending iteration order.
+template <class Key>
+class FlatSet {
+ public:
+  using iterator = typename std::vector<Key>::const_iterator;
+
+  iterator begin() const noexcept { return v_.begin(); }
+  iterator end() const noexcept { return v_.end(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  bool empty() const noexcept { return v_.empty(); }
+  void clear() noexcept { v_.clear(); }
+
+  bool contains(const Key& key) const {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), key);
+    return it != v_.end() && !(key < *it);
+  }
+
+  /// Returns true when the key was newly inserted.
+  bool insert(const Key& key) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), key);
+    if (it != v_.end() && !(key < *it)) return false;
+    v_.insert(it, key);
+    return true;
+  }
+
+  template <class It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  std::size_t erase(const Key& key) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), key);
+    if (it == v_.end() || key < *it) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+  template <class Pred>
+  void erase_if(Pred pred) {
+    v_.erase(std::remove_if(v_.begin(), v_.end(), pred), v_.end());
+  }
+
+  /// Bulk set-difference: removes every key in [first, last), which must
+  /// be sorted ascending. One pass, unlike repeated erase() calls.
+  template <class It>
+  void erase_sorted(It first, It last) {
+    if (first == last || v_.empty()) return;
+    auto keep = v_.begin();
+    for (auto it = v_.begin(); it != v_.end(); ++it) {
+      while (first != last && *first < *it) ++first;
+      if (first != last && !(*it < *first)) continue;  // drop
+      *keep++ = *it;
+    }
+    v_.erase(keep, v_.end());
+  }
+
+ private:
+  std::vector<Key> v_;
+};
+
+/// Fixed-width voter bitmask for quorum tallies. Replica groups are capped
+/// at 64 members (asserted at group construction); the simulator's largest
+/// paper configuration uses 18.
+struct VoteMask {
+  std::uint64_t bits = 0;
+
+  /// Returns true when voter `i` was not yet counted.
+  bool insert(int i) noexcept {
+    const std::uint64_t bit = 1ull << static_cast<unsigned>(i);
+    const bool fresh = (bits & bit) == 0;
+    bits |= bit;
+    return fresh;
+  }
+  int count() const noexcept { return std::popcount(bits); }
+};
+
+}  // namespace ct::sim

@@ -12,7 +12,9 @@ void InvariantMonitor::record(const std::string& violation) {
   std::ostringstream line;
   line << "t=" << sim_.now() << " " << violation;
   violations_.push_back(line.str());
-  sim_.trace("INVARIANT VIOLATION: " + violation);
+  if (sim_.tracing()) {
+    sim_.trace("INVARIANT VIOLATION: " + violation);
+  }
 }
 
 void InvariantMonitor::on_execute(NodeAddr replica, int group,

@@ -21,13 +21,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "sim/flat.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -99,13 +98,13 @@ class InvariantMonitor {
   Simulator& sim_;
   InvariantOptions options_;
   /// (group, view, seq) -> first (request_id, replica) committed there.
-  std::map<std::tuple<int, std::int64_t, std::int64_t>,
-           std::pair<std::int64_t, NodeAddr>>
+  FlatMap<std::tuple<int, std::int64_t, std::int64_t>,
+          std::pair<std::int64_t, NodeAddr>>
       committed_;
-  std::set<std::pair<int, int>> compromised_;  // (site, node)
+  FlatSet<std::pair<int, int>> compromised_;  // (site, node)
   /// group -> checkpoint certificates (count, digest) correct replicas
   /// voted for; installs are validated against this set.
-  std::map<int, std::set<std::pair<std::int64_t, std::int64_t>>> checkpoints_;
+  FlatMap<int, FlatSet<std::pair<std::int64_t, std::int64_t>>> checkpoints_;
   std::vector<std::pair<double, double>> outages_;  // merged lazily
   std::vector<double> correct_accepts_;
   std::vector<std::string> violations_;

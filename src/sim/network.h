@@ -4,8 +4,17 @@
 // nor receive) and a site being ISOLATED (network-level attack — its nodes
 // keep running but no traffic crosses the site boundary, matching the
 // paper's site-isolation semantics).
+//
+// Hot-path layout: in-flight messages live in a refcounted slot pool (a
+// deque, so slots stay address-stable while handlers send re-entrantly)
+// and deliveries are scheduled as 16-byte {this, to, slot} closures. A
+// broadcast to N replicas materializes the message payload once into one
+// shared slot instead of copying it N times; released slots keep their
+// payload capacity and are recycled through a freelist.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -109,6 +118,14 @@ class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  /// Message-slot recycling statistics. In arena-reuse mode a warmed
+  /// network re-running the same workload must show pool_misses == 0.
+  struct PoolStats {
+    std::uint64_t materializations = 0;  ///< messages copied into a slot
+    std::uint64_t pool_hits = 0;         ///< slots served from the freelist
+    std::uint64_t pool_misses = 0;       ///< new slots created this run
+  };
+
   /// `nodes_per_site[s]` is the number of processes at site s.
   Network(Simulator& sim, std::vector<int> nodes_per_site,
           NetworkOptions options = {});
@@ -144,13 +161,30 @@ class Network {
   /// two nodes can communicate AT SEND TIME and the destination site is
   /// still up at delivery (in-flight traffic into a newly flooded site is
   /// dropped).
-  void send(NodeAddr from, NodeAddr to, Message msg);
+  void send(NodeAddr from, NodeAddr to, const Message& msg);
 
-  /// Sends to every node of every site except the sender itself.
-  void broadcast(NodeAddr from, Message msg);
+  /// Sends to every node of every site except the sender itself. The
+  /// message is materialized into one pooled slot shared by all targets.
+  void broadcast(NodeAddr from, const Message& msg);
+
+  /// Sends to each target in order, skipping `from` itself, sharing one
+  /// materialized slot across every delivery — the zero-copy path for
+  /// protocol groups that span sites (a replication group is neither one
+  /// site nor the whole network). Per-target impairment draws happen in
+  /// exactly the order of the equivalent send() loop.
+  void send_group(NodeAddr from, const std::vector<NodeAddr>& targets,
+                  const Message& msg);
 
   /// Sends to every node at `site` (excluding `from` if it lives there).
-  void send_to_site(NodeAddr from, int site, Message msg);
+  void send_to_site(NodeAddr from, int site, const Message& msg);
+
+  /// Re-arms the network for a fresh run on the same arena: topology and
+  /// options are reconfigured, health/counters/handlers are cleared, the
+  /// impairment stream restarts from options.impairment_seed, and message
+  /// slots return to the freelist with payload capacity intact. Must run
+  /// against an already-reset Simulator (scheduled deliveries reference
+  /// slots). Observably identical to constructing a fresh Network.
+  void reset(std::vector<int> nodes_per_site, NetworkOptions options);
 
   std::uint64_t messages_sent() const noexcept { return sent_; }
   std::uint64_t messages_delivered() const noexcept { return delivered_; }
@@ -161,24 +195,64 @@ class Network {
   /// Extra deliveries caused by duplication.
   std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
 
+  PoolStats pool_stats() const noexcept { return pool_; }
+
  private:
+  struct Slot {
+    Message msg;
+    std::uint32_t refs = 0;
+  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  void configure(std::vector<int> nodes_per_site, NetworkOptions options);
   std::size_t flat_index(NodeAddr a) const;
   void check_addr(NodeAddr a) const;
-  void deliver(NodeAddr to, const Message& msg, double latency);
+  /// Per-target send path shared by send/broadcast/send_to_site. Draws the
+  /// per-target impairment stream in the exact legacy order; materializes
+  /// `msg` into `*slot` only when the first target actually passes the
+  /// send-time checks.
+  void send_pooled(NodeAddr from, NodeAddr to, const Message& msg,
+                   std::uint32_t* slot);
+  /// Cold path: re-derives the drop cause in the legacy priority order
+  /// (crashed > site down > isolation > link) once a block byte fired.
+  void classify_send_drop(NodeAddr from, NodeAddr to);
+  /// Recomputes the block bytes from the primary health state. Called on
+  /// every (rare) health mutation so the per-message path is two loads.
+  void refresh_blocks();
+  std::size_t site_pair(int a, int b) const noexcept {
+    return static_cast<std::size_t>(a) * nodes_per_site_.size() +
+           static_cast<std::size_t>(b);
+  }
+  std::uint32_t materialize(NodeAddr from, const Message& msg);
+  void deliver(NodeAddr to, std::uint32_t to_flat, std::uint32_t slot,
+               double latency);
+  void release(std::uint32_t slot);
 
   Simulator& sim_;
   std::vector<int> nodes_per_site_;
   NetworkOptions options_;
   std::vector<Handler> handlers_;     // flat, indexed by flat_index
   std::vector<std::size_t> offsets_;  // site -> first flat index
-  std::vector<bool> down_;
-  std::vector<bool> isolated_;
-  std::vector<bool> crashed_;         // flat, indexed by flat_index
-  std::vector<bool> link_down_;       // site_count^2, symmetric
+  std::vector<unsigned char> down_;
+  std::vector<unsigned char> isolated_;
+  std::vector<unsigned char> crashed_;    // flat, indexed by flat_index
+  std::vector<unsigned char> link_down_;  // site_count^2, symmetric
+  /// Derived: nonzero when the node cannot send/receive (crashed, or its
+  /// site is down) — the whole send-time endpoint ladder in one byte.
+  std::vector<unsigned char> node_block_;
+  /// Derived: nonzero when cross-site traffic a->b is blocked (either side
+  /// isolated, or the link flapped down); diagonal entries stay zero.
+  std::vector<unsigned char> cross_block_;
+  /// True when any probabilistic impairment (loss, control loss, jitter,
+  /// duplication, reordering) is armed; false skips every RNG draw.
+  bool impairments_ = false;
+  std::deque<Slot> slots_;            // deque: stable across re-entrant sends
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t duplicated_ = 0;
   DropCounters drops_;
+  PoolStats pool_;
   util::Rng impairment_rng_;
 };
 

@@ -22,15 +22,19 @@ PbReplica::PbReplica(Simulator& sim, Network& net, NodeAddr self,
           [this](const StateTransferClient::Result& r) {
             executed_.insert(r.ids.begin(), r.ids.end());
             syncing_ = false;
-            sim_.trace(to_string(self_) + " synced executed log (" +
-                       std::to_string(r.ids.size()) + " ids)");
+            if (sim_.tracing()) {
+              sim_.trace(to_string(self_) + " synced executed log (" +
+                         std::to_string(r.ids.size()) + " ids)");
+            }
           },
           [this](int rounds) {
             // Fail-open: availability beats consistency for this stack.
             syncing_ = false;
-            sim_.trace(to_string(self_) + " log sync failed after " +
-                       std::to_string(rounds) +
-                       " rounds; serving from local log (fail-open)");
+            if (sim_.tracing()) {
+              sim_.trace(to_string(self_) + " log sync failed after " +
+                         std::to_string(rounds) +
+                         " rounds; serving from local log (fail-open)");
+            }
           }});
   net_.register_handler(self_, [this](const Message& m) { on_message(m); });
 }
@@ -51,15 +55,19 @@ void PbReplica::set_compromised(bool compromised) noexcept {
 void PbReplica::become_primary() {
   if (primary_) return;
   primary_ = true;
-  sim_.trace(to_string(self_) + " promoted to primary");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " promoted to primary");
+  }
   start_sync("promotion");
 }
 
 void PbReplica::start_sync(const char* reason) {
   if (!active_ || compromised_) return;
   syncing_ = true;
-  sim_.trace(to_string(self_) + " executed-log sync begins (" +
-             std::string(reason) + ")");
+  if (sim_.tracing()) {
+    sim_.trace(to_string(self_) + " executed-log sync begins (" +
+               std::string(reason) + ")");
+  }
   sync_->begin();
 }
 
@@ -114,14 +122,18 @@ void PbReplica::on_message(const Message& msg) {
       net_.send(self_, msg.sender, ack);
       if (active_ || activation_pending_) return;
       activation_pending_ = true;
-      sim_.trace(to_string(self_) + " cold site activation started");
+      if (sim_.tracing()) {
+        sim_.trace(to_string(self_) + " cold site activation started");
+      }
       sim_.schedule_in(options_.activation_delay_s, [this] {
         active_ = true;
         activation_pending_ = false;
         last_heartbeat_ = sim_.now();
         // become_primary syncs the executed log before the new site serves.
         if (self_.node == 0) become_primary();
-        sim_.trace(to_string(self_) + " cold site activation complete");
+        if (sim_.tracing()) {
+          sim_.trace(to_string(self_) + " cold site activation complete");
+        }
       });
       return;
     }
@@ -174,7 +186,7 @@ FailoverController::FailoverController(Simulator& sim, Network& net,
         msg.sender.site == backup_site_) {
       const bool was_acked = activation_acked();
       acked_nodes_.insert(msg.sender.node);
-      if (!was_acked && activation_acked()) {
+      if (!was_acked && activation_acked() && sim_.tracing()) {
         sim_.trace("failover controller: backup site " +
                    std::to_string(backup_site_) +
                    " acked activation (all nodes)");
@@ -209,8 +221,10 @@ void FailoverController::check() {
   if (sim_.now() >= end_s_) return;
   if (activation_attempts_ == 0 &&
       sim_.now() - last_success_time() > options_.controller_outage_threshold_s) {
-    sim_.trace("failover controller activating backup site " +
-               std::to_string(backup_site_));
+    if (sim_.tracing()) {
+      sim_.trace("failover controller activating backup site " +
+                 std::to_string(backup_site_));
+    }
     send_activate();
   }
   sim_.schedule_in(options_.controller_check_interval_s, [this] { check(); });

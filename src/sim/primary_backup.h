@@ -7,9 +7,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "sim/flat.h"
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -92,7 +92,7 @@ class PbReplica {
   InvariantMonitor* monitor_ = nullptr;
   double timeout_scale_ = 1.0;
   /// Request ids this SM has served (the log a successor syncs).
-  std::set<std::int64_t> executed_;
+  FlatSet<std::int64_t> executed_;
   /// Drives the executed-log sync (matching_needed = 1, fail-open).
   std::unique_ptr<StateTransferClient> sync_;
 };
@@ -132,7 +132,7 @@ class FailoverController {
   double end_s_ = 0.0;
   int activation_attempts_ = 0;
   /// Backup-site nodes that acked kActivate so far.
-  std::set<int> acked_nodes_;
+  FlatSet<int> acked_nodes_;
 };
 
 }  // namespace ct::sim

@@ -1,0 +1,2334 @@
+// Reference (pre-overhaul) DES engine, kept verbatim as the bit-identity
+// oracle for the pooled hot path. Every class below is the engine exactly
+// as it was before the overhaul: std::function events on a binary
+// priority_queue, Message copied per delivery, std::map/std::set protocol
+// bookkeeping, unconditional trace() call sites. Do not "improve" this
+// file — its only job is to stay byte-for-byte faithful to the old
+// behaviour so des_fastpath_test can prove the fast engine identical.
+// Shared leaf types (NodeAddr, Message, the option structs, FaultPlan,
+// DesOutcome, ...) come from the live headers; only the engine classes are
+// duplicated here, under internal linkage.
+#include "sim/reference_des.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "scada/requirements.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace ct::sim::refdes {
+namespace {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at absolute time `t` (must be >= now()).
+  /// Events scheduled for the same instant run in scheduling order.
+  void schedule_at(SimTime t, Action action);
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(SimTime delay, Action action);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `end_time`; `now()` ends at `end_time`.
+  void run_until(SimTime end_time);
+
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Safety valve: run_until stops once this many events have been
+  /// processed in total (0 = unlimited). Guards against protocol storms
+  /// consuming unbounded memory; `event_limit_hit()` reports whether a run
+  /// was truncated.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+  bool event_limit_hit() const noexcept { return limit_hit_; }
+
+  /// Trace log: cheap structured breadcrumbs ("who did what when") used by
+  /// the des_replay example. Disabled by default.
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+  bool tracing() const noexcept { return tracing_; }
+  void trace(const std::string& line);
+  const std::vector<std::string>& trace_log() const noexcept { return trace_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool limit_hit_ = false;
+  bool tracing_ = false;
+  std::vector<std::string> trace_;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  /// `nodes_per_site[s]` is the number of processes at site s.
+  Network(Simulator& sim, std::vector<int> nodes_per_site,
+          NetworkOptions options = {});
+
+  int site_count() const noexcept { return static_cast<int>(nodes_per_site_.size()); }
+  int nodes_at(int site) const { return nodes_per_site_.at(static_cast<std::size_t>(site)); }
+
+  /// Installs the receive handler for a node (replaces any previous one).
+  void register_handler(NodeAddr addr, Handler handler);
+
+  /// Site failure controls.
+  void set_site_down(int site, bool down);
+  void set_site_isolated(int site, bool isolated);
+  bool site_down(int site) const;
+  bool site_isolated(int site) const;
+
+  /// Node crash control (fault injection): a crashed node neither sends
+  /// nor receives; its protocol timers keep running, modeling a process
+  /// whose host is temporarily off the network and restarts with state.
+  void set_node_crashed(NodeAddr addr, bool crashed);
+  bool node_crashed(NodeAddr addr) const;
+
+  /// Link flapping (fault injection): takes down traffic between two
+  /// specific sites without touching either site's health. Order of the
+  /// pair does not matter.
+  void set_link_down(int site_a, int site_b, bool down);
+  bool link_down(int site_a, int site_b) const;
+
+  /// True when a message from `from` would currently be delivered to `to`.
+  bool can_communicate(NodeAddr from, NodeAddr to) const;
+
+  /// Sends a message; delivery is scheduled after the link latency if the
+  /// two nodes can communicate AT SEND TIME and the destination site is
+  /// still up at delivery (in-flight traffic into a newly flooded site is
+  /// dropped).
+  void send(NodeAddr from, NodeAddr to, Message msg);
+
+  /// Sends to every node of every site except the sender itself.
+  void broadcast(NodeAddr from, Message msg);
+
+  /// Sends to every node at `site` (excluding `from` if it lives there).
+  void send_to_site(NodeAddr from, int site, Message msg);
+
+  std::uint64_t messages_sent() const noexcept { return sent_; }
+  std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  /// Total drops across all causes (legacy single-counter view).
+  std::uint64_t messages_dropped() const noexcept { return drops_.total(); }
+  /// Drops broken down by cause.
+  const DropCounters& drop_counters() const noexcept { return drops_; }
+  /// Extra deliveries caused by duplication.
+  std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
+
+ private:
+  std::size_t flat_index(NodeAddr a) const;
+  void check_addr(NodeAddr a) const;
+  void deliver(NodeAddr to, const Message& msg, double latency);
+
+  Simulator& sim_;
+  std::vector<int> nodes_per_site_;
+  NetworkOptions options_;
+  std::vector<Handler> handlers_;     // flat, indexed by flat_index
+  std::vector<std::size_t> offsets_;  // site -> first flat index
+  std::vector<bool> down_;
+  std::vector<bool> isolated_;
+  std::vector<bool> crashed_;         // flat, indexed by flat_index
+  std::vector<bool> link_down_;       // site_count^2, symmetric
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicated_ = 0;
+  DropCounters drops_;
+  util::Rng impairment_rng_;
+};
+
+class StateTransferClient {
+ public:
+  struct Result {
+    /// Ids vouched for by >= matching_needed matching replies (sorted).
+    std::vector<std::int64_t> ids;
+    /// The agreed checkpoint certificate.
+    std::int64_t count = 0;
+    std::int64_t digest = 0;
+    int rounds = 1;
+    double elapsed_s = 0.0;
+  };
+
+  struct Callbacks {
+    /// Sends one round's kStateRequest(s); `epoch` must ride in
+    /// Message::request_id so replies can be matched to this transfer.
+    std::function<void(std::int64_t epoch)> send_request;
+    /// Enough matching replies arrived; install the result.
+    std::function<void(const Result&)> install;
+    /// The retry budget is exhausted; degrade.
+    std::function<void(int rounds)> fail;
+  };
+
+  StateTransferClient(Simulator& sim, StateTransferOptions options,
+                      int matching_needed, Callbacks callbacks);
+
+  /// Starts (or restarts) a transfer with a fresh epoch and a fresh retry
+  /// budget. Any in-flight transfer is superseded.
+  void begin();
+  /// Cancels an in-flight transfer (counts as neither success nor failure).
+  void abort();
+  /// Feeds a kStateReply; stale-epoch and duplicate-sender replies are
+  /// ignored, fresh ones may complete the transfer.
+  void on_reply(const Message& msg);
+
+  bool in_progress() const noexcept { return in_progress_; }
+  std::int64_t epoch() const noexcept { return epoch_; }
+
+  // Lifetime accounting (summed over every transfer this client ran).
+  int transfers_completed() const noexcept { return completed_; }
+  int transfers_failed() const noexcept { return failed_; }
+  /// Rounds beyond the first, summed over all transfers (retry pressure).
+  int retry_rounds() const noexcept { return retry_rounds_; }
+  /// Longest begin()-to-install latency observed (s).
+  double max_catchup_s() const noexcept { return max_catchup_s_; }
+
+ private:
+  struct Reply {
+    std::int64_t count = 0;
+    std::int64_t digest = 0;
+    std::vector<std::int64_t> ids;
+  };
+
+  void send_round();
+  void round_timed_out(std::int64_t epoch, int round);
+  void try_complete();
+
+  Simulator& sim_;
+  StateTransferOptions options_;
+  int matching_needed_;
+  Callbacks callbacks_;
+
+  bool in_progress_ = false;
+  std::int64_t epoch_ = 0;
+  int round_ = 0;
+  double started_at_ = 0.0;
+  /// Distinct sender -> latest reply (accumulated across rounds).
+  std::map<std::pair<int, int>, Reply> replies_;
+
+  int completed_ = 0;
+  int failed_ = 0;
+  int retry_rounds_ = 0;
+  double max_catchup_s_ = 0.0;
+};
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(Simulator& sim, InvariantOptions options);
+
+  // ---- wiring: called by the protocol objects during the run ----
+
+  /// A correct replica of `group` executed `request_id` at slot
+  /// (view, seq). The slot is per-view because this simulator's BFT
+  /// leaders do not transfer their sequence counter across view changes
+  /// (the same request may legitimately re-commit at a fresh seq after a
+  /// view change); within a view, one slot maps to exactly one request.
+  void on_execute(NodeAddr replica, int group, std::int64_t view,
+                  std::int64_t seq, std::int64_t request_id);
+  /// A replica fell to the attacker.
+  void on_compromise(NodeAddr replica);
+  /// The client accepted a result (corrupt = forged signature quorum).
+  void on_client_accept(std::int64_t request_id, bool corrupt);
+  /// A correct replica of `group` voted for checkpoint (count, digest).
+  void on_checkpoint(NodeAddr replica, int group, std::int64_t count,
+                     std::int64_t digest);
+  /// A rejoining replica of `group` installed transferred state claiming
+  /// certificate (count, digest). Unless the install is trivial
+  /// (count == 0), the certificate must match some checkpoint a correct
+  /// replica voted for — otherwise the transfer handed the rejoiner
+  /// divergent state.
+  void on_state_install(NodeAddr replica, int group, std::int64_t count,
+                        std::int64_t digest);
+
+  // ---- declared expectations ----
+
+  /// Excuses liveness over [from, to): flood/attack effects and scheduled
+  /// fault windows are declared up front, so only *unexplained* outages
+  /// count as violations.
+  void declare_outage(double from, double to);
+
+  /// Runs the liveness check over [judge_from, judge_to) against the
+  /// correct-completion timestamps observed so far. Call once, after the
+  /// simulation finishes.
+  void finalize(double judge_from, double judge_to);
+
+  int compromised_count() const noexcept {
+    return static_cast<int>(compromised_.size());
+  }
+  const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  bool ok() const noexcept { return violations_.empty(); }
+
+ private:
+  void record(const std::string& violation);
+  /// Longest sub-interval of [from, to] not covered by declared outages.
+  double uncovered_span(double from, double to) const;
+
+  Simulator& sim_;
+  InvariantOptions options_;
+  /// (group, view, seq) -> first (request_id, replica) committed there.
+  std::map<std::tuple<int, std::int64_t, std::int64_t>,
+           std::pair<std::int64_t, NodeAddr>>
+      committed_;
+  std::set<std::pair<int, int>> compromised_;  // (site, node)
+  /// group -> checkpoint certificates (count, digest) correct replicas
+  /// voted for; installs are validated against this set.
+  std::map<int, std::set<std::pair<std::int64_t, std::int64_t>>> checkpoints_;
+  std::vector<std::pair<double, double>> outages_;  // merged lazily
+  std::vector<double> correct_accepts_;
+  std::vector<std::string> violations_;
+};
+
+class ClientWorkload {
+ public:
+  /// One per-request outcome record.
+  struct RequestRecord {
+    std::int64_t id = 0;
+    double sent_at = 0.0;
+    double completed_at = -1.0;  ///< -1 while incomplete.
+    bool corrupt = false;        ///< Accepted signature was forged.
+  };
+
+  ClientWorkload(Simulator& sim, Network& net, NodeAddr self,
+                 WorkloadOptions options = {});
+
+  /// Replicas that receive each request.
+  void set_targets(std::vector<NodeAddr> targets);
+
+  /// Wires the invariant monitor: every accepted result is reported, so
+  /// the monitor can flag forged accepts and judge liveness.
+  void set_monitor(InvariantMonitor* monitor) noexcept { monitor_ = monitor; }
+
+  /// Issues requests every interval in [start, end).
+  void start(double start_s, double end_s);
+
+  /// True once any corrupt signature was accepted.
+  bool safety_violated() const noexcept { return safety_violated_; }
+  /// Time of the first accepted corrupt result (-1 when none).
+  double first_violation_at() const noexcept { return first_violation_at_; }
+
+  const std::vector<RequestRecord>& records() const noexcept { return records_; }
+
+  /// Fraction of requests issued in [from, to] that completed correctly
+  /// within the timeout. Returns 0 when no requests were issued there.
+  double success_fraction(double from, double to) const;
+
+  /// Longest service gap in [from, to]: the maximum distance between
+  /// consecutive correct completions (window edges count as endpoints).
+  double max_gap(double from, double to) const;
+
+  /// Availability time series: success_fraction over consecutive buckets of
+  /// `bucket_s` covering [from, to). Buckets with no issued requests read
+  /// as -1 (no data). Used by the des_replay example to show the outage
+  /// and recovery shape of an incident.
+  std::vector<double> availability_series(double bucket_s, double from,
+                                          double to) const;
+
+  NodeAddr address() const noexcept { return self_; }
+
+ private:
+  void issue();
+  void on_message(const Message& msg);
+  void schedule_retransmit(std::int64_t request_id, int remaining);
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  WorkloadOptions options_;
+  std::vector<NodeAddr> targets_;
+  double end_s_ = 0.0;
+
+  std::int64_t next_id_ = 1;
+  std::vector<RequestRecord> records_;
+  std::map<std::int64_t, std::size_t> record_index_;
+
+  /// Reply signature accumulation: request id -> (value, corrupt) ->
+  /// distinct sender flat keys.
+  struct Signature {
+    std::int64_t value;
+    bool corrupt;
+    auto operator<=>(const Signature&) const = default;
+  };
+  std::map<std::int64_t, std::map<Signature, std::set<std::pair<int, int>>>>
+      pending_replies_;
+
+  bool safety_violated_ = false;
+  double first_violation_at_ = -1.0;
+  InvariantMonitor* monitor_ = nullptr;
+  /// Jitter stream for retransmission backoff (seeded, replayable).
+  util::Rng retransmit_rng_;
+};
+
+class PbReplica {
+ public:
+  /// `self.node == 0` is the initial primary of an active site.
+  PbReplica(Simulator& sim, Network& net, NodeAddr self, PbOptions options,
+            bool site_initially_active);
+
+  /// Marks the replica as attacker-controlled: it answers every request
+  /// with a forged result.
+  void set_compromised(bool compromised) noexcept;
+  bool compromised() const noexcept { return compromised_; }
+  bool is_primary() const noexcept { return primary_; }
+  bool site_active() const noexcept { return active_; }
+
+  /// Fault injection: the node's host just came back from a crash or site
+  /// flap — a serving primary re-syncs its log before serving again.
+  void on_restart();
+
+  /// True while the executed-log sync is in flight (replica holds off
+  /// serving; heartbeats keep flowing so the peer does not double-promote).
+  bool syncing() const noexcept { return syncing_; }
+  std::size_t executed_count() const noexcept { return executed_.size(); }
+  RejoinStats rejoin_stats() const;
+
+  /// Wires the invariant monitor (compromise accounting).
+  void set_monitor(InvariantMonitor* monitor) noexcept { monitor_ = monitor; }
+
+  /// Fault injection: scales the heartbeat watchdog timeout (clock skew).
+  void set_timeout_scale(double scale) noexcept { timeout_scale_ = scale; }
+  double timeout_scale() const noexcept { return timeout_scale_; }
+
+  /// Starts heartbeat/watchdog loops. Call once before the run.
+  void start();
+
+ private:
+  void on_message(const Message& msg);
+  void heartbeat_loop();
+  void watchdog_loop();
+  void become_primary();
+  void start_sync(const char* reason);
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  PbOptions options_;
+  bool active_;       ///< Site is serving (false while cold).
+  bool primary_;      ///< This replica is the serving SM.
+  bool compromised_ = false;
+  bool activation_pending_ = false;
+  bool syncing_ = false;
+  double last_heartbeat_ = 0.0;
+  InvariantMonitor* monitor_ = nullptr;
+  double timeout_scale_ = 1.0;
+  /// Request ids this SM has served (the log a successor syncs).
+  std::set<std::int64_t> executed_;
+  /// Drives the executed-log sync (matching_needed = 1, fail-open).
+  std::unique_ptr<StateTransferClient> sync_;
+};
+
+class FailoverController {
+ public:
+  FailoverController(Simulator& sim, Network& net, NodeAddr self,
+                     const ClientWorkload& workload, int backup_site,
+                     PbOptions options);
+
+  /// Starts the monitoring loop over [start, end).
+  void start(double start_s, double end_s);
+
+  bool activation_sent() const noexcept { return activation_attempts_ > 0; }
+  /// True once every backup-site node acknowledged an activation command.
+  /// Per-node acks matter: a partially delivered kActivate broadcast can
+  /// leave a BFT backup group permanently below quorum.
+  bool activation_acked() const noexcept;
+  /// kActivate transmissions so far (first send + retransmissions).
+  int activation_attempts() const noexcept { return activation_attempts_; }
+
+ private:
+  void check();
+  void send_activate();
+  double last_success_time() const;
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  const ClientWorkload& workload_;
+  int backup_site_;
+  PbOptions options_;
+  double start_s_ = 0.0;
+  double end_s_ = 0.0;
+  int activation_attempts_ = 0;
+  /// Backup-site nodes that acked kActivate so far.
+  std::set<int> acked_nodes_;
+};
+
+class BftReplica {
+ public:
+  /// `group` lists every member's address; `index` is this replica's slot
+  /// in it. The leader of view v is group[v mod n]. Interleave sites in the
+  /// group order so consecutive views land on different sites.
+  BftReplica(Simulator& sim, Network& net, NodeAddr self,
+             std::vector<NodeAddr> group, int index, BftOptions options,
+             bool group_initially_active);
+
+  void set_compromised(bool compromised) noexcept;
+  bool compromised() const noexcept { return compromised_; }
+
+  /// Proactive recovery control (driven by RecoveryScheduler).
+  void begin_recovery();
+  void end_recovery();
+  bool recovering() const noexcept { return recovering_; }
+
+  /// Fault injection: the node's host just came back from a crash or site
+  /// flap — re-enter the group through a catch-up transfer.
+  void on_restart();
+
+  /// Wires the invariant monitor; `group_id` distinguishes replication
+  /// groups when a configuration runs several.
+  void set_monitor(InvariantMonitor* monitor, int group_id) noexcept {
+    monitor_ = monitor;
+    group_id_ = group_id;
+  }
+
+  /// Fault injection: scales the view-change timeout (clock skew).
+  void set_timeout_scale(double scale) noexcept { timeout_scale_ = scale; }
+  double timeout_scale() const noexcept { return timeout_scale_; }
+
+  /// Starts the view watchdog. Call once before the run.
+  void start();
+
+  std::int64_t view() const noexcept { return view_; }
+  bool group_active() const noexcept { return active_; }
+  std::size_t executed_count() const noexcept { return executed_.size(); }
+
+  /// True while a catch-up transfer is in flight (replica overhears the
+  /// ordering protocol and answers state requests, but does not serve
+  /// clients or propose).
+  bool catching_up() const noexcept { return catching_up_; }
+  /// True after a catch-up transfer exhausted its retry budget: the
+  /// replica has degraded out of the group instead of wedging it.
+  bool passive() const noexcept { return passive_; }
+  /// Latest stable checkpoint certificate this replica holds.
+  std::int64_t stable_checkpoint_count() const noexcept { return stable_count_; }
+  /// Stable checkpoints this replica saw form (f+1 matching votes).
+  int checkpoints_formed() const noexcept { return checkpoints_formed_; }
+  RejoinStats rejoin_stats() const;
+
+ private:
+  void on_message(const Message& msg);
+  void on_request(const Message& msg);
+  void on_proposal(const Message& msg);
+  void on_accept(const Message& msg);
+  void on_view_change(const Message& msg);
+  void on_checkpoint_vote(const Message& msg);
+  void on_state_request(const Message& msg);
+  void watchdog_loop();
+  void propose_pending();
+  void broadcast_to_group(const Message& msg);
+  bool is_leader() const;
+  void execute(std::int64_t request_id, std::int64_t view, std::int64_t seq);
+  /// Current executed set as a sorted id list (checkpoint/transfer input).
+  std::vector<std::int64_t> executed_ids() const;
+  void maybe_broadcast_checkpoint();
+  void tally_checkpoint_vote(int voter_index, std::int64_t count,
+                             std::int64_t digest);
+  /// Reclaims per-request ordering state made redundant by the stable
+  /// checkpoint (re-proposals of reclaimed ids simply re-vote).
+  void gc_below_stable();
+  void begin_catchup(const char* reason);
+  void install_state(const StateTransferClient::Result& result);
+  void catchup_failed(int rounds);
+
+  Simulator& sim_;
+  Network& net_;
+  NodeAddr self_;
+  std::vector<NodeAddr> group_;
+  int index_;
+  BftOptions options_;
+  int quorum_;
+  bool active_;
+  bool activation_pending_ = false;
+  bool compromised_ = false;
+  bool recovering_ = false;
+  bool catching_up_ = false;
+  bool passive_ = false;
+  InvariantMonitor* monitor_ = nullptr;
+  int group_id_ = 0;
+  double timeout_scale_ = 1.0;
+
+  std::int64_t view_ = 0;
+  std::int64_t next_seq_ = 0;
+  double last_progress_ = 0.0;
+
+  /// request id -> client address (pending, not yet executed).
+  std::map<std::int64_t, NodeAddr> pending_;
+  /// request id -> distinct accept voters.
+  std::map<std::int64_t, std::set<int>> accept_votes_;
+  /// proposals this replica has already voted for (request ids).
+  std::set<std::int64_t> voted_;
+  /// requests this leader already proposed in the current view (cleared on
+  /// view change) — prevents re-proposal storms.
+  std::set<std::int64_t> proposed_this_view_;
+  /// highest view in which this replica re-announced its vote per request
+  /// — bounds vote re-broadcasts to one per (request, view).
+  std::map<std::int64_t, std::int64_t> announced_view_;
+  /// executed request ids -> client address (for late replies).
+  std::map<std::int64_t, NodeAddr> executed_;
+  /// view -> distinct view-change voters (for catching up).
+  std::map<std::int64_t, std::set<int>> view_votes_;
+
+  /// Latest stable checkpoint certificate (f+1 matching votes).
+  std::int64_t stable_count_ = 0;
+  std::int64_t stable_digest_ = 0;
+  int executions_since_checkpoint_ = 0;
+  int checkpoints_formed_ = 0;
+  /// (count, digest) -> distinct checkpoint voters.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::set<int>>
+      checkpoint_votes_;
+  /// Drives rejoin catch-up after recovery / restart / cold activation.
+  std::unique_ptr<StateTransferClient> transfer_;
+};
+
+class RecoveryScheduler {
+ public:
+  RecoveryScheduler(Simulator& sim, std::vector<BftReplica*> replicas,
+                    BftOptions options);
+
+  /// Starts the rotation at `start_s`.
+  void start(double start_s);
+
+ private:
+  void rotate();
+
+  Simulator& sim_;
+  std::vector<BftReplica*> replicas_;
+  BftOptions options_;
+  std::size_t next_ = 0;
+};
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    /// Applies a timeout-clock scale factor to one node (1.0 = nominal).
+    std::function<void(NodeAddr, double)> set_timeout_scale;
+    /// Hands one node to the attacker.
+    std::function<void(NodeAddr)> compromise;
+    /// The node's host just came back (crash window or site flap ended):
+    /// replicas use this to run their rejoin catch-up.
+    std::function<void(NodeAddr)> restart;
+  };
+
+  FaultInjector(Simulator& sim, Network& net, FaultPlan plan,
+                Hooks hooks = {});
+
+  /// Schedules all plan events. Call once, before the run starts.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  int events_armed() const noexcept { return events_armed_; }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  FaultPlan plan_;
+  Hooks hooks_;
+  int events_armed_ = 0;
+  bool armed_ = false;
+};
+
+
+void Simulator::schedule_at(SimTime t, Action action) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  }
+  if (!action) {
+    throw std::invalid_argument("Simulator: null action");
+  }
+  queue_.push({t, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulator::run_until(SimTime end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    if (event_limit_ != 0 && processed_ >= event_limit_) {
+      limit_hit_ = true;
+      break;
+    }
+    // priority_queue::top returns const&; the action must be moved out
+    // before pop, so copy the header and move via const_cast-free path:
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+void Simulator::trace(const std::string& line) {
+  if (!tracing_) return;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%9.3f] ", now_);
+  trace_.push_back(stamp + line);
+}
+
+Network::Network(Simulator& sim, std::vector<int> nodes_per_site,
+                 NetworkOptions options)
+    : sim_(sim), nodes_per_site_(std::move(nodes_per_site)), options_(options),
+      impairment_rng_(options.impairment_seed, "network-impairment") {
+  if (options_.loss_probability < 0.0 || options_.loss_probability >= 1.0) {
+    throw std::invalid_argument("Network: loss probability must be in [0, 1)");
+  }
+  if (options_.latency_jitter_s < 0.0) {
+    throw std::invalid_argument("Network: negative jitter");
+  }
+  if (options_.duplicate_probability < 0.0 ||
+      options_.duplicate_probability >= 1.0) {
+    throw std::invalid_argument(
+        "Network: duplicate probability must be in [0, 1)");
+  }
+  if (options_.reorder_probability < 0.0 ||
+      options_.reorder_probability >= 1.0 || options_.reorder_window_s < 0.0) {
+    throw std::invalid_argument("Network: bad reordering parameters");
+  }
+  if (options_.control_loss_probability < 0.0 ||
+      options_.control_loss_probability > 1.0) {
+    throw std::invalid_argument(
+        "Network: control loss probability must be in [0, 1]");
+  }
+  if (nodes_per_site_.empty()) {
+    throw std::invalid_argument("Network: need at least one site");
+  }
+  std::size_t total = 0;
+  for (const int n : nodes_per_site_) {
+    if (n < 0) throw std::invalid_argument("Network: negative node count");
+    offsets_.push_back(total);
+    total += static_cast<std::size_t>(n);
+  }
+  handlers_.resize(total);
+  down_.assign(nodes_per_site_.size(), false);
+  isolated_.assign(nodes_per_site_.size(), false);
+  crashed_.assign(total, false);
+  link_down_.assign(nodes_per_site_.size() * nodes_per_site_.size(), false);
+}
+
+void Network::check_addr(NodeAddr a) const {
+  if (a.site < 0 || a.site >= site_count() || a.node < 0 ||
+      a.node >= nodes_at(a.site)) {
+    throw std::out_of_range("Network: bad address " + to_string(a));
+  }
+}
+
+std::size_t Network::flat_index(NodeAddr a) const {
+  check_addr(a);
+  return offsets_[static_cast<std::size_t>(a.site)] +
+         static_cast<std::size_t>(a.node);
+}
+
+void Network::register_handler(NodeAddr addr, Handler handler) {
+  handlers_[flat_index(addr)] = std::move(handler);
+}
+
+void Network::set_site_down(int site, bool down) {
+  down_.at(static_cast<std::size_t>(site)) = down;
+}
+
+void Network::set_site_isolated(int site, bool isolated) {
+  isolated_.at(static_cast<std::size_t>(site)) = isolated;
+}
+
+bool Network::site_down(int site) const {
+  return down_.at(static_cast<std::size_t>(site));
+}
+
+bool Network::site_isolated(int site) const {
+  return isolated_.at(static_cast<std::size_t>(site));
+}
+
+void Network::set_node_crashed(NodeAddr addr, bool crashed) {
+  crashed_[flat_index(addr)] = crashed;
+}
+
+bool Network::node_crashed(NodeAddr addr) const {
+  return crashed_[flat_index(addr)];
+}
+
+void Network::set_link_down(int site_a, int site_b, bool down) {
+  if (site_a < 0 || site_a >= site_count() || site_b < 0 ||
+      site_b >= site_count()) {
+    throw std::out_of_range("Network: bad link site index");
+  }
+  const auto n = static_cast<std::size_t>(site_count());
+  link_down_[static_cast<std::size_t>(site_a) * n +
+             static_cast<std::size_t>(site_b)] = down;
+  link_down_[static_cast<std::size_t>(site_b) * n +
+             static_cast<std::size_t>(site_a)] = down;
+}
+
+bool Network::link_down(int site_a, int site_b) const {
+  if (site_a < 0 || site_a >= site_count() || site_b < 0 ||
+      site_b >= site_count()) {
+    throw std::out_of_range("Network: bad link site index");
+  }
+  return link_down_[static_cast<std::size_t>(site_a) *
+                        static_cast<std::size_t>(site_count()) +
+                    static_cast<std::size_t>(site_b)];
+}
+
+[[maybe_unused]] bool Network::can_communicate(NodeAddr from, NodeAddr to) const {
+  check_addr(from);
+  check_addr(to);
+  if (node_crashed(from) || node_crashed(to)) return false;
+  if (site_down(from.site) || site_down(to.site)) return false;
+  if (from.site != to.site &&
+      (site_isolated(from.site) || site_isolated(to.site))) {
+    return false;
+  }
+  if (from.site != to.site && link_down(from.site, to.site)) return false;
+  return true;
+}
+
+void Network::deliver(NodeAddr to, const Message& msg, double latency) {
+  sim_.schedule_in(latency, [this, to, msg] {
+    // Re-check destination health at delivery time: packets in flight to a
+    // site that just flooded, got cut off, or whose node crashed are lost.
+    if (site_down(to.site) || node_crashed(to)) {
+      ++drops_.in_flight;
+      return;
+    }
+    if (msg.sender.site != to.site &&
+        (site_isolated(to.site) || site_isolated(msg.sender.site) ||
+         link_down(msg.sender.site, to.site))) {
+      ++drops_.in_flight;
+      return;
+    }
+    const Handler& h = handlers_[flat_index(to)];
+    if (h) {
+      ++delivered_;
+      h(msg);
+    }
+  });
+}
+
+void Network::send(NodeAddr from, NodeAddr to, Message msg) {
+  ++sent_;
+  check_addr(from);
+  check_addr(to);
+  // Classify send-time blocks by cause (first matching cause wins).
+  if (node_crashed(from) || node_crashed(to)) {
+    ++drops_.crashed;
+    return;
+  }
+  if (site_down(from.site) || site_down(to.site)) {
+    ++drops_.site_down;
+    return;
+  }
+  if (from.site != to.site &&
+      (site_isolated(from.site) || site_isolated(to.site))) {
+    ++drops_.isolation;
+    return;
+  }
+  if (from.site != to.site && link_down(from.site, to.site)) {
+    ++drops_.link_down;
+    return;
+  }
+  if (options_.loss_probability > 0.0 &&
+      impairment_rng_.bernoulli(options_.loss_probability)) {
+    ++drops_.loss;
+    return;
+  }
+  if (options_.control_loss_probability > 0.0 && is_control_message(msg.type) &&
+      impairment_rng_.bernoulli(options_.control_loss_probability)) {
+    ++drops_.transfer_loss;
+    return;
+  }
+  msg.sender = from;
+  const auto draw_latency = [&] {
+    double latency = from.site == to.site ? options_.intra_site_latency_s
+                                          : options_.inter_site_latency_s;
+    if (options_.latency_jitter_s > 0.0) {
+      latency += impairment_rng_.uniform(0.0, options_.latency_jitter_s);
+    }
+    if (options_.reorder_probability > 0.0 &&
+        impairment_rng_.bernoulli(options_.reorder_probability)) {
+      // Holding a message back lets traffic sent later overtake it.
+      latency += impairment_rng_.uniform(0.0, options_.reorder_window_s);
+    }
+    return latency;
+  };
+  deliver(to, msg, draw_latency());
+  if (options_.duplicate_probability > 0.0 &&
+      impairment_rng_.bernoulli(options_.duplicate_probability)) {
+    ++duplicated_;
+    deliver(to, msg, draw_latency());
+  }
+}
+
+[[maybe_unused]] void Network::broadcast(NodeAddr from, Message msg) {
+  for (int s = 0; s < site_count(); ++s) {
+    for (int n = 0; n < nodes_at(s); ++n) {
+      const NodeAddr to{s, n};
+      if (to == from) continue;
+      send(from, to, msg);
+    }
+  }
+}
+
+void Network::send_to_site(NodeAddr from, int site, Message msg) {
+  for (int n = 0; n < nodes_at(site); ++n) {
+    const NodeAddr to{site, n};
+    if (to == from) continue;
+    send(from, to, msg);
+  }
+}
+
+StateTransferClient::StateTransferClient(Simulator& sim,
+                                         StateTransferOptions options,
+                                         int matching_needed,
+                                         Callbacks callbacks)
+    : sim_(sim),
+      options_(options),
+      matching_needed_(std::max(1, matching_needed)),
+      callbacks_(std::move(callbacks)) {}
+
+void StateTransferClient::begin() {
+  ++epoch_;
+  in_progress_ = true;
+  round_ = 1;
+  started_at_ = sim_.now();
+  replies_.clear();
+  send_round();
+}
+
+void StateTransferClient::abort() {
+  if (!in_progress_) return;
+  in_progress_ = false;
+  // Bumping the epoch invalidates in-flight replies and pending timeouts.
+  ++epoch_;
+  replies_.clear();
+}
+
+void StateTransferClient::send_round() {
+  callbacks_.send_request(epoch_);
+  const std::int64_t epoch = epoch_;
+  const int round = round_;
+  sim_.schedule_in(options_.round_timeout_s,
+                   [this, epoch, round] { round_timed_out(epoch, round); });
+}
+
+void StateTransferClient::round_timed_out(std::int64_t epoch, int round) {
+  if (!in_progress_ || epoch != epoch_ || round != round_) return;
+  if (round_ >= options_.max_rounds) {
+    in_progress_ = false;
+    ++failed_;
+    replies_.clear();
+    callbacks_.fail(round_);
+    return;
+  }
+  ++retry_rounds_;
+  const double wait = options_.backoff.delay(round_ - 1);
+  ++round_;
+  const std::int64_t cur_epoch = epoch_;
+  const int cur_round = round_;
+  sim_.schedule_in(wait, [this, cur_epoch, cur_round] {
+    if (!in_progress_ || cur_epoch != epoch_ || cur_round != round_) return;
+    send_round();
+  });
+}
+
+void StateTransferClient::on_reply(const Message& msg) {
+  if (!in_progress_ || msg.request_id != epoch_) return;
+  Reply reply;
+  reply.count = msg.seq;
+  reply.digest = msg.value;
+  reply.ids = msg.payload;
+  std::sort(reply.ids.begin(), reply.ids.end());
+  replies_[{msg.sender.site, msg.sender.node}] = std::move(reply);
+  try_complete();
+}
+
+void StateTransferClient::try_complete() {
+  // Group replies by certificate (count, digest); install once any
+  // certificate has matching_needed distinct voters.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> votes;
+  for (const auto& [sender, reply] : replies_) {
+    (void)sender;
+    ++votes[{reply.count, reply.digest}];
+  }
+  for (const auto& [cert, n] : votes) {
+    if (n < matching_needed_) continue;
+    Result result;
+    result.count = cert.first;
+    result.digest = cert.second;
+    result.rounds = round_;
+    result.elapsed_s = sim_.now() - started_at_;
+    // Install only ids vouched for by >= matching_needed of the
+    // cert-matching replies, so one stale tail cannot pollute the set.
+    std::map<std::int64_t, int> id_votes;
+    for (const auto& [sender, reply] : replies_) {
+      (void)sender;
+      if (reply.count != cert.first || reply.digest != cert.second) continue;
+      for (std::int64_t id : reply.ids) ++id_votes[id];
+    }
+    for (const auto& [id, id_n] : id_votes) {
+      if (id_n >= matching_needed_) result.ids.push_back(id);
+    }
+    in_progress_ = false;
+    ++completed_;
+    max_catchup_s_ = std::max(max_catchup_s_, result.elapsed_s);
+    replies_.clear();
+    ++epoch_;  // invalidate any still-pending timeout
+    callbacks_.install(result);
+    return;
+  }
+}
+
+InvariantMonitor::InvariantMonitor(Simulator& sim, InvariantOptions options)
+    : sim_(sim), options_(options) {}
+
+void InvariantMonitor::record(const std::string& violation) {
+  std::ostringstream line;
+  line << "t=" << sim_.now() << " " << violation;
+  violations_.push_back(line.str());
+  sim_.trace("INVARIANT VIOLATION: " + violation);
+}
+
+void InvariantMonitor::on_execute(NodeAddr replica, int group,
+                                  std::int64_t view, std::int64_t seq,
+                                  std::int64_t request_id) {
+  const auto key = std::make_tuple(group, view, seq);
+  const auto [it, inserted] =
+      committed_.try_emplace(key, std::make_pair(request_id, replica));
+  if (!inserted && it->second.first != request_id) {
+    std::ostringstream what;
+    what << "safety-agreement: group " << group << " view " << view << " seq "
+         << seq << " executed as request " << it->second.first << " by "
+         << to_string(it->second.second) << " but as request " << request_id
+         << " by " << to_string(replica);
+    record(what.str());
+  }
+}
+
+void InvariantMonitor::on_compromise(NodeAddr replica) {
+  compromised_.insert({replica.site, replica.node});
+}
+
+void InvariantMonitor::on_client_accept(std::int64_t request_id,
+                                        bool corrupt) {
+  if (!corrupt) {
+    correct_accepts_.push_back(sim_.now());
+    return;
+  }
+  if (compromised_count() <= options_.f) {
+    std::ostringstream what;
+    what << "safety-forgery: client accepted forged reply for request "
+         << request_id << " with only " << compromised_count()
+         << " compromised replicas (f=" << options_.f << ")";
+    record(what.str());
+  }
+}
+
+void InvariantMonitor::on_checkpoint(NodeAddr replica, int group,
+                                     std::int64_t count, std::int64_t digest) {
+  if (compromised_.contains({replica.site, replica.node})) return;
+  checkpoints_[group].insert({count, digest});
+}
+
+void InvariantMonitor::on_state_install(NodeAddr replica, int group,
+                                        std::int64_t count,
+                                        std::int64_t digest) {
+  // A trivial install (empty state) is always legitimate: cold groups have
+  // no checkpoint history yet.
+  if (count == 0) return;
+  const auto it = checkpoints_.find(group);
+  if (it != checkpoints_.end() && it->second.contains({count, digest})) return;
+  std::ostringstream what;
+  what << "state-transfer: " << to_string(replica) << " of group " << group
+       << " installed state claiming checkpoint (count " << count
+       << ", digest " << digest
+       << ") that no correct replica ever voted for";
+  record(what.str());
+}
+
+void InvariantMonitor::declare_outage(double from, double to) {
+  if (to <= from) return;
+  outages_.emplace_back(from, to);
+}
+
+double InvariantMonitor::uncovered_span(double from, double to) const {
+  std::vector<std::pair<double, double>> merged = outages_;
+  std::sort(merged.begin(), merged.end());
+  double longest = 0.0;
+  double cursor = from;
+  for (const auto& [lo, hi] : merged) {
+    if (hi <= cursor) continue;
+    if (lo >= to) break;
+    if (lo > cursor) longest = std::max(longest, std::min(lo, to) - cursor);
+    cursor = std::max(cursor, hi);
+    if (cursor >= to) return longest;
+  }
+  if (cursor < to) longest = std::max(longest, to - cursor);
+  return longest;
+}
+
+void InvariantMonitor::finalize(double judge_from, double judge_to) {
+  if (options_.liveness_gap_s <= 0.0 || judge_to <= judge_from) return;
+  // Gap endpoints: the judged-window edges plus every correct completion.
+  std::vector<double> points;
+  points.push_back(judge_from);
+  for (const double t : correct_accepts_) {
+    if (t >= judge_from && t <= judge_to) points.push_back(t);
+  }
+  points.push_back(judge_to);
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double lo = points[i - 1];
+    const double hi = points[i];
+    if (hi - lo <= options_.liveness_gap_s) continue;
+    const double unexplained = uncovered_span(lo, hi);
+    if (unexplained > options_.liveness_gap_s) {
+      std::ostringstream what;
+      what << "liveness: " << unexplained
+           << " s without a correct completion in [" << lo << ", " << hi
+           << ") outside declared outages (bound " << options_.liveness_gap_s
+           << " s)";
+      record(what.str());
+      return;  // one liveness finding per run is enough
+    }
+  }
+}
+
+ClientWorkload::ClientWorkload(Simulator& sim, Network& net, NodeAddr self,
+                               WorkloadOptions options)
+    : sim_(sim), net_(net), self_(self), options_(options),
+      retransmit_rng_(options.retransmit_seed, "workload-retransmit") {
+  if (options_.request_interval_s <= 0.0 || options_.replies_needed < 1) {
+    throw std::invalid_argument("ClientWorkload: bad options");
+  }
+  if (options_.retransmit_backoff_multiplier < 1.0 ||
+      options_.retransmit_backoff_cap_s <= 0.0 ||
+      options_.retransmit_jitter_fraction < 0.0) {
+    throw std::invalid_argument("ClientWorkload: bad retransmit backoff");
+  }
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void ClientWorkload::set_targets(std::vector<NodeAddr> targets) {
+  targets_ = std::move(targets);
+}
+
+void ClientWorkload::start(double start_s, double end_s) {
+  end_s_ = end_s;
+  sim_.schedule_at(start_s, [this] { issue(); });
+}
+
+void ClientWorkload::issue() {
+  if (sim_.now() >= end_s_) return;
+
+  Message req;
+  req.type = Message::Type::kRequest;
+  req.request_id = next_id_++;
+
+  RequestRecord record;
+  record.id = req.request_id;
+  record.sent_at = sim_.now();
+  record_index_[record.id] = records_.size();
+  records_.push_back(record);
+
+  for (const NodeAddr target : targets_) net_.send(self_, target, req);
+  if (options_.retransmit_limit > 0) {
+    schedule_retransmit(req.request_id, options_.retransmit_limit);
+  }
+  sim_.schedule_in(options_.request_interval_s, [this] { issue(); });
+}
+
+void ClientWorkload::on_message(const Message& msg) {
+  if (msg.type != Message::Type::kReply) return;
+  const auto it = record_index_.find(msg.request_id);
+  if (it == record_index_.end()) return;
+  RequestRecord& record = records_[it->second];
+  if (record.completed_at >= 0.0) return;  // already accepted
+
+  auto& sigs = pending_replies_[msg.request_id];
+  auto& voters = sigs[{msg.value, msg.corrupt}];
+  voters.insert({msg.sender.site, msg.sender.node});
+  if (static_cast<int>(voters.size()) < options_.replies_needed) return;
+
+  record.completed_at = sim_.now();
+  record.corrupt = msg.corrupt;
+  if (monitor_ != nullptr) {
+    monitor_->on_client_accept(msg.request_id, msg.corrupt);
+  }
+  if (msg.corrupt && !safety_violated_) {
+    safety_violated_ = true;
+    first_violation_at_ = sim_.now();
+    sim_.trace("client ACCEPTED CORRUPT result for request " +
+               std::to_string(msg.request_id));
+  }
+  pending_replies_.erase(msg.request_id);
+}
+
+double ClientWorkload::success_fraction(double from, double to) const {
+  std::size_t issued = 0;
+  std::size_t succeeded = 0;
+  for (const RequestRecord& r : records_) {
+    if (r.sent_at < from || r.sent_at > to) continue;
+    ++issued;
+    if (r.completed_at >= 0.0 && !r.corrupt &&
+        r.completed_at - r.sent_at <= options_.request_timeout_s) {
+      ++succeeded;
+    }
+  }
+  if (issued == 0) return 0.0;
+  return static_cast<double>(succeeded) / static_cast<double>(issued);
+}
+
+void ClientWorkload::schedule_retransmit(std::int64_t request_id,
+                                         int remaining) {
+  // Capped exponential backoff from the base timeout, with seeded jitter:
+  // attempt 0 waits ~timeout, each further attempt doubles (by default).
+  const BackoffPolicy backoff{options_.request_timeout_s,
+                              options_.retransmit_backoff_multiplier,
+                              options_.retransmit_backoff_cap_s,
+                              options_.retransmit_jitter_fraction};
+  const int attempt = options_.retransmit_limit - remaining;
+  const double wait = backoff.delay(attempt, &retransmit_rng_);
+  sim_.schedule_in(wait, [this, request_id, remaining] {
+    const auto it = record_index_.find(request_id);
+    if (it == record_index_.end()) return;
+    if (records_[it->second].completed_at >= 0.0) return;  // done
+    Message req;
+    req.type = Message::Type::kRequest;
+    req.request_id = request_id;
+    for (const NodeAddr target : targets_) net_.send(self_, target, req);
+    if (remaining > 1) schedule_retransmit(request_id, remaining - 1);
+  });
+}
+
+std::vector<double> ClientWorkload::availability_series(double bucket_s,
+                                                        double from,
+                                                        double to) const {
+  std::vector<double> out;
+  if (bucket_s <= 0.0 || to <= from) return out;
+  for (double t = from; t < to; t += bucket_s) {
+    const double hi = std::min(to, t + bucket_s);
+    std::size_t issued = 0;
+    std::size_t succeeded = 0;
+    for (const RequestRecord& r : records_) {
+      if (r.sent_at < t || r.sent_at >= hi) continue;
+      ++issued;
+      if (r.completed_at >= 0.0 && !r.corrupt &&
+          r.completed_at - r.sent_at <= options_.request_timeout_s) {
+        ++succeeded;
+      }
+    }
+    out.push_back(issued == 0
+                      ? -1.0
+                      : static_cast<double>(succeeded) /
+                            static_cast<double>(issued));
+  }
+  return out;
+}
+
+double ClientWorkload::max_gap(double from, double to) const {
+  std::vector<double> successes;
+  for (const RequestRecord& r : records_) {
+    if (r.completed_at >= from && r.completed_at <= to && !r.corrupt) {
+      successes.push_back(r.completed_at);
+    }
+  }
+  std::sort(successes.begin(), successes.end());
+  double gap = 0.0;
+  double prev = from;
+  for (const double t : successes) {
+    gap = std::max(gap, t - prev);
+    prev = t;
+  }
+  gap = std::max(gap, to - prev);
+  return gap;
+}
+
+PbReplica::PbReplica(Simulator& sim, Network& net, NodeAddr self,
+                     PbOptions options, bool site_initially_active)
+    : sim_(sim), net_(net), self_(self), options_(options),
+      active_(site_initially_active),
+      primary_(site_initially_active && self.node == 0) {
+  // One matching peer suffices: primary-backup has no Byzantine quorum —
+  // whichever site peer answers first is the surviving log.
+  sync_ = std::make_unique<StateTransferClient>(
+      sim_, options_.sync, 1,
+      StateTransferClient::Callbacks{
+          [this](std::int64_t epoch) {
+            Message req;
+            req.type = Message::Type::kStateRequest;
+            req.request_id = epoch;
+            req.seq = static_cast<std::int64_t>(executed_.size());
+            net_.send_to_site(self_, self_.site, req);
+          },
+          [this](const StateTransferClient::Result& r) {
+            executed_.insert(r.ids.begin(), r.ids.end());
+            syncing_ = false;
+            sim_.trace(to_string(self_) + " synced executed log (" +
+                       std::to_string(r.ids.size()) + " ids)");
+          },
+          [this](int rounds) {
+            // Fail-open: availability beats consistency for this stack.
+            syncing_ = false;
+            sim_.trace(to_string(self_) + " log sync failed after " +
+                       std::to_string(rounds) +
+                       " rounds; serving from local log (fail-open)");
+          }});
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void PbReplica::start() {
+  last_heartbeat_ = sim_.now();
+  heartbeat_loop();
+  watchdog_loop();
+}
+
+void PbReplica::set_compromised(bool compromised) noexcept {
+  if (compromised && !compromised_ && monitor_ != nullptr) {
+    monitor_->on_compromise(self_);
+  }
+  compromised_ = compromised;
+}
+
+void PbReplica::become_primary() {
+  if (primary_) return;
+  primary_ = true;
+  sim_.trace(to_string(self_) + " promoted to primary");
+  start_sync("promotion");
+}
+
+void PbReplica::start_sync(const char* reason) {
+  if (!active_ || compromised_) return;
+  syncing_ = true;
+  sim_.trace(to_string(self_) + " executed-log sync begins (" +
+             std::string(reason) + ")");
+  sync_->begin();
+}
+
+void PbReplica::on_restart() {
+  if (!active_ || !primary_ || compromised_) return;
+  start_sync("restart");
+}
+
+RejoinStats PbReplica::rejoin_stats() const {
+  RejoinStats s;
+  s.rejoins = sync_->transfers_completed();
+  s.failures = sync_->transfers_failed();
+  s.retry_rounds = sync_->retry_rounds();
+  s.max_catchup_s = sync_->max_catchup_s();
+  return s;
+}
+
+void PbReplica::on_message(const Message& msg) {
+  switch (msg.type) {
+    case Message::Type::kRequest: {
+      // A compromised SM is attacker-controlled: it forges results whether
+      // or not it is the official primary (the client cannot tell).
+      if (compromised_) {
+        Message reply;
+        reply.type = Message::Type::kReply;
+        reply.request_id = msg.request_id;
+        reply.value = -msg.request_id;  // forged result
+        reply.corrupt = true;
+        net_.send(self_, msg.sender, reply);
+        return;
+      }
+      if (active_ && primary_ && !syncing_) {
+        executed_.insert(msg.request_id);
+        Message reply;
+        reply.type = Message::Type::kReply;
+        reply.request_id = msg.request_id;
+        reply.value = msg.request_id;  // correct execution echoes the id
+        net_.send(self_, msg.sender, reply);
+      }
+      return;
+    }
+    case Message::Type::kHeartbeat: {
+      if (msg.sender.site == self_.site) last_heartbeat_ = sim_.now();
+      return;
+    }
+    case Message::Type::kActivate: {
+      // Ack unconditionally (idempotent) so the controller's retransmit
+      // loop stops even when activation is already pending or complete.
+      Message ack;
+      ack.type = Message::Type::kActivateAck;
+      ack.request_id = msg.request_id;
+      net_.send(self_, msg.sender, ack);
+      if (active_ || activation_pending_) return;
+      activation_pending_ = true;
+      sim_.trace(to_string(self_) + " cold site activation started");
+      sim_.schedule_in(options_.activation_delay_s, [this] {
+        active_ = true;
+        activation_pending_ = false;
+        last_heartbeat_ = sim_.now();
+        // become_primary syncs the executed log before the new site serves.
+        if (self_.node == 0) become_primary();
+        sim_.trace(to_string(self_) + " cold site activation complete");
+      });
+      return;
+    }
+    case Message::Type::kStateRequest: {
+      if (!active_ || compromised_) return;
+      Message reply;
+      reply.type = Message::Type::kStateReply;
+      reply.request_id = msg.request_id;  // echo the sync epoch
+      reply.seq = static_cast<std::int64_t>(executed_.size());
+      reply.payload.assign(executed_.begin(), executed_.end());
+      reply.value = state_digest(reply.payload);
+      net_.send(self_, msg.sender, reply);
+      return;
+    }
+    case Message::Type::kStateReply: {
+      sync_->on_reply(msg);
+      return;
+    }
+    default:
+      return;  // BFT-only message types
+  }
+}
+
+void PbReplica::heartbeat_loop() {
+  if (active_ && primary_ && !compromised_) {
+    Message hb;
+    hb.type = Message::Type::kHeartbeat;
+    net_.send_to_site(self_, self_.site, hb);
+  }
+  sim_.schedule_in(options_.heartbeat_interval_s, [this] { heartbeat_loop(); });
+}
+
+void PbReplica::watchdog_loop() {
+  if (active_ && !primary_ &&
+      sim_.now() - last_heartbeat_ >
+          options_.heartbeat_timeout_s * timeout_scale_) {
+    become_primary();
+  }
+  sim_.schedule_in(options_.heartbeat_interval_s, [this] { watchdog_loop(); });
+}
+
+FailoverController::FailoverController(Simulator& sim, Network& net,
+                                       NodeAddr self,
+                                       const ClientWorkload& workload,
+                                       int backup_site, PbOptions options)
+    : sim_(sim), net_(net), self_(self), workload_(workload),
+      backup_site_(backup_site), options_(options) {
+  net_.register_handler(self_, [this](const Message& msg) {
+    if (msg.type == Message::Type::kActivateAck &&
+        msg.sender.site == backup_site_) {
+      const bool was_acked = activation_acked();
+      acked_nodes_.insert(msg.sender.node);
+      if (!was_acked && activation_acked()) {
+        sim_.trace("failover controller: backup site " +
+                   std::to_string(backup_site_) +
+                   " acked activation (all nodes)");
+      }
+    }
+  });
+}
+
+bool FailoverController::activation_acked() const noexcept {
+  return static_cast<int>(acked_nodes_.size()) >=
+         net_.nodes_at(backup_site_);
+}
+
+void FailoverController::start(double start_s, double end_s) {
+  start_s_ = start_s;
+  end_s_ = end_s;
+  sim_.schedule_at(start_s + options_.controller_check_interval_s,
+                   [this] { check(); });
+}
+
+double FailoverController::last_success_time() const {
+  double last = start_s_;
+  for (const auto& r : workload_.records()) {
+    if (r.completed_at >= 0.0 && !r.corrupt) {
+      last = std::max(last, r.completed_at);
+    }
+  }
+  return last;
+}
+
+void FailoverController::check() {
+  if (sim_.now() >= end_s_) return;
+  if (activation_attempts_ == 0 &&
+      sim_.now() - last_success_time() > options_.controller_outage_threshold_s) {
+    sim_.trace("failover controller activating backup site " +
+               std::to_string(backup_site_));
+    send_activate();
+  }
+  sim_.schedule_in(options_.controller_check_interval_s, [this] { check(); });
+}
+
+void FailoverController::send_activate() {
+  // Activation is retransmitted on a capped backoff schedule until every
+  // backup-site node acks: a partially delivered broadcast over a lossy
+  // WAN can leave the backup group permanently below quorum.
+  if (activation_acked() || sim_.now() >= end_s_) return;
+  if (options_.activation_max_attempts > 0 &&
+      activation_attempts_ >= options_.activation_max_attempts) {
+    return;
+  }
+  ++activation_attempts_;
+  Message activate;
+  activate.type = Message::Type::kActivate;
+  activate.request_id = activation_attempts_;
+  net_.send_to_site(self_, backup_site_, activate);
+  const double wait =
+      options_.activation_retry.delay(activation_attempts_ - 1);
+  sim_.schedule_in(wait, [this] { send_activate(); });
+}
+
+BftReplica::BftReplica(Simulator& sim, Network& net, NodeAddr self,
+                       std::vector<NodeAddr> group, int index,
+                       BftOptions options, bool group_initially_active)
+    : sim_(sim), net_(net), self_(self), group_(std::move(group)),
+      index_(index), options_(options),
+      quorum_(scada::bft_quorum(static_cast<int>(group_.size()), options.f)),
+      active_(group_initially_active) {
+  if (index_ < 0 || static_cast<std::size_t>(index_) >= group_.size() ||
+      !(group_[static_cast<std::size_t>(index_)] == self_)) {
+    throw std::invalid_argument("BftReplica: index does not match group slot");
+  }
+  stable_digest_ = state_digest({});
+  // Catch-up installs need f+1 matching peers: at most f can lie, so any
+  // f+1 matching certificate has a correct voucher.
+  transfer_ = std::make_unique<StateTransferClient>(
+      sim_, options_.state_transfer, options_.f + 1,
+      StateTransferClient::Callbacks{
+          [this](std::int64_t epoch) {
+            Message req;
+            req.type = Message::Type::kStateRequest;
+            req.request_id = epoch;
+            req.seq = static_cast<std::int64_t>(executed_.size());
+            broadcast_to_group(req);
+          },
+          [this](const StateTransferClient::Result& r) { install_state(r); },
+          [this](int rounds) { catchup_failed(rounds); }});
+  net_.register_handler(self_, [this](const Message& m) { on_message(m); });
+}
+
+void BftReplica::start() {
+  last_progress_ = sim_.now();
+  watchdog_loop();
+}
+
+void BftReplica::set_compromised(bool compromised) noexcept {
+  if (compromised && !compromised_ && monitor_ != nullptr) {
+    monitor_->on_compromise(self_);
+  }
+  compromised_ = compromised;
+}
+
+bool BftReplica::is_leader() const {
+  return static_cast<std::size_t>(view_ % static_cast<std::int64_t>(
+             group_.size())) == static_cast<std::size_t>(index_);
+}
+
+void BftReplica::broadcast_to_group(const Message& msg) {
+  for (const NodeAddr member : group_) {
+    if (member == self_) continue;
+    net_.send(self_, member, msg);
+  }
+}
+
+void BftReplica::begin_recovery() {
+  recovering_ = true;
+  // A rejuvenating replica abandons any in-flight catch-up; end_recovery
+  // starts a fresh one with a fresh retry budget.
+  transfer_->abort();
+  catching_up_ = false;
+  // Note: the compromised_ flag is NOT cleared here. The paper's analysis
+  // classifies a static post-attack state, so the simulator keeps the
+  // attacker's foothold for the whole analysis window; what proactive
+  // recovery buys in that model is the "k" slot in n = 3f + 2k + 1
+  // (tolerating a recovering replica's absence), per Sousa et al. [23].
+  sim_.trace(to_string(self_) + " proactive recovery begins");
+}
+
+void BftReplica::end_recovery() {
+  recovering_ = false;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " proactive recovery ends");
+  begin_catchup("proactive recovery");
+}
+
+void BftReplica::on_restart() {
+  if (!active_ || compromised_ || recovering_) return;
+  begin_catchup("restart");
+}
+
+void BftReplica::begin_catchup(const char* reason) {
+  if (!active_ || compromised_) return;
+  // A restart gives a previously passive replica a fresh retry budget.
+  passive_ = false;
+  catching_up_ = true;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " catch-up transfer begins (" +
+             std::string(reason) + ")");
+  transfer_->begin();
+}
+
+void BftReplica::install_state(const StateTransferClient::Result& result) {
+  for (const std::int64_t id : result.ids) {
+    if (executed_.contains(id)) continue;
+    // The transferred tail carries no client address; the client has long
+    // since collected its reply quorum from the peers that executed live.
+    executed_[id] = NodeAddr{};
+    pending_.erase(id);
+    accept_votes_.erase(id);
+  }
+  if (result.count > stable_count_) {
+    stable_count_ = result.count;
+    stable_digest_ = result.digest;
+    gc_below_stable();
+  }
+  if (monitor_ != nullptr) {
+    monitor_->on_state_install(self_, group_id_, result.count, result.digest);
+  }
+  catching_up_ = false;
+  last_progress_ = sim_.now();
+  sim_.trace(to_string(self_) + " installed state (count " +
+             std::to_string(result.count) + ", " +
+             std::to_string(result.rounds) + " round(s))");
+  if (is_leader()) propose_pending();
+}
+
+void BftReplica::catchup_failed(int rounds) {
+  catching_up_ = false;
+  passive_ = true;
+  sim_.trace(to_string(self_) + " catch-up failed after " +
+             std::to_string(rounds) + " rounds; degrading to passive");
+}
+
+RejoinStats BftReplica::rejoin_stats() const {
+  RejoinStats s;
+  s.rejoins = transfer_->transfers_completed();
+  s.failures = transfer_->transfers_failed();
+  s.retry_rounds = transfer_->retry_rounds();
+  s.max_catchup_s = transfer_->max_catchup_s();
+  return s;
+}
+
+void BftReplica::on_message(const Message& msg) {
+  if (msg.type == Message::Type::kActivate) {
+    // Ack unconditionally (idempotent) so the controller's retransmit loop
+    // stops even when the first activation is already pending.
+    Message ack;
+    ack.type = Message::Type::kActivateAck;
+    ack.request_id = msg.request_id;
+    net_.send(self_, msg.sender, ack);
+    if (active_ || activation_pending_) return;
+    activation_pending_ = true;
+    sim_.schedule_in(options_.activation_delay_s, [this] {
+      active_ = true;
+      activation_pending_ = false;
+      last_progress_ = sim_.now();
+      sim_.trace(to_string(self_) + " cold BFT group activated");
+      // A freshly activated group member syncs before serving. With every
+      // member equally cold the transfer converges on the trivial (empty)
+      // certificate; a staggered activation picks up real state.
+      begin_catchup("cold activation");
+    });
+    return;
+  }
+
+  // A compromised replica ignores the protocol but races forged replies to
+  // the client (worst case permitted by the threat model).
+  if (compromised_) {
+    if (msg.type == Message::Type::kRequest) {
+      Message reply;
+      reply.type = Message::Type::kReply;
+      reply.request_id = msg.request_id;
+      reply.value = -msg.request_id;
+      reply.corrupt = true;
+      net_.send(self_, msg.sender, reply);
+    }
+    return;
+  }
+  if (recovering_ || !active_ || passive_) return;
+
+  // While catching up, the replica answers state requests and overhears
+  // the ordering protocol (per-request slots make that safe) but does not
+  // serve clients; serving resumes once the transfer installs.
+  switch (msg.type) {
+    case Message::Type::kStateRequest: return on_state_request(msg);
+    case Message::Type::kStateReply: return transfer_->on_reply(msg);
+    case Message::Type::kCheckpoint: return on_checkpoint_vote(msg);
+    case Message::Type::kRequest:
+      if (catching_up_) return;
+      return on_request(msg);
+    case Message::Type::kProposal: return on_proposal(msg);
+    case Message::Type::kAccept: return on_accept(msg);
+    case Message::Type::kViewChange: return on_view_change(msg);
+    default: return;
+  }
+}
+
+void BftReplica::on_state_request(const Message& msg) {
+  Message reply;
+  reply.type = Message::Type::kStateReply;
+  reply.request_id = msg.request_id;  // echo the transfer epoch
+  reply.seq = stable_count_;
+  reply.value = stable_digest_;
+  reply.payload = executed_ids();
+  net_.send(self_, msg.sender, reply);
+}
+
+void BftReplica::on_request(const Message& msg) {
+  const auto executed = executed_.find(msg.request_id);
+  if (executed != executed_.end()) {
+    // Retransmission after execution: reply directly.
+    Message reply;
+    reply.type = Message::Type::kReply;
+    reply.request_id = msg.request_id;
+    reply.value = msg.request_id;
+    net_.send(self_, msg.sender, reply);
+    return;
+  }
+  pending_[msg.request_id] = msg.sender;
+  if (is_leader()) propose_pending();
+}
+
+std::vector<std::int64_t> BftReplica::executed_ids() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(executed_.size());
+  for (const auto& [id, client] : executed_) {
+    (void)client;
+    ids.push_back(id);  // std::map iteration is already sorted
+  }
+  return ids;
+}
+
+void BftReplica::maybe_broadcast_checkpoint() {
+  if (++executions_since_checkpoint_ < options_.checkpoint_interval) return;
+  executions_since_checkpoint_ = 0;
+  const std::vector<std::int64_t> ids = executed_ids();
+  const auto count = static_cast<std::int64_t>(ids.size());
+  const std::int64_t digest = state_digest(ids);
+  if (monitor_ != nullptr) {
+    monitor_->on_checkpoint(self_, group_id_, count, digest);
+  }
+  Message vote;
+  vote.type = Message::Type::kCheckpoint;
+  vote.seq = count;
+  vote.value = digest;
+  broadcast_to_group(vote);
+  tally_checkpoint_vote(index_, count, digest);
+}
+
+void BftReplica::on_checkpoint_vote(const Message& msg) {
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == msg.sender) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;  // not a group member
+  tally_checkpoint_vote(voter_index, msg.seq, msg.value);
+}
+
+void BftReplica::tally_checkpoint_vote(int voter_index, std::int64_t count,
+                                       std::int64_t digest) {
+  if (count <= stable_count_) return;  // already superseded
+  auto& votes = checkpoint_votes_[{count, digest}];
+  votes.insert(voter_index);
+  // f+1 matching votes cannot all come from faulty replicas, so the
+  // certificate is vouched for by at least one correct execution history.
+  if (static_cast<int>(votes.size()) < options_.f + 1) return;
+  stable_count_ = count;
+  stable_digest_ = digest;
+  ++checkpoints_formed_;
+  gc_below_stable();
+  sim_.trace(to_string(self_) + " stable checkpoint at count " +
+             std::to_string(count));
+}
+
+void BftReplica::gc_below_stable() {
+  // Ordering state for executed requests is redundant once a checkpoint
+  // covering them is stable: a re-proposal of a reclaimed id simply
+  // re-votes (execution stays idempotent), so dropping the dedup sets is
+  // safe and keeps per-request state bounded by the checkpoint interval.
+  std::erase_if(checkpoint_votes_, [this](const auto& entry) {
+    return entry.first.first <= stable_count_;
+  });
+  for (const auto& [id, client] : executed_) {
+    (void)client;
+    voted_.erase(id);
+    announced_view_.erase(id);
+  }
+}
+
+void BftReplica::propose_pending() {
+  if (!active_ || recovering_ || catching_up_ || passive_) return;
+  // Snapshot: voting for our own proposal below can complete a quorum and
+  // execute the request, which erases it from pending_ — iterating the
+  // live map would be invalidated mid-loop.
+  std::vector<std::int64_t> pending_ids;
+  pending_ids.reserve(pending_.size());
+  for (const auto& [request_id, client] : pending_) {
+    pending_ids.push_back(request_id);
+  }
+  for (const std::int64_t request_id : pending_ids) {
+    if (!pending_.contains(request_id)) continue;  // executed meanwhile
+    if (proposed_this_view_.contains(request_id)) continue;
+    proposed_this_view_.insert(request_id);
+    Message proposal;
+    proposal.type = Message::Type::kProposal;
+    proposal.view = view_;
+    proposal.seq = next_seq_++;
+    proposal.request_id = request_id;
+    broadcast_to_group(proposal);
+    // The leader votes for its own proposal.
+    Message own_accept = proposal;
+    own_accept.type = Message::Type::kAccept;
+    own_accept.sender = self_;
+    on_accept(own_accept);
+    broadcast_to_group(own_accept);
+  }
+}
+
+void BftReplica::on_proposal(const Message& msg) {
+  const NodeAddr expected_leader = group_[static_cast<std::size_t>(
+      msg.view % static_cast<std::int64_t>(group_.size()))];
+  if (!(msg.sender == expected_leader)) return;  // not from that view's leader
+  if (msg.view < view_) return;                  // stale view
+  if (voted_.contains(msg.request_id)) {
+    // Re-proposal after a view change: re-announce the vote so the new
+    // leader's quorum can form — at most once per (request, view), or a
+    // lossy network can whip re-proposals into a broadcast storm.
+    const auto announced = announced_view_.find(msg.request_id);
+    if (announced != announced_view_.end() && announced->second >= msg.view) {
+      return;
+    }
+    announced_view_[msg.request_id] = msg.view;
+    Message accept = msg;
+    accept.type = Message::Type::kAccept;
+    broadcast_to_group(accept);
+    return;
+  }
+  voted_.insert(msg.request_id);
+  Message accept = msg;
+  accept.type = Message::Type::kAccept;
+  // Vote for it ourselves, then tell the group.
+  Message own = accept;
+  own.sender = self_;
+  on_accept(own);
+  broadcast_to_group(accept);
+}
+
+void BftReplica::on_accept(const Message& msg) {
+  if (executed_.contains(msg.request_id)) return;
+  const NodeAddr voter = msg.sender;
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == voter) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;  // not a group member
+  auto& votes = accept_votes_[msg.request_id];
+  votes.insert(voter_index);
+  if (static_cast<int>(votes.size()) >= quorum_) {
+    execute(msg.request_id, msg.view, msg.seq);
+  }
+}
+
+void BftReplica::execute(std::int64_t request_id, std::int64_t view,
+                         std::int64_t seq) {
+  const auto pending = pending_.find(request_id);
+  NodeAddr client{};
+  bool have_client = false;
+  if (pending != pending_.end()) {
+    client = pending->second;
+    have_client = true;
+    pending_.erase(pending);
+  }
+  executed_[request_id] = client;
+  accept_votes_.erase(request_id);
+  last_progress_ = sim_.now();
+  if (monitor_ != nullptr && !compromised_) {
+    monitor_->on_execute(self_, group_id_, view, seq, request_id);
+  }
+  if (have_client) {
+    Message reply;
+    reply.type = Message::Type::kReply;
+    reply.request_id = request_id;
+    reply.value = request_id;
+    net_.send(self_, client, reply);
+  }
+  maybe_broadcast_checkpoint();
+}
+
+void BftReplica::on_view_change(const Message& msg) {
+  if (msg.view <= view_) return;
+  auto& votes = view_votes_[msg.view];
+  int voter_index = -1;
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == msg.sender) {
+      voter_index = static_cast<int>(i);
+      break;
+    }
+  }
+  if (voter_index < 0) return;
+  votes.insert(voter_index);
+  // Join a higher view once f+1 members vouch for it (they cannot all be
+  // faulty), without waiting for our own timeout.
+  if (static_cast<int>(votes.size()) >= options_.f + 1) {
+    view_ = msg.view;
+    last_progress_ = sim_.now();
+    view_votes_.erase(view_votes_.begin(), view_votes_.upper_bound(view_));
+    proposed_this_view_.clear();
+    if (is_leader()) propose_pending();
+  }
+}
+
+void BftReplica::watchdog_loop() {
+  if (active_ && !recovering_ && !compromised_ && !catching_up_ &&
+      !passive_ && !pending_.empty() &&
+      sim_.now() - last_progress_ > options_.view_timeout_s * timeout_scale_) {
+    ++view_;
+    last_progress_ = sim_.now();
+    proposed_this_view_.clear();
+    sim_.trace(to_string(self_) + " view change to " + std::to_string(view_));
+    Message vc;
+    vc.type = Message::Type::kViewChange;
+    vc.view = view_;
+    broadcast_to_group(vc);
+    if (is_leader()) propose_pending();
+  }
+  sim_.schedule_in(1.0, [this] { watchdog_loop(); });
+}
+
+RecoveryScheduler::RecoveryScheduler(Simulator& sim,
+                                     std::vector<BftReplica*> replicas,
+                                     BftOptions options)
+    : sim_(sim), replicas_(std::move(replicas)), options_(options) {
+  for (BftReplica* r : replicas_) {
+    if (r == nullptr) {
+      throw std::invalid_argument("RecoveryScheduler: null replica");
+    }
+  }
+}
+
+void RecoveryScheduler::start(double start_s) {
+  if (replicas_.empty() || options_.k <= 0) return;
+  sim_.schedule_at(start_s, [this] { rotate(); });
+}
+
+void RecoveryScheduler::rotate() {
+  BftReplica* replica = replicas_[next_];
+  next_ = (next_ + 1) % replicas_.size();
+  replica->begin_recovery();
+  sim_.schedule_in(options_.recovery_duration_s,
+                   [replica] { replica->end_recovery(); });
+  sim_.schedule_in(options_.recovery_period_s, [this] { rotate(); });
+}
+
+FaultInjector::FaultInjector(Simulator& sim, Network& net, FaultPlan plan,
+                             Hooks hooks)
+    : sim_(sim), net_(net), plan_(std::move(plan)), hooks_(std::move(hooks)) {}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  armed_ = true;
+  for (const FaultEvent& e : plan_.events) {
+    ++events_armed_;
+    switch (e.kind) {
+      case FaultKind::kCrash: {
+        const NodeAddr node = e.node;
+        sim_.schedule_at(e.at, [this, node] {
+          net_.set_node_crashed(node, true);
+          sim_.trace(to_string(node) + " CRASHED (fault plan)");
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, node] {
+            net_.set_node_crashed(node, false);
+            sim_.trace(to_string(node) + " restarted (fault plan)");
+            if (hooks_.restart) hooks_.restart(node);
+          });
+        }
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        const int a = e.site_a;
+        const int b = e.site_b;
+        sim_.schedule_at(e.at, [this, a, b] {
+          net_.set_link_down(a, b, true);
+          sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
+                     " DOWN (fault plan)");
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, a, b] {
+            net_.set_link_down(a, b, false);
+            sim_.trace("link " + std::to_string(a) + "-" + std::to_string(b) +
+                       " restored (fault plan)");
+          });
+        }
+        break;
+      }
+      case FaultKind::kSiteFlap: {
+        const int site = e.site_a;
+        // Restore to the pre-flap state so a flap scheduled against a site
+        // that is already flooded does not resurrect it.
+        sim_.schedule_at(e.at, [this, site, duration = e.duration] {
+          const bool was_down = net_.site_down(site);
+          net_.set_site_down(site, true);
+          sim_.trace("site " + std::to_string(site) + " FLAPPED down");
+          if (duration > 0.0) {
+            sim_.schedule_in(duration, [this, site, was_down] {
+              net_.set_site_down(site, was_down);
+              sim_.trace("site " + std::to_string(site) + " flap over");
+              // Every node of a bounced site restarts (unless the site was
+              // already flooded and the flap changed nothing).
+              if (!was_down && hooks_.restart) {
+                for (int n = 0; n < net_.nodes_at(site); ++n) {
+                  hooks_.restart({site, n});
+                }
+              }
+            });
+          }
+        });
+        break;
+      }
+      case FaultKind::kSkew: {
+        if (!hooks_.set_timeout_scale) break;
+        const NodeAddr node = e.node;
+        const double factor = e.factor;
+        sim_.schedule_at(e.at, [this, node, factor] {
+          hooks_.set_timeout_scale(node, factor);
+          sim_.trace(to_string(node) + " timeout skew x" +
+                     std::to_string(factor));
+        });
+        if (e.duration > 0.0) {
+          sim_.schedule_at(e.at + e.duration, [this, node] {
+            hooks_.set_timeout_scale(node, 1.0);
+          });
+        }
+        break;
+      }
+      case FaultKind::kCompromise: {
+        if (!hooks_.compromise) break;
+        const NodeAddr node = e.node;
+        sim_.schedule_at(e.at, [this, node] {
+          hooks_.compromise(node);
+          sim_.trace(to_string(node) + " COMPROMISED (fault plan)");
+        });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DesOutcome run_reference_des(const scada::Configuration& config,
+                             const DesOptions& options,
+                             const threat::SystemState& attacked_state,
+                             const FaultPlan* plan) {
+  const std::size_t n_sites = config.sites.size();
+  if (attacked_state.site_status.size() != n_sites ||
+      attacked_state.intrusions.size() != n_sites) {
+    throw std::invalid_argument("ScadaDes: state size mismatch");
+  }
+
+  Simulator sim;
+  sim.set_tracing(options.tracing);
+  sim.set_event_limit(options.event_limit);
+
+  // Network: one site per control site plus the client (field) site.
+  std::vector<int> nodes_per_site;
+  for (const scada::ControlSite& site : config.sites) {
+    nodes_per_site.push_back(site.replicas);
+  }
+  const int client_site = static_cast<int>(n_sites);
+  nodes_per_site.push_back(2);  // client + failover controller
+  NetworkOptions net_options = options.net;
+  if (plan != nullptr) {
+    // The plan's message impairments are layered on top of the base WAN.
+    net_options.duplicate_probability =
+        std::max(net_options.duplicate_probability,
+                 plan->duplicate_probability);
+    net_options.reorder_probability =
+        std::max(net_options.reorder_probability, plan->reorder_probability);
+    net_options.reorder_window_s =
+        std::max(net_options.reorder_window_s, plan->reorder_window_s);
+    net_options.control_loss_probability =
+        std::max(net_options.control_loss_probability,
+                 plan->transfer_loss_probability);
+  }
+  Network net(sim, nodes_per_site, net_options);
+
+  // Invariant monitor: safety is always watched; liveness when enabled.
+  InvariantOptions inv_options;
+  inv_options.f = config.style == scada::ReplicationStyle::kIntrusionTolerant
+                      ? config.intrusion_tolerance_f
+                      : 0;
+  inv_options.liveness_gap_s = options.liveness_gap_s;
+  InvariantMonitor monitor(sim, inv_options);
+
+  // Client workload.
+  const bool bft = config.style == scada::ReplicationStyle::kIntrusionTolerant;
+  WorkloadOptions wopts;
+  wopts.request_interval_s = options.request_interval_s;
+  wopts.request_timeout_s = options.request_timeout_s;
+  wopts.replies_needed = bft ? config.intrusion_tolerance_f + 1 : 1;
+  wopts.retransmit_limit = options.request_retransmit_limit;
+  wopts.retransmit_seed = options.net.impairment_seed;
+  ClientWorkload client(sim, net, {client_site, 0}, wopts);
+  client.set_monitor(&monitor);
+  std::vector<NodeAddr> targets;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    for (int node = 0; node < config.sites[s].replicas; ++node) {
+      targets.push_back({static_cast<int>(s), node});
+    }
+  }
+  client.set_targets(std::move(targets));
+
+  // Replicas.
+  std::vector<std::unique_ptr<PbReplica>> pb_replicas;
+  std::vector<std::unique_ptr<BftReplica>> bft_replicas;
+  std::vector<std::unique_ptr<RecoveryScheduler>> schedulers;
+  // Indexed [site][node] for compromise targeting.
+  std::vector<std::vector<PbReplica*>> pb_by_site(n_sites);
+  std::vector<std::vector<BftReplica*>> bft_by_site(n_sites);
+
+  BftOptions group_opts = options.bft;
+  group_opts.f = config.intrusion_tolerance_f;
+  group_opts.k = config.proactive_recovery_k;
+
+  int next_group_id = 0;
+  const auto make_bft_group = [&](const std::vector<int>& sites,
+                                  bool initially_active) {
+    std::vector<int> counts;
+    for (const int s : sites) {
+      counts.push_back(config.sites[static_cast<std::size_t>(s)].replicas);
+    }
+    const std::vector<NodeAddr> group = interleaved_group(sites, counts);
+    std::vector<BftReplica*> members;
+    const int group_id = next_group_id++;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      auto replica = std::make_unique<BftReplica>(
+          sim, net, group[i], group, static_cast<int>(i), group_opts,
+          initially_active);
+      replica->set_monitor(&monitor, group_id);
+      members.push_back(replica.get());
+      bft_by_site[static_cast<std::size_t>(group[i].site)].push_back(
+          replica.get());
+      bft_replicas.push_back(std::move(replica));
+    }
+    // One proactive-recovery rotation per group (k = 1).
+    if (config.proactive_recovery_k > 0) {
+      schedulers.push_back(
+          std::make_unique<RecoveryScheduler>(sim, members, group_opts));
+    }
+  };
+
+  if (bft) {
+    if (config.active_multisite) {
+      std::vector<int> hot_sites;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (config.sites[s].hot) hot_sites.push_back(static_cast<int>(s));
+      }
+      make_bft_group(hot_sites, true);
+    } else {
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        make_bft_group({static_cast<int>(s)}, config.sites[s].hot);
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      for (int node = 0; node < config.sites[s].replicas; ++node) {
+        auto replica = std::make_unique<PbReplica>(
+            sim, net, NodeAddr{static_cast<int>(s), node}, options.pb,
+            config.sites[s].hot);
+        replica->set_monitor(&monitor);
+        pb_by_site[s].push_back(replica.get());
+        pb_replicas.push_back(std::move(replica));
+      }
+    }
+  }
+
+  // Failover controller when the configuration has a cold backup site.
+  std::unique_ptr<FailoverController> controller;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (!config.sites[s].hot) {
+      controller = std::make_unique<FailoverController>(
+          sim, net, NodeAddr{client_site, 1}, client, static_cast<int>(s),
+          options.pb);
+      break;
+    }
+  }
+
+  // Fault plan: map skew/compromise hooks onto the replica objects and arm
+  // every scheduled event.
+  std::unique_ptr<FaultInjector> injector;
+  if (plan != nullptr) {
+    const auto for_replica = [&, bft](NodeAddr addr, auto&& pb_fn,
+                                      auto&& bft_fn) {
+      if (addr.site < 0 || static_cast<std::size_t>(addr.site) >= n_sites) {
+        return;  // client site and out-of-range targets are not replicas
+      }
+      const auto site = static_cast<std::size_t>(addr.site);
+      const auto node = static_cast<std::size_t>(addr.node);
+      if (bft) {
+        if (node < bft_by_site[site].size()) bft_fn(bft_by_site[site][node]);
+      } else {
+        if (node < pb_by_site[site].size()) pb_fn(pb_by_site[site][node]);
+      }
+    };
+    FaultInjector::Hooks hooks;
+    hooks.set_timeout_scale = [for_replica](NodeAddr addr, double scale) {
+      for_replica(
+          addr, [scale](PbReplica* r) { r->set_timeout_scale(scale); },
+          [scale](BftReplica* r) { r->set_timeout_scale(scale); });
+    };
+    hooks.compromise = [for_replica](NodeAddr addr) {
+      for_replica(
+          addr, [](PbReplica* r) { r->set_compromised(true); },
+          [](BftReplica* r) { r->set_compromised(true); });
+    };
+    hooks.restart = [for_replica](NodeAddr addr) {
+      for_replica(
+          addr, [](PbReplica* r) { r->on_restart(); },
+          [](BftReplica* r) { r->on_restart(); });
+    };
+    injector = std::make_unique<FaultInjector>(sim, net, *plan,
+                                               std::move(hooks));
+    injector->arm();
+    // Scheduled fault windows are declared outages: only gaps the plan
+    // does not explain count against liveness.
+    for (const auto& [from, to] :
+         plan->excused_windows(options.liveness_pad_s)) {
+      monitor.declare_outage(from, to);
+    }
+  }
+
+  // Declared outages from the compound threat itself: a flooded site
+  // shapes service from t=0; isolation/intrusion effects start at attack
+  // time. The liveness invariant only bites on unexplained gaps.
+  bool any_flooded = false;
+  bool any_attack = false;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    any_flooded |=
+        attacked_state.site_status[s] == threat::SiteStatus::kFlooded;
+    any_attack |=
+        attacked_state.site_status[s] == threat::SiteStatus::kIsolated ||
+        attacked_state.intrusions[s] > 0;
+  }
+  if (any_flooded) {
+    monitor.declare_outage(0.0, options.horizon_s);
+  } else if (any_attack) {
+    monitor.declare_outage(options.attack_time_s, options.horizon_s);
+  }
+
+  // Timeline. Floods are in effect from t=0.
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    if (attacked_state.site_status[s] == threat::SiteStatus::kFlooded) {
+      net.set_site_down(static_cast<int>(s), true);
+      sim.trace("site " + std::to_string(s) + " flooded (down from t=0)");
+    }
+  }
+  for (auto& r : pb_replicas) r->start();
+  for (auto& r : bft_replicas) r->start();
+  for (auto& s : schedulers) s->start(options.bft.recovery_period_s);
+  client.start(0.0, options.horizon_s);
+  if (controller) controller->start(0.0, options.horizon_s);
+
+  // The cyberattack fires at attack_time_s.
+  sim.schedule_at(options.attack_time_s, [&] {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (attacked_state.site_status[s] == threat::SiteStatus::kIsolated) {
+        net.set_site_isolated(static_cast<int>(s), true);
+        sim.trace("site " + std::to_string(s) + " ISOLATED by attacker");
+      }
+      const int intrusions = attacked_state.intrusions[s];
+      for (int node = 0; node < intrusions; ++node) {
+        if (bft) {
+          bft_by_site[s].at(static_cast<std::size_t>(node))->set_compromised(true);
+        } else {
+          pb_by_site[s].at(static_cast<std::size_t>(node))->set_compromised(true);
+        }
+        sim.trace("replica s" + std::to_string(s) + "/n" +
+                  std::to_string(node) + " COMPROMISED by attacker");
+      }
+    }
+  });
+
+  sim.run_until(options.horizon_s);
+
+  // Classify what the client observed.
+  DesOutcome outcome;
+  outcome.safety_violated = client.safety_violated();
+  const double judge_to = options.horizon_s - 10.0;
+  const double settle_from = options.horizon_s - options.settle_window_s;
+  outcome.steady_availability = client.success_fraction(settle_from, judge_to);
+  outcome.max_outage_s = client.max_gap(0.0, judge_to);
+  outcome.events = sim.events_processed();
+  outcome.messages = net.messages_sent();
+  outcome.truncated = sim.event_limit_hit();
+  outcome.drops = net.drop_counters();
+  outcome.duplicates = net.messages_duplicated();
+  monitor.finalize(0.0, judge_to);
+  outcome.invariant_violations = monitor.violations();
+  outcome.availability_timeline =
+      client.availability_series(60.0, 0.0, options.horizon_s);
+  outcome.trace = sim.trace_log();
+
+  // Recovery accounting across both stacks.
+  const auto fold_stats = [&outcome](const RejoinStats& s) {
+    outcome.rejoins += s.rejoins;
+    outcome.rejoin_failures += s.failures;
+    outcome.transfer_retry_rounds += s.retry_rounds;
+    outcome.max_catchup_s = std::max(outcome.max_catchup_s, s.max_catchup_s);
+  };
+  for (const auto& r : bft_replicas) {
+    fold_stats(r->rejoin_stats());
+    if (r->passive()) ++outcome.passive_replicas;
+    outcome.stable_checkpoints += r->checkpoints_formed();
+  }
+  for (const auto& r : pb_replicas) fold_stats(r->rejoin_stats());
+
+  if (outcome.truncated) {
+    CT_LOG(kWarn, "scada_des")
+        << "run for configuration '" << config.name
+        << "' hit the event limit (" << outcome.events
+        << " events) — observed color may be wrong";
+  }
+
+  if (outcome.safety_violated) {
+    outcome.observed = threat::OperationalState::kGray;
+  } else if (outcome.steady_availability < 0.5) {
+    outcome.observed = threat::OperationalState::kRed;
+  } else if (outcome.max_outage_s > options.orange_gap_s) {
+    outcome.observed = threat::OperationalState::kOrange;
+  } else {
+    outcome.observed = threat::OperationalState::kGreen;
+  }
+  return outcome;
+}
+
+
+}  // namespace ct::sim::refdes

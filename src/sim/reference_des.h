@@ -1,0 +1,24 @@
+// Bit-identity oracle for the DES hot-path overhaul: the pre-overhaul
+// engine (std::function events on a binary priority_queue, per-delivery
+// Message copies, std::map/std::set protocol bookkeeping) kept verbatim in
+// reference_des.cpp. ScadaDes::run_reference() routes through this engine;
+// des_fastpath_test asserts every run() outcome equals the matching
+// run_reference() outcome field-for-field across the chaos corpora, so any
+// behavioural drift introduced by the pooled engine is caught immediately.
+#pragma once
+
+#include "scada/configuration.h"
+#include "sim/scada_des.h"
+#include "threat/system_state.h"
+
+namespace ct::sim::refdes {
+
+/// Runs one simulation on the reference engine. Mirrors
+/// ScadaDes::run_impl exactly (pass plan = nullptr for a plain run); the
+/// measurement-only DesOutcome fields are left zero for the caller.
+DesOutcome run_reference_des(const scada::Configuration& config,
+                             const DesOptions& options,
+                             const threat::SystemState& attacked_state,
+                             const FaultPlan* plan);
+
+}  // namespace ct::sim::refdes

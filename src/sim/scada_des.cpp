@@ -1,13 +1,77 @@
 #include "sim/scada_des.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
+#include "sim/reference_des.h"
 #include "threat/attacker.h"
 #include "util/log.h"
 
 namespace ct::sim {
+
+namespace {
+
+// Process-wide DES throughput accounting (lock-free: chaos sweeps fold
+// runs in from several workers).
+std::atomic<std::uint64_t> g_des_runs{0};
+std::atomic<std::uint64_t> g_des_events{0};
+std::atomic<std::uint64_t> g_des_wall_us{0};
+
+/// Stamps the measurement-only fields and folds the run into the
+/// process-wide counters. Runs after outcome assembly so it cannot affect
+/// bit-identity.
+void finish_run_timing(DesOutcome& outcome,
+                       std::chrono::steady_clock::time_point started) {
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  outcome.sim_wall_ms = wall_ms;
+  outcome.events_per_second =
+      wall_ms > 0.0 ? static_cast<double>(outcome.events) / (wall_ms / 1000.0)
+                    : 0.0;
+  g_des_runs.fetch_add(1, std::memory_order_relaxed);
+  g_des_events.fetch_add(outcome.events, std::memory_order_relaxed);
+  g_des_wall_us.fetch_add(static_cast<std::uint64_t>(wall_ms * 1000.0),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool des_outcomes_identical(const DesOutcome& a, const DesOutcome& b) {
+  return a.observed == b.observed && a.safety_violated == b.safety_violated &&
+         a.max_outage_s == b.max_outage_s &&
+         a.steady_availability == b.steady_availability &&
+         a.events == b.events && a.messages == b.messages &&
+         a.truncated == b.truncated && a.drops.loss == b.drops.loss &&
+         a.drops.site_down == b.drops.site_down &&
+         a.drops.isolation == b.drops.isolation &&
+         a.drops.link_down == b.drops.link_down &&
+         a.drops.crashed == b.drops.crashed &&
+         a.drops.in_flight == b.drops.in_flight &&
+         a.drops.transfer_loss == b.drops.transfer_loss &&
+         a.duplicates == b.duplicates &&
+         a.invariant_violations == b.invariant_violations &&
+         a.availability_timeline == b.availability_timeline &&
+         a.trace == b.trace && a.rejoins == b.rejoins &&
+         a.rejoin_failures == b.rejoin_failures &&
+         a.transfer_retry_rounds == b.transfer_retry_rounds &&
+         a.max_catchup_s == b.max_catchup_s &&
+         a.passive_replicas == b.passive_replicas &&
+         a.stable_checkpoints == b.stable_checkpoints;
+}
+
+DesCounters des_counters_snapshot() {
+  DesCounters c;
+  c.runs = g_des_runs.load(std::memory_order_relaxed);
+  c.events = g_des_events.load(std::memory_order_relaxed);
+  c.wall_ms =
+      static_cast<double>(g_des_wall_us.load(std::memory_order_relaxed)) /
+      1000.0;
+  return c;
+}
 
 ScadaDes::ScadaDes(scada::Configuration config, DesOptions options)
     : config_(std::move(config)), options_(options) {
@@ -32,23 +96,54 @@ DesOutcome ScadaDes::run(const std::vector<bool>& site_flooded,
 }
 
 DesOutcome ScadaDes::run(const threat::SystemState& attacked_state) const {
-  return run_impl(attacked_state, nullptr);
+  DesArena arena;
+  return run_impl(attacked_state, nullptr, arena);
 }
 
 DesOutcome ScadaDes::run(const threat::SystemState& attacked_state,
                          const FaultPlan& plan) const {
-  return run_impl(attacked_state, &plan);
+  DesArena arena;
+  return run_impl(attacked_state, &plan, arena);
+}
+
+DesOutcome ScadaDes::run(const threat::SystemState& attacked_state,
+                         DesArena& arena) const {
+  return run_impl(attacked_state, nullptr, arena);
+}
+
+DesOutcome ScadaDes::run(const threat::SystemState& attacked_state,
+                         const FaultPlan& plan, DesArena& arena) const {
+  return run_impl(attacked_state, &plan, arena);
+}
+
+DesOutcome ScadaDes::run_reference(
+    const threat::SystemState& attacked_state) const {
+  const auto started = std::chrono::steady_clock::now();
+  DesOutcome outcome =
+      refdes::run_reference_des(config_, options_, attacked_state, nullptr);
+  finish_run_timing(outcome, started);
+  return outcome;
+}
+
+DesOutcome ScadaDes::run_reference(const threat::SystemState& attacked_state,
+                                   const FaultPlan& plan) const {
+  const auto started = std::chrono::steady_clock::now();
+  DesOutcome outcome =
+      refdes::run_reference_des(config_, options_, attacked_state, &plan);
+  finish_run_timing(outcome, started);
+  return outcome;
 }
 
 DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
-                              const FaultPlan* plan) const {
+                              const FaultPlan* plan, DesArena& arena) const {
+  const auto started = std::chrono::steady_clock::now();
   const std::size_t n_sites = config_.sites.size();
   if (attacked_state.site_status.size() != n_sites ||
       attacked_state.intrusions.size() != n_sites) {
     throw std::invalid_argument("ScadaDes: state size mismatch");
   }
 
-  Simulator sim;
+  Simulator& sim = arena.simulator();  // reset for this run
   sim.set_tracing(options_.tracing);
   sim.set_event_limit(options_.event_limit);
 
@@ -73,7 +168,7 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
         std::max(net_options.control_loss_probability,
                  plan->transfer_loss_probability);
   }
-  Network net(sim, nodes_per_site, net_options);
+  Network& net = arena.network(std::move(nodes_per_site), net_options);
 
   // Invariant monitor: safety is always watched; liveness when enabled.
   InvariantOptions inv_options;
@@ -242,7 +337,9 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
   for (std::size_t s = 0; s < n_sites; ++s) {
     if (attacked_state.site_status[s] == threat::SiteStatus::kFlooded) {
       net.set_site_down(static_cast<int>(s), true);
-      sim.trace("site " + std::to_string(s) + " flooded (down from t=0)");
+      if (sim.tracing()) {
+        sim.trace("site " + std::to_string(s) + " flooded (down from t=0)");
+      }
     }
   }
   for (auto& r : pb_replicas) r->start();
@@ -256,7 +353,9 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
     for (std::size_t s = 0; s < n_sites; ++s) {
       if (attacked_state.site_status[s] == threat::SiteStatus::kIsolated) {
         net.set_site_isolated(static_cast<int>(s), true);
-        sim.trace("site " + std::to_string(s) + " ISOLATED by attacker");
+        if (sim.tracing()) {
+          sim.trace("site " + std::to_string(s) + " ISOLATED by attacker");
+        }
       }
       const int intrusions = attacked_state.intrusions[s];
       for (int node = 0; node < intrusions; ++node) {
@@ -265,8 +364,10 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
         } else {
           pb_by_site[s].at(static_cast<std::size_t>(node))->set_compromised(true);
         }
-        sim.trace("replica s" + std::to_string(s) + "/n" +
-                  std::to_string(node) + " COMPROMISED by attacker");
+        if (sim.tracing()) {
+          sim.trace("replica s" + std::to_string(s) + "/n" +
+                    std::to_string(node) + " COMPROMISED by attacker");
+        }
       }
     }
   });
@@ -321,6 +422,7 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
   } else {
     outcome.observed = threat::OperationalState::kGreen;
   }
+  finish_run_timing(outcome, started);
   return outcome;
 }
 

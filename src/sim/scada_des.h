@@ -7,6 +7,7 @@
 // for every sampled scenario.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,70 @@ struct DesOutcome {
   int passive_replicas = 0;
   /// Stable checkpoints formed, summed over BFT replicas.
   int stable_checkpoints = 0;
+
+  // ---- wall-clock throughput (measurement only: these two fields are
+  // excluded from bit-identity comparisons against run_reference) ----
+  double sim_wall_ms = 0.0;
+  double events_per_second = 0.0;
+};
+
+/// Field-for-field equality over everything the simulation computed —
+/// the bit-identity predicate for run() vs run_reference(). The two
+/// wall-clock measurement fields (sim_wall_ms, events_per_second) are
+/// excluded; everything else, including the full trace and availability
+/// timeline, must match exactly.
+bool des_outcomes_identical(const DesOutcome& a, const DesOutcome& b);
+
+/// Aggregate DES throughput counters, accumulated process-wide across every
+/// ScadaDes run (fast or reference). Surfaced by `ctctl stats` and the
+/// service kStats reply next to the cache statistics.
+struct DesCounters {
+  std::uint64_t runs = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+
+  double events_per_second() const noexcept {
+    return wall_ms > 0.0 ? events / (wall_ms / 1000.0) : 0.0;
+  }
+};
+DesCounters des_counters_snapshot();
+
+/// Reusable simulator + network arena. A chaos sweep runs hundreds of
+/// plans back-to-back; constructing the engine fresh each time re-pays the
+/// event-slab, heap, and message-pool warmup. Passing one DesArena across
+/// runs keeps that storage warm, and Simulator::reset()/Network::reset()
+/// guarantee each run is observably identical to a fresh construction.
+/// An arena is single-threaded: use one per worker (e.g. thread_local).
+class DesArena {
+ public:
+  /// Re-arms the simulator for a fresh run. Call before network().
+  Simulator& simulator() {
+    sim_.reset();
+    return sim_;
+  }
+
+  /// Builds (first run) or re-arms (subsequent runs) the network. Must be
+  /// called after simulator() reset the event queue — pooled message slots
+  /// referenced by pending deliveries are recycled here.
+  Network& network(std::vector<int> nodes_per_site, NetworkOptions options) {
+    if (net_ == nullptr) {
+      net_ = std::make_unique<Network>(sim_, std::move(nodes_per_site),
+                                       options);
+    } else {
+      net_->reset(std::move(nodes_per_site), options);
+    }
+    return *net_;
+  }
+
+  /// Pool occupancy probes for the zero-allocation assertions.
+  Simulator::PoolStats simulator_stats() const { return sim_.pool_stats(); }
+  Network::PoolStats network_stats() const {
+    return net_ != nullptr ? net_->pool_stats() : Network::PoolStats{};
+  }
+
+ private:
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
 };
 
 class ScadaDes {
@@ -107,18 +172,34 @@ class ScadaDes {
   DesOutcome run(const threat::SystemState& attacked_state,
                  const FaultPlan& plan) const;
 
+  /// Arena-reuse variants: identical results, but simulator/network
+  /// storage is recycled from `arena` instead of constructed per run.
+  DesOutcome run(const threat::SystemState& attacked_state,
+                 DesArena& arena) const;
+  DesOutcome run(const threat::SystemState& attacked_state,
+                 const FaultPlan& plan, DesArena& arena) const;
+
   /// Convenience: derives the attacked state from a flood mask and an
   /// attacker capability via the paper's greedy worst-case attacker, then
   /// simulates it.
   DesOutcome run(const std::vector<bool>& site_flooded,
                  threat::AttackerCapability capability) const;
 
+  /// Bit-identity oracle: the pre-overhaul engine (std::function events,
+  /// binary heap, per-delivery message copies, std::map bookkeeping) kept
+  /// verbatim in sim/reference_des.cpp. Every run() outcome must equal the
+  /// matching run_reference() outcome field-for-field (excluding the
+  /// sim_wall_ms / events_per_second measurements).
+  DesOutcome run_reference(const threat::SystemState& attacked_state) const;
+  DesOutcome run_reference(const threat::SystemState& attacked_state,
+                           const FaultPlan& plan) const;
+
   const scada::Configuration& config() const noexcept { return config_; }
   const DesOptions& options() const noexcept { return options_; }
 
  private:
   DesOutcome run_impl(const threat::SystemState& attacked_state,
-                      const FaultPlan* plan) const;
+                      const FaultPlan* plan, DesArena& arena) const;
 
   scada::Configuration config_;
   DesOptions options_;

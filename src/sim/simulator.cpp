@@ -1,46 +1,238 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <cstdio>
-#include <stdexcept>
 
 namespace ct::sim {
 
-void Simulator::schedule_at(SimTime t, Action action) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator: cannot schedule in the past");
+std::uint32_t Simulator::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
   }
-  if (!action) {
-    throw std::invalid_argument("Simulator: null action");
+  const auto slot = static_cast<std::uint32_t>(slab_.size());
+  if (slot > kSlotMask) {
+    throw std::length_error("Simulator: event slab exhausted");
   }
-  queue_.push({t, next_seq_++, std::move(action)});
+  slab_.emplace_back();
+  ++stats_.slab_grows;
+  return slot;
 }
 
-void Simulator::schedule_in(SimTime delay, Action action) {
-  schedule_at(now_ + delay, std::move(action));
+void Simulator::enqueue(SimTime t, std::uint32_t slot) {
+  if (next_seq_ > (~std::uint64_t{0} >> kSlotBits)) {
+    throw std::length_error("Simulator: sequence space exhausted");
+  }
+  insert_entry({t, (next_seq_++ << kSlotBits) | slot});
+}
+
+void Simulator::insert_entry(const HeapEntry& e) {
+  std::uint64_t tick = time_tick(e.time);
+  if (tick < wheel_base_) {
+    // Scheduling below the window: only reachable between run_until calls
+    // after the window rebased onto a far-future event. Rare by design.
+    rebase(tick);
+  }
+  if (tick < wheel_base_ + kWheelSize) {
+    Bucket& b = wheel_[tick & kWheelMask];
+    if (b.drained()) mark_occupied(tick & kWheelMask);
+    b.insert_sorted(e);
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(e);
+    overflow_sift_up(overflow_.size() - 1);
+  }
+  ++pending_;
+  peeked_bucket_ = kWheelSize;
+  if (pending_ > stats_.peak_queue) stats_.peak_queue = pending_;
+}
+
+void Simulator::rebase(std::uint64_t tick) {
+  // Dump any wheel contents into overflow_ (the wheel is almost always
+  // empty here), repoint the window, then pull back everything that fits.
+  if (wheel_count_ != 0) {
+    for (std::size_t word = 0; word < occupancy_.size(); ++word) {
+      std::uint64_t bits = occupancy_[word];
+      while (bits != 0) {
+        const std::size_t idx =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        Bucket& b = wheel_[idx];
+        overflow_.insert(overflow_.end(), b.v.begin() + b.head, b.v.end());
+        b.v.clear();
+        b.head = 0;
+      }
+      occupancy_[word] = 0;
+    }
+    wheel_count_ = 0;
+  }
+  wheel_base_ = cursor_ = tick;
+  std::size_t kept = 0;
+  for (const HeapEntry& e : overflow_) {
+    const std::uint64_t tk = time_tick(e.time);
+    if (tk < wheel_base_ + kWheelSize) {
+      Bucket& b = wheel_[tk & kWheelMask];
+      if (b.drained()) mark_occupied(tk & kWheelMask);
+      b.insert_sorted(e);
+      ++wheel_count_;
+    } else {
+      overflow_[kept++] = e;
+    }
+  }
+  overflow_.resize(kept);
+  // Restore the 4-ary heap property over the survivors (bottom-up).
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) {
+      overflow_sift_down(i);
+    }
+  }
+  peeked_bucket_ = kWheelSize;
+}
+
+const Simulator::HeapEntry* Simulator::peek_min() {
+  if (pending_ == 0) return nullptr;
+  if (wheel_count_ == 0) {
+    rebase(time_tick(overflow_.front().time));
+  }
+  // Circular occupancy scan starting at the cursor. Buckets behind the
+  // cursor are empty (events pop in time order), so the first set bit is
+  // the wheel's — and therefore the queue's — minimum tick.
+  const std::uint64_t from = cursor_ < wheel_base_ ? wheel_base_ : cursor_;
+  std::size_t word = static_cast<std::size_t>((from & kWheelMask) >> 6);
+  std::uint64_t bits =
+      occupancy_[word] & (~std::uint64_t{0} << (from & 63));
+  const std::size_t words = occupancy_.size();
+  for (std::size_t scanned = 0; scanned <= words; ++scanned) {
+    if (bits != 0) {
+      const std::size_t idx =
+          (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      peeked_bucket_ = idx;
+      const Bucket& b = wheel_[idx];
+      return &b.v[b.head];
+    }
+    word = word + 1 == words ? 0 : word + 1;
+    bits = occupancy_[word];
+  }
+  return nullptr;  // unreachable: wheel_count_ > 0
+}
+
+void Simulator::pop_top() {
+  Bucket& b = wheel_[peeked_bucket_];
+  cursor_ = time_tick(b.v[b.head].time);
+  ++b.head;
+  if (b.drained()) {
+    b.v.clear();
+    b.head = 0;
+    mark_empty(peeked_bucket_);
+  }
+  --wheel_count_;
+  --pending_;
+  peeked_bucket_ = kWheelSize;
+}
+
+void Simulator::overflow_sift_up(std::size_t i) noexcept {
+  const HeapEntry e = overflow_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!later(overflow_[parent], e)) break;
+    overflow_[i] = overflow_[parent];
+    i = parent;
+  }
+  overflow_[i] = e;
+}
+
+void Simulator::overflow_sift_down(std::size_t i) noexcept {
+  const std::size_t n = overflow_.size();
+  const HeapEntry e = overflow_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (later(overflow_[best], overflow_[c])) best = c;
+    }
+    if (!later(e, overflow_[best])) break;
+    overflow_[i] = overflow_[best];
+    i = best;
+  }
+  overflow_[i] = e;
 }
 
 void Simulator::run_until(SimTime end_time) {
-  while (!queue_.empty() && queue_.top().time <= end_time) {
+  for (;;) {
+    const HeapEntry* top = peek_min();
+    if (top == nullptr || top->time > end_time) break;
     if (event_limit_ != 0 && processed_ >= event_limit_) {
       limit_hit_ = true;
       break;
     }
-    // priority_queue::top returns const&; the action must be moved out
-    // before pop, so copy the header and move via const_cast-free path:
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    const HeapEntry e = *top;
+    pop_top();
+    now_ = e.time;
     ++processed_;
-    ev.action();
+    const auto slot = static_cast<std::uint32_t>(e.seq_slot & kSlotMask);
+    // Move the callable out and free its slot *before* invoking it: the
+    // handler may schedule successors (which then reuse this very slot —
+    // the zero-allocation steady state) or grow the slab, so `slab_`
+    // references must not be held across the call.
+    EventFn fn = std::move(slab_[slot]);
+    slab_[slot].reset();
+    free_.push_back(slot);
+    fn.consume();
   }
   if (now_ < end_time) now_ = end_time;
 }
 
-void Simulator::trace(const std::string& line) {
+void Simulator::trace(std::string_view line) {
   if (!tracing_) return;
   char stamp[32];
   std::snprintf(stamp, sizeof stamp, "[%9.3f] ", now_);
-  trace_.push_back(stamp + line);
+  std::string entry(stamp);
+  entry.append(line);
+  trace_.push_back(std::move(entry));
+}
+
+void Simulator::reset() {
+  for (std::size_t word = 0; word < occupancy_.size(); ++word) {
+    std::uint64_t bits = occupancy_[word];
+    while (bits != 0) {
+      const std::size_t idx =
+          (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      Bucket& b = wheel_[idx];
+      for (std::size_t i = b.head; i < b.v.size(); ++i) {
+        const auto slot =
+            static_cast<std::uint32_t>(b.v[i].seq_slot & kSlotMask);
+        slab_[slot].reset();
+        free_.push_back(slot);
+      }
+      b.v.clear();
+      b.head = 0;
+    }
+    occupancy_[word] = 0;
+  }
+  for (const HeapEntry& e : overflow_) {
+    const auto slot = static_cast<std::uint32_t>(e.seq_slot & kSlotMask);
+    slab_[slot].reset();
+    free_.push_back(slot);
+  }
+  overflow_.clear();
+  wheel_base_ = 0;
+  cursor_ = 0;
+  wheel_count_ = 0;
+  pending_ = 0;
+  peeked_bucket_ = kWheelSize;
+  now_ = 0.0;
+  next_seq_ = 0;
+  processed_ = 0;
+  event_limit_ = 0;
+  limit_hit_ = false;
+  tracing_ = false;
+  trace_.clear();
+  stats_.slab_grows = 0;
+  stats_.peak_queue = 0;
 }
 
 }  // namespace ct::sim

@@ -19,15 +19,11 @@ double BackoffPolicy::delay(int attempt, util::Rng* rng) const {
 std::int64_t state_digest(const std::vector<std::int64_t>& sorted_ids) {
   // FNV-1a over the id bytes, folded into the non-negative int64 range so
   // the digest can travel in Message::value.
-  std::uint64_t h = 14695981039346656037ull;
+  std::uint64_t h = kStateDigestSeed;
   for (std::int64_t id : sorted_ids) {
-    auto u = static_cast<std::uint64_t>(id);
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (u >> (byte * 8)) & 0xffull;
-      h *= 1099511628211ull;
-    }
+    h = state_digest_extend(h, id);
   }
-  return static_cast<std::int64_t>(h & 0x7fffffffffffffffull);
+  return state_digest_fold(h);
 }
 
 StateTransferClient::StateTransferClient(Simulator& sim,
@@ -97,12 +93,24 @@ void StateTransferClient::on_reply(const Message& msg) {
 
 void StateTransferClient::try_complete() {
   // Group replies by certificate (count, digest); install once any
-  // certificate has matching_needed distinct voters.
-  std::map<std::pair<std::int64_t, std::int64_t>, int> votes;
+  // certificate has matching_needed distinct voters. Certificates are
+  // scanned in ascending order, matching the historical std::map walk.
+  std::vector<std::pair<std::pair<std::int64_t, std::int64_t>, int>> votes;
   for (const auto& [sender, reply] : replies_) {
     (void)sender;
-    ++votes[{reply.count, reply.digest}];
+    const std::pair<std::int64_t, std::int64_t> cert{reply.count,
+                                                     reply.digest};
+    bool counted = false;
+    for (auto& [known, n] : votes) {
+      if (known == cert) {
+        ++n;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) votes.emplace_back(cert, 1);
   }
+  std::sort(votes.begin(), votes.end());
   for (const auto& [cert, n] : votes) {
     if (n < matching_needed_) continue;
     Result result;
@@ -112,14 +120,23 @@ void StateTransferClient::try_complete() {
     result.elapsed_s = sim_.now() - started_at_;
     // Install only ids vouched for by >= matching_needed of the
     // cert-matching replies, so one stale tail cannot pollute the set.
-    std::map<std::int64_t, int> id_votes;
+    // Replies carry sorted ids; merge them, sort, and keep every id whose
+    // run length reaches the threshold (ascending output, identical to
+    // the historical per-id vote map).
+    std::vector<std::int64_t> all_ids;
     for (const auto& [sender, reply] : replies_) {
       (void)sender;
       if (reply.count != cert.first || reply.digest != cert.second) continue;
-      for (std::int64_t id : reply.ids) ++id_votes[id];
+      all_ids.insert(all_ids.end(), reply.ids.begin(), reply.ids.end());
     }
-    for (const auto& [id, id_n] : id_votes) {
-      if (id_n >= matching_needed_) result.ids.push_back(id);
+    std::sort(all_ids.begin(), all_ids.end());
+    for (std::size_t i = 0; i < all_ids.size();) {
+      std::size_t j = i;
+      while (j < all_ids.size() && all_ids[j] == all_ids[i]) ++j;
+      if (j - i >= static_cast<std::size_t>(matching_needed_)) {
+        result.ids.push_back(all_ids[i]);
+      }
+      i = j;
     }
     in_progress_ = false;
     ++completed_;

@@ -13,11 +13,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "sim/flat.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -42,6 +41,26 @@ struct BackoffPolicy {
 /// sorted ids, folded to a non-negative int64 so it rides in a Message
 /// field). The empty set has a well-defined digest.
 std::int64_t state_digest(const std::vector<std::int64_t>& sorted_ids);
+
+/// Incremental form of state_digest, exposed so a replica executing mostly
+/// in ascending id order can extend a running chain instead of rehashing
+/// its whole executed set per checkpoint:
+///   state_digest(ids) == state_digest_fold(extend(extend(kSeed, ids[0])...))
+inline constexpr std::uint64_t kStateDigestSeed = 14695981039346656037ull;
+
+inline std::uint64_t state_digest_extend(std::uint64_t h,
+                                         std::int64_t id) noexcept {
+  auto u = static_cast<std::uint64_t>(id);
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (u >> (byte * 8)) & 0xffull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::int64_t state_digest_fold(std::uint64_t h) noexcept {
+  return static_cast<std::int64_t>(h & 0x7fffffffffffffffull);
+}
 
 /// Per-replica rejoin accounting, aggregated into DesOutcome.
 struct RejoinStats {
@@ -132,8 +151,9 @@ class StateTransferClient {
   std::int64_t epoch_ = 0;
   int round_ = 0;
   double started_at_ = 0.0;
-  /// Distinct sender -> latest reply (accumulated across rounds).
-  std::map<std::pair<int, int>, Reply> replies_;
+  /// Distinct sender -> latest reply (accumulated across rounds). Flat
+  /// sorted map: a handful of peers, touched per kStateReply.
+  FlatMap<std::pair<int, int>, Reply> replies_;
 
   int completed_ = 0;
   int failed_ = 0;

@@ -39,10 +39,9 @@ void ClientWorkload::issue() {
   RequestRecord record;
   record.id = req.request_id;
   record.sent_at = sim_.now();
-  record_index_[record.id] = records_.size();
-  records_.push_back(record);
+  records_.push_back(record);  // ids are dense: record for id is at id - 1
 
-  for (const NodeAddr target : targets_) net_.send(self_, target, req);
+  net_.send_group(self_, targets_, req);
   if (options_.retransmit_limit > 0) {
     schedule_retransmit(req.request_id, options_.retransmit_limit);
   }
@@ -51,9 +50,11 @@ void ClientWorkload::issue() {
 
 void ClientWorkload::on_message(const Message& msg) {
   if (msg.type != Message::Type::kReply) return;
-  const auto it = record_index_.find(msg.request_id);
-  if (it == record_index_.end()) return;
-  RequestRecord& record = records_[it->second];
+  if (msg.request_id < 1 ||
+      msg.request_id >= static_cast<std::int64_t>(records_.size()) + 1) {
+    return;  // not a request this client issued
+  }
+  RequestRecord& record = records_[static_cast<std::size_t>(msg.request_id - 1)];
   if (record.completed_at >= 0.0) return;  // already accepted
 
   auto& sigs = pending_replies_[msg.request_id];
@@ -69,8 +70,10 @@ void ClientWorkload::on_message(const Message& msg) {
   if (msg.corrupt && !safety_violated_) {
     safety_violated_ = true;
     first_violation_at_ = sim_.now();
-    sim_.trace("client ACCEPTED CORRUPT result for request " +
-               std::to_string(msg.request_id));
+    if (sim_.tracing()) {
+      sim_.trace("client ACCEPTED CORRUPT result for request " +
+                 std::to_string(msg.request_id));
+    }
   }
   pending_replies_.erase(msg.request_id);
 }
@@ -101,13 +104,18 @@ void ClientWorkload::schedule_retransmit(std::int64_t request_id,
   const int attempt = options_.retransmit_limit - remaining;
   const double wait = backoff.delay(attempt, &retransmit_rng_);
   sim_.schedule_in(wait, [this, request_id, remaining] {
-    const auto it = record_index_.find(request_id);
-    if (it == record_index_.end()) return;
-    if (records_[it->second].completed_at >= 0.0) return;  // done
+    if (request_id < 1 ||
+        request_id >= static_cast<std::int64_t>(records_.size()) + 1) {
+      return;
+    }
+    if (records_[static_cast<std::size_t>(request_id - 1)].completed_at >=
+        0.0) {
+      return;  // done
+    }
     Message req;
     req.type = Message::Type::kRequest;
     req.request_id = request_id;
-    for (const NodeAddr target : targets_) net_.send(self_, target, req);
+    net_.send_group(self_, targets_, req);
     if (remaining > 1) schedule_retransmit(request_id, remaining - 1);
   });
 }

@@ -7,10 +7,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
+#include "sim/flat.h"
 #include "sim/invariants.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -99,8 +98,9 @@ class ClientWorkload {
   double end_s_ = 0.0;
 
   std::int64_t next_id_ = 1;
+  /// Ids are issued densely from 1, so records_[id - 1] IS the record for
+  /// id — no separate index map needed.
   std::vector<RequestRecord> records_;
-  std::map<std::int64_t, std::size_t> record_index_;
 
   /// Reply signature accumulation: request id -> (value, corrupt) ->
   /// distinct sender flat keys.
@@ -109,7 +109,7 @@ class ClientWorkload {
     bool corrupt;
     auto operator<=>(const Signature&) const = default;
   };
-  std::map<std::int64_t, std::map<Signature, std::set<std::pair<int, int>>>>
+  FlatMap<std::int64_t, FlatMap<Signature, FlatSet<std::pair<int, int>>>>
       pending_replies_;
 
   bool safety_violated_ = false;

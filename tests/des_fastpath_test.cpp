@@ -1,0 +1,169 @@
+// Bit-identity gate for the DES hot-path overhaul: every outcome the
+// pooled engine (slab events, timer wheel, zero-copy messaging, flat
+// quorum state) produces must equal the verbatim pre-overhaul engine
+// (sim/reference_des.cpp) field-for-field — observed color, safety,
+// availability timeline, invariant-monitor verdicts, drop/rejoin
+// accounting, everything except the two wall-clock measurement fields.
+//
+// The corpora mirror ChaosRunner exactly: plans are generated from
+// util::Rng(seed, "chaos").child("plan", p) with the same shapes chaos
+// sweeps use, over every paper configuration, at seeds {1, 2, 3}.
+// CT_DES_IDENTITY_PLANS scales the per-(config, seed) plan count; CI's
+// perf-smoke job runs the full 50-plan corpora, the local default keeps
+// `ctest` quick.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/chaos.h"
+#include "scada/configuration.h"
+#include "sim/fault_injector.h"
+#include "sim/scada_des.h"
+#include "threat/attacker.h"
+#include "threat/scenario.h"
+#include "util/rng.h"
+
+namespace ct::sim {
+namespace {
+
+int plans_per_corpus() {
+  if (const char* env = std::getenv("CT_DES_IDENTITY_PLANS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 4;  // local default; CI sets CT_DES_IDENTITY_PLANS=50
+}
+
+threat::SystemState attacked_state(const scada::Configuration& config,
+                                   threat::ThreatScenario scenario) {
+  threat::SystemState base;
+  base.site_status.assign(config.sites.size(), threat::SiteStatus::kUp);
+  base.intrusions.assign(config.sites.size(), 0);
+  return threat::GreedyWorstCaseAttacker{}.attack(
+      config, base, threat::capability_for(scenario));
+}
+
+enum class Corpus { kBenign, kRestartHeavy };
+
+/// Runs one corpus: for every paper configuration and seed, generate the
+/// chaos plans ChaosRunner would and assert run() == run_reference() on
+/// each, cycling the threat scenario so floods, intrusions, and compound
+/// attacks all cross both engines.
+void check_corpus_identity(Corpus corpus) {
+  const sim::DesOptions options = core::chaos_des_options();
+  const double window_to =
+      std::max(10.0 + 1.0,
+               options.horizon_s - options.settle_window_s - 60.0);
+  const int plans = plans_per_corpus();
+  const auto scenarios = threat::all_scenarios();
+
+  DesArena arena;
+  for (const auto& config :
+       scada::paper_configurations("primary", "backup", "dc")) {
+    const ScadaDes des(config, options);
+    std::vector<int> nodes_per_site;
+    for (const scada::ControlSite& site : config.sites) {
+      nodes_per_site.push_back(site.replicas);
+    }
+
+    BenignPlanShape benign_shape;
+    benign_shape.window_to_s = window_to;
+    RestartPlanShape restart_shape;
+    restart_shape.window_to_s =
+        std::max(restart_shape.window_from_s + 1.0, window_to);
+
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const util::Rng base_rng(seed, "chaos");
+      for (int p = 0; p < plans; ++p) {
+        util::Rng plan_rng =
+            base_rng.child("plan", static_cast<std::uint64_t>(p));
+        const FaultPlan plan =
+            corpus == Corpus::kRestartHeavy
+                ? random_restart_plan(restart_shape, nodes_per_site, plan_rng)
+                : random_benign_plan(benign_shape, nodes_per_site, plan_rng);
+        const threat::ThreatScenario scenario =
+            scenarios[static_cast<std::size_t>(p) % scenarios.size()];
+        const threat::SystemState attacked = attacked_state(config, scenario);
+
+        const DesOutcome fast = des.run(attacked, plan, arena);
+        const DesOutcome reference = des.run_reference(attacked, plan);
+        EXPECT_TRUE(des_outcomes_identical(fast, reference))
+            << "config=" << config.name << " seed=" << seed << " plan=" << p
+            << " scenario=" << threat::scenario_name(scenario)
+            << "\nschedule:\n" << plan.to_schedule();
+        // Redundant with des_outcomes_identical, but kept explicit: the
+        // invariant monitor must reach the same verdicts on both engines.
+        EXPECT_EQ(fast.invariant_violations, reference.invariant_violations);
+      }
+    }
+  }
+}
+
+TEST(DesFastPath, BenignChaosCorpusBitIdentical) {
+  check_corpus_identity(Corpus::kBenign);
+}
+
+TEST(DesFastPath, RestartHeavyChaosCorpusBitIdentical) {
+  check_corpus_identity(Corpus::kRestartHeavy);
+}
+
+// The zero-allocation steady state: once the arena is warmed by one run,
+// re-running recycles every event slot and message slot — no slab growth,
+// no pool misses, and no EventFn heap-fallback constructions.
+TEST(DesFastPath, WarmArenaRunsAllocationFree) {
+  const sim::DesOptions options = core::chaos_des_options();
+  for (const auto& config :
+       scada::paper_configurations("primary", "backup", "dc")) {
+    const ScadaDes des(config, options);
+    const threat::SystemState attacked = attacked_state(
+        config, threat::ThreatScenario::kHurricaneIntrusionIsolation);
+
+    DesArena arena;
+    const DesOutcome cold = des.run(attacked, arena);  // warms the pools
+    const std::uint64_t heap_before = EventFn::heap_allocations();
+    const DesOutcome warm = des.run(attacked, arena);
+    EXPECT_TRUE(des_outcomes_identical(cold, warm)) << config.name;
+
+    const Simulator::PoolStats sim_stats = arena.simulator_stats();
+    const Network::PoolStats net_stats = arena.network_stats();
+    EXPECT_EQ(sim_stats.slab_grows, 0u) << config.name;
+    EXPECT_EQ(net_stats.pool_misses, 0u) << config.name;
+    EXPECT_EQ(EventFn::heap_allocations() - heap_before, 0u) << config.name;
+    EXPECT_GT(net_stats.pool_hits, 0u) << config.name;
+  }
+}
+
+// Arena reuse across *different* plans (the chaos-sweep pattern) must
+// still be observably identical to fresh construction per run.
+TEST(DesFastPath, ArenaReuseMatchesFreshConstruction) {
+  const sim::DesOptions options = core::chaos_des_options();
+  const auto configs = scada::paper_configurations("primary", "backup", "dc");
+  const ScadaDes des(configs.back(), options);  // largest: 6+6+6
+  std::vector<int> nodes_per_site;
+  for (const scada::ControlSite& site : configs.back().sites) {
+    nodes_per_site.push_back(site.replicas);
+  }
+
+  BenignPlanShape shape;
+  shape.window_to_s = std::max(
+      shape.window_from_s + 1.0,
+      options.horizon_s - options.settle_window_s - 60.0);
+  const util::Rng base_rng(7, "chaos");
+  DesArena arena;
+  for (int p = 0; p < 3; ++p) {
+    util::Rng plan_rng =
+        base_rng.child("plan", static_cast<std::uint64_t>(p));
+    const FaultPlan plan =
+        random_benign_plan(shape, nodes_per_site, plan_rng);
+    const threat::SystemState attacked = attacked_state(
+        configs.back(), threat::ThreatScenario::kHurricaneIntrusionIsolation);
+    const DesOutcome pooled = des.run(attacked, plan, arena);
+    const DesOutcome fresh = des.run(attacked, plan);
+    EXPECT_TRUE(des_outcomes_identical(pooled, fresh)) << "plan " << p;
+  }
+}
+
+}  // namespace
+}  // namespace ct::sim

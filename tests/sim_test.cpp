@@ -75,6 +75,129 @@ TEST(Simulator, TraceGatedByFlag) {
   EXPECT_NE(sim.trace_log()[0].find("kept"), std::string::npos);
 }
 
+// A thousand-plus ties at one instant must pop in exact scheduling order:
+// this is the case the timer wheel's sorted buckets and the packed
+// (seq, slot) heap keys have to get right, including ties created from
+// inside a handler at the very instant being drained.
+TEST(Simulator, ThousandSameInstantTiesStayFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  order.reserve(1500);
+  sim.schedule_at(5.0, [&] {
+    order.push_back(0);
+    // Mid-drain, add 500 more ties at the same instant: they carry later
+    // sequence numbers, so they run after the original block, in order.
+    for (int i = 1000; i < 1500; ++i) {
+      sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+    }
+  });
+  for (int i = 1; i < 1000; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(5.0);
+  ASSERT_EQ(order.size(), 1500u);
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "tie index " << i;
+  }
+  EXPECT_EQ(sim.events_processed(), 1500u);
+}
+
+// The storm guard must trip only when a due event actually exists beyond
+// the limit: exactly N pending events under a limit of N drain cleanly.
+TEST(Simulator, EventLimitBoundaryAtExactlyN) {
+  {
+    Simulator sim;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at(1.0 + i, [] {});
+    }
+    sim.set_event_limit(100);
+    sim.run_until(1000.0);
+    EXPECT_EQ(sim.events_processed(), 100u);
+    EXPECT_FALSE(sim.event_limit_hit());
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+  {
+    Simulator sim;
+    for (int i = 0; i < 101; ++i) {
+      sim.schedule_at(1.0 + i, [] {});
+    }
+    sim.set_event_limit(100);
+    sim.run_until(1000.0);
+    EXPECT_EQ(sim.events_processed(), 100u);
+    EXPECT_TRUE(sim.event_limit_hit());
+    EXPECT_EQ(sim.pending_events(), 1u);
+    // Lifting the limit resumes the run where the guard stopped it.
+    sim.set_event_limit(0);
+    sim.run_until(1000.0);
+    EXPECT_EQ(sim.events_processed(), 101u);
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+// Scheduling between run_until calls at a time below the wheel's window:
+// after the queue drains down to a far-future event, the window rebases
+// onto it, and a subsequent near-term schedule_at must rebase back down
+// rather than land behind the cursor.
+TEST(Simulator, ScheduleBetweenRunsBelowRebasedWindow) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule_at(50.0, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(1000.0, [&] { fired.push_back(sim.now()); });
+  // Pops t=50; peeking at t=1000 (far outside the 8 s window) rebases.
+  sim.run_until(60.0);
+  ASSERT_EQ(fired.size(), 1u);
+  // Now schedule below the rebased window base.
+  sim.schedule_at(70.0, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(65.0, [&] { fired.push_back(sim.now()); });
+  sim.run_until(2000.0);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(fired[0], 50.0);
+  EXPECT_DOUBLE_EQ(fired[1], 65.0);
+  EXPECT_DOUBLE_EQ(fired[2], 70.0);
+  EXPECT_DOUBLE_EQ(fired[3], 1000.0);
+}
+
+// reset() must recycle every pooled event slot — including events that
+// never ran — and leave the simulator observably identical to a fresh
+// one: the same workload replays identically with zero slab growth.
+TEST(Simulator, ResetRecyclesEventPoolWithoutGrowth) {
+  const auto workload = [](Simulator& sim, std::vector<int>& order) {
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_at(1.0 + 0.25 * i, [&order, i] { order.push_back(i); });
+    }
+    // Chained events exercise slot reuse mid-run.
+    std::function<void()> tick = [&] {
+      order.push_back(-1);
+      if (order.size() < 80) sim.schedule_in(0.5, tick);
+    };
+    sim.schedule_at(2.0, tick);
+    // Left pending at the horizon: reset() must reclaim these slots too.
+    sim.schedule_at(1e6, [&order] { order.push_back(-2); });
+    sim.run_until(100.0);
+  };
+
+  Simulator sim;
+  std::vector<int> first;
+  workload(sim, first);
+  EXPECT_GT(sim.pool_stats().slab_grows, 0u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  const std::size_t capacity = sim.pool_stats().slab_capacity;
+
+  sim.reset();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.trace_log().empty());
+
+  std::vector<int> second;
+  workload(sim, second);
+  EXPECT_EQ(second, first);
+  // The zero-allocation steady state: a warmed pool re-running the same
+  // workload creates no new slots.
+  EXPECT_EQ(sim.pool_stats().slab_grows, 0u);
+  EXPECT_EQ(sim.pool_stats().slab_capacity, capacity);
+}
+
 // ---------------------------------------------------------------- network
 
 class NetworkTest : public ::testing::Test {
