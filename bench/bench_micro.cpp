@@ -23,6 +23,8 @@
 #include "core/pipeline.h"
 #include "figure_bench.h"
 #include "mesh/coastal_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/ensemble_runner.h"
 #include "runtime/task_pool.h"
 #include "scada/oahu.h"
@@ -379,6 +381,40 @@ void BM_ChaosSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaosSweep)->Unit(benchmark::kMillisecond);
 
+/// The metrics hot path: one counter increment plus one histogram observe
+/// per iteration — two relaxed shard adds when the registry is enabled.
+/// Arg(0) runs with the registry disabled (the one-branch early-out).
+void BM_MetricsHotPath(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  obs::Counter counter("bench.metrics_hot_path");
+  obs::Histogram hist("bench.metrics_hot_path_us");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    counter.inc();
+    hist.observe(i++ & 0xfff);
+  }
+  obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHotPath)->Arg(0)->Arg(1);
+
+/// Span construct/destroy around a trivial region. Arg(0) is the
+/// tracing-off cost every instrumented callsite pays when spans are idle;
+/// Arg(1) records into the per-thread ring.
+void BM_SpanOverhead(benchmark::State& state) {
+  obs::set_trace_enabled(state.range(0) != 0);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    obs::Span span("bench.span_overhead");
+    benchmark::DoNotOptimize(sink++);
+  }
+  obs::set_trace_enabled(false);
+  obs::reset_trace_for_test();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanOverhead)->Arg(0)->Arg(1);
+
 /// Times the pooled DES engine against the reference over the same run
 /// corpus (plain runs + a chaos-style fault-plan sweep), checking every
 /// outcome with des_outcomes_identical. Merged into BENCH_des.json.
@@ -488,6 +524,90 @@ bench::DesBenchRecord micro_des_record() {
   record.sweep_fast_s = seconds(sweep_fast_start, sweep_fast_end);
   record.sweep_runs = kPlans;
   record.identical = identical;
+  return record;
+}
+
+/// Times the ct_obs primitives per-op and the instrumented DES loop with
+/// the registry enabled vs disabled — interleaved best-of-N, so scheduler
+/// drift hits both variants equally. The enabled-but-idle overhead bound
+/// (<2%) is asserted via the exit code in main(). Merged into
+/// BENCH_obs.json.
+bench::ObsBenchRecord micro_obs_record() {
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds = [](auto start, auto end) {
+    return std::chrono::duration<double>(end - start).count();
+  };
+
+  bench::ObsBenchRecord record;
+  record.name = "bench_micro";
+
+  // Per-op costs of the primitives (single thread, hot shard).
+  constexpr std::uint64_t kOps = 2'000'000;
+  obs::Counter counter("bench.obs_record_counter");
+  obs::Histogram hist("bench.obs_record_hist");
+  const auto per_op_ns = [&](auto&& op) {
+    const auto start = now();
+    for (std::uint64_t i = 0; i < kOps; ++i) op(i);
+    return seconds(start, now()) * 1e9 / static_cast<double>(kOps);
+  };
+  obs::set_enabled(true);
+  record.counter_inc_ns = per_op_ns([&](std::uint64_t) { counter.inc(); });
+  record.histogram_observe_ns =
+      per_op_ns([&](std::uint64_t i) { hist.observe(i & 0xfff); });
+  obs::set_enabled(false);
+  record.counter_disabled_ns =
+      per_op_ns([&](std::uint64_t) { counter.inc(); });
+  obs::set_enabled(true);
+  obs::set_trace_enabled(true);
+  record.span_ns = per_op_ns([&](std::uint64_t) {
+    obs::Span span("bench.obs_record_span");
+  });
+  obs::set_trace_enabled(false);
+  obs::reset_trace_for_test();
+  record.span_idle_ns = per_op_ns([&](std::uint64_t) {
+    obs::Span span("bench.obs_record_span");
+  });
+
+  // Enabled-but-idle cost on the DES hot loop: same corpus as
+  // BM_DesEventLoop, obs on vs off interleaved, best-of-7 per variant.
+  const sim::ScadaDes des(des_config(), core::chaos_des_options());
+  const threat::SystemState attacked = des_attacked_state(des.config());
+  sim::DesArena arena;
+  constexpr std::size_t kRuns = 8;
+  constexpr int kReps = 7;
+  const auto timed_pass = [&]() {
+    const auto start = now();
+    for (std::size_t i = 0; i < kRuns; ++i) {
+      const sim::DesOutcome outcome = des.run(attacked, arena);
+      benchmark::DoNotOptimize(outcome.observed);
+    }
+    return seconds(start, now());
+  };
+  des.run(attacked, arena);  // warm the arena before timing anything
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::set_enabled(false);
+    const double off = timed_pass();
+    obs::set_enabled(true);
+    const double on = timed_pass();
+    best_off = rep == 0 ? off : std::min(best_off, off);
+    best_on = rep == 0 ? on : std::min(best_on, on);
+  }
+  record.des_runs = kRuns;
+  record.des_obs_off_s = best_off;
+  record.des_obs_on_s = best_on;
+
+  // Determinism: the instrumentation must not perturb outcomes.
+  obs::set_enabled(true);
+  obs::set_trace_enabled(true);
+  const sim::DesOutcome on_outcome = des.run(attacked, arena);
+  obs::set_enabled(false);
+  obs::set_trace_enabled(false);
+  const sim::DesOutcome off_outcome = des.run(attacked, arena);
+  record.identical = sim::des_outcomes_identical(on_outcome, off_outcome);
+  obs::set_enabled(true);
+  obs::reset_trace_for_test();
   return record;
 }
 
@@ -776,6 +896,28 @@ int main(int argc, char** argv) {
             << (des_record.identical ? "bit-identical" : "NOT IDENTICAL")
             << "; recorded in BENCH_des.json\n";
 
+  const bench::ObsBenchRecord obs_record = micro_obs_record();
+  bench::write_obs_bench_record(obs_record);
+  // The acceptance bound: enabled-but-idle observability must cost the
+  // DES hot loop <2%. Best-of-7 interleaved passes keep this off the
+  // noise floor; a violation fails the binary like a determinism break.
+  const bool obs_cheap = obs_record.des_overhead() < 0.02;
+  std::cout << "observability: counter inc "
+            << util::format_fixed(obs_record.counter_inc_ns, 1) << " ns ("
+            << util::format_fixed(obs_record.counter_disabled_ns, 1)
+            << " ns disabled), histogram observe "
+            << util::format_fixed(obs_record.histogram_observe_ns, 1)
+            << " ns, span " << util::format_fixed(obs_record.span_ns, 1)
+            << " ns (" << util::format_fixed(obs_record.span_idle_ns, 1)
+            << " ns idle), DES loop " << obs_record.des_runs << " runs "
+            << util::format_fixed(obs_record.des_obs_off_s, 4) << " -> "
+            << util::format_fixed(obs_record.des_obs_on_s, 4) << " s ("
+            << util::format_fixed(obs_record.des_overhead() * 100.0, 2)
+            << "% with obs on, bound 2%"
+            << (obs_cheap ? "" : ", EXCEEDED") << "), "
+            << (obs_record.identical ? "bit-identical" : "NOT IDENTICAL")
+            << "; recorded in BENCH_obs.json\n";
+
   const bench::RuntimeBenchRecord record = micro_runtime_record();
   bench::write_runtime_bench_record(record);
   std::cout << "ensemble sweep (" << record.realizations << " realizations): "
@@ -806,7 +948,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return record.identical && surge_record.identical && des_record.identical
+  return record.identical && surge_record.identical && des_record.identical &&
+                 obs_record.identical && obs_cheap
              ? 0
              : 1;
 }

@@ -102,6 +102,23 @@ std::string record_json(const DesBenchRecord& r) {
   return out.str();
 }
 
+std::string record_json(const ObsBenchRecord& r) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out << '"' << r.name << "\": {" << std::setprecision(2)
+      << "\"counter_inc_ns\": " << r.counter_inc_ns
+      << ", \"counter_disabled_ns\": " << r.counter_disabled_ns
+      << ", \"histogram_observe_ns\": " << r.histogram_observe_ns
+      << ", \"span_ns\": " << r.span_ns
+      << ", \"span_idle_ns\": " << r.span_idle_ns
+      << ", \"des_runs\": " << r.des_runs << std::setprecision(4)
+      << ", \"des_obs_off_s\": " << r.des_obs_off_s
+      << ", \"des_obs_on_s\": " << r.des_obs_on_s << std::setprecision(3)
+      << ", \"des_overhead\": " << r.des_overhead()
+      << ", \"identical\": " << (r.identical ? "true" : "false") << '}';
+  return out.str();
+}
+
 // The bench files are JSON objects with one record per line so every bench
 // binary can update its own row with a line-level merge — no JSON parser
 // needed, and `jq` still reads the whole file.
@@ -150,6 +167,11 @@ void write_surge_bench_record(const SurgeBenchRecord& record,
 }
 
 void write_des_bench_record(const DesBenchRecord& record,
+                            const std::string& path) {
+  merge_record_line(path, record.name, record_json(record));
+}
+
+void write_obs_bench_record(const ObsBenchRecord& record,
                             const std::string& path) {
   merge_record_line(path, record.name, record_json(record));
 }

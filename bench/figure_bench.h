@@ -162,6 +162,36 @@ struct DesBenchRecord {
 void write_des_bench_record(const DesBenchRecord& record,
                             const std::string& path = "BENCH_des.json");
 
+/// Observability overhead (PR 10): per-op cost of the ct_obs primitives
+/// and the enabled-vs-disabled cost of the instrumented DES hot loop.
+/// Recorded by bench_micro; the <2% enabled-but-idle bound is asserted in
+/// its exit code.
+struct ObsBenchRecord {
+  std::string name;                  ///< record key ("bench_micro")
+  double counter_inc_ns = 0.0;       ///< Counter::inc, registry enabled
+  double counter_disabled_ns = 0.0;  ///< Counter::inc, registry disabled
+  double histogram_observe_ns = 0.0; ///< Histogram::observe, enabled
+  double span_ns = 0.0;              ///< Span ctor+dtor, tracing enabled
+  double span_idle_ns = 0.0;         ///< Span ctor+dtor, tracing off
+  std::uint64_t des_runs = 0;        ///< DES runs timed per variant
+  double des_obs_off_s = 0.0;        ///< instrumented loop, CT_OBS off
+  double des_obs_on_s = 0.0;         ///< instrumented loop, CT_OBS on
+  bool identical = false;            ///< outcomes bit-identical on vs off
+
+  /// Enabled-but-idle cost of the instrumentation on the DES hot loop
+  /// (0.02 = 2% slower; the acceptance bound).
+  double des_overhead() const noexcept {
+    return des_obs_off_s > 0.0 && des_obs_on_s > 0.0
+               ? des_obs_on_s / des_obs_off_s - 1.0
+               : 0.0;
+  }
+};
+
+/// Same line-merge format, separate BENCH_obs.json file tracking the
+/// observability overhead trajectory.
+void write_obs_bench_record(const ObsBenchRecord& record,
+                            const std::string& path = "BENCH_obs.json");
+
 /// Runs the figure bench: returns 0 when the parallel outcome
 /// distributions are bit-identical to the serial ones (fidelity to the
 /// paper is still reported, not asserted — EXPERIMENTS.md records the

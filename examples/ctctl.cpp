@@ -29,6 +29,8 @@
 
 #include "core/case_study.h"
 #include "core/map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scada/oahu.h"
 #include "scada/topology_io.h"
 #include "service/client.h"
@@ -59,6 +61,8 @@ int usage() {
       "  downtime [options]            restoration costs in hours\n"
       "  siting [options]              backup-site ranking per scenario\n"
       "  stats --connect <addr>        server/runtime counters\n"
+      "  stats --metrics               metrics-registry snapshot (local, or\n"
+      "                                the server's with --connect)\n"
       "\n"
       "analysis options (analyze, downtime, siting):\n"
       "  --topology <file.csv>      topology to analyze (default: built-in\n"
@@ -90,6 +94,9 @@ int usage() {
       "  --deadline-ms <n>          give up after n milliseconds (remote:\n"
       "                             enforced server-side at sweep slice\n"
       "                             boundaries)\n"
+      "  --trace-out <file.json>    enable span tracing and write a Chrome-\n"
+      "                             trace JSON after the run (local only;\n"
+      "                             load in chrome://tracing or Perfetto)\n"
       "\n"
       "checkpoint options (analyze, local only):\n"
       "  --checkpoint-dir <dir>     journal completed work under <dir> so a\n"
@@ -103,7 +110,10 @@ int usage() {
       "                             falls back to a cold start, loudly\n"
       "\n"
       "stats options:\n"
-      "  --connect <addr>           required: the server to query\n"
+      "  --connect <addr>           the server to query (required unless\n"
+      "                             --metrics renders the local registry)\n"
+      "  --metrics                  full metrics-registry snapshot instead\n"
+      "                             of the server counter table\n"
       "  --json                     machine-readable output\n"
       "\n"
       "exit codes: 0 success, 1 runtime error, 2 usage, 3 degraded under\n"
@@ -115,7 +125,7 @@ int usage() {
 /// Flags that take no value.
 bool is_boolean_flag(const std::string& name) {
   return name == "no-cache" || name == "strict" || name == "best-effort" ||
-         name == "resume" || name == "json";
+         name == "resume" || name == "json" || name == "metrics";
 }
 
 /// Cooperative-interrupt plumbing: the signal handler only flips the
@@ -145,7 +155,7 @@ const std::vector<std::string> kAnalysisFlags = {
     "topology",    "primary",     "backup",      "dc",
     "realizations", "slr",        "jobs",        "no-cache",
     "max-retries", "best-effort", "strict",      "connect",
-    "deadline-ms"};
+    "deadline-ms", "trace-out"};
 
 std::vector<std::string> flags_for(const std::string& command) {
   if (command == "analyze") {
@@ -162,7 +172,7 @@ std::vector<std::string> flags_for(const std::string& command) {
     }
     return flags;
   }
-  if (command == "stats") return {"connect", "json"};
+  if (command == "stats") return {"connect", "json", "metrics"};
   return {};
 }
 
@@ -276,6 +286,8 @@ int run_local(service::RequestKind kind,
               const std::map<std::string, std::string>& flags) {
   const service::Request request = build_request(kind, flags);
   runtime::CheckpointOptions ckpt = build_checkpoint(flags);
+  const auto trace_out = flags.find("trace-out");
+  if (trace_out != flags.end()) obs::set_trace_enabled(true);
   core::CaseStudyOptions defaults;
   // Parallel by default, with the cross-process disk cache so a repeated
   // run of identical inputs skips the whole sweep.
@@ -299,6 +311,17 @@ int run_local(service::RequestKind kind,
   std::cout << outcome.output;
   if (kind == service::RequestKind::kAnalyze) {
     std::cerr << outcome.cache_line << "\n";
+  }
+  if (trace_out != flags.end()) {
+    // Diagnostics on stderr: stdout stays byte-identical to an untraced run.
+    std::ofstream trace_file(trace_out->second);
+    if (!trace_file) {
+      std::cerr << "ctctl: cannot write trace to " << trace_out->second
+                << "\n";
+    } else {
+      obs::write_chrome_trace(trace_file, obs::collect_trace());
+      std::cerr << "ctctl: trace written to " << trace_out->second << "\n";
+    }
   }
 
   if (outcome.interrupted) {
@@ -328,7 +351,8 @@ int run_remote(service::RequestKind kind,
   // jobs-independent by the determinism contract, so --jobs could only
   // ever be a no-op anyway).
   for (const char* local_only :
-       {"jobs", "checkpoint-dir", "checkpoint-interval", "resume"}) {
+       {"jobs", "checkpoint-dir", "checkpoint-interval", "resume",
+        "trace-out"}) {
     if (flags.count(local_only) != 0) {
       throw UsageError(std::string("--") + local_only +
                        " is local-only and cannot be combined with --connect");
@@ -380,12 +404,23 @@ int cmd_analysis(const std::string& command, service::RequestKind kind,
 
 int cmd_stats(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv, 2, flags_for("stats"));
+  const bool metrics = flags.count("metrics") != 0;
   const auto it = flags.find("connect");
-  if (it == flags.end()) {
-    throw UsageError("stats requires --connect <addr> (the counters live on "
-                     "the server)");
+  if (it != flags.end()) {
+    return run_remote(metrics ? service::RequestKind::kMetrics
+                              : service::RequestKind::kStats,
+                      flags, it->second);
   }
-  return run_remote(service::RequestKind::kStats, flags, it->second);
+  if (!metrics) {
+    throw UsageError("stats requires --connect <addr> (the counters live on "
+                     "the server); add --metrics to render this process's "
+                     "registry locally");
+  }
+  // Local registry snapshot via the SAME formatter the server's kMetrics
+  // reply uses, so local and remote metrics output cannot diverge.
+  std::cout << obs::format_metrics(obs::capture_metrics(),
+                                   flags.count("json") != 0);
+  return 0;
 }
 
 int cmd_topology(int argc, char** argv) {

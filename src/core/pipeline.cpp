@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/evaluator.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/digest.h"
 #include "util/log.h"
@@ -132,6 +133,7 @@ threat::OperationalState AnalysisPipeline::outcome_for(
 ScenarioResult AnalysisPipeline::analyze(
     const scada::Configuration& config, threat::ThreatScenario scenario,
     const std::vector<surge::HurricaneRealization>& realizations) const {
+  obs::Span span("pipeline.analyze");
   ScenarioResult result;
   result.config_name = config.name;
   result.scenario = scenario;
@@ -166,6 +168,7 @@ ScenarioResult AnalysisPipeline::analyze_lazy(
     const runtime::EnsembleRunner::BatchFn& batch,
     runtime::EnsembleRunner& runtime,
     std::string_view realization_set_digest) const {
+  obs::Span span("pipeline.analyze");
   const std::string key =
       realization_set_digest.empty()
           ? std::string()  // unidentified set: skip the cache, stay correct
@@ -202,6 +205,7 @@ ResumableAnalysis AnalysisPipeline::analyze_resumable(
     const surge::RealizationEngine& engine, std::size_t count,
     runtime::EnsembleRunner& runtime, const runtime::CheckpointOptions& ckpt,
     runtime::CancellationToken* interrupt) const {
+  obs::Span span("pipeline.analyze_resumable");
   ResumableAnalysis out;
   out.results.resize(cells.size());
 

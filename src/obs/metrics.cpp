@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json_writer.h"
+#include "util/table.h"
+
+namespace ct::obs {
+
+namespace {
+
+/// Shard capacity in cells. A counter takes 1 cell, a histogram 33; the
+/// in-tree metric population is well under a tenth of this, and hitting
+/// the cap is a programming error (register_metric throws).
+constexpr std::uint32_t kShardCells = 4096;
+constexpr std::uint32_t kGaugeCells = 256;
+
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kShardCells> cells{};
+};
+
+struct MetricInfo {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint32_t cell = 0;  ///< shard cell offset (gauges: gauge index)
+};
+
+/// Process-wide registry state. Intentionally leaked (never destroyed):
+/// thread-local shards fold themselves in at arbitrary thread-exit times,
+/// including after main() returns, so the registry must outlive everything.
+struct Registry {
+  std::mutex mutex;                 // guards metrics, shards, next_*
+  std::vector<MetricInfo> metrics;  // registration order
+  std::vector<Shard*> shards;      // live per-thread shards
+  std::array<std::uint64_t, kShardCells> retired{};  // folded dead shards
+  std::array<std::atomic<std::uint64_t>, kGaugeCells> gauges{};
+  std::uint32_t next_cell = 0;
+  std::uint32_t next_gauge = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("CT_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+/// Per-thread shard handle: registers the heap shard with the registry on
+/// first touch and folds it into the retired accumulator at thread exit.
+struct ShardHandle {
+  Shard* shard;
+
+  ShardHandle() : shard(new Shard()) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.shards.push_back(shard);
+  }
+  ~ShardHandle() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::uint32_t i = 0; i < kShardCells; ++i) {
+      r.retired[i] += shard->cells[i].load(std::memory_order_relaxed);
+    }
+    r.shards.erase(std::find(r.shards.begin(), r.shards.end(), shard));
+    delete shard;
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return compiled_in() && enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint32_t register_metric(const char* name, MetricKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const MetricInfo& m : r.metrics) {
+    if (m.name == name) {
+      if (m.kind != kind) {
+        throw std::logic_error(std::string("obs: metric '") + name +
+                               "' re-registered with a different kind");
+      }
+      return m.cell;
+    }
+  }
+  const std::uint32_t width =
+      kind == MetricKind::kHistogram ? kHistogramBuckets + 1 : 1;
+  std::uint32_t cell = 0;
+  if (kind == MetricKind::kGauge) {
+    if (r.next_gauge >= kGaugeCells) {
+      throw std::logic_error("obs: gauge capacity exhausted");
+    }
+    cell = r.next_gauge++;
+  } else {
+    if (r.next_cell + width > kShardCells) {
+      throw std::logic_error("obs: shard cell capacity exhausted");
+    }
+    cell = r.next_cell;
+    r.next_cell += width;
+  }
+  r.metrics.push_back(MetricInfo{name, kind, cell});
+  return cell;
+}
+
+void shard_add(std::uint32_t cell, std::uint64_t n) noexcept {
+  local_shard().cells[cell].fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t fold_cell(std::uint32_t cell) noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = r.retired[cell];
+  for (const Shard* shard : r.shards) {
+    total += shard->cells[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::atomic<std::uint64_t>& gauge_cell(std::uint32_t index) noexcept {
+  return registry().gauges[index];
+}
+
+}  // namespace detail
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot capture_metrics() {
+  Registry& r = registry();
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Fold once into a flat cell image, then slice it per metric.
+  std::array<std::uint64_t, kShardCells> folded = r.retired;
+  for (const Shard* shard : r.shards) {
+    for (std::uint32_t i = 0; i < r.next_cell; ++i) {
+      folded[i] += shard->cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  snapshot.metrics.reserve(r.metrics.size());
+  for (const MetricInfo& info : r.metrics) {
+    MetricValue v;
+    v.name = info.name;
+    v.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        v.value = folded[info.cell];
+        break;
+      case MetricKind::kGauge:
+        v.value = r.gauges[info.cell].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+          v.buckets[b] = folded[info.cell + b];
+          v.count += v.buckets[b];
+        }
+        v.sum = folded[info.cell + kHistogramBuckets];
+        break;
+    }
+    snapshot.metrics.push_back(std::move(v));
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+std::string format_metrics(const MetricsSnapshot& snapshot, bool json) {
+  std::ostringstream os;
+  if (json) {
+    util::JsonWriter w(os, /*pretty=*/true);
+    w.begin_object();
+    for (const MetricValue& m : snapshot.metrics) {
+      if (m.kind == MetricKind::kHistogram) {
+        w.key(m.name);
+        w.begin_object();
+        w.kv("count", m.count);
+        w.kv("sum", m.sum);
+        w.key("buckets");
+        w.begin_array();
+        // Trailing empty buckets are elided so idle histograms stay small.
+        unsigned last = 0;
+        for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+          if (m.buckets[b] != 0) last = b + 1;
+        }
+        for (unsigned b = 0; b < last; ++b) w.value(m.buckets[b]);
+        w.end_array();
+        w.end_object();
+      } else {
+        w.kv(m.name, m.value);
+      }
+    }
+    w.end_object();
+    os << "\n";
+    return os.str();
+  }
+  util::TextTable table;
+  table.set_columns({"metric", "value"},
+                    {util::Align::kLeft, util::Align::kRight});
+  for (const MetricValue& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      table.add_row({m.name + ".count", std::to_string(m.count)});
+      table.add_row({m.name + ".sum", std::to_string(m.sum)});
+      const std::uint64_t mean = m.count == 0 ? 0 : m.sum / m.count;
+      table.add_row({m.name + ".mean", std::to_string(mean)});
+    } else {
+      table.add_row({m.name, std::to_string(m.value)});
+    }
+  }
+  table.render(os);
+  return os.str();
+}
+
+}  // namespace ct::obs

@@ -1,0 +1,211 @@
+// ct_obs metrics: a lock-cheap process-wide MetricsRegistry.
+//
+// Three instrument kinds — Counter (monotone), Gauge (last-writer-wins),
+// Histogram (fixed log2 bucket layout) — all addressed by a stable
+// registered name. Hot-path writes touch ONLY a thread-local shard cell
+// (one relaxed atomic add), so instrumenting a sweep costs nanoseconds and
+// never serializes workers; reads fold every live shard plus the retired
+// accumulator under the registry mutex, which only the (rare) snapshot
+// path takes. Gauges are the exception: set() has last-writer-wins
+// semantics that per-thread cells cannot fold, so they live in one shared
+// atomic cell each.
+//
+// Determinism contract: nothing in this module feeds back into any
+// computation — no RNG draws, no allocation on a recorded value's path
+// that a simulation could observe, no ordering side channels. Every
+// bit-identity oracle in the repo must (and does — see tests/obs_test.cpp)
+// produce identical results with observability on and off.
+//
+// Gating: compile with CT_OBS_DISABLED to turn every instrument into an
+// inlined no-op (enabled() becomes constant false and dead-code
+// elimination removes the call sites). At runtime the CT_OBS environment
+// variable ("0"/"off"/"false" disables) or set_enabled() flips collection;
+// a disabled registry costs one relaxed bool load per call site.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ct::obs {
+
+/// Instrument kinds a registry snapshot distinguishes.
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Buckets of the fixed log2 histogram layout: bucket 0 holds value 0 and
+/// bucket b (b >= 1) holds values in [2^(b-1), 2^b - 1]; the last bucket
+/// absorbs everything larger.
+inline constexpr unsigned kHistogramBuckets = 32;
+
+/// log2 bucket index of `v` (see kHistogramBuckets).
+inline unsigned histogram_bucket_of(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  const unsigned b = static_cast<unsigned>(std::bit_width(v));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/// Smallest value bucket `b` counts (0 for bucket 0, else 2^(b-1)).
+inline std::uint64_t histogram_bucket_floor(unsigned b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+#ifdef CT_OBS_DISABLED
+inline constexpr bool compiled_in() noexcept { return false; }
+#else
+inline constexpr bool compiled_in() noexcept { return true; }
+#endif
+
+/// Runtime collection gate: CT_OBS environment variable at first use
+/// (default on), overridable by set_enabled(). Constant false when the
+/// library was compiled with CT_OBS_DISABLED.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// One metric in a snapshot. Counters/gauges carry `value`; histograms
+/// carry the bucket array plus derived count/sum (sum is of the observed
+/// values, so mean = sum / count).
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Point-in-time fold of every registered metric, sorted by name (the
+/// stable order the formatter — and therefore every byte-identity
+/// contract over rendered metrics — relies on).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// The metric named `name`, or nullptr.
+  const MetricValue* find(std::string_view name) const noexcept;
+};
+
+/// Folds live shards + retired state into a snapshot.
+MetricsSnapshot capture_metrics();
+
+/// Renders a snapshot: a two-column text table, or a flat JSON object
+/// (counters/gauges as name -> value, histograms as nested objects). The
+/// SAME formatter serves `ctctl stats --metrics` locally and the service
+/// kMetrics reply, so local and remote output are byte-identical by
+/// construction.
+std::string format_metrics(const MetricsSnapshot& snapshot, bool json);
+
+namespace detail {
+/// Registers a metric (idempotent per name; the kind must match) and
+/// returns its shard cell offset. Counters use 1 cell, histograms
+/// kHistogramBuckets + 1 (buckets then sum). Gauges return an index into
+/// the registry's shared gauge array instead.
+std::uint32_t register_metric(const char* name, MetricKind kind);
+/// Adds `n` to thread-local shard cell `cell`.
+void shard_add(std::uint32_t cell, std::uint64_t n) noexcept;
+/// Folded value of shard cell `cell` across live + retired shards.
+std::uint64_t fold_cell(std::uint32_t cell) noexcept;
+std::atomic<std::uint64_t>& gauge_cell(std::uint32_t index) noexcept;
+}  // namespace detail
+
+/// Monotone counter. Construction registers the name; `inc` is the
+/// hot-path write (one relaxed add on a thread-local cell).
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : cell_(detail::register_metric(name, MetricKind::kCounter)) {}
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    detail::shard_add(cell_, n);
+  }
+  /// Folded process-wide value.
+  std::uint64_t value() const noexcept { return detail::fold_cell(cell_); }
+
+ private:
+  std::uint32_t cell_;
+};
+
+/// Last-writer-wins gauge (one shared atomic cell).
+class Gauge {
+ public:
+  explicit Gauge(const char* name)
+      : index_(detail::register_metric(name, MetricKind::kGauge)) {}
+
+  void set(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    detail::gauge_cell(index_).store(v, std::memory_order_relaxed);
+  }
+  /// Monotone-max update (peak tracking).
+  void max(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    auto& cell = detail::gauge_cell(index_);
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const noexcept {
+    return detail::gauge_cell(index_).load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint32_t index_;
+};
+
+/// Fixed log2-bucket histogram; observe() is two relaxed adds on
+/// thread-local cells (bucket count + running sum).
+class Histogram {
+ public:
+  explicit Histogram(const char* name)
+      : cell_(detail::register_metric(name, MetricKind::kHistogram)) {}
+
+  void observe(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    detail::shard_add(cell_ + histogram_bucket_of(v), 1);
+    detail::shard_add(cell_ + kHistogramBuckets, v);
+  }
+
+  std::uint64_t bucket(unsigned b) const noexcept {
+    return detail::fold_cell(cell_ + b);
+  }
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) total += bucket(b);
+    return total;
+  }
+  std::uint64_t sum() const noexcept {
+    return detail::fold_cell(cell_ + kHistogramBuckets);
+  }
+
+ private:
+  std::uint32_t cell_;
+};
+
+/// RAII phase timer: observes the scope's wall time in MICROSECONDS into a
+/// histogram on destruction. The profiling hooks around realization runs,
+/// the DES event loop, cache lookups, checkpoint flushes and service
+/// requests are all instances of this.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(enabled() ? &histogram : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    histogram_->observe(static_cast<std::uint64_t>(us.count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace ct::obs

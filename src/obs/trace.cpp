@@ -1,0 +1,398 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/digest.h"
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace ct::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = 4096;
+constexpr char kTraceMagic[4] = {'C', 'T', 'O', 'B'};
+constexpr std::uint32_t kTraceVersion = 1;
+
+std::uint64_t now_ns() noexcept {
+  // Relative to a process-lifetime epoch so exported timestamps are small.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+/// Bounded per-thread span ring. The mutex is taken per span CLOSE (phase
+/// granularity) and by collect_trace(); it is uncontended on the hot path.
+struct TraceRing {
+  std::mutex mutex;
+  std::vector<SpanRecord> slots;  // circular once full
+  std::size_t cap;  // exact bound (vector capacity may over-allocate)
+  std::size_t next = 0;
+  bool wrapped = false;
+  std::uint32_t tid = 0;
+
+  explicit TraceRing(std::size_t capacity, std::uint32_t thread_index)
+      : cap(capacity == 0 ? 1 : capacity), tid(thread_index) {
+    slots.reserve(cap);
+  }
+
+  /// Appends, overwriting the oldest record once full. Returns true when a
+  /// record was overwritten (caller bumps the dropped counter).
+  bool push(SpanRecord&& record) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (slots.size() < cap) {
+      slots.push_back(std::move(record));
+      return false;
+    }
+    slots[next] = std::move(record);
+    next = (next + 1) % slots.size();
+    wrapped = true;
+    return true;
+  }
+
+  /// In-insertion-order copy of the ring contents (oldest first).
+  void snapshot_into(std::vector<SpanRecord>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!wrapped) {
+      out.insert(out.end(), slots.begin(), slots.end());
+      return;
+    }
+    out.insert(out.end(), slots.begin() + static_cast<std::ptrdiff_t>(next),
+               slots.end());
+    out.insert(out.end(), slots.begin(),
+               slots.begin() + static_cast<std::ptrdiff_t>(next));
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    slots.clear();
+    next = 0;
+    wrapped = false;
+  }
+};
+
+/// Global tracer state. Leaked like the metrics registry: thread-exit
+/// retirement may run after main() returns.
+struct Tracer {
+  std::mutex mutex;                  // guards rings + retired
+  std::vector<TraceRing*> rings;     // live per-thread rings
+  std::vector<SpanRecord> retired;   // rings of exited threads
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> next_span_id{1};
+  std::atomic<std::uint32_t> next_tid{1};
+  std::atomic<std::size_t> ring_capacity{kDefaultRingCapacity};
+};
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+bool env_trace_enabled() {
+  const char* v = std::getenv("CT_OBS_TRACE");
+  if (v == nullptr) return false;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& trace_flag() {
+  static std::atomic<bool> flag{env_trace_enabled()};
+  return flag;
+}
+
+/// Per-thread ring handle: registers with the tracer on first span and
+/// moves the ring's contents into `retired` at thread exit so spans from
+/// joined threads survive until collect_trace().
+struct RingHandle {
+  TraceRing* ring;
+
+  RingHandle() {
+    Tracer& t = tracer();
+    ring = new TraceRing(t.ring_capacity.load(std::memory_order_relaxed),
+                         t.next_tid.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.rings.push_back(ring);
+  }
+  ~RingHandle() {
+    Tracer& t = tracer();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    ring->snapshot_into(t.retired);
+    t.rings.erase(std::find(t.rings.begin(), t.rings.end(), ring));
+    delete ring;
+  }
+};
+
+TraceRing& local_ring() {
+  thread_local RingHandle handle;
+  return *handle.ring;
+}
+
+/// Innermost open span id on this thread (0 = none). A plain thread_local
+/// — only the owning thread ever touches it.
+thread_local std::uint64_t t_open_span = 0;
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns, std::uint64_t id,
+                 std::uint64_t parent) {
+  TraceRing& ring = local_ring();
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns;
+  record.id = id;
+  record.parent = parent;
+  record.tid = ring.tid;
+  if (ring.push(std::move(record))) {
+    tracer().dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --- binary frame helpers ---------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (bytes.size() - pos < n) {
+      throw ct::Error(ct::ErrorCode::kParse, "obs",
+                      "truncated trace frame");
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::string_view take(std::size_t n) {
+    need(n);
+    std::string_view v = bytes.substr(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return compiled_in() && trace_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+  trace_flag().store(on, std::memory_order_relaxed);
+}
+
+void set_ring_capacity(std::size_t capacity) noexcept {
+  tracer().ring_capacity.store(capacity == 0 ? 1 : capacity,
+                               std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) noexcept : name_(nullptr) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  start_ns_ = now_ns();
+  id_ = tracer().next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_open_span;
+  t_open_span = id_;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  t_open_span = parent_;
+  record_span(name_, start_ns_, now_ns() - start_ns_, id_, parent_);
+}
+
+void trace_instant(const char* name) noexcept {
+  if (!tracing_enabled()) return;
+  const std::uint64_t id =
+      tracer().next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_span(name, now_ns(), 0, id, t_open_span);
+}
+
+TraceDump collect_trace() {
+  Tracer& t = tracer();
+  TraceDump dump;
+  {
+    std::lock_guard<std::mutex> lock(t.mutex);
+    dump.spans = t.retired;
+    for (TraceRing* ring : t.rings) ring->snapshot_into(dump.spans);
+  }
+  dump.dropped = t.dropped.load(std::memory_order_relaxed);
+  std::sort(dump.spans.begin(), dump.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return dump;
+}
+
+void reset_trace_for_test() {
+  Tracer& t = tracer();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  t.retired.clear();
+  for (TraceRing* ring : t.rings) ring->clear();
+  t.dropped.store(0, std::memory_order_relaxed);
+}
+
+void write_chrome_trace(std::ostream& out, const TraceDump& dump) {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const SpanRecord& s : dump.spans) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(s.start_ns) / 1000.0);
+    w.kv("dur", static_cast<double>(s.dur_ns) / 1000.0);
+    w.kv("pid", 1);
+    w.kv("tid", s.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("id", s.id);
+    w.kv("parent", s.parent);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("droppedSpans", dump.dropped);
+  w.end_object();
+  out << "\n";
+}
+
+std::string encode_binary_trace(const TraceDump& dump) {
+  std::string payload;
+  for (const SpanRecord& s : dump.spans) {
+    put_u32(payload, static_cast<std::uint32_t>(s.name.size()));
+    payload.append(s.name);
+    put_u64(payload, s.start_ns);
+    put_u64(payload, s.dur_ns);
+    put_u64(payload, s.id);
+    put_u64(payload, s.parent);
+    put_u32(payload, s.tid);
+  }
+
+  util::Digest payload_digest;
+  payload_digest.bytes(payload.data(), payload.size());
+  const auto pd = payload_digest.value();
+
+  std::string frame(kTraceMagic, sizeof(kTraceMagic));
+  put_u32(frame, kTraceVersion);
+  put_u64(frame, dump.spans.size());
+  put_u64(frame, dump.dropped);
+  put_u64(frame, payload.size());
+  put_u64(frame, pd[0]);
+  put_u64(frame, pd[1]);
+
+  // Header digest covers everything before it, so flipping any header
+  // byte (magic included) is caught even when the payload still matches.
+  util::Digest header_digest;
+  header_digest.bytes(frame.data(), frame.size());
+  const auto hd = header_digest.value();
+  put_u64(frame, hd[0]);
+  put_u64(frame, hd[1]);
+
+  frame.append(payload);
+  return frame;
+}
+
+TraceDump decode_binary_trace(std::string_view bytes) {
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 * 5;  // up to header digest
+  Reader r{bytes};
+  r.need(kHeaderBytes + 16);
+
+  // Validate the header digest FIRST: it authenticates every later field,
+  // so all subsequent mismatches are genuine parse decisions, not noise.
+  util::Digest header_digest;
+  header_digest.bytes(bytes.data(), kHeaderBytes);
+  const auto hd = header_digest.value();
+
+  if (std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs", "bad trace magic");
+  }
+  r.pos = sizeof(kTraceMagic);
+  const std::uint32_t version = r.u32();
+  if (version != kTraceVersion) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs",
+                    "unsupported trace version " + std::to_string(version));
+  }
+  const std::uint64_t count = r.u64();
+  const std::uint64_t dropped = r.u64();
+  const std::uint64_t payload_size = r.u64();
+  const std::uint64_t pd0 = r.u64();
+  const std::uint64_t pd1 = r.u64();
+  if (r.u64() != hd[0] || r.u64() != hd[1]) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs",
+                    "trace header checksum mismatch");
+  }
+  if (bytes.size() - r.pos != payload_size) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs",
+                    "trace payload length mismatch");
+  }
+
+  util::Digest payload_digest;
+  payload_digest.bytes(bytes.data() + r.pos, payload_size);
+  const auto pd = payload_digest.value();
+  if (pd[0] != pd0 || pd[1] != pd1) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs",
+                    "trace payload checksum mismatch");
+  }
+
+  TraceDump dump;
+  dump.dropped = dropped;
+  dump.spans.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SpanRecord s;
+    const std::uint32_t name_len = r.u32();
+    s.name = std::string(r.take(name_len));
+    s.start_ns = r.u64();
+    s.dur_ns = r.u64();
+    s.id = r.u64();
+    s.parent = r.u64();
+    s.tid = r.u32();
+    dump.spans.push_back(std::move(s));
+  }
+  if (r.pos != bytes.size()) {
+    throw ct::Error(ct::ErrorCode::kParse, "obs",
+                    "trailing bytes after trace payload");
+  }
+  return dump;
+}
+
+}  // namespace ct::obs

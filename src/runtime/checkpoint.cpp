@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/digest.h"
 #include "util/fsio.h"
 #include "util/log.h"
@@ -20,6 +21,19 @@ namespace ct::runtime {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Durable-write telemetry: fsync'd-publish latency and total journal
+/// bytes, folded at the single site every checkpoint flush funnels through.
+struct CheckpointMetrics {
+  obs::Histogram flush_us{"checkpoint.flush_us"};
+  obs::Counter flushes{"checkpoint.flushes"};
+  obs::Counter journal_bytes{"checkpoint.journal_bytes"};
+};
+
+CheckpointMetrics& checkpoint_metrics() {
+  static CheckpointMetrics m;
+  return m;
+}
 
 // --- crash-site accounting --------------------------------------------------
 
@@ -55,6 +69,10 @@ bool write_all(int fd, const char* data, std::size_t n) noexcept {
 bool publish_with_crash_points(const std::string& path,
                                const std::string& contents,
                                const CrashProfile& crash) {
+  CheckpointMetrics& m = checkpoint_metrics();
+  obs::ScopedTimer timer(m.flush_us);
+  m.flushes.inc();
+  m.journal_bytes.inc(contents.size());
   const std::uint64_t site = next_crash_site();
   if (crash.fires(CrashPoint::kBeforeWrite, site)) die();
   const std::string tmp = path + ".tmp";

@@ -6,12 +6,46 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "terrain/terrain.h"
 #include "util/digest.h"
 
 namespace ct::runtime {
 
 namespace {
+
+/// Ensemble-phase telemetry: per-batch latency histograms plus the
+/// quarantine/retry counters the fault-isolation machinery folds in.
+struct EnsembleMetrics {
+  obs::Histogram generate_us{"ensemble.generate_us"};
+  obs::Histogram count_us{"ensemble.count_us"};
+  obs::Histogram slice_us{"ensemble.slice_us"};
+  obs::Counter quarantined{"ensemble.quarantined"};
+  obs::Counter retries{"ensemble.retries"};
+};
+
+EnsembleMetrics& ensemble_metrics() {
+  static EnsembleMetrics m;
+  return m;
+}
+
+/// Folds an isolated run's quarantine/retry tallies into the registry and
+/// marks each as an instant trace event. Called after outcome assembly —
+/// pure observation, never part of the computed result.
+void fold_guard_result(const IsolatedRunResult& run) {
+  EnsembleMetrics& m = ensemble_metrics();
+  if (run.retries > 0) {
+    m.retries.inc(run.retries);
+    obs::trace_instant("ensemble.retry");
+  }
+  if (!run.failures.empty()) {
+    m.quarantined.inc(run.failures.size());
+    for (std::size_t i = 0; i < run.failures.size(); ++i) {
+      obs::trace_instant("ensemble.quarantine");
+    }
+  }
+}
 
 ResultStoreOptions store_options(const EnsembleOptions& o,
                                  const RuntimeFaultProfile& fault) {
@@ -217,6 +251,8 @@ EnsembleCounts EnsembleRunner::count_outcomes(
 EnsembleCounts EnsembleRunner::count_fresh(
     const std::vector<surge::HurricaneRealization>& realizations,
     const OutcomeFn& outcome, const std::string& key) {
+  obs::Span span("ensemble.count");
+  obs::ScopedTimer timer(ensemble_metrics().count_us);
   EnsembleCounts fresh = pool_.map_reduce(
       realizations.size(), options_.chunk, EnsembleCounts{},
       [&](std::size_t begin, std::size_t end) {
@@ -248,6 +284,8 @@ EnsembleCounts EnsembleRunner::count_fresh(
 
 std::vector<surge::HurricaneRealization> EnsembleRunner::generate(
     const surge::RealizationEngine& engine, std::size_t count) {
+  obs::Span span("ensemble.generate");
+  obs::ScopedTimer timer(ensemble_metrics().generate_us);
   std::vector<surge::HurricaneRealization> out(count);
   // Generation chunks are larger than analysis chunks: one realization is
   // the expensive unit (storm + surge solve), so 1-4 per task suffices.
@@ -265,6 +303,8 @@ std::vector<surge::HurricaneRealization> EnsembleRunner::generate(
 
 GeneratedBatch EnsembleRunner::generate_guarded(
     const surge::RealizationEngine& engine, std::size_t count) {
+  obs::Span span("ensemble.generate");
+  obs::ScopedTimer timer(ensemble_metrics().generate_us);
   GeneratedBatch batch;
   batch.attempted = count;
   const std::uint64_t seed = engine.config().base_seed;
@@ -299,6 +339,7 @@ GeneratedBatch EnsembleRunner::generate_guarded(
       },
       task_options);
 
+  fold_guard_result(run);
   batch.ledger.retries = run.retries;
   std::vector<bool> quarantined(count, false);
   batch.ledger.failures.reserve(run.failures.size());
@@ -351,6 +392,8 @@ EnsembleReport EnsembleRunner::count_guarded_fresh(
     const std::vector<surge::HurricaneRealization>& realizations,
     FailureLedger generation, std::size_t attempted, const OutcomeFn& outcome,
     const std::string& key) {
+  obs::Span span("ensemble.count");
+  obs::ScopedTimer timer(ensemble_metrics().count_us);
   // Per-index bucket slots instead of map_reduce partials: a throwing
   // classifier must quarantine ONE slot, and the serial ascending fold
   // below keeps the histogram bit-identical at any jobs value.
@@ -365,6 +408,7 @@ EnsembleReport EnsembleRunner::count_guarded_fresh(
         buckets[i] = static_cast<std::int8_t>(outcome(realizations[i]));
       },
       task_options);
+  fold_guard_result(run);
 
   EnsembleReport report;
   report.attempted = attempted;
@@ -450,6 +494,8 @@ ResumableReport EnsembleRunner::run_resumable(
       const std::uint64_t e = std::min<std::uint64_t>(b + interval, gap_end);
       const std::size_t n = static_cast<std::size_t>(e - b);
 
+      obs::Span slice_span("ensemble.slice");
+      obs::ScopedTimer slice_timer(ensemble_metrics().slice_us);
       std::vector<std::int8_t> buckets(n * nseries, 0);
       IsolatedRunResult run = pool_.for_each_isolated(
           n, chunk,
@@ -482,6 +528,7 @@ ResumableReport EnsembleRunner::run_resumable(
             }
           },
           task_options);
+      fold_guard_result(run);
 
       std::vector<bool> failed(n, false);
       std::vector<FailureRecord> slice_failures;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/digest.h"
 #include "util/fsio.h"
 #include "util/log.h"
@@ -14,6 +15,22 @@ namespace ct::runtime {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Process-wide cache counters (every ResultStore instance folds in) plus
+/// the lookup-latency profiling hook.
+struct CacheMetrics {
+  obs::Counter lookups{"cache.lookups"};
+  obs::Counter hits{"cache.hits"};
+  obs::Counter disk_hits{"cache.disk_hits"};
+  obs::Counter corrupt_discarded{"cache.corrupt_discarded"};
+  obs::Counter write_failures{"cache.write_failures"};
+  obs::Histogram lookup_us{"cache.lookup_us"};
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
 
 /// Checksum line binding a record's payload to its key and version, so a
 /// truncated or hand-edited record can never parse as a hit.
@@ -99,12 +116,16 @@ std::string ResultStore::record_path(const std::string& key) const {
 }
 
 std::optional<CachedCounts> ResultStore::lookup(const std::string& key) {
+  CacheMetrics& m = cache_metrics();
+  obs::ScopedTimer timer(m.lookup_us);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  m.lookups.inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lookups;
     const auto it = index_.find(key);
     if (it != index_.end()) {
-      ++stats_.hits;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      m.hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->value;
     }
@@ -112,9 +133,11 @@ std::optional<CachedCounts> ResultStore::lookup(const std::string& key) {
   if (!disk_active() || !key_is_safe(key)) return std::nullopt;
   const std::optional<CachedCounts> from_disk = read_disk(key);
   if (!from_disk) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  m.hits.inc();
+  m.disk_hits.inc();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.hits;
-  ++stats_.disk_hits;
   touch_locked(key, *from_disk);
   return from_disk;
 }
@@ -131,10 +154,8 @@ void ResultStore::store(const std::string& key, const CachedCounts& value) {
   }
   // Soft failure: the memory layer already holds the value, so this run
   // loses nothing — only future processes lose the warm start.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.write_failures;
-  }
+  write_failures_.fetch_add(1, std::memory_order_relaxed);
+  cache_metrics().write_failures.inc();
   const unsigned in_a_row =
       consecutive_write_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
   CT_LOG(kWarn, "runtime") << "result cache: disk write failed for " << key
@@ -170,8 +191,8 @@ std::optional<CachedCounts> ResultStore::read_disk(const std::string& key) {
   if (!in) return std::nullopt;  // plain miss: never cached here
 
   const auto corrupt = [this]() -> std::optional<CachedCounts> {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.corrupt_discarded;
+    corrupt_discarded_.fetch_add(1, std::memory_order_relaxed);
+    cache_metrics().corrupt_discarded.inc();
     return std::nullopt;
   };
 
@@ -236,8 +257,13 @@ bool ResultStore::write_disk(const std::string& key,
 }
 
 ResultStore::Stats ResultStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.corrupt_discarded = corrupt_discarded_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace ct::runtime

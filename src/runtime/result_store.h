@@ -73,6 +73,10 @@ class ResultStore {
   /// Disk writes failing in a row before the layer self-disables.
   static constexpr unsigned kMaxConsecutiveWriteFailures = 3;
 
+  /// Per-store counter snapshot. Counters are plain relaxed atomics (no
+  /// mutex on the increment path); every increment is also folded into the
+  /// process-wide metrics registry ("cache.*" counters), which is what
+  /// `ctctl stats --metrics` and the service kMetrics reply surface.
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;         ///< memory + disk
@@ -123,7 +127,14 @@ class ResultStore {
   };
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+
+  // Counters live outside mutex_: increments are relaxed atomic adds
+  // mirrored into the metrics registry at the same call sites.
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> corrupt_discarded_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
 };
 
 }  // namespace ct::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace ct::runtime {
@@ -10,6 +11,20 @@ namespace ct::runtime {
 namespace {
 /// Sentinel "self" for threads without an own deque (submitters): steal only.
 constexpr std::size_t kNoOwnDeque = static_cast<std::size_t>(-1);
+
+/// Scheduling telemetry: task/steal/backpressure counts plus the peak
+/// instantaneous queue depth observed at batch submission.
+struct PoolMetrics {
+  obs::Counter tasks{"pool.tasks"};
+  obs::Counter steals{"pool.steals"};
+  obs::Counter inline_runs{"pool.inline_runs"};
+  obs::Gauge queue_depth_peak{"pool.queue_depth_peak"};
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
 }  // namespace
 
 CancellationToken::CancellationToken(std::chrono::milliseconds timeout) {
@@ -64,12 +79,14 @@ bool TaskPool::try_pop(std::size_t self, Task& out) {
     if (i == self || deques_[i].empty()) continue;
     out = deques_[i].front();  // steal FIFO: the oldest, coarsest chunk
     deques_[i].pop_front();
+    pool_metrics().steals.inc();
     return true;
   }
   return false;
 }
 
 void TaskPool::run_task(Task& task) noexcept {
+  pool_metrics().tasks.inc();
   std::exception_ptr error;
   try {
     (*task.batch->fn)(task.begin, task.end);
@@ -126,6 +143,7 @@ void TaskPool::parallel_for_ranges(
     if (deques_[next_victim_].size() >= kDequeCapacity) {
       // Bounded queues: instead of growing, apply backpressure by doing
       // the work ourselves right now.
+      pool_metrics().inline_runs.inc();
       lock.unlock();
       run_task(task);
       lock.lock();
@@ -133,6 +151,11 @@ void TaskPool::parallel_for_ranges(
     }
     deques_[next_victim_].push_back(task);
     next_victim_ = (next_victim_ + 1) % deques_.size();
+  }
+  if (obs::enabled()) {
+    std::size_t depth = 0;
+    for (const auto& d : deques_) depth += d.size();
+    pool_metrics().queue_depth_peak.max(depth);
   }
   lock.unlock();
   work_cv_.notify_all();

@@ -338,8 +338,10 @@ ExecOutcome execute_request(const Request& request,
       out = run_siting(request, runner, interrupt);
       break;
     case RequestKind::kStats:
+    case RequestKind::kMetrics:
       throw Error(ErrorCode::kInvalidInput, "service",
-                  "stats requests are answered by the server, not executed");
+                  "stats/metrics requests are answered by the server, "
+                  "not executed");
   }
   out.cache_line = cache_stats_line(before, runner.runtime().cache_stats());
   return out;

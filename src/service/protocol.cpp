@@ -196,7 +196,7 @@ Request decode_request(std::string_view payload) {
   WireReader r(payload);
   Request request;
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(RequestKind::kStats)) {
+  if (kind > static_cast<std::uint8_t>(RequestKind::kMetrics)) {
     fail("unknown request kind");
   }
   request.kind = static_cast<RequestKind>(kind);

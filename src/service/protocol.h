@@ -75,6 +75,7 @@ enum class RequestKind : std::uint8_t {
   kDowntime = 2,  ///< ctctl downtime: restoration-cost tables
   kSiting = 3,    ///< ctctl siting: backup-site ranking per scenario
   kStats = 4,     ///< server/runtime counters (cache, queue, latency)
+  kMetrics = 5,   ///< full metrics-registry snapshot (ct_obs)
 };
 
 /// Sentinel for "use the server's configured default".

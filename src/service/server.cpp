@@ -12,6 +12,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json_writer.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -22,6 +24,19 @@ namespace {
 
 using util::Error;
 using util::ErrorCode;
+
+/// Serving-layer telemetry: executed-request latency plus the shed counter
+/// the admission queue bumps on kOverloaded.
+struct ServiceMetrics {
+  obs::Counter requests{"service.requests"};
+  obs::Counter shed{"service.shed"};
+  obs::Histogram request_us{"service.request_us"};
+};
+
+ServiceMetrics& service_metrics() {
+  static ServiceMetrics m;
+  return m;
+}
 
 [[noreturn]] void io_fail(const std::string& what) {
   throw Error(ErrorCode::kIo, "server",
@@ -371,6 +386,16 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
                         encode_response(response));
     return true;
   }
+  if (request.kind == RequestKind::kMetrics) {
+    // Same formatter `ctctl stats --metrics` uses locally, so remote and
+    // local metrics output are byte-identical by construction.
+    Response response;
+    response.output =
+        obs::format_metrics(obs::capture_metrics(), request.json);
+    session->send_frame(FrameType::kResponse, frame.request_id,
+                        encode_response(response));
+    return true;
+  }
 
   admit(session, std::move(request), frame.request_id);
   return true;
@@ -389,6 +414,8 @@ void Server::admit(const std::shared_ptr<Session>& session, Request request,
       // Explicit load shedding: a full queue answers immediately with the
       // admission state instead of stalling the connection.
       ++stats_.shed;
+      service_metrics().shed.inc();
+      obs::trace_instant("service.shed");
       info.status = Status::kOverloaded;
       info.message = "admission queue full";
       info.queue_depth = static_cast<std::uint32_t>(queue_.size());
@@ -439,6 +466,10 @@ core::CaseStudyRunner& Server::session_runner(const Request& request) {
 }
 
 void Server::run_job(Job job) {
+  obs::Span span("service.request");
+  ServiceMetrics& metrics = service_metrics();
+  obs::ScopedTimer timer(metrics.request_us);
+  metrics.requests.inc();
   const std::shared_ptr<Session>& session = job.session;
   if (!session->alive.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/reference_des.h"
 #include "threat/attacker.h"
 #include "util/log.h"
@@ -14,15 +16,38 @@ namespace ct::sim {
 
 namespace {
 
-// Process-wide DES throughput accounting (lock-free: chaos sweeps fold
-// runs in from several workers).
-std::atomic<std::uint64_t> g_des_runs{0};
-std::atomic<std::uint64_t> g_des_events{0};
-std::atomic<std::uint64_t> g_des_wall_us{0};
+// Process-wide DES throughput accounting, registry-backed: chaos sweeps
+// fold runs in from several workers, each touching only its thread-local
+// shard. Function-local statics keep registration lazy and ordered.
+struct DesMetrics {
+  obs::Counter runs{"des.runs"};
+  obs::Counter events{"des.events"};
+  obs::Counter messages{"des.messages"};
+  obs::Counter duplicates{"des.duplicates"};
+  obs::Counter wall_us{"des.wall_us"};
+  obs::Counter drop_loss{"des.drops.loss"};
+  obs::Counter drop_site_down{"des.drops.site_down"};
+  obs::Counter drop_isolation{"des.drops.isolation"};
+  obs::Counter drop_link_down{"des.drops.link_down"};
+  obs::Counter drop_crashed{"des.drops.crashed"};
+  obs::Counter drop_in_flight{"des.drops.in_flight"};
+  obs::Counter drop_transfer_loss{"des.drops.transfer_loss"};
+  obs::Counter slab_grows{"des.pool.slab_grows"};
+  obs::Counter pool_hits{"des.pool.msg_hits"};
+  obs::Counter pool_misses{"des.pool.msg_misses"};
+  obs::Gauge slab_capacity{"des.pool.slab_capacity"};
+  obs::Gauge peak_queue{"des.pool.peak_queue"};
+  obs::Histogram run_us{"des.run_us"};
+};
 
-/// Stamps the measurement-only fields and folds the run into the
-/// process-wide counters. Runs after outcome assembly so it cannot affect
-/// bit-identity.
+DesMetrics& des_metrics() {
+  static DesMetrics m;
+  return m;
+}
+
+/// Stamps the measurement-only fields and folds the run — throughput,
+/// per-cause drops, wall time — into the metrics registry. Runs after
+/// outcome assembly so it cannot affect bit-identity.
 void finish_run_timing(DesOutcome& outcome,
                        std::chrono::steady_clock::time_point started) {
   const auto elapsed = std::chrono::steady_clock::now() - started;
@@ -32,10 +57,37 @@ void finish_run_timing(DesOutcome& outcome,
   outcome.events_per_second =
       wall_ms > 0.0 ? static_cast<double>(outcome.events) / (wall_ms / 1000.0)
                     : 0.0;
-  g_des_runs.fetch_add(1, std::memory_order_relaxed);
-  g_des_events.fetch_add(outcome.events, std::memory_order_relaxed);
-  g_des_wall_us.fetch_add(static_cast<std::uint64_t>(wall_ms * 1000.0),
-                          std::memory_order_relaxed);
+  if (!obs::enabled()) return;
+  DesMetrics& m = des_metrics();
+  const auto wall_us = static_cast<std::uint64_t>(wall_ms * 1000.0);
+  m.runs.inc();
+  m.events.inc(outcome.events);
+  m.messages.inc(outcome.messages);
+  m.duplicates.inc(static_cast<std::uint64_t>(outcome.duplicates));
+  m.wall_us.inc(wall_us);
+  m.run_us.observe(wall_us);
+  const auto& d = outcome.drops;
+  m.drop_loss.inc(static_cast<std::uint64_t>(d.loss));
+  m.drop_site_down.inc(static_cast<std::uint64_t>(d.site_down));
+  m.drop_isolation.inc(static_cast<std::uint64_t>(d.isolation));
+  m.drop_link_down.inc(static_cast<std::uint64_t>(d.link_down));
+  m.drop_crashed.inc(static_cast<std::uint64_t>(d.crashed));
+  m.drop_in_flight.inc(static_cast<std::uint64_t>(d.in_flight));
+  m.drop_transfer_loss.inc(static_cast<std::uint64_t>(d.transfer_loss));
+}
+
+/// Folds the arena's event-slab and message-pool occupancy into the
+/// registry (peak gauges + growth counters).
+void fold_pool_stats(const DesArena& arena) {
+  if (!obs::enabled()) return;
+  DesMetrics& m = des_metrics();
+  const Simulator::PoolStats sim_stats = arena.simulator_stats();
+  const Network::PoolStats net_stats = arena.network_stats();
+  m.slab_grows.inc(sim_stats.slab_grows);
+  m.slab_capacity.max(sim_stats.slab_capacity);
+  m.peak_queue.max(sim_stats.peak_queue);
+  m.pool_hits.inc(net_stats.pool_hits);
+  m.pool_misses.inc(net_stats.pool_misses);
 }
 
 }  // namespace
@@ -64,12 +116,11 @@ bool des_outcomes_identical(const DesOutcome& a, const DesOutcome& b) {
 }
 
 DesCounters des_counters_snapshot() {
+  DesMetrics& m = des_metrics();
   DesCounters c;
-  c.runs = g_des_runs.load(std::memory_order_relaxed);
-  c.events = g_des_events.load(std::memory_order_relaxed);
-  c.wall_ms =
-      static_cast<double>(g_des_wall_us.load(std::memory_order_relaxed)) /
-      1000.0;
+  c.runs = m.runs.value();
+  c.events = m.events.value();
+  c.wall_ms = static_cast<double>(m.wall_us.value()) / 1000.0;
   return c;
 }
 
@@ -118,6 +169,7 @@ DesOutcome ScadaDes::run(const threat::SystemState& attacked_state,
 
 DesOutcome ScadaDes::run_reference(
     const threat::SystemState& attacked_state) const {
+  obs::Span span("des.run_reference");
   const auto started = std::chrono::steady_clock::now();
   DesOutcome outcome =
       refdes::run_reference_des(config_, options_, attacked_state, nullptr);
@@ -127,6 +179,7 @@ DesOutcome ScadaDes::run_reference(
 
 DesOutcome ScadaDes::run_reference(const threat::SystemState& attacked_state,
                                    const FaultPlan& plan) const {
+  obs::Span span("des.run_reference");
   const auto started = std::chrono::steady_clock::now();
   DesOutcome outcome =
       refdes::run_reference_des(config_, options_, attacked_state, &plan);
@@ -136,6 +189,7 @@ DesOutcome ScadaDes::run_reference(const threat::SystemState& attacked_state,
 
 DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
                               const FaultPlan* plan, DesArena& arena) const {
+  obs::Span span("des.run");
   const auto started = std::chrono::steady_clock::now();
   const std::size_t n_sites = config_.sites.size();
   if (attacked_state.site_status.size() != n_sites ||
@@ -423,6 +477,7 @@ DesOutcome ScadaDes::run_impl(const threat::SystemState& attacked_state,
     outcome.observed = threat::OperationalState::kGreen;
   }
   finish_run_timing(outcome, started);
+  fold_pool_stats(arena);
   return outcome;
 }
 

@@ -553,6 +553,139 @@ TEST(Server, StatsRequestReportsCounters) {
   server.stop();
 }
 
+/// Pulls a scalar metric out of a kMetrics JSON reply. Returns 0 when the
+/// metric has not been registered yet (nothing has touched it).
+std::uint64_t json_metric(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return 0;
+  std::size_t i = at + key.size();
+  while (i < json.size() && json[i] == ' ') ++i;
+  std::uint64_t value = 0;
+  while (i < json.size() && json[i] >= '0' && json[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(json[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+CallResult call_metrics(Client& client, bool json) {
+  Request request;
+  request.kind = RequestKind::kMetrics;
+  request.json = json;
+  return client.call(request);
+}
+
+TEST(Server, MetricsRequestColdVsWarmCacheCountersMonotone) {
+  const std::string path = test_socket_path("metrics");
+  Server server(loopback_options(path));
+  server.start();
+  Client client(path, "unit");
+  client.connect();
+
+  const CallResult before = call_metrics(client, /*json=*/true);
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.response.output.front(), '{');
+  const std::uint64_t lookups0 = json_metric(before.response.output,
+                                             "cache.lookups");
+  const std::uint64_t hits0 = json_metric(before.response.output,
+                                          "cache.hits");
+
+  // Cold analyze: a lookup that misses.
+  ASSERT_TRUE(client.call(analyze_request(16)).ok);
+  const CallResult cold = call_metrics(client, /*json=*/true);
+  ASSERT_TRUE(cold.ok);
+  const std::uint64_t lookups1 = json_metric(cold.response.output,
+                                             "cache.lookups");
+  EXPECT_GT(lookups1, lookups0);
+
+  // Warm repeat of the identical request: a lookup that hits.
+  ASSERT_TRUE(client.call(analyze_request(16)).ok);
+  const CallResult warm = call_metrics(client, /*json=*/true);
+  ASSERT_TRUE(warm.ok);
+  const std::uint64_t lookups2 = json_metric(warm.response.output,
+                                             "cache.lookups");
+  const std::uint64_t hits2 = json_metric(warm.response.output, "cache.hits");
+  EXPECT_GT(lookups2, lookups1);
+  EXPECT_GT(hits2, hits0);
+
+  // Text rendering serves the same snapshot in tabular form.
+  const CallResult text = call_metrics(client, /*json=*/false);
+  ASSERT_TRUE(text.ok);
+  EXPECT_NE(text.response.output.find("cache.lookups"), std::string::npos);
+  EXPECT_NE(text.response.output.find("service.requests"), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, MetricsShedCounterTracksOverloadedAnswers) {
+  const std::string path = test_socket_path("metrics_shed");
+  ServerOptions options = loopback_options(path);
+  options.queue_capacity = 1;
+  options.defaults.runtime.fault_spec = "delay:every=1,ms=40";
+  options.defaults.runtime.jobs = 1;
+  Server server(options);
+  server.start();
+
+  Client probe(path, "probe");
+  probe.connect();
+  const CallResult before = call_metrics(probe, /*json=*/true);
+  ASSERT_TRUE(before.ok);
+  const std::uint64_t shed0 = json_metric(before.response.output,
+                                          "service.shed");
+
+  constexpr int kBurst = 4;
+  std::atomic<int> overloaded{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&, i] {
+      Client client(path, "burst-" + std::to_string(i));
+      client.connect();
+      const CallResult result = client.call(analyze_request(24));
+      if (!result.ok) {
+        ASSERT_EQ(result.error.status, Status::kOverloaded);
+        ++overloaded;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_GE(overloaded.load(), 1);
+
+  const CallResult after = call_metrics(probe, /*json=*/true);
+  ASSERT_TRUE(after.ok);
+  const std::uint64_t shed1 = json_metric(after.response.output,
+                                          "service.shed");
+  // Registry counter moved by exactly the kOverloaded answers this burst
+  // produced (the registry is process-wide, hence the delta).
+  EXPECT_EQ(shed1 - shed0, static_cast<std::uint64_t>(overloaded.load()));
+  EXPECT_EQ(server.stats().shed, static_cast<std::uint64_t>(overloaded.load()));
+  server.stop();
+}
+
+TEST(Protocol, MetricsRequestRoundTripAndGarbageRejected) {
+  Request in;
+  in.kind = RequestKind::kMetrics;
+  in.json = true;
+  EXPECT_EQ(decode_request(encode_request(in)), in);
+
+  // Truncation at every prefix must throw a typed protocol error.
+  const std::string good = encode_request(in);
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    EXPECT_THROW(decode_request(good.substr(0, n)), Error) << "prefix " << n;
+  }
+  // Trailing garbage after a well-formed kMetrics payload.
+  EXPECT_THROW(decode_request(good + "\x01"), Error);
+  // One past the last known kind is still unknown.
+  std::string bad_kind = good;
+  bad_kind[0] = static_cast<char>(static_cast<int>(RequestKind::kMetrics) + 1);
+  try {
+    decode_request(bad_kind);
+    FAIL() << "unknown kind accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocol);
+  }
+}
+
 /// Dials the socket, handshakes, sends one analyze request, and returns
 /// the raw fd WITHOUT reading the answer — a client about to die
 /// mid-stream.
